@@ -1,0 +1,51 @@
+"""Ablation: where the LMI baseline's cost comes from.
+
+The extended positive-real LMI has ~n^2 scalar unknowns; each interior-point
+Newton step assembles a dense Hessian over those unknowns, which is the
+O(n^5)-O(n^6) cost driver the paper quotes.  This benchmark separates the two
+ingredients — building the affine LMI blocks and running the phase-I solve —
+and records the Newton-iteration counts so the per-iteration cost can be
+derived from the timings.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits import paper_benchmark_model
+from repro.passivity.lmi_test import build_positive_real_lmi_blocks
+from repro.sdp import solve_phase_one
+
+ORDERS = (15, 20, 30)
+
+
+@pytest.fixture(scope="module")
+def lmi_inputs():
+    inputs = {}
+    for order in ORDERS:
+        system = paper_benchmark_model(max(order, 12), n_impulsive_stubs=1).system
+        blocks, basis = build_positive_real_lmi_blocks(system)
+        inputs[order] = {"system": system, "blocks": blocks, "basis": basis}
+    return inputs
+
+
+@pytest.mark.parametrize("order", ORDERS)
+def test_lmi_block_assembly(benchmark, lmi_inputs, order):
+    system = lmi_inputs[order]["system"]
+    blocks, basis = benchmark.pedantic(
+        build_positive_real_lmi_blocks, args=(system,), rounds=1, iterations=1
+    )
+    assert basis.shape[1] >= system.order
+
+
+@pytest.mark.parametrize("order", ORDERS)
+def test_lmi_phase_one_solve(benchmark, lmi_inputs, order):
+    """Phase-I solve cost; the verdict on these marginally-feasible MNA
+    problems is recorded as extra info (see bench_table1 / EXPERIMENTS.md)."""
+    blocks = lmi_inputs[order]["blocks"]
+    result = benchmark.pedantic(
+        solve_phase_one, args=(blocks,), rounds=1, iterations=1
+    )
+    assert result.n_newton_steps >= 1
+    benchmark.extra_info["feasible"] = result.feasible
+    benchmark.extra_info["optimal_t"] = result.optimal_t

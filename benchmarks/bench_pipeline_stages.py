@@ -1,0 +1,84 @@
+"""Ablation: cost breakdown of the proposed test's pipeline stages.
+
+The paper notes that the bottleneck of the proposed test is the identification
+of the stable invariant subspace (Eq. 22).  This benchmark times each stage of
+the Figure-1 flow separately so the cost distribution can be inspected:
+
+1. forming ``Phi`` (trivial),
+2. impulsive-mode removal (SVD based, Section 3.1),
+3. nondynamic-mode removal (Section 3.2),
+4. conversion to a standard Hamiltonian matrix + stable/anti-stable splitting
+   + Lyapunov decoupling (Section 3.3 — expected to dominate),
+5. the final Hamiltonian positive-realness check.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits import paper_benchmark_model
+from repro.descriptor import build_phi_realization
+from repro.passivity import (
+    extract_stable_proper_part,
+    proper_positive_real_test,
+    remove_impulsive_modes,
+    remove_nondynamic_modes,
+    restore_shh_structure,
+)
+
+ORDER = 80
+
+
+@pytest.fixture(scope="module")
+def staged_inputs():
+    system = paper_benchmark_model(ORDER, n_impulsive_stubs=2).system
+    phi = build_phi_realization(system)
+    impulsive = remove_impulsive_modes(phi)
+    nondynamic = remove_nondynamic_modes(impulsive.system)
+    restoration = restore_shh_structure(nondynamic.system)
+    extraction = extract_stable_proper_part(restoration)
+    return {
+        "system": system,
+        "phi": phi,
+        "impulsive": impulsive,
+        "nondynamic": nondynamic,
+        "restoration": restoration,
+        "extraction": extraction,
+    }
+
+
+def test_stage_build_phi(benchmark, staged_inputs):
+    benchmark(build_phi_realization, staged_inputs["system"])
+
+
+def test_stage_remove_impulsive(benchmark, staged_inputs):
+    benchmark.pedantic(
+        remove_impulsive_modes, args=(staged_inputs["phi"],), rounds=3, iterations=1
+    )
+
+
+def test_stage_remove_nondynamic(benchmark, staged_inputs):
+    benchmark.pedantic(
+        remove_nondynamic_modes,
+        args=(staged_inputs["impulsive"].system,),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_stage_proper_part_extraction(benchmark, staged_inputs):
+    benchmark.pedantic(
+        extract_stable_proper_part,
+        args=(staged_inputs["restoration"],),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_stage_final_positive_real_check(benchmark, staged_inputs):
+    benchmark.pedantic(
+        proper_positive_real_test,
+        args=(staged_inputs["extraction"].phi_half,),
+        rounds=3,
+        iterations=1,
+    )

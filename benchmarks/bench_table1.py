@@ -1,0 +1,81 @@
+"""Reproduction of Table 1: CPU time of the three passivity tests vs. model order.
+
+Paper reference values (seconds, Matlab 7.0.4 on a 2.8 GHz PC):
+
+    order    LMI        proposed   Weierstrass
+    20       5.633      0.1328     0.0859
+    40       144.18     0.1875     0.1407
+    60       1550.25    0.3047     0.2578
+    80       NIL        0.5547     0.5136
+    100      NIL        0.9922     1.0078
+    200      NIL        14.7891    15.285
+    400      NIL        155.1875   185.016
+
+Absolute numbers differ on this substrate (NumPy instead of Matlab+GUPTRI,
+modern hardware); the qualitative claims under test are:
+
+* the LMI test cost grows like ~n^5-n^6 and becomes impractical quickly,
+* the proposed SHH test and the Weierstrass test are both O(n^3) and of
+  comparable cost, with the proposed test avoiding ill-conditioned transforms.
+
+Run ``REPRO_BENCH_FULL=1 pytest benchmarks/bench_table1.py --benchmark-only``
+for the complete paper grid.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import lmi_order_limit, table1_orders
+from repro.passivity import (
+    lmi_passivity_test,
+    shh_passivity_test,
+    weierstrass_passivity_test,
+)
+
+ORDERS = table1_orders()
+LMI_ORDERS = tuple(order for order in ORDERS if order <= lmi_order_limit())
+
+
+@pytest.mark.parametrize("order", ORDERS)
+def test_table1_proposed_shh(benchmark, benchmark_models, order):
+    """Table 1, 'Proposed method' column."""
+    system = benchmark_models[order]
+    report = benchmark.pedantic(
+        shh_passivity_test, args=(system,), rounds=1, iterations=1, warmup_rounds=0
+    )
+    assert report.is_passive, report.failure_reason
+
+
+@pytest.mark.parametrize("order", ORDERS)
+def test_table1_weierstrass(benchmark, benchmark_models, order):
+    """Table 1, 'Weierstrass decomposition' column."""
+    system = benchmark_models[order]
+    report = benchmark.pedantic(
+        weierstrass_passivity_test,
+        args=(system,),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    assert report.is_passive, report.failure_reason
+
+
+@pytest.mark.parametrize("order", LMI_ORDERS)
+def test_table1_lmi(benchmark, benchmark_models, order):
+    """Table 1, 'LMI Test' column (orders above the limit are NIL in the paper).
+
+    The timing is the reproduction target here.  On these MNA workloads
+    (``D = 0``, impulsive modes) the positive-real LMIs are only *marginally*
+    feasible — ``X = I`` satisfies them with zero margin — so the generic
+    interior-point verdict is not reliable and is recorded as extra info
+    rather than asserted; see EXPERIMENTS.md for the discussion.  The
+    benchmark asserts that the solver actually ran to its decision.
+    """
+    system = benchmark_models[order]
+    report = benchmark.pedantic(
+        lmi_passivity_test, args=(system,), rounds=1, iterations=1, warmup_rounds=0
+    )
+    assert report.diagnostics["newton_steps"] >= 1
+    benchmark.extra_info["reported_passive"] = report.is_passive
+    benchmark.extra_info["phase_one_t"] = report.diagnostics["phase_one_t"]

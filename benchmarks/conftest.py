@@ -1,0 +1,44 @@
+"""Shared configuration of the benchmark suite.
+
+Two environment variables control the sweep size so that the default
+``pytest benchmarks/ --benchmark-only`` run finishes in a few minutes while a
+full paper-scale reproduction stays one flag away:
+
+* ``REPRO_BENCH_FULL=1`` — benchmark the complete Table 1 grid
+  (orders 20..400 and the LMI test up to order 60, exactly like the paper).
+  Without it the grid stops at order 100 and the LMI test at order 40.
+* ``REPRO_BENCH_LMI_LIMIT=<order>`` — override the LMI cut-off explicitly.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.circuits import paper_benchmark_model
+
+
+def full_run() -> bool:
+    return os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+
+def table1_orders() -> tuple:
+    if full_run():
+        return (20, 40, 60, 80, 100, 200, 400)
+    return (20, 40, 60, 80, 100)
+
+
+def lmi_order_limit() -> int:
+    if "REPRO_BENCH_LMI_LIMIT" in os.environ:
+        return int(os.environ["REPRO_BENCH_LMI_LIMIT"])
+    return 60 if full_run() else 40
+
+
+@pytest.fixture(scope="session")
+def benchmark_models():
+    """Pre-assembled benchmark models keyed by order (assembly excluded from timing)."""
+    return {
+        order: paper_benchmark_model(order, n_impulsive_stubs=2).system
+        for order in table1_orders()
+    }

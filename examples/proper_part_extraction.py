@@ -1,0 +1,75 @@
+"""Scenario: decoupling the proper part of an impulsive descriptor system.
+
+The paper's "sidetrack": the same SHH reduction pipeline that decides
+passivity also hands back the stable proper part of the model, which is what a
+downstream model-order-reduction or time-domain simulation flow actually wants
+to work with (the impulsive part being a simple ``s * M1`` term handled
+analytically).
+
+The script:
+
+1. builds an impulsive RLC model,
+2. extracts its proper part through the SHH pipeline,
+3. extracts it again with the conventional spectral-separation route,
+4. compares both against the original frequency response
+   ``G(j w) - j w M1`` and prints the worst-case deviations.
+
+Run with::
+
+    python examples/proper_part_extraction.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits import impulsive_rlc_ladder
+from repro.descriptor import additive_decomposition, first_markov_parameter
+from repro.passivity import extract_proper_part, shh_passivity_test
+
+
+def main() -> None:
+    model = impulsive_rlc_ladder(n_sections=6, n_impulsive_stubs=2,
+                                 series_port_inductor=0.8)
+    system = model.system
+    print(f"model order {system.order}, ports {system.n_inputs}")
+
+    report = shh_passivity_test(system)
+    print(f"passivity: {report.is_passive}")
+
+    m1 = first_markov_parameter(system)
+    print(f"M1 (impulsive part coefficient): {m1.ravel()}")
+
+    proper_shh = extract_proper_part(system)
+    proper_qz = additive_decomposition(system).proper_part
+    print(
+        f"proper part order: SHH pipeline = {proper_shh.order}, "
+        f"spectral separation = {proper_qz.order}"
+    )
+
+    omegas = np.logspace(-2, 3, 40)
+    worst_vs_reference = 0.0
+    worst_between_methods = 0.0
+    for omega in omegas:
+        reference = system.evaluate(1j * omega) - 1j * omega * m1
+        via_shh = proper_shh.evaluate(1j * omega)
+        via_qz = proper_qz.evaluate(1j * omega)
+        worst_vs_reference = max(
+            worst_vs_reference, float(np.max(np.abs(via_shh - reference)))
+        )
+        worst_between_methods = max(
+            worst_between_methods, float(np.max(np.abs(via_shh - via_qz)))
+        )
+
+    print(f"max |G_p(jw) - (G(jw) - jw M1)| over the sweep : {worst_vs_reference:.3e}")
+    print(f"max deviation between the two extraction routes: {worst_between_methods:.3e}")
+
+    print()
+    print("sample of the extracted proper response (real part at a few frequencies):")
+    for omega in (0.0, 0.5, 2.0, 10.0):
+        value = proper_shh.evaluate(1j * omega)
+        print(f"  w = {omega:6.2f}  Re G_p = {value.real.ravel()}")
+
+
+if __name__ == "__main__":
+    main()

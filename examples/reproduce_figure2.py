@@ -1,0 +1,87 @@
+"""Reproduce Figure 2 of the paper: CPU-time-vs-order curves of the tests.
+
+Run with::
+
+    python examples/reproduce_figure2.py [--full] [--csv PATH]
+
+The script produces the two series of the figure (log-scale comparison of all
+three tests, linear-scale close-up of the proposed vs. Weierstrass tests),
+prints them as a table plus a coarse ASCII log-log plot, and optionally writes
+a CSV ready for plotting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import math
+import sys
+
+from repro.bench import figure2_series
+
+
+def ascii_loglog_plot(series, width=64, height=16):
+    """Tiny dependency-free log-log scatter plot of the timing curves."""
+    points = []
+    markers = {"lmi": "L", "proposed": "P", "weierstrass": "W"}
+    for method, marker in markers.items():
+        for order, seconds in zip(series["order"], series[method]):
+            if seconds is not None and seconds > 0:
+                points.append((math.log10(order), math.log10(seconds), marker))
+    if not points:
+        return "(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    grid = [[" "] * width for _ in range(height)]
+    for x, y, marker in points:
+        col = int((x - x_min) / max(x_max - x_min, 1e-9) * (width - 1))
+        row = int((y - y_min) / max(y_max - y_min, 1e-9) * (height - 1))
+        grid[height - 1 - row][col] = marker
+    lines = ["|" + "".join(row) for row in grid]
+    lines.append("+" + "-" * width)
+    lines.append(f" log10(order) from {x_min:.2f} to {x_max:.2f}; "
+                 f"log10(seconds) from {y_min:.2f} to {y_max:.2f}")
+    lines.append(" markers: L = LMI test, P = proposed SHH test, W = Weierstrass test")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true", help="use the paper's full order grid")
+    parser.add_argument("--csv", default=None, help="write the series to a CSV file")
+    args = parser.parse_args(argv)
+
+    orders = (20, 40, 60, 80, 100, 150, 200, 300, 400) if args.full else (20, 40, 60, 80, 100, 150)
+    lmi_limit = 60 if args.full else 40
+    print(f"timing the tests over orders {orders} (LMI up to {lmi_limit}) ...")
+    series = figure2_series(orders=orders, lmi_order_limit=lmi_limit)
+
+    print()
+    print("Figure 2 data — CPU times (seconds)")
+    print(f"{'order':>8s} {'LMI':>12s} {'proposed':>12s} {'weierstrass':>12s}")
+    for i, order in enumerate(series["order"]):
+        def fmt(value):
+            return "NIL" if value is None else f"{value:.4f}"
+        print(f"{order:>8d} {fmt(series['lmi'][i]):>12s} "
+              f"{fmt(series['proposed'][i]):>12s} {fmt(series['weierstrass'][i]):>12s}")
+
+    print()
+    print("Figure 2 (top panel), ASCII rendition (log-log):")
+    print(ascii_loglog_plot(series))
+
+    if args.csv:
+        with open(args.csv, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["order", "lmi_seconds", "proposed_seconds", "weierstrass_seconds"])
+            for i, order in enumerate(series["order"]):
+                writer.writerow(
+                    [order, series["lmi"][i], series["proposed"][i], series["weierstrass"][i]]
+                )
+        print(f"wrote {args.csv}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

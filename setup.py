@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The environment ships a setuptools without the ``wheel`` package, so editable
+installs go through the legacy ``setup.py develop`` path
+(``pip install -e . --no-use-pep517 --no-build-isolation``).  All metadata
+lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

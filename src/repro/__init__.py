@@ -1,0 +1,82 @@
+"""repro — fast passivity testing for descriptor systems.
+
+A from-scratch Python reproduction of
+
+    N. Wong and C.K. Chu, "A Fast Passivity Test for Descriptor Systems Via
+    Structure-Preserving Transformations of Skew-Hamiltonian/Hamiltonian
+    Matrix Pencils", Proc. 43rd Design Automation Conference (DAC), 2006.
+
+The top-level namespace re-exports the objects most users need:
+
+* :class:`DescriptorSystem` / :class:`StateSpace` — system containers,
+* :func:`shh_passivity_test` — the paper's O(n^3) structure-preserving test,
+* :func:`lmi_passivity_test`, :func:`weierstrass_passivity_test`,
+  :func:`gare_passivity_test`, :func:`sampling_passivity_check` — baselines,
+* :func:`extract_proper_part` — the proper-part "sidetrack",
+* the :mod:`repro.circuits` generators for RLC/MNA workloads.
+
+See ``README.md`` for a quickstart and ``DESIGN.md`` for the full system
+inventory.
+"""
+
+from repro.config import DEFAULT_TOLERANCES, Tolerances
+from repro.descriptor import (
+    AdditiveDecomposition,
+    DescriptorSystem,
+    PhiRealization,
+    StateSpace,
+    additive_decomposition,
+    adjoint_system,
+    build_phi_realization,
+    count_modes,
+    first_markov_parameter,
+    markov_parameters,
+    separate_finite_infinite,
+    weierstrass_form,
+)
+from repro.passivity import (
+    PassivityReport,
+    ShhPassivityTest,
+    extract_proper_part,
+    gare_passivity_test,
+    lmi_passivity_test,
+    proper_positive_real_test,
+    sampling_passivity_check,
+    shh_passivity_test,
+    weierstrass_passivity_test,
+)
+from repro import circuits, descriptor, linalg, passivity, sdp
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Tolerances",
+    "DEFAULT_TOLERANCES",
+    "DescriptorSystem",
+    "StateSpace",
+    "PhiRealization",
+    "AdditiveDecomposition",
+    "additive_decomposition",
+    "adjoint_system",
+    "build_phi_realization",
+    "count_modes",
+    "markov_parameters",
+    "first_markov_parameter",
+    "separate_finite_infinite",
+    "weierstrass_form",
+    "PassivityReport",
+    "ShhPassivityTest",
+    "shh_passivity_test",
+    "lmi_passivity_test",
+    "weierstrass_passivity_test",
+    "gare_passivity_test",
+    "sampling_passivity_check",
+    "proper_positive_real_test",
+    "extract_proper_part",
+    "circuits",
+    "descriptor",
+    "linalg",
+    "passivity",
+    "sdp",
+]

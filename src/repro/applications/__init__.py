@@ -1,0 +1,32 @@
+"""Applications built on top of the passivity framework.
+
+The paper's conclusion notes that "further applications such as passivity
+enforcement and DS model order reduction can readily be developed on top of
+this framework"; this subpackage provides first versions of both:
+
+* :mod:`repro.applications.enforcement` — restore passivity of a slightly
+  non-passive model by shifting/clipping its constant and impulsive parts.
+* :mod:`repro.applications.model_reduction` — balanced truncation of the
+  stable proper part extracted by the SHH pipeline, with the impulsive part
+  re-attached exactly.
+"""
+
+from repro.applications.enforcement import (
+    EnforcementResult,
+    enforce_passivity,
+    passivity_violation,
+)
+from repro.applications.model_reduction import (
+    ReducedModel,
+    balanced_truncation,
+    reduce_descriptor_system,
+)
+
+__all__ = [
+    "EnforcementResult",
+    "enforce_passivity",
+    "passivity_violation",
+    "ReducedModel",
+    "balanced_truncation",
+    "reduce_descriptor_system",
+]

@@ -1,0 +1,224 @@
+"""Passivity enforcement by shifting/clipping the offending system parts.
+
+Macromodels produced by fitting or aggressive reduction are often *slightly*
+non-passive: the Hermitian part of the frequency response dips below zero by a
+small amount over a limited band, or the extracted residue at infinity has a
+small negative eigenvalue.  This module provides a simple, certified-by-
+re-testing enforcement scheme on top of the library's analysis machinery:
+
+1. measure the worst violation of ``G(j w) + G(j w)^* >= 0`` — the candidate
+   frequencies are the imaginary eigenvalues of the positive-real Hamiltonian
+   (exactly the band edges of the violation intervals), refined with a local
+   sampling pass;
+2. measure the violation of ``M1 >= 0`` (negative eigenvalues of the symmetric
+   part) and any asymmetry of ``M1``;
+3. add the smallest diagonal shift to ``D`` that closes the frequency-domain
+   gap (plus a configurable relative margin) and replace ``M1`` by its
+   symmetric positive semidefinite part;
+4. re-run the SHH passivity test on the repaired model.
+
+The shift-based repair is deliberately conservative (it perturbs the DC and
+high-frequency response uniformly); it is the standard "quick fix" used before
+more sophisticated residue-perturbation schemes, and it keeps the enforcement
+error fully transparent: the returned report states exactly how much was added
+where.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.config import DEFAULT_TOLERANCES, Tolerances
+from repro.descriptor.decompose import additive_decomposition
+from repro.descriptor.system import DescriptorSystem
+from repro.exceptions import NotImplementedForSystemError
+from repro.passivity.result import PassivityReport
+from repro.passivity.shh_test import shh_passivity_test
+
+__all__ = ["passivity_violation", "EnforcementResult", "enforce_passivity"]
+
+
+def passivity_violation(
+    system: DescriptorSystem,
+    n_samples: int = 600,
+    omega_min: float = 1e-4,
+    omega_max: float = 1e4,
+    tol: Optional[Tolerances] = None,
+) -> float:
+    """Worst frequency-domain passivity violation of the *proper* response.
+
+    Returns ``max(0, -min_w lambda_min(G(jw) + G(jw)^*))`` evaluated on a
+    dense logarithmic grid augmented with the crossing frequencies predicted by
+    the positive-real Hamiltonian of the proper part (when available).  The
+    impulsive part ``s M1`` does not contribute to the Hermitian part on the
+    imaginary axis when ``M1`` is symmetric, and is assessed separately by
+    :func:`enforce_passivity`.
+    """
+    tol = tol or DEFAULT_TOLERANCES
+    omegas = list(np.logspace(np.log10(omega_min), np.log10(omega_max), n_samples))
+    omegas.append(0.0)
+
+    # Add the Hamiltonian-predicted crossings of the proper part, if it can be
+    # extracted; these are exactly where the violation is extremal.
+    try:
+        decomposition = additive_decomposition(system, tol)
+        proper = decomposition.proper_part
+        r_matrix = proper.d + proper.d.T
+        if proper.order and np.linalg.matrix_rank(r_matrix) == r_matrix.shape[0]:
+            from repro.linalg.invariant_subspace import imaginary_axis_eigenvalues
+            from repro.linalg.riccati import positive_real_hamiltonian
+
+            hamiltonian = positive_real_hamiltonian(proper.a, proper.b, proper.c, proper.d)
+            crossings = imaginary_axis_eigenvalues(hamiltonian, tol)
+            for value in crossings:
+                omega = abs(float(value.imag))
+                omegas.extend([omega, 1.01 * omega + 1e-6, 0.99 * omega])
+    except Exception:  # pragma: no cover - analysis is best-effort
+        pass
+
+    worst = 0.0
+    for omega in omegas:
+        try:
+            value = system.evaluate(1j * float(omega), tol)
+        except Exception:
+            continue
+        hermitian = 0.5 * (value + value.conj().T)
+        smallest = float(np.min(np.linalg.eigvalsh(hermitian)))
+        worst = max(worst, -smallest)
+    return worst
+
+
+@dataclass(frozen=True)
+class EnforcementResult:
+    """Outcome of a passivity-enforcement run.
+
+    Attributes
+    ----------
+    system:
+        The repaired descriptor system.
+    feedthrough_shift:
+        The multiple of the identity added to ``D``.
+    m1_clip_magnitude:
+        Frobenius norm of the change applied to the impulsive part (0 when the
+        original ``M1`` was already symmetric PSD or absent).
+    original_violation / remaining_violation:
+        Frequency-domain violations before and after the repair.
+    report:
+        The SHH passivity report of the repaired system (the certification).
+    """
+
+    system: DescriptorSystem
+    feedthrough_shift: float
+    m1_clip_magnitude: float
+    original_violation: float
+    remaining_violation: float
+    report: PassivityReport
+
+
+def _psd_part(matrix: np.ndarray) -> np.ndarray:
+    symmetric = 0.5 * (matrix + matrix.T)
+    eigenvalues, vectors = np.linalg.eigh(symmetric)
+    clipped = np.clip(eigenvalues, 0.0, None)
+    return vectors @ np.diag(clipped) @ vectors.T
+
+
+def enforce_passivity(
+    system: DescriptorSystem,
+    margin_fraction: float = 0.05,
+    tol: Optional[Tolerances] = None,
+) -> EnforcementResult:
+    """Repair a (slightly) non-passive descriptor system.
+
+    Parameters
+    ----------
+    system:
+        Square descriptor system with a regular, *stable* pencil.  Unstable
+        models cannot be repaired by output-side perturbations and are
+        rejected.
+    margin_fraction:
+        Extra shift added on top of the measured violation, relative to it
+        (5 % by default), to keep the repaired model strictly inside the
+        passive set despite sampling error.
+
+    Raises
+    ------
+    NotImplementedForSystemError
+        If the system is not square or not stable.
+    """
+    tol = tol or DEFAULT_TOLERANCES
+    if not system.is_square_io:
+        raise NotImplementedForSystemError("passivity enforcement requires a square system")
+    if not system.is_stable(tol):
+        raise NotImplementedForSystemError(
+            "passivity enforcement requires a stable model; unstable poles "
+            "cannot be repaired by perturbing D or M1"
+        )
+
+    violation = passivity_violation(system, tol=tol)
+    shift = (1.0 + margin_fraction) * violation
+
+    # Repair the impulsive part: replace M1 by its symmetric PSD part.  The
+    # perturbation acts on the infinite block's coupling through B_inf; doing
+    # it exactly requires the separated realization, so the repaired system is
+    # reassembled from the decomposition.
+    decomposition = additive_decomposition(system, tol)
+    m1 = decomposition.m1
+    m1_psd = _psd_part(m1)
+    m1_change = float(np.linalg.norm(m1 - m1_psd))
+
+    higher_terms = decomposition.impulsive_markov[1:]
+    if any(np.max(np.abs(term), initial=0.0) > 1e-10 for term in higher_terms):
+        raise NotImplementedForSystemError(
+            "the model has Markov parameters of order >= 2; shift-based "
+            "enforcement cannot repair genuinely polynomial behaviour"
+        )
+
+    repaired = _reassemble(decomposition, m1_psd, shift, system.n_inputs)
+    report = shh_passivity_test(repaired, tol)
+    remaining = passivity_violation(repaired, tol=tol)
+    return EnforcementResult(
+        system=repaired,
+        feedthrough_shift=shift,
+        m1_clip_magnitude=m1_change,
+        original_violation=violation,
+        remaining_violation=remaining,
+        report=report,
+    )
+
+
+def _reassemble(decomposition, m1_psd: np.ndarray, shift: float, n_ports: int) -> DescriptorSystem:
+    """Build a descriptor realization of ``G_sp + (M0 + shift I) + s * M1_psd``."""
+    proper = decomposition.strictly_proper
+    n = proper.order
+    m = n_ports
+    m0 = decomposition.m0 + shift * np.eye(m)
+
+    # Impulsive part: realize s * M1 with a rank-revealing factorization
+    # M1 = L L^T (PSD), using the standard 2r-state nilpotent realization.
+    eigenvalues, vectors = np.linalg.eigh(0.5 * (m1_psd + m1_psd.T))
+    keep = eigenvalues > 1e-14 * max(1.0, float(eigenvalues.max(initial=0.0)))
+    factors = vectors[:, keep] * np.sqrt(eigenvalues[keep])
+    r = factors.shape[1]
+
+    order = n + 2 * r
+    e_matrix = np.zeros((order, order))
+    a_matrix = np.zeros((order, order))
+    b_matrix = np.zeros((order, m))
+    c_matrix = np.zeros((m, order))
+
+    e_matrix[:n, :n] = np.eye(n)
+    a_matrix[:n, :n] = proper.a
+    b_matrix[:n, :] = proper.b
+    c_matrix[:, :n] = proper.c
+
+    if r:
+        # Block realizing s * L L^T:  E = [[0, I],[0, 0]], A = I,
+        # B = [0; -L^T], C = [L, 0]  =>  C (sE - A)^{-1} B = s L L^T.
+        e_matrix[n : n + r, n + r :] = np.eye(r)
+        a_matrix[n:, n:] = np.eye(2 * r)
+        b_matrix[n + r :, :] = -factors.T
+        c_matrix[:, n : n + r] = factors
+    return DescriptorSystem(e_matrix, a_matrix, b_matrix, c_matrix, m0)

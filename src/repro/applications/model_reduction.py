@@ -1,0 +1,185 @@
+"""Model order reduction of descriptor systems via the SHH proper-part split.
+
+The reduction pipeline of the passivity test hands back the stable proper part
+of the model "for free" (the paper's sidetrack).  This module turns that into
+a practical descriptor-system model-order-reduction flow:
+
+1. split ``G`` into stable proper part, constant ``M0`` and impulsive term
+   ``s M1`` (exact, structure-preserving),
+2. reduce the proper part with balanced truncation — Gramians from the
+   library's Lyapunov solver, square-root balancing, and the classical
+   ``2 * sum of discarded Hankel singular values`` error bound,
+3. re-attach ``M0`` and ``s M1`` exactly, so the reduction error is confined to
+   the proper dynamics.
+
+Plain balanced truncation does not guarantee passivity of the reduced model
+(positive-real balancing would); callers that need a certified-passive reduced
+model should re-run :func:`repro.passivity.shh_passivity_test` on the result —
+which is exactly what the accompanying example and tests do — and fall back to
+a larger reduced order or to enforcement when the check fails.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.config import DEFAULT_TOLERANCES, Tolerances
+from repro.descriptor.decompose import additive_decomposition
+from repro.descriptor.system import DescriptorSystem, StateSpace
+from repro.exceptions import DimensionError, NotImplementedForSystemError, NotStableError
+from repro.linalg.lyapunov import solve_continuous_lyapunov
+
+__all__ = ["balanced_truncation", "ReducedModel", "reduce_descriptor_system"]
+
+
+def _cholesky_factor_psd(matrix: np.ndarray) -> np.ndarray:
+    """Factor a (numerically) PSD matrix as ``L L^T`` via its eigendecomposition."""
+    symmetric = 0.5 * (matrix + matrix.T)
+    eigenvalues, vectors = np.linalg.eigh(symmetric)
+    clipped = np.clip(eigenvalues, 0.0, None)
+    return vectors @ np.diag(np.sqrt(clipped))
+
+
+def balanced_truncation(
+    system: StateSpace,
+    order: int,
+    tol: Optional[Tolerances] = None,
+) -> Tuple[StateSpace, np.ndarray, float]:
+    """Balanced truncation of a stable state-space system.
+
+    Returns
+    -------
+    (reduced, hankel_singular_values, error_bound):
+        The reduced system of the requested order, the full vector of Hankel
+        singular values, and the a-priori H-infinity error bound
+        ``2 * sum(discarded singular values)``.
+
+    Raises
+    ------
+    NotStableError
+        If the system is not asymptotically stable (the Gramians would not
+        exist).
+    DimensionError
+        If the requested order is not smaller than the original order.
+    """
+    tol = tol or DEFAULT_TOLERANCES
+    if not system.is_stable(tol):
+        raise NotStableError("balanced truncation requires a stable system")
+    n = system.order
+    if not 0 < order <= n:
+        raise DimensionError(f"reduced order must be in (0, {n}], got {order}")
+    if order == n:
+        return system, np.zeros(n), 0.0
+
+    controllability = solve_continuous_lyapunov(system.a, system.b @ system.b.T, tol)
+    observability = solve_continuous_lyapunov(system.a.T, system.c.T @ system.c, tol)
+
+    l_ctrl = _cholesky_factor_psd(controllability)
+    l_obs = _cholesky_factor_psd(observability)
+    u, singular_values, vt = np.linalg.svd(l_obs.T @ l_ctrl)
+
+    hankel = singular_values.copy()
+    kept = singular_values[:order]
+    # Guard against truncating into the numerical noise floor.
+    floor = max(1e-14, 1e-12 * float(hankel.max(initial=0.0)))
+    effective = np.maximum(kept, floor)
+
+    scale = np.diag(1.0 / np.sqrt(effective))
+    left = scale @ u[:, :order].T @ l_obs.T
+    right = l_ctrl @ vt[:order, :].T @ scale
+
+    a_reduced = left @ system.a @ right
+    b_reduced = left @ system.b
+    c_reduced = system.c @ right
+    reduced = StateSpace(a_reduced, b_reduced, c_reduced, system.d)
+    error_bound = 2.0 * float(np.sum(hankel[order:]))
+    return reduced, hankel, error_bound
+
+
+@dataclass(frozen=True)
+class ReducedModel:
+    """Result of descriptor-system model order reduction.
+
+    Attributes
+    ----------
+    system:
+        The reduced descriptor system (proper part reduced, ``M0`` and
+        ``s M1`` re-attached exactly).
+    proper_order:
+        Order of the reduced proper part.
+    hankel_singular_values:
+        Hankel singular values of the original proper part.
+    error_bound:
+        A-priori H-infinity bound on the proper-part reduction error.
+    """
+
+    system: DescriptorSystem
+    proper_order: int
+    hankel_singular_values: np.ndarray
+    error_bound: float
+
+
+def reduce_descriptor_system(
+    system: DescriptorSystem,
+    proper_order: int,
+    tol: Optional[Tolerances] = None,
+) -> ReducedModel:
+    """Reduce a stable descriptor system, preserving its impulsive structure.
+
+    Raises
+    ------
+    NotImplementedForSystemError
+        If the model has Markov parameters of order >= 2 (polynomial behaviour
+        beyond ``s M1`` is not representable by the re-attachment used here).
+    """
+    tol = tol or DEFAULT_TOLERANCES
+    if not system.is_square_io:
+        raise NotImplementedForSystemError("reduction is implemented for square systems")
+    decomposition = additive_decomposition(system, tol)
+    higher = decomposition.impulsive_markov[1:]
+    if any(np.max(np.abs(term), initial=0.0) > 1e-10 for term in higher):
+        raise NotImplementedForSystemError(
+            "the model has Markov parameters of order >= 2"
+        )
+
+    strictly_proper = decomposition.strictly_proper
+    reduced_proper, hankel, bound = balanced_truncation(strictly_proper, proper_order, tol)
+
+    m = system.n_inputs
+    m0 = decomposition.m0
+    m1 = decomposition.m1
+
+    eigenvalues, vectors = np.linalg.eigh(0.5 * (m1 + m1.T))
+    keep = np.abs(eigenvalues) > 1e-12 * max(1.0, float(np.max(np.abs(eigenvalues), initial=0.0)))
+    factors = vectors[:, keep] * np.sqrt(np.abs(eigenvalues[keep]))
+    signs = np.sign(eigenvalues[keep])
+    r = factors.shape[1]
+
+    n_red = reduced_proper.order
+    order = n_red + 2 * r
+    e_matrix = np.zeros((order, order))
+    a_matrix = np.zeros((order, order))
+    b_matrix = np.zeros((order, m))
+    c_matrix = np.zeros((m, order))
+
+    e_matrix[:n_red, :n_red] = np.eye(n_red)
+    a_matrix[:n_red, :n_red] = reduced_proper.a
+    b_matrix[:n_red, :] = reduced_proper.b
+    c_matrix[:, :n_red] = reduced_proper.c
+    if r:
+        # Realize s * (sum_i sign_i f_i f_i^T) with a 2r-state nilpotent block.
+        e_matrix[n_red : n_red + r, n_red + r :] = np.eye(r)
+        a_matrix[n_red:, n_red:] = np.eye(2 * r)
+        b_matrix[n_red + r :, :] = -(np.diag(signs) @ factors.T)
+        c_matrix[:, n_red : n_red + r] = factors
+
+    reduced_system = DescriptorSystem(e_matrix, a_matrix, b_matrix, c_matrix, m0)
+    return ReducedModel(
+        system=reduced_system,
+        proper_order=n_red,
+        hankel_singular_values=hankel,
+        error_bound=bound,
+    )

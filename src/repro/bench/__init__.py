@@ -1,0 +1,19 @@
+"""Benchmark harness shared by ``benchmarks/`` and ``examples/``."""
+
+from repro.bench.harness import (
+    BenchmarkRow,
+    PAPER_TABLE1,
+    figure2_series,
+    format_table1,
+    run_single_model,
+    table1_rows,
+)
+
+__all__ = [
+    "BenchmarkRow",
+    "PAPER_TABLE1",
+    "run_single_model",
+    "table1_rows",
+    "figure2_series",
+    "format_table1",
+]

@@ -1,0 +1,187 @@
+"""Harness regenerating the paper's evaluation (Table 1 and Figure 2).
+
+The paper times three passivity tests — the extended LMI test, the proposed
+SHH test and the Weierstrass-decomposition test — on RLC circuit models of
+order 20 to 400 (Table 1), and plots the same data on a log scale plus a
+linear-scale close-up of the two fast tests (Figure 2).
+
+This module produces the same rows/series on the synthetic RLC workloads of
+:mod:`repro.circuits`.  Absolute CPU times obviously differ from a 2006-era
+Matlab run; what is expected to reproduce is the *shape*:
+
+* the LMI test's cost explodes (it is skipped above ``lmi_order_limit``,
+  mirroring the paper's ``NIL`` entries),
+* the proposed test and the Weierstrass test are both O(n^3) and of comparable
+  magnitude, with the proposed test avoiding the ill-conditioned
+  transformations.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.circuits.generators import paper_benchmark_model
+from repro.descriptor.system import DescriptorSystem
+from repro.passivity.lmi_test import lmi_passivity_test
+from repro.passivity.shh_test import shh_passivity_test
+from repro.passivity.weierstrass_test import weierstrass_passivity_test
+
+__all__ = [
+    "PAPER_TABLE1",
+    "BenchmarkRow",
+    "run_single_model",
+    "table1_rows",
+    "figure2_series",
+    "format_table1",
+]
+
+
+#: CPU seconds reported by the paper (Table 1); ``None`` marks the NIL entries
+#: where the LMI test exceeded the machine's physical memory.
+PAPER_TABLE1: Dict[int, Dict[str, Optional[float]]] = {
+    20: {"lmi": 5.633, "proposed": 0.1328, "weierstrass": 0.0859},
+    40: {"lmi": 144.18, "proposed": 0.1875, "weierstrass": 0.1407},
+    60: {"lmi": 1550.25, "proposed": 0.3047, "weierstrass": 0.2578},
+    80: {"lmi": None, "proposed": 0.5547, "weierstrass": 0.5136},
+    100: {"lmi": None, "proposed": 0.9922, "weierstrass": 1.0078},
+    200: {"lmi": None, "proposed": 14.7891, "weierstrass": 15.285},
+    400: {"lmi": None, "proposed": 155.1875, "weierstrass": 185.016},
+}
+
+#: Default order grid of Table 1.
+TABLE1_ORDERS: Sequence[int] = (20, 40, 60, 80, 100, 200, 400)
+
+
+@dataclass
+class BenchmarkRow:
+    """One row of the reproduced Table 1.
+
+    Attributes
+    ----------
+    order:
+        Model order ``n``.
+    seconds:
+        Mapping method name -> wall-clock seconds (``None`` when skipped).
+    passive:
+        Mapping method name -> reported verdict (all should be ``True`` on the
+        passive workloads).
+    paper_seconds:
+        The paper's reported timings for the same order, when available.
+    """
+
+    order: int
+    seconds: Dict[str, Optional[float]] = field(default_factory=dict)
+    passive: Dict[str, Optional[bool]] = field(default_factory=dict)
+    paper_seconds: Dict[str, Optional[float]] = field(default_factory=dict)
+
+
+def run_single_model(
+    system: DescriptorSystem,
+    methods: Iterable[str] = ("lmi", "proposed", "weierstrass"),
+    lmi_order_limit: Optional[int] = 60,
+) -> Dict[str, Dict[str, object]]:
+    """Time the requested passivity tests on one model.
+
+    Returns a mapping ``method -> {"seconds": float | None, "passive": bool | None}``.
+    """
+    results: Dict[str, Dict[str, object]] = {}
+    for method in methods:
+        if method == "lmi":
+            if lmi_order_limit is not None and system.order > lmi_order_limit:
+                results[method] = {"seconds": None, "passive": None}
+                continue
+            start = time.perf_counter()
+            report = lmi_passivity_test(system, order_limit=None)
+            elapsed = time.perf_counter() - start
+        elif method == "proposed":
+            start = time.perf_counter()
+            report = shh_passivity_test(system)
+            elapsed = time.perf_counter() - start
+        elif method == "weierstrass":
+            start = time.perf_counter()
+            report = weierstrass_passivity_test(system)
+            elapsed = time.perf_counter() - start
+        else:
+            raise ValueError(f"unknown method {method!r}")
+        results[method] = {"seconds": elapsed, "passive": report.is_passive}
+    return results
+
+
+def table1_rows(
+    orders: Sequence[int] = TABLE1_ORDERS,
+    lmi_order_limit: Optional[int] = 60,
+    n_impulsive_stubs: int = 2,
+    methods: Iterable[str] = ("lmi", "proposed", "weierstrass"),
+) -> List[BenchmarkRow]:
+    """Reproduce Table 1 on the synthetic RLC workloads.
+
+    Parameters
+    ----------
+    orders:
+        Model orders to sweep (paper: 20, 40, 60, 80, 100, 200, 400).
+    lmi_order_limit:
+        Orders above this skip the LMI test (``NIL`` in the paper).
+    """
+    rows = []
+    for order in orders:
+        model = paper_benchmark_model(order, n_impulsive_stubs=n_impulsive_stubs)
+        timings = run_single_model(
+            model.system, methods=methods, lmi_order_limit=lmi_order_limit
+        )
+        row = BenchmarkRow(order=order, paper_seconds=PAPER_TABLE1.get(order, {}))
+        for method, outcome in timings.items():
+            row.seconds[method] = outcome["seconds"]
+            row.passive[method] = outcome["passive"]
+        rows.append(row)
+    return rows
+
+
+def figure2_series(
+    orders: Sequence[int] = (20, 40, 60, 80, 100, 150, 200, 300, 400),
+    lmi_order_limit: Optional[int] = 60,
+    n_impulsive_stubs: int = 2,
+) -> Dict[str, List[Optional[float]]]:
+    """Reproduce the two panels of Figure 2 as data series.
+
+    Returns a mapping with keys ``"order"``, ``"lmi"``, ``"proposed"`` and
+    ``"weierstrass"``; the latter three are lists of seconds aligned with the
+    order grid (``None`` where a method was skipped).  The top panel of the
+    figure is these series on a log scale; the bottom panel is the
+    ``proposed``/``weierstrass`` pair on a linear scale.
+    """
+    rows = table1_rows(
+        orders=orders,
+        lmi_order_limit=lmi_order_limit,
+        n_impulsive_stubs=n_impulsive_stubs,
+    )
+    series: Dict[str, List[Optional[float]]] = {
+        "order": [row.order for row in rows],
+        "lmi": [row.seconds.get("lmi") for row in rows],
+        "proposed": [row.seconds.get("proposed") for row in rows],
+        "weierstrass": [row.seconds.get("weierstrass") for row in rows],
+    }
+    return series
+
+
+def format_table1(rows: Sequence[BenchmarkRow]) -> str:
+    """Render reproduced rows next to the paper's numbers (Table 1 layout)."""
+    header = (
+        f"{'order':>6s} | {'LMI (meas)':>12s} {'LMI (paper)':>12s} | "
+        f"{'SHH (meas)':>12s} {'SHH (paper)':>12s} | "
+        f"{'Wstr (meas)':>12s} {'Wstr (paper)':>12s}"
+    )
+    lines = [header, "-" * len(header)]
+
+    def _fmt(value: Optional[float]) -> str:
+        return "NIL" if value is None else f"{value:.4f}"
+
+    for row in rows:
+        lines.append(
+            f"{row.order:>6d} | "
+            f"{_fmt(row.seconds.get('lmi')):>12s} {_fmt(row.paper_seconds.get('lmi')):>12s} | "
+            f"{_fmt(row.seconds.get('proposed')):>12s} {_fmt(row.paper_seconds.get('proposed')):>12s} | "
+            f"{_fmt(row.seconds.get('weierstrass')):>12s} {_fmt(row.paper_seconds.get('weierstrass')):>12s}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,31 @@
+"""RLC/MNA circuit modelling: netlists, MNA assembly and workload generators."""
+
+from repro.circuits.elements import Capacitor, Inductor, Port, Resistor
+from repro.circuits.netlist import Netlist
+from repro.circuits.mna import MnaModel, assemble_mna
+from repro.circuits.generators import (
+    feedthrough_perturbation,
+    impulsive_rlc_ladder,
+    negative_resistor_perturbation,
+    paper_benchmark_model,
+    random_passive_descriptor,
+    rc_line,
+    rlc_ladder,
+)
+
+__all__ = [
+    "Resistor",
+    "Capacitor",
+    "Inductor",
+    "Port",
+    "Netlist",
+    "MnaModel",
+    "assemble_mna",
+    "rlc_ladder",
+    "impulsive_rlc_ladder",
+    "rc_line",
+    "paper_benchmark_model",
+    "random_passive_descriptor",
+    "negative_resistor_perturbation",
+    "feedthrough_perturbation",
+]

@@ -1,0 +1,80 @@
+"""Circuit element definitions for the MNA model generator.
+
+Only the element types needed to reproduce the paper's workloads are modelled:
+resistors, capacitors, inductors and current-injection ports.  All values are
+stored in SI units; the generators in :mod:`repro.circuits.generators` scale
+them so that the resulting descriptor matrices are reasonably equilibrated
+(which every rank-decision based algorithm appreciates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import DimensionError
+
+__all__ = ["Resistor", "Capacitor", "Inductor", "Port", "CircuitElement"]
+
+
+@dataclass(frozen=True)
+class _TwoTerminal:
+    """Common base for two-terminal elements.
+
+    Attributes
+    ----------
+    name:
+        Unique element name (used in error messages only).
+    node_pos, node_neg:
+        Node labels; the label ``"0"`` denotes the reference (ground) node.
+    value:
+        Element value (ohms, farads or henries).
+    """
+
+    name: str
+    node_pos: str
+    node_neg: str
+    value: float
+
+    def __post_init__(self) -> None:
+        if self.node_pos == self.node_neg:
+            raise DimensionError(
+                f"element {self.name} connects node {self.node_pos} to itself"
+            )
+        if self.value <= 0:
+            raise DimensionError(
+                f"element {self.name} must have a positive value, got {self.value}"
+            )
+
+
+class Resistor(_TwoTerminal):
+    """A linear resistor (value in ohms)."""
+
+
+class Capacitor(_TwoTerminal):
+    """A linear capacitor (value in farads)."""
+
+
+class Inductor(_TwoTerminal):
+    """A linear inductor (value in henries)."""
+
+
+@dataclass(frozen=True)
+class Port:
+    """A current-injection port.
+
+    The port current is an input of the generated descriptor system and the
+    port voltage is the corresponding output, so the transfer function of the
+    assembled model is the impedance matrix ``Z(s)`` — positive real whenever
+    the network contains only positive R, L, C values.
+    """
+
+    name: str
+    node_pos: str
+    node_neg: str = "0"
+
+    def __post_init__(self) -> None:
+        if self.node_pos == self.node_neg:
+            raise DimensionError(f"port {self.name} connects a node to itself")
+
+
+CircuitElement = object

@@ -1,0 +1,132 @@
+"""Modified nodal analysis (MNA): netlist -> descriptor system.
+
+The unknown vector is ``x = [node voltages; inductor currents]`` and the
+inputs are the port currents, outputs the port voltages, i.e. the assembled
+transfer function is the port impedance matrix ``Z(s)``.  The matrices are ::
+
+    E = [[C_nodal, 0],      A = [[-G_nodal, -A_L],      B = [[A_P],   C = B^T
+         [0,       L ]]          [ A_L^T,     0 ]]           [ 0 ]]
+
+with ``C_nodal``/``G_nodal`` the capacitance/conductance stamps, ``A_L`` the
+inductor incidence matrix and ``A_P`` the port incidence matrix.  This is the
+standard passive-by-construction MNA form used by the interconnect-modeling
+literature the paper cites: ``E = E^T >= 0``, ``A + A^T <= 0``, ``C = B^T``,
+``D = 0``, so the LMI (Eq. 4) is satisfied with ``X = I``.
+
+``E`` is singular whenever a node carries no capacitance; such nodes create
+nondynamic modes, and nodes attached *only* to inductors/ports create the
+index-2 (impulsive) behaviour the paper's experiments exercise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.circuits.netlist import GROUND, Netlist
+from repro.descriptor.system import DescriptorSystem
+
+__all__ = ["MnaModel", "assemble_mna"]
+
+
+@dataclass(frozen=True)
+class MnaModel:
+    """Result of MNA assembly.
+
+    Attributes
+    ----------
+    system:
+        The descriptor system in impedance form.
+    node_index:
+        Mapping node label -> index in the voltage part of the state vector.
+    inductor_index:
+        Mapping inductor name -> index (offset by the number of nodes) of its
+        current in the state vector.
+    """
+
+    system: DescriptorSystem
+    node_index: Dict[str, int]
+    inductor_index: Dict[str, int]
+
+
+def _stamp_two_terminal(
+    matrix: np.ndarray, index: Dict[str, int], node_pos: str, node_neg: str, value: float
+) -> None:
+    """Add the conductance-style stamp of a two-terminal element in place."""
+    if node_pos != GROUND:
+        i = index[node_pos]
+        matrix[i, i] += value
+    if node_neg != GROUND:
+        j = index[node_neg]
+        matrix[j, j] += value
+    if node_pos != GROUND and node_neg != GROUND:
+        i, j = index[node_pos], index[node_neg]
+        matrix[i, j] -= value
+        matrix[j, i] -= value
+
+
+def _incidence_column(
+    n_nodes: int, index: Dict[str, int], node_pos: str, node_neg: str
+) -> np.ndarray:
+    column = np.zeros(n_nodes)
+    if node_pos != GROUND:
+        column[index[node_pos]] = 1.0
+    if node_neg != GROUND:
+        column[index[node_neg]] = -1.0
+    return column
+
+
+def assemble_mna(netlist: Netlist) -> MnaModel:
+    """Assemble the impedance-form MNA descriptor system of a netlist."""
+    netlist.validate()
+    index = netlist.node_index
+    n_nodes = netlist.n_nodes
+    n_inductors = len(netlist.inductors)
+    n_ports = len(netlist.ports)
+
+    conductance = np.zeros((n_nodes, n_nodes))
+    capacitance = np.zeros((n_nodes, n_nodes))
+    for resistor in netlist.resistors:
+        _stamp_two_terminal(
+            conductance, index, resistor.node_pos, resistor.node_neg, 1.0 / resistor.value
+        )
+    for capacitor in netlist.capacitors:
+        _stamp_two_terminal(
+            capacitance, index, capacitor.node_pos, capacitor.node_neg, capacitor.value
+        )
+
+    inductor_incidence = np.zeros((n_nodes, n_inductors))
+    inductance = np.zeros((n_inductors, n_inductors))
+    inductor_index = {}
+    for k, inductor in enumerate(netlist.inductors):
+        inductor_incidence[:, k] = _incidence_column(
+            n_nodes, index, inductor.node_pos, inductor.node_neg
+        )
+        inductance[k, k] = inductor.value
+        inductor_index[inductor.name] = n_nodes + k
+
+    port_incidence = np.zeros((n_nodes, n_ports))
+    for k, port in enumerate(netlist.ports):
+        port_incidence[:, k] = _incidence_column(
+            n_nodes, index, port.node_pos, port.node_neg
+        )
+
+    order = n_nodes + n_inductors
+    e_matrix = np.zeros((order, order))
+    e_matrix[:n_nodes, :n_nodes] = capacitance
+    e_matrix[n_nodes:, n_nodes:] = inductance
+
+    a_matrix = np.zeros((order, order))
+    a_matrix[:n_nodes, :n_nodes] = -conductance
+    a_matrix[:n_nodes, n_nodes:] = -inductor_incidence
+    a_matrix[n_nodes:, :n_nodes] = inductor_incidence.T
+
+    b_matrix = np.zeros((order, n_ports))
+    b_matrix[:n_nodes, :] = port_incidence
+    c_matrix = b_matrix.T
+    d_matrix = np.zeros((n_ports, n_ports))
+
+    system = DescriptorSystem(e_matrix, a_matrix, b_matrix, c_matrix, d_matrix)
+    return MnaModel(system=system, node_index=dict(index), inductor_index=inductor_index)

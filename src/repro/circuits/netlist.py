@@ -1,0 +1,81 @@
+"""A small netlist container feeding the MNA assembler."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.circuits.elements import Capacitor, Inductor, Port, Resistor
+from repro.exceptions import DimensionError
+
+__all__ = ["Netlist"]
+
+GROUND = "0"
+
+
+@dataclass
+class Netlist:
+    """A flat RLC netlist with current-injection ports.
+
+    Elements are added through the ``add_*`` methods; node labels are created
+    on first use.  The reference node is always ``"0"``.
+    """
+
+    resistors: List[Resistor] = field(default_factory=list)
+    capacitors: List[Capacitor] = field(default_factory=list)
+    inductors: List[Inductor] = field(default_factory=list)
+    ports: List[Port] = field(default_factory=list)
+
+    def add_resistor(self, name: str, node_pos: str, node_neg: str, ohms: float) -> None:
+        """Add a resistor of ``ohms`` between two nodes."""
+        self.resistors.append(Resistor(name, node_pos, node_neg, ohms))
+
+    def add_capacitor(self, name: str, node_pos: str, node_neg: str, farads: float) -> None:
+        """Add a capacitor of ``farads`` between two nodes."""
+        self.capacitors.append(Capacitor(name, node_pos, node_neg, farads))
+
+    def add_inductor(self, name: str, node_pos: str, node_neg: str, henries: float) -> None:
+        """Add an inductor of ``henries`` between two nodes."""
+        self.inductors.append(Inductor(name, node_pos, node_neg, henries))
+
+    def add_port(self, name: str, node_pos: str, node_neg: str = GROUND) -> None:
+        """Add a current-injection port between two nodes (default: to ground)."""
+        self.ports.append(Port(name, node_pos, node_neg))
+
+    # ------------------------------------------------------------------
+    @property
+    def node_names(self) -> List[str]:
+        """Sorted list of non-ground node labels appearing in the netlist."""
+        names = set()
+        for element in (*self.resistors, *self.capacitors, *self.inductors):
+            names.add(element.node_pos)
+            names.add(element.node_neg)
+        for port in self.ports:
+            names.add(port.node_pos)
+            names.add(port.node_neg)
+        names.discard(GROUND)
+        return sorted(names)
+
+    @property
+    def node_index(self) -> Dict[str, int]:
+        """Mapping from node label to its index in the MNA voltage vector."""
+        return {name: index for index, name in enumerate(self.node_names)}
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.node_names)
+
+    @property
+    def n_states(self) -> int:
+        """Order of the MNA descriptor model: node voltages + inductor currents."""
+        return self.n_nodes + len(self.inductors)
+
+    def validate(self) -> None:
+        """Raise if the netlist cannot produce a meaningful model."""
+        if not self.ports:
+            raise DimensionError("the netlist needs at least one port")
+        if self.n_nodes == 0:
+            raise DimensionError("the netlist has no non-ground nodes")
+        names = [e.name for e in (*self.resistors, *self.capacitors, *self.inductors, *self.ports)]
+        if len(names) != len(set(names)):
+            raise DimensionError("element names must be unique")

@@ -1,0 +1,56 @@
+"""Numerical tolerance configuration shared across the library.
+
+Almost every algorithm in the paper relies on rank decisions (SVD-based kernel
+and range computations), definiteness checks and eigenvalue classifications.
+Collecting the thresholds in a single immutable object keeps those decisions
+consistent across the reduction pipeline and lets a user tighten or relax them
+globally for badly scaled models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class Tolerances:
+    """Bundle of numerical thresholds used by the reduction pipeline.
+
+    Attributes
+    ----------
+    rank_rtol:
+        Relative threshold (w.r.t. the largest singular value) below which a
+        singular value is treated as zero in rank / kernel computations.
+    structure_rtol:
+        Relative tolerance used when verifying structural properties such as
+        symmetry, skew-symmetry, or the (skew-)Hamiltonian property.
+    eig_imag_atol:
+        Absolute tolerance used to decide whether an eigenvalue lies on the
+        imaginary axis (used both for stability checks and for the
+        Hamiltonian-eigenvalue positive-realness test).
+    psd_atol:
+        Absolute tolerance on the smallest eigenvalue when deciding positive
+        semidefiniteness of residue / Markov-parameter matrices.
+    feasibility_margin:
+        Margin used by the LMI feasibility solver: the phase-I objective must
+        fall below ``-feasibility_margin`` for the LMIs to be declared
+        strictly feasible.
+    infinite_eig_threshold:
+        Generalized eigenvalues with ``|beta| <= infinite_eig_threshold *
+        |alpha|`` are classified as infinite.
+    """
+
+    rank_rtol: float = 1e-10
+    structure_rtol: float = 1e-8
+    eig_imag_atol: float = 1e-8
+    psd_atol: float = 1e-8
+    feasibility_margin: float = 1e-9
+    infinite_eig_threshold: float = 1e-10
+
+    def with_(self, **updates: float) -> "Tolerances":
+        """Return a copy of the tolerance bundle with selected fields replaced."""
+        return replace(self, **updates)
+
+
+#: Default tolerances used whenever the caller does not supply a bundle.
+DEFAULT_TOLERANCES = Tolerances()

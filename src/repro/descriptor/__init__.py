@@ -1,0 +1,70 @@
+"""Descriptor-system machinery (Section 2 of the paper).
+
+Containers, equivalence transforms, mode structure, impulse
+controllability/observability, spectral separation, Markov parameters and the
+SHH realization of ``Phi(s) = G(s) + G~(s)``.
+"""
+
+from repro.descriptor.system import DescriptorSystem, StateSpace
+from repro.descriptor.transforms import (
+    SvdCoordinateForm,
+    restricted_system_equivalence,
+    strong_equivalence,
+    svd_coordinate_form,
+)
+from repro.descriptor.modes import ModeCount, count_modes, index_of_nilpotency
+from repro.descriptor.impulse import (
+    impulse_uncontrollable_directions,
+    impulse_unobservable_directions,
+    is_impulse_controllable,
+    is_impulse_free,
+    is_impulse_observable,
+)
+from repro.descriptor.weierstrass import (
+    FiniteInfiniteSeparation,
+    WeierstrassForm,
+    separate_finite_infinite,
+    weierstrass_form,
+)
+from repro.descriptor.markov import (
+    first_markov_parameter,
+    highest_nonzero_markov_index,
+    markov_parameters,
+    zeroth_markov_parameter,
+)
+from repro.descriptor.decompose import AdditiveDecomposition, additive_decomposition
+from repro.descriptor.adjoint import (
+    PhiRealization,
+    adjoint_system,
+    build_phi_realization,
+)
+
+__all__ = [
+    "DescriptorSystem",
+    "StateSpace",
+    "SvdCoordinateForm",
+    "restricted_system_equivalence",
+    "strong_equivalence",
+    "svd_coordinate_form",
+    "ModeCount",
+    "count_modes",
+    "index_of_nilpotency",
+    "is_impulse_free",
+    "is_impulse_observable",
+    "is_impulse_controllable",
+    "impulse_unobservable_directions",
+    "impulse_uncontrollable_directions",
+    "FiniteInfiniteSeparation",
+    "WeierstrassForm",
+    "separate_finite_infinite",
+    "weierstrass_form",
+    "markov_parameters",
+    "zeroth_markov_parameter",
+    "first_markov_parameter",
+    "highest_nonzero_markov_index",
+    "AdditiveDecomposition",
+    "additive_decomposition",
+    "PhiRealization",
+    "adjoint_system",
+    "build_phi_realization",
+]

@@ -1,0 +1,93 @@
+"""Additive decomposition ``G(s) = G_sp(s) + M0 + s M1 + ...`` (Eq. 3).
+
+This is the user-facing wrapper around the spectral separation of
+:mod:`repro.descriptor.weierstrass`: it returns the strictly proper part as an
+explicit state space together with the full list of Markov parameters, and can
+reassemble the pieces for verification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.config import DEFAULT_TOLERANCES, Tolerances
+from repro.descriptor.system import DescriptorSystem, StateSpace
+from repro.descriptor.weierstrass import separate_finite_infinite
+
+__all__ = ["AdditiveDecomposition", "additive_decomposition"]
+
+
+@dataclass(frozen=True)
+class AdditiveDecomposition:
+    """The additive decomposition of a regular descriptor transfer function.
+
+    Attributes
+    ----------
+    strictly_proper:
+        State space realization of ``G_sp(s)`` (zero feedthrough).
+    m0:
+        The constant Markov parameter ``M0`` (includes the original ``D``).
+    impulsive_markov:
+        ``[M1, M2, ...]`` — the polynomial coefficients beyond the constant;
+        empty for an impulse-free system.
+    """
+
+    strictly_proper: StateSpace
+    m0: np.ndarray
+    impulsive_markov: List[np.ndarray]
+
+    @property
+    def proper_part(self) -> StateSpace:
+        """``G_p(s) = G_sp(s) + M0`` — the proper part used by the final passivity check."""
+        return StateSpace(
+            self.strictly_proper.a,
+            self.strictly_proper.b,
+            self.strictly_proper.c,
+            self.m0,
+        )
+
+    @property
+    def m1(self) -> np.ndarray:
+        """``M1`` (zeros when absent)."""
+        if self.impulsive_markov:
+            return self.impulsive_markov[0]
+        return np.zeros_like(self.m0)
+
+    def evaluate(self, s: complex) -> np.ndarray:
+        """Evaluate the decomposed transfer function at a complex point."""
+        value = self.strictly_proper.evaluate(s) + self.m0.astype(complex)
+        for k, parameter in enumerate(self.impulsive_markov, start=1):
+            value = value + (s ** k) * parameter
+        return value
+
+
+def additive_decomposition(
+    system: DescriptorSystem, tol: Optional[Tolerances] = None
+) -> AdditiveDecomposition:
+    """Decompose ``G`` into strictly proper and polynomial parts (Eq. 3)."""
+    tol = tol or DEFAULT_TOLERANCES
+    separation = separate_finite_infinite(system, tol)
+    finite_ss = separation.finite_system.to_state_space(tol)
+    n_markov = separation.infinite_system.order + 1
+    parameters = separation.markov_parameters(max(n_markov, 2))
+    m0 = parameters[0]
+    scale = max(1.0, max(float(np.max(np.abs(p), initial=0.0)) for p in parameters))
+    impulsive = []
+    for parameter in parameters[1:]:
+        impulsive.append(parameter)
+    # Trim trailing (numerically) zero parameters for a tidy result.
+    while impulsive and np.max(np.abs(impulsive[-1]), initial=0.0) <= 1e-12 * scale:
+        impulsive.pop()
+    return AdditiveDecomposition(
+        strictly_proper=StateSpace(
+            finite_ss.a,
+            finite_ss.b,
+            finite_ss.c,
+            np.zeros((system.n_outputs, system.n_inputs)),
+        ),
+        m0=m0,
+        impulsive_markov=impulsive,
+    )

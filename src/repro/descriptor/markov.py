@@ -1,0 +1,83 @@
+"""Markov parameters at infinity of a descriptor system (Eq. 3 of the paper).
+
+For a regular descriptor system the transfer function decomposes as ::
+
+    G(s) = G_sp(s) + M0 + s M1 + s^2 M2 + ...
+
+with ``G_sp`` strictly proper and only finitely many nonzero ``M_k``.  The
+parameters are computed from the orthogonally separated infinite part (never
+from the ill-conditioned Weierstrass form): with
+``N = A_inf^{-1} E_inf`` nilpotent,
+
+``M_k = -C_inf N^k A_inf^{-1} B_inf``  (plus ``D`` for ``k = 0``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.config import DEFAULT_TOLERANCES, Tolerances
+from repro.descriptor.system import DescriptorSystem
+from repro.descriptor.weierstrass import separate_finite_infinite
+
+__all__ = [
+    "markov_parameters",
+    "zeroth_markov_parameter",
+    "first_markov_parameter",
+    "highest_nonzero_markov_index",
+]
+
+
+def markov_parameters(
+    system: DescriptorSystem,
+    count: Optional[int] = None,
+    tol: Optional[Tolerances] = None,
+) -> List[np.ndarray]:
+    """Return ``[M0, M1, ..., M_{count-1}]``.
+
+    When ``count`` is omitted it defaults to the size of the infinite block
+    plus one, which is guaranteed to cover every nonzero parameter.
+    """
+    tol = tol or DEFAULT_TOLERANCES
+    separation = separate_finite_infinite(system, tol)
+    if count is None:
+        count = separation.infinite_system.order + 1
+    return separation.markov_parameters(count)
+
+
+def zeroth_markov_parameter(
+    system: DescriptorSystem, tol: Optional[Tolerances] = None
+) -> np.ndarray:
+    """``M0``: the constant term of ``G`` at infinity (includes ``D``)."""
+    return markov_parameters(system, 1, tol)[0]
+
+
+def first_markov_parameter(
+    system: DescriptorSystem, tol: Optional[Tolerances] = None
+) -> np.ndarray:
+    """``M1``: the residue matrix at infinity whose positive semidefiniteness
+    passivity requires (positive-realness condition 3 of Section 2.1)."""
+    return markov_parameters(system, 2, tol)[1]
+
+
+def highest_nonzero_markov_index(
+    system: DescriptorSystem,
+    tol: Optional[Tolerances] = None,
+    threshold_scale: float = 1e-9,
+) -> int:
+    """Largest ``k`` with ``M_k != 0`` (0 when even ``M0`` vanishes).
+
+    A passive system must satisfy ``M_k = 0`` for all ``k >= 2``.
+    """
+    tol = tol or DEFAULT_TOLERANCES
+    parameters = markov_parameters(system, None, tol)
+    scale = max(
+        1.0, max((float(np.max(np.abs(p), initial=0.0)) for p in parameters), default=1.0)
+    )
+    highest = 0
+    for index, parameter in enumerate(parameters):
+        if np.max(np.abs(parameter), initial=0.0) > threshold_scale * scale:
+            highest = index
+    return highest

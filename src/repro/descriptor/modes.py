@@ -1,0 +1,120 @@
+"""Mode counting for regular descriptor systems (Section 2 of the paper).
+
+For a regular pencil ``(E, A)`` with ``rank(E) = r`` and
+``q = deg det(s E - A)``:
+
+* ``q`` **finite dynamic modes** — the finite generalized eigenvalues,
+* ``n - r`` **nondynamic modes** — infinite eigenvalues with grade-1
+  eigenvectors only (``E v = 0``); they contribute a constant to ``G(s)``,
+* ``r - q`` **impulsive modes** — infinite eigenvalues with generalized
+  eigenvectors of grade 2 or higher; they contribute polynomial terms
+  ``s M1 + s^2 M2 + ...`` to ``G(s)`` and impulses to the free response.
+
+The pencil is *impulse-free* when ``r = q`` and *admissible* when it is
+additionally regular and stable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.config import DEFAULT_TOLERANCES, Tolerances
+from repro.descriptor.system import DescriptorSystem
+from repro.descriptor.transforms import svd_coordinate_form
+from repro.exceptions import SingularPencilError
+from repro.linalg.pencil import classify_generalized_eigenvalues, is_regular_pencil
+from repro.linalg.subspaces import numerical_rank
+
+__all__ = ["ModeCount", "count_modes", "index_of_nilpotency"]
+
+
+@dataclass(frozen=True)
+class ModeCount:
+    """Break-down of the ``n`` modes of a regular descriptor system."""
+
+    order: int
+    rank_e: int
+    n_finite: int
+    n_nondynamic: int
+    n_impulsive: int
+    n_stable_finite: int
+    n_unstable_finite: int
+    n_imaginary_finite: int
+
+    @property
+    def is_impulse_free(self) -> bool:
+        return self.n_impulsive == 0
+
+    @property
+    def is_stable(self) -> bool:
+        return self.n_unstable_finite == 0 and self.n_imaginary_finite == 0
+
+
+def count_modes(
+    system: DescriptorSystem, tol: Optional[Tolerances] = None
+) -> ModeCount:
+    """Count finite, nondynamic and impulsive modes of a regular descriptor system.
+
+    Raises
+    ------
+    SingularPencilError
+        If the pencil is singular (mode structure undefined).
+    """
+    tol = tol or DEFAULT_TOLERANCES
+    if not is_regular_pencil(system.e, system.a, tol):
+        raise SingularPencilError("mode counting requires a regular pencil")
+    rank_e = numerical_rank(system.e, tol)
+    spectrum = classify_generalized_eigenvalues(system.e, system.a, tol)
+    n_finite = int(spectrum.finite.size)
+    order = system.order
+    n_nondynamic = order - rank_e
+    n_impulsive = rank_e - n_finite
+    # Guard against inconsistent rank decisions on badly scaled data: the
+    # counts must be nonnegative and sum to the order.
+    n_impulsive = max(n_impulsive, 0)
+    n_nondynamic = order - rank_e
+    return ModeCount(
+        order=order,
+        rank_e=rank_e,
+        n_finite=n_finite,
+        n_nondynamic=n_nondynamic,
+        n_impulsive=n_impulsive,
+        n_stable_finite=spectrum.n_stable,
+        n_unstable_finite=spectrum.n_unstable,
+        n_imaginary_finite=spectrum.n_imaginary,
+    )
+
+
+def index_of_nilpotency(
+    system: DescriptorSystem, tol: Optional[Tolerances] = None, max_index: int = 20
+) -> int:
+    """Index of the descriptor system (nilpotency index of ``N`` in Weierstrass form).
+
+    Computed without forming the Weierstrass form: the index is the smallest
+    ``k`` such that the infinite part's nilpotent matrix satisfies ``N^k = 0``.
+    We obtain ``N`` from the orthogonally separated infinite block (see
+    :mod:`repro.descriptor.weierstrass`).  The index of a system with
+    nonsingular ``E`` is 0 by convention; an impulse-free singular system has
+    index 1; impulsive systems have index >= 2.
+    """
+    tol = tol or DEFAULT_TOLERANCES
+    from repro.descriptor.weierstrass import separate_finite_infinite
+
+    if system.order == 0:
+        return 0
+    if numerical_rank(system.e, tol) == system.order:
+        return 0
+    separation = separate_finite_infinite(system, tol)
+    nilpotent = separation.nilpotent_matrix
+    if nilpotent.shape[0] == 0:
+        return 0
+    power = np.eye(nilpotent.shape[0])
+    scale = max(1.0, float(np.max(np.abs(nilpotent))))
+    for k in range(1, max_index + 1):
+        power = power @ nilpotent
+        if np.max(np.abs(power)) <= tol.rank_rtol * scale ** k:
+            return k
+    return max_index

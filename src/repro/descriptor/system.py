@@ -1,0 +1,335 @@
+"""The :class:`DescriptorSystem` container.
+
+A linear time-invariant continuous-time descriptor system (DS) is the tuple
+``(E, A, B, C, D)`` describing ::
+
+    E x'(t) = A x(t) + B u(t)
+        y(t) = C x(t) + D u(t)
+
+with ``E`` possibly singular (Eq. 1 of the paper).  The transfer function is
+``G(s) = D + C (s E - A)^{-1} B`` (Eq. 2), defined whenever the pencil
+``s E - A`` is regular.
+
+The class is an immutable value object: all reduction algorithms return *new*
+systems rather than mutating their inputs, mirroring how the paper chains
+strong-equivalence transformations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Tuple
+
+import numpy as np
+
+from repro.config import DEFAULT_TOLERANCES, Tolerances
+from repro.exceptions import (
+    DimensionError,
+    NotImplementedForSystemError,
+    SingularPencilError,
+)
+from repro.linalg.basics import as_2d_array, as_square_array
+from repro.linalg.pencil import (
+    GeneralizedSpectrum,
+    classify_generalized_eigenvalues,
+    is_regular_pencil,
+    pencil_degree,
+)
+
+__all__ = ["DescriptorSystem", "StateSpace"]
+
+
+@dataclass(frozen=True)
+class StateSpace:
+    """A regular (non-singular ``E``) state-space system ``(A, B, C, D)``.
+
+    Used for the proper parts extracted by the decomposition routines and as
+    the input format of the regular-system positive-realness tests.
+    """
+
+    a: np.ndarray
+    b: np.ndarray
+    c: np.ndarray
+    d: np.ndarray
+
+    def __post_init__(self) -> None:
+        a = as_square_array(self.a, "A")
+        n = a.shape[0]
+        b = as_2d_array(self.b, "B")
+        c = as_2d_array(self.c, "C")
+        d = as_2d_array(self.d, "D")
+        if b.shape[0] != n or c.shape[1] != n:
+            raise DimensionError("B and C must be conformal with A")
+        if d.shape != (c.shape[0], b.shape[1]):
+            raise DimensionError("D must be (outputs x inputs)")
+        object.__setattr__(self, "a", a.astype(float))
+        object.__setattr__(self, "b", b.astype(float))
+        object.__setattr__(self, "c", c.astype(float))
+        object.__setattr__(self, "d", d.astype(float))
+
+    @property
+    def order(self) -> int:
+        """State dimension."""
+        return self.a.shape[0]
+
+    @property
+    def n_inputs(self) -> int:
+        return self.b.shape[1]
+
+    @property
+    def n_outputs(self) -> int:
+        return self.c.shape[0]
+
+    def evaluate(self, s: complex) -> np.ndarray:
+        """Evaluate ``D + C (s I - A)^{-1} B`` at the complex point ``s``."""
+        n = self.order
+        if n == 0:
+            return self.d.astype(complex)
+        shifted = s * np.eye(n) - self.a
+        return self.d + self.c @ np.linalg.solve(shifted, self.b.astype(complex))
+
+    def poles(self) -> np.ndarray:
+        """Eigenvalues of ``A``."""
+        return np.linalg.eigvals(self.a)
+
+    def is_stable(self, tol: Optional[Tolerances] = None) -> bool:
+        """True when every pole lies in the open left half plane."""
+        tol = tol or DEFAULT_TOLERANCES
+        if self.order == 0:
+            return True
+        return bool(np.all(self.poles().real < -tol.eig_imag_atol))
+
+    def to_descriptor(self) -> "DescriptorSystem":
+        """Embed the state space as a descriptor system with ``E = I``."""
+        return DescriptorSystem(
+            np.eye(self.order), self.a, self.b, self.c, self.d
+        )
+
+    def transpose(self) -> "StateSpace":
+        """The transposed system ``(A^T, C^T, B^T, D^T)``."""
+        return StateSpace(self.a.T, self.c.T, self.b.T, self.d.T)
+
+
+@dataclass(frozen=True)
+class DescriptorSystem:
+    """Immutable descriptor system ``(E, A, B, C, D)``.
+
+    Parameters
+    ----------
+    e, a:
+        Square ``n x n`` pencil matrices.
+    b:
+        ``n x m`` input matrix.
+    c:
+        ``p x n`` output matrix.
+    d:
+        ``p x m`` feedthrough; may be omitted (defaults to zeros).
+    """
+
+    e: np.ndarray
+    a: np.ndarray
+    b: np.ndarray
+    c: np.ndarray
+    d: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        e = as_square_array(self.e, "E").astype(float)
+        a = as_square_array(self.a, "A").astype(float)
+        if e.shape != a.shape:
+            raise DimensionError("E and A must have the same shape")
+        n = e.shape[0]
+        b = as_2d_array(self.b, "B").astype(float)
+        c = as_2d_array(self.c, "C").astype(float)
+        if b.shape[0] != n:
+            raise DimensionError(f"B must have {n} rows, got {b.shape[0]}")
+        if c.shape[1] != n:
+            raise DimensionError(f"C must have {n} columns, got {c.shape[1]}")
+        if self.d is None:
+            d = np.zeros((c.shape[0], b.shape[1]))
+        else:
+            d = as_2d_array(self.d, "D").astype(float)
+            if d.shape != (c.shape[0], b.shape[1]):
+                raise DimensionError(
+                    f"D must have shape {(c.shape[0], b.shape[1])}, got {d.shape}"
+                )
+        object.__setattr__(self, "e", e)
+        object.__setattr__(self, "a", a)
+        object.__setattr__(self, "b", b)
+        object.__setattr__(self, "c", c)
+        object.__setattr__(self, "d", d)
+
+    # ------------------------------------------------------------------
+    # Basic shape information
+    # ------------------------------------------------------------------
+    @property
+    def order(self) -> int:
+        """State dimension ``n``."""
+        return self.e.shape[0]
+
+    @property
+    def n_inputs(self) -> int:
+        return self.b.shape[1]
+
+    @property
+    def n_outputs(self) -> int:
+        return self.c.shape[0]
+
+    @property
+    def is_square_io(self) -> bool:
+        """True when the system has as many inputs as outputs.
+
+        Passivity is only defined for square systems where ``u^T y`` is the
+        instantaneous power absorbed by the network.
+        """
+        return self.n_inputs == self.n_outputs
+
+    def matrices(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Return ``(E, A, B, C, D)`` as a tuple of arrays."""
+        return self.e, self.a, self.b, self.c, self.d
+
+    # ------------------------------------------------------------------
+    # Pencil-level properties
+    # ------------------------------------------------------------------
+    def rank_e(self, tol: Optional[Tolerances] = None) -> int:
+        """Numerical rank ``r`` of ``E``."""
+        from repro.linalg.subspaces import numerical_rank
+
+        return numerical_rank(self.e, tol)
+
+    def is_regular(self, tol: Optional[Tolerances] = None) -> bool:
+        """True when the pencil ``s E - A`` is regular."""
+        return is_regular_pencil(self.e, self.a, tol)
+
+    def spectrum(self, tol: Optional[Tolerances] = None) -> GeneralizedSpectrum:
+        """Classified generalized spectrum of the pencil."""
+        return classify_generalized_eigenvalues(self.e, self.a, tol)
+
+    def finite_poles(self, tol: Optional[Tolerances] = None) -> np.ndarray:
+        """Finite generalized eigenvalues (the finite dynamic modes)."""
+        return self.spectrum(tol).finite
+
+    def dynamic_degree(self, tol: Optional[Tolerances] = None) -> int:
+        """``q = deg det(s E - A)``: the number of finite dynamic modes."""
+        return pencil_degree(self.e, self.a, tol)
+
+    def is_stable(self, tol: Optional[Tolerances] = None) -> bool:
+        """True when every finite dynamic mode lies in the open left half plane."""
+        return self.spectrum(tol).is_stable
+
+    def is_impulse_free(self, tol: Optional[Tolerances] = None) -> bool:
+        """True when the pencil has no impulsive modes (see :mod:`repro.descriptor.modes`)."""
+        from repro.descriptor.modes import count_modes
+
+        return count_modes(self, tol).n_impulsive == 0
+
+    def is_admissible(self, tol: Optional[Tolerances] = None) -> bool:
+        """Regular, stable and impulse-free (the paper's admissibility)."""
+        return (
+            self.is_regular(tol)
+            and self.is_stable(tol)
+            and self.is_impulse_free(tol)
+        )
+
+    # ------------------------------------------------------------------
+    # Transfer function
+    # ------------------------------------------------------------------
+    def evaluate(self, s: complex, tol: Optional[Tolerances] = None) -> np.ndarray:
+        """Evaluate ``G(s) = D + C (s E - A)^{-1} B`` at a single complex point.
+
+        Raises
+        ------
+        SingularPencilError
+            If ``s E - A`` is singular at the requested point (``s`` is a pole
+            or the pencil itself is singular).
+        """
+        tol = tol or DEFAULT_TOLERANCES
+        shifted = s * self.e.astype(complex) - self.a
+        smallest = np.linalg.svd(shifted, compute_uv=False)[-1] if self.order else 1.0
+        scale = max(1.0, float(np.abs(s)), float(np.max(np.abs(self.a), initial=1.0)))
+        if self.order and smallest <= 100 * tol.rank_rtol * scale * self.order:
+            raise SingularPencilError(
+                f"s E - A is singular at s = {s}; the point is a pole of G(s)"
+            )
+        if self.order == 0:
+            return self.d.astype(complex)
+        return self.d + self.c @ np.linalg.solve(shifted, self.b.astype(complex))
+
+    def frequency_response(
+        self, omegas: Iterable[float], tol: Optional[Tolerances] = None
+    ) -> np.ndarray:
+        """Evaluate ``G(j w)`` on a grid of angular frequencies.
+
+        Returns an array of shape ``(len(omegas), p, m)``.
+        """
+        omega_array = np.atleast_1d(np.asarray(list(omegas), dtype=float))
+        responses = np.empty(
+            (omega_array.size, self.n_outputs, self.n_inputs), dtype=complex
+        )
+        for index, omega in enumerate(omega_array):
+            responses[index] = self.evaluate(1j * omega, tol)
+        return responses
+
+    # ------------------------------------------------------------------
+    # Conversions and algebra
+    # ------------------------------------------------------------------
+    def to_state_space(self, tol: Optional[Tolerances] = None) -> StateSpace:
+        """Convert to an explicit state space ``(E^{-1} A, E^{-1} B, C, D)``.
+
+        Only valid when ``E`` is (numerically) nonsingular.
+        """
+        tol = tol or DEFAULT_TOLERANCES
+        if self.order == 0:
+            return StateSpace(
+                np.zeros((0, 0)), np.zeros((0, self.n_inputs)),
+                np.zeros((self.n_outputs, 0)), self.d,
+            )
+        svals = np.linalg.svd(self.e, compute_uv=False)
+        if svals[-1] <= tol.rank_rtol * max(1.0, svals[0]) * self.order:
+            raise NotImplementedForSystemError(
+                "E is singular; use the decomposition routines to extract the "
+                "proper part before converting to state space"
+            )
+        a_new = np.linalg.solve(self.e, self.a)
+        b_new = np.linalg.solve(self.e, self.b)
+        return StateSpace(a_new, b_new, self.c, self.d)
+
+    def transpose(self) -> "DescriptorSystem":
+        """The transposed (dual) system ``(E^T, A^T, C^T, B^T, D^T)``."""
+        return DescriptorSystem(self.e.T, self.a.T, self.c.T, self.b.T, self.d.T)
+
+    def __add__(self, other: "DescriptorSystem") -> "DescriptorSystem":
+        """Parallel interconnection: ``(G1 + G2)(s) = G1(s) + G2(s)``."""
+        if not isinstance(other, DescriptorSystem):
+            return NotImplemented
+        if self.n_inputs != other.n_inputs or self.n_outputs != other.n_outputs:
+            raise DimensionError("parallel connection requires matching I/O dimensions")
+        n1, n2 = self.order, other.order
+        e_new = np.block(
+            [
+                [self.e, np.zeros((n1, n2))],
+                [np.zeros((n2, n1)), other.e],
+            ]
+        )
+        a_new = np.block(
+            [
+                [self.a, np.zeros((n1, n2))],
+                [np.zeros((n2, n1)), other.a],
+            ]
+        )
+        b_new = np.vstack([self.b, other.b])
+        c_new = np.hstack([self.c, other.c])
+        d_new = self.d + other.d
+        return DescriptorSystem(e_new, a_new, b_new, c_new, d_new)
+
+    def __neg__(self) -> "DescriptorSystem":
+        return DescriptorSystem(self.e, self.a, self.b, -self.c, -self.d)
+
+    def scaled(self, factor: float) -> "DescriptorSystem":
+        """Return the system with the transfer function scaled by ``factor``."""
+        return DescriptorSystem(self.e, self.a, self.b, factor * self.c, factor * self.d)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DescriptorSystem(order={self.order}, inputs={self.n_inputs}, "
+            f"outputs={self.n_outputs}, rank_E={self.rank_e()})"
+        )

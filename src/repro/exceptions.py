@@ -1,0 +1,64 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific errors derive from :class:`ReproError` so that callers can
+catch every failure mode of the passivity machinery with a single ``except``
+clause while still being able to distinguish the individual causes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the :mod:`repro` library."""
+
+
+class DimensionError(ReproError, ValueError):
+    """Matrix or system dimensions are inconsistent."""
+
+
+class StructureError(ReproError, ValueError):
+    """A matrix does not have the structure required by an algorithm.
+
+    Raised, for example, when a matrix passed to a Hamiltonian-only routine is
+    not Hamiltonian within the requested tolerance, or when a pencil expected
+    to be skew-Hamiltonian/Hamiltonian is not.
+    """
+
+
+class SingularPencilError(ReproError, ValueError):
+    """The matrix pencil ``s E - A`` is singular (not regular).
+
+    A regular pencil is a standing assumption of every passivity test in the
+    paper; a singular pencil means the transfer function is not even uniquely
+    defined.
+    """
+
+
+class NotStableError(ReproError, ValueError):
+    """The descriptor system has finite dynamic modes outside the open LHP."""
+
+
+class NotAdmissibleError(ReproError, ValueError):
+    """The descriptor system is not admissible (regular, stable, impulse-free).
+
+    Only raised by algorithms whose validity requires admissibility, such as
+    the generalized-ARE baseline test.
+    """
+
+
+class ReductionError(ReproError, RuntimeError):
+    """A structure-preserving reduction step could not be completed.
+
+    In the proposed test this typically signals a non-passive input system
+    (the paper: "if the transformation and reduction fail somewhere in the
+    flow, then it can be concluded that the initial DS is not passive"), but it
+    is also raised when numerical rank decisions become ambiguous.
+    """
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative solver (SDP interior point, Riccati refinement) failed."""
+
+
+class NotImplementedForSystemError(ReproError, NotImplementedError):
+    """The requested operation is not defined for this kind of system."""

@@ -1,0 +1,110 @@
+"""Elementary orthogonal transformations: Householder reflectors and Givens rotations.
+
+These are the building blocks of the Paige/Van Loan (PVL) reduction of
+skew-Hamiltonian matrices (:mod:`repro.linalg.skew_hamiltonian_schur`).  They
+are written for clarity rather than ultimate BLAS efficiency, but all
+applications are performed as rank-one updates / row-pair rotations so the
+overall reduction keeps its O(n^3) complexity.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "householder_vector",
+    "apply_householder_left",
+    "apply_householder_right",
+    "givens_rotation",
+    "apply_givens_left",
+    "apply_givens_right",
+]
+
+
+def householder_vector(x: np.ndarray) -> Tuple[np.ndarray, float]:
+    """Compute a Householder reflector ``H = I - beta v v^T`` with ``H x = ±||x|| e_1``.
+
+    Returns
+    -------
+    v:
+        The (unnormalized) Householder vector with ``v[0] = 1``.
+    beta:
+        The scalar such that ``H = I - beta * outer(v, v)``; ``beta = 0`` means
+        the reflector is the identity (``x`` already lies along ``e_1``).
+    """
+    x = np.asarray(x, dtype=float).ravel()
+    n = x.size
+    if n == 0:
+        return np.zeros(0), 0.0
+    v = x.copy()
+    sigma = float(np.dot(x[1:], x[1:]))
+    v[0] = 1.0
+    if sigma == 0.0:
+        return v, 0.0
+    mu = np.sqrt(x[0] ** 2 + sigma)
+    if x[0] <= 0.0:
+        v0 = x[0] - mu
+    else:
+        v0 = -sigma / (x[0] + mu)
+    beta = 2.0 * v0 ** 2 / (sigma + v0 ** 2)
+    v = x.copy()
+    v[0] = v0
+    v = v / v0
+    return v, beta
+
+
+def apply_householder_left(
+    matrix: np.ndarray, v: np.ndarray, beta: float, rows: np.ndarray
+) -> None:
+    """Apply ``H = I - beta v v^T`` from the left to the given rows of ``matrix`` in place."""
+    if beta == 0.0:
+        return
+    sub = matrix[rows, :]
+    w = beta * (v @ sub)
+    matrix[rows, :] = sub - np.outer(v, w)
+
+
+def apply_householder_right(
+    matrix: np.ndarray, v: np.ndarray, beta: float, cols: np.ndarray
+) -> None:
+    """Apply ``H = I - beta v v^T`` from the right to the given columns of ``matrix`` in place."""
+    if beta == 0.0:
+        return
+    sub = matrix[:, cols]
+    w = beta * (sub @ v)
+    matrix[:, cols] = sub - np.outer(w, v)
+
+
+def givens_rotation(a: float, b: float) -> Tuple[float, float]:
+    """Compute ``c, s`` such that ``[[c, s], [-s, c]] @ [a, b] = [r, 0]``."""
+    if b == 0.0:
+        return 1.0, 0.0
+    r = np.hypot(a, b)
+    return a / r, b / r
+
+
+def apply_givens_left(
+    matrix: np.ndarray, c: float, s: float, i: int, j: int
+) -> None:
+    """Apply the rotation ``[[c, s], [-s, c]]`` to rows ``i`` and ``j`` in place."""
+    row_i = matrix[i, :].copy()
+    row_j = matrix[j, :].copy()
+    matrix[i, :] = c * row_i + s * row_j
+    matrix[j, :] = -s * row_i + c * row_j
+
+
+def apply_givens_right(
+    matrix: np.ndarray, c: float, s: float, i: int, j: int
+) -> None:
+    """Apply the transpose rotation to columns ``i`` and ``j`` in place.
+
+    Together with :func:`apply_givens_left` this realises the orthogonal
+    similarity ``G M G^T`` for the rotation ``G`` acting in the ``(i, j)``
+    plane.
+    """
+    col_i = matrix[:, i].copy()
+    col_j = matrix[:, j].copy()
+    matrix[:, i] = c * col_i + s * col_j
+    matrix[:, j] = -s * col_i + c * col_j

@@ -1,0 +1,100 @@
+"""Bartels-Stewart solvers for Sylvester and continuous Lyapunov equations.
+
+The decoupling step of the proposed test (Eq. 23 of the paper) requires the
+solution of a Lyapunov equation ``A Y + Y A^T + Psi = 0``.  The solvers below
+use the classical Bartels-Stewart approach: reduce the coefficients to
+(complex) Schur form, solve the resulting triangular system by forward
+substitution one column at a time, and transform back.  Complex Schur form is
+used internally for simplicity; real data with a real solution is returned as
+real.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+import scipy.linalg
+
+from repro.config import DEFAULT_TOLERANCES, Tolerances
+from repro.exceptions import DimensionError, ReductionError
+from repro.linalg.basics import as_square_array
+
+__all__ = ["solve_sylvester", "solve_continuous_lyapunov"]
+
+
+def solve_sylvester(
+    a_matrix: np.ndarray,
+    b_matrix: np.ndarray,
+    c_matrix: np.ndarray,
+    tol: Optional[Tolerances] = None,
+) -> np.ndarray:
+    """Solve the Sylvester equation ``A X + X B = C``.
+
+    Parameters
+    ----------
+    a_matrix, b_matrix:
+        Square coefficient matrices of sizes ``m x m`` and ``n x n``.
+    c_matrix:
+        Right-hand side of size ``m x n``.
+
+    Raises
+    ------
+    ReductionError
+        If ``A`` and ``-B`` share an eigenvalue (within a crude numerical
+        threshold), making the equation singular.
+    """
+    tol = tol or DEFAULT_TOLERANCES
+    a_arr = as_square_array(a_matrix, "A")
+    b_arr = as_square_array(b_matrix, "B")
+    c_arr = np.asarray(c_matrix, dtype=float)
+    if c_arr.shape != (a_arr.shape[0], b_arr.shape[0]):
+        raise DimensionError(
+            f"C must have shape {(a_arr.shape[0], b_arr.shape[0])}, got {c_arr.shape}"
+        )
+    if a_arr.size == 0 or b_arr.size == 0:
+        return np.zeros_like(c_arr)
+
+    t_a, u_a = scipy.linalg.schur(a_arr.astype(complex), output="complex")
+    t_b, u_b = scipy.linalg.schur(b_arr.astype(complex), output="complex")
+
+    rhs = u_a.conj().T @ c_arr @ u_b
+    m, n = rhs.shape
+    solution = np.zeros((m, n), dtype=complex)
+    eye_m = np.eye(m, dtype=complex)
+
+    scale = max(
+        1.0,
+        float(np.abs(np.diag(t_a)).max(initial=0.0)),
+        float(np.abs(np.diag(t_b)).max(initial=0.0)),
+    )
+    for k in range(n):
+        accumulated = rhs[:, k] - solution[:, :k] @ t_b[:k, k]
+        shifted = t_a + t_b[k, k] * eye_m
+        smallest = np.min(np.abs(np.diag(shifted)))
+        if smallest <= 1e3 * tol.rank_rtol * scale:
+            raise ReductionError(
+                "Sylvester equation is (numerically) singular: A and -B share "
+                "an eigenvalue"
+            )
+        solution[:, k] = scipy.linalg.solve_triangular(shifted, accumulated)
+
+    result = u_a @ solution @ u_b.conj().T
+    if np.isrealobj(a_matrix) and np.isrealobj(b_matrix) and np.isrealobj(c_matrix):
+        return result.real
+    return result
+
+
+def solve_continuous_lyapunov(
+    a_matrix: np.ndarray, q_matrix: np.ndarray, tol: Optional[Tolerances] = None
+) -> np.ndarray:
+    """Solve the continuous Lyapunov equation ``A Y + Y A^T + Q = 0``.
+
+    This is the form used in Eq. 23 of the paper to decouple the stable and
+    anti-stable parts of the Hamiltonian state matrix of ``Phi(s)``.
+    """
+    a_arr = as_square_array(a_matrix, "A")
+    q_arr = as_square_array(q_matrix, "Q")
+    if a_arr.shape != q_arr.shape:
+        raise DimensionError("A and Q must have the same shape")
+    return solve_sylvester(a_arr, a_arr.T, -q_arr, tol)

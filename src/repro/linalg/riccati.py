@@ -1,0 +1,225 @@
+"""Continuous algebraic Riccati equations via the Hamiltonian Schur method.
+
+Two entry points:
+
+* :func:`solve_care` — the generic CARE
+  ``A^T X + X A - X B R^{-1} B^T X + Q = 0`` solved through the stable
+  invariant subspace of the associated Hamiltonian matrix.
+* :func:`solve_positive_real_are` — the positive-real-lemma ARE of Eq. 5 of
+  the paper, ``A^T X + X A + (X B - C^T)(D + D^T)^{-1}(B^T X - C) = 0``,
+  used by the classic test for strict positive realness of *regular* systems.
+
+Both come with an explicit residual check; the library treats the Riccati
+machinery as a correctness reference for the cheaper Hamiltonian eigenvalue
+test rather than as the primary passivity decision procedure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.config import DEFAULT_TOLERANCES, Tolerances
+from repro.exceptions import DimensionError, ReductionError, StructureError
+from repro.linalg.basics import as_square_array, is_positive_definite, relative_error
+from repro.linalg.invariant_subspace import hamiltonian_stable_invariant_subspace
+
+__all__ = ["CareSolution", "solve_care", "solve_positive_real_are", "positive_real_hamiltonian"]
+
+
+@dataclass(frozen=True)
+class CareSolution:
+    """Solution of an algebraic Riccati equation.
+
+    Attributes
+    ----------
+    x:
+        The stabilizing solution ``X = X^T``.
+    closed_loop_eigenvalues:
+        Eigenvalues of the closed-loop matrix (all in the open left half
+        plane when the stabilizing solution exists).
+    residual:
+        Relative Frobenius residual of the Riccati equation at ``x``.
+    """
+
+    x: np.ndarray
+    closed_loop_eigenvalues: np.ndarray
+    residual: float
+
+
+def solve_care(
+    a_matrix: np.ndarray,
+    b_matrix: np.ndarray,
+    q_matrix: np.ndarray,
+    r_matrix: np.ndarray,
+    tol: Optional[Tolerances] = None,
+) -> CareSolution:
+    """Solve ``A^T X + X A - X B R^{-1} B^T X + Q = 0`` for the stabilizing ``X``.
+
+    The associated Hamiltonian matrix is ::
+
+        H = [[A, -B R^{-1} B^T],
+             [-Q, -A^T]]
+
+    and the stabilizing solution is ``X = X2 X1^{-1}`` where the columns of
+    ``[X1; X2]`` span the stable invariant subspace of ``H``.
+    """
+    tol = tol or DEFAULT_TOLERANCES
+    a_arr = as_square_array(a_matrix, "A")
+    n = a_arr.shape[0]
+    b_arr = np.asarray(b_matrix, dtype=float).reshape(n, -1)
+    q_arr = as_square_array(q_matrix, "Q")
+    r_arr = as_square_array(r_matrix, "R")
+    if q_arr.shape[0] != n:
+        raise DimensionError("Q must have the same dimension as A")
+    if r_arr.shape[0] != b_arr.shape[1]:
+        raise DimensionError("R must match the number of columns of B")
+    if not is_positive_definite(r_arr, tol):
+        raise StructureError("R must be symmetric positive definite")
+
+    r_inv_bt = np.linalg.solve(r_arr, b_arr.T)
+    hamiltonian = np.block(
+        [
+            [a_arr, -b_arr @ r_inv_bt],
+            [-q_arr, -a_arr.T],
+        ]
+    )
+    splitting = hamiltonian_stable_invariant_subspace(
+        hamiltonian, tol, check_structure=False
+    )
+    x1 = splitting.x1
+    x2 = splitting.x2
+    condition = np.linalg.cond(x1)
+    if not np.isfinite(condition) or condition > 1.0 / (10 * tol.rank_rtol):
+        raise ReductionError(
+            "the stable invariant subspace has no graph-subspace representation; "
+            "no stabilizing Riccati solution exists"
+        )
+    x_solution = np.linalg.solve(x1.T, x2.T).T
+    x_solution = 0.5 * (x_solution + x_solution.T)
+
+    residual_matrix = (
+        a_arr.T @ x_solution
+        + x_solution @ a_arr
+        - x_solution @ b_arr @ np.linalg.solve(r_arr, b_arr.T) @ x_solution
+        + q_arr
+    )
+    residual = float(np.linalg.norm(residual_matrix)) / max(
+        1.0, float(np.linalg.norm(q_arr)), float(np.linalg.norm(x_solution))
+    )
+    closed_loop = a_arr - b_arr @ np.linalg.solve(r_arr, b_arr.T) @ x_solution
+    return CareSolution(
+        x=x_solution,
+        closed_loop_eigenvalues=np.linalg.eigvals(closed_loop),
+        residual=residual,
+    )
+
+
+def positive_real_hamiltonian(
+    a_matrix: np.ndarray,
+    b_matrix: np.ndarray,
+    c_matrix: np.ndarray,
+    d_matrix: np.ndarray,
+) -> np.ndarray:
+    """Hamiltonian matrix associated with the positive-real lemma.
+
+    For a regular system ``(A, B, C, D)`` with ``R = D + D^T`` nonsingular the
+    matrix ::
+
+        H = [[ A - B R^{-1} C,        -B R^{-1} B^T     ],
+             [ C^T R^{-1} C,   -(A - B R^{-1} C)^T ]]
+
+    has a purely imaginary eigenvalue ``j w0`` exactly when
+    ``G(j w0) + G(j w0)^*`` is singular — the standard spectral test for
+    (loss of) strict positive realness used e.g. by Grivet-Talocia and by
+    Zhou/Doyle/Glover, and the final step of the paper's flow.
+    """
+    a_arr = as_square_array(a_matrix, "A")
+    n = a_arr.shape[0]
+    b_arr = np.asarray(b_matrix, dtype=float).reshape(n, -1)
+    c_arr = np.asarray(c_matrix, dtype=float).reshape(-1, n)
+    d_arr = as_square_array(d_matrix, "D")
+    r_matrix = d_arr + d_arr.T
+    if np.linalg.matrix_rank(r_matrix) < r_matrix.shape[0]:
+        raise StructureError(
+            "the positive-real Hamiltonian requires D + D^T to be nonsingular"
+        )
+    r_inv_c = np.linalg.solve(r_matrix, c_arr)
+    r_inv_bt = np.linalg.solve(r_matrix, b_arr.T)
+    a_tilde = a_arr - b_arr @ r_inv_c
+    return np.block(
+        [
+            [a_tilde, -b_arr @ r_inv_bt],
+            [c_arr.T @ r_inv_c, -a_tilde.T],
+        ]
+    )
+
+
+def solve_positive_real_are(
+    a_matrix: np.ndarray,
+    b_matrix: np.ndarray,
+    c_matrix: np.ndarray,
+    d_matrix: np.ndarray,
+    tol: Optional[Tolerances] = None,
+) -> CareSolution:
+    """Solve the positive-real-lemma ARE (paper Eq. 5).
+
+    ``A^T X + X A + (X B - C^T)(D + D^T)^{-1}(B^T X - C) = 0``.
+
+    Expanding the product shows this is a standard CARE with
+    ``Q = C^T R^{-1} C``, input weight ``R = D + D^T`` and the shifted state
+    matrix ``A - B R^{-1} C``; the equation is solved in that form.
+    """
+    tol = tol or DEFAULT_TOLERANCES
+    a_arr = as_square_array(a_matrix, "A")
+    n = a_arr.shape[0]
+    b_arr = np.asarray(b_matrix, dtype=float).reshape(n, -1)
+    c_arr = np.asarray(c_matrix, dtype=float).reshape(-1, n)
+    d_arr = as_square_array(d_matrix, "D")
+    r_matrix = d_arr + d_arr.T
+    if not is_positive_definite(r_matrix, tol):
+        raise StructureError(
+            "the positive-real ARE requires D + D^T to be positive definite"
+        )
+    a_shift = a_arr - b_arr @ np.linalg.solve(r_matrix, c_arr)
+    q_tilde = c_arr.T @ np.linalg.solve(r_matrix, c_arr)
+
+    # Expanding Eq. 5 gives
+    #   A_shift^T X + X A_shift + X B R^{-1} B^T X + C^T R^{-1} C = 0,
+    # i.e. a CARE with the quadratic term entering with a *plus* sign.  The
+    # substitution Y = -X turns it into a standard CARE whose Hamiltonian is
+    # exactly the positive-real Hamiltonian below; its stabilizing solution is
+    # Y = X2 X1^{-1}, hence X = -X2 X1^{-1}.
+    hamiltonian = positive_real_hamiltonian(a_arr, b_arr, c_arr, d_arr)
+    splitting = hamiltonian_stable_invariant_subspace(
+        hamiltonian, tol, check_structure=False
+    )
+    x1 = splitting.x1
+    x2 = splitting.x2
+    condition = np.linalg.cond(x1)
+    if not np.isfinite(condition) or condition > 1.0 / (10 * tol.rank_rtol):
+        raise ReductionError(
+            "no stabilizing solution of the positive-real ARE exists"
+        )
+    x_solution = -np.linalg.solve(x1.T, x2.T).T
+    x_solution = 0.5 * (x_solution + x_solution.T)
+
+    residual_matrix = (
+        a_arr.T @ x_solution
+        + x_solution @ a_arr
+        + (x_solution @ b_arr - c_arr.T)
+        @ np.linalg.solve(r_matrix, (b_arr.T @ x_solution - c_arr))
+    )
+    residual = float(np.linalg.norm(residual_matrix)) / max(
+        1.0, float(np.linalg.norm(q_tilde)), float(np.linalg.norm(x_solution))
+    )
+    closed_loop = a_shift + b_arr @ np.linalg.solve(
+        r_matrix, b_arr.T @ x_solution
+    )
+    return CareSolution(
+        x=x_solution,
+        closed_loop_eigenvalues=np.linalg.eigvals(closed_loop),
+        residual=residual,
+    )

@@ -1,0 +1,148 @@
+"""Coupled generalized Sylvester equations and pencil block-diagonalization.
+
+Separating the finite (proper) and infinite (impulsive/nondynamic) spectral
+parts of a descriptor system requires transforming an upper block-triangular
+pencil in generalized Schur form ::
+
+    ( [[A11, A12],      [[B11, B12],
+       [  0, A22]] ,      [  0, B22]] )
+
+into a block-diagonal one.  Writing the transformation as
+``diag-blocks = [[I, -L], [0, I]] * pencil * [[I, R], [0, I]]`` leads to the
+*coupled generalized Sylvester equation* ::
+
+    A11 R - L A22 = -A12
+    B11 R - L B22 = -B12
+
+which is solved here column-by-column in complex Schur-like form (the blocks
+produced by :func:`scipy.linalg.ordqz` are already (quasi-)triangular, but the
+solver does not rely on that and works for general coefficients by an internal
+QZ reduction of the ``(A22, B22)`` pair).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+import scipy.linalg
+
+from repro.config import DEFAULT_TOLERANCES, Tolerances
+from repro.exceptions import DimensionError, ReductionError
+from repro.linalg.basics import as_square_array
+
+__all__ = [
+    "solve_generalized_coupled_sylvester",
+    "block_diagonalize_pencil",
+]
+
+
+def solve_generalized_coupled_sylvester(
+    a11: np.ndarray,
+    a22: np.ndarray,
+    a12: np.ndarray,
+    b11: np.ndarray,
+    b22: np.ndarray,
+    b12: np.ndarray,
+    tol: Optional[Tolerances] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Solve ``A11 R - L A22 = -A12`` and ``B11 R - L B22 = -B12`` for ``(R, L)``.
+
+    The equation pair has a unique solution exactly when the pencils
+    ``(A11, B11)`` and ``(A22, B22)`` have disjoint spectra — which is the
+    situation in the finite/infinite separation where one block carries only
+    finite and the other only infinite generalized eigenvalues.
+
+    Raises
+    ------
+    ReductionError
+        If the per-column linear systems become numerically singular,
+        indicating overlapping spectra.
+    """
+    tol = tol or DEFAULT_TOLERANCES
+    a11 = as_square_array(a11, "A11")
+    a22 = as_square_array(a22, "A22")
+    b11 = as_square_array(b11, "B11")
+    b22 = as_square_array(b22, "B22")
+    n1 = a11.shape[0]
+    n2 = a22.shape[0]
+    a12 = np.asarray(a12, dtype=float).reshape(n1, n2) if np.asarray(a12).size else np.zeros((n1, n2))
+    b12 = np.asarray(b12, dtype=float).reshape(n1, n2) if np.asarray(b12).size else np.zeros((n1, n2))
+    if b11.shape[0] != n1 or b22.shape[0] != n2:
+        raise DimensionError("B blocks must match the sizes of the A blocks")
+    if n1 == 0 or n2 == 0:
+        return np.zeros((n1, n2)), np.zeros((n1, n2))
+
+    # Bring the (A22, B22) pair to complex generalized Schur (triangular) form
+    # so the columns can be solved by forward substitution.
+    s22, t22, q22, z22 = scipy.linalg.qz(
+        a22.astype(complex), b22.astype(complex), output="complex"
+    )
+    # A22 = q22 s22 z22^H, B22 = q22 t22 z22^H.  Substituting R~ = R z22 and
+    # L~ = L q22 turns the pair into triangular equations in (R~, L~).
+    c_rhs = -a12 @ z22
+    f_rhs = -b12 @ z22
+
+    r_tilde = np.zeros((n1, n2), dtype=complex)
+    l_tilde = np.zeros((n1, n2), dtype=complex)
+
+    for k in range(n2):
+        rhs_top = c_rhs[:, k] + l_tilde[:, :k] @ s22[:k, k]
+        rhs_bottom = f_rhs[:, k] + l_tilde[:, :k] @ t22[:k, k]
+        system = np.block(
+            [
+                [a11.astype(complex), -s22[k, k] * np.eye(n1, dtype=complex)],
+                [b11.astype(complex), -t22[k, k] * np.eye(n1, dtype=complex)],
+            ]
+        )
+        rhs = np.concatenate([rhs_top, rhs_bottom])
+        try:
+            solution = np.linalg.solve(system, rhs)
+        except np.linalg.LinAlgError as exc:
+            raise ReductionError(
+                "coupled generalized Sylvester equation is singular; the two "
+                "diagonal pencil blocks share generalized eigenvalues"
+            ) from exc
+        r_tilde[:, k] = solution[:n1]
+        l_tilde[:, k] = solution[n1:]
+
+    r_solution = r_tilde @ z22.conj().T
+    l_solution = l_tilde @ q22.conj().T
+
+    if all(np.isrealobj(m) for m in (a11, a22, a12, b11, b22, b12)):
+        return r_solution.real, l_solution.real
+    return r_solution, l_solution
+
+
+def block_diagonalize_pencil(
+    a_schur: np.ndarray,
+    b_schur: np.ndarray,
+    split: int,
+    tol: Optional[Tolerances] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Eliminate the coupling blocks of an upper block-triangular pencil.
+
+    Given ``(A, B)`` upper block-triangular with leading block size ``split``,
+    return nonsingular ``(left, right)`` of the form
+    ``left = [[I, -L], [0, I]]`` and ``right = [[I, R], [0, I]]`` such that
+    ``left @ A @ right`` and ``left @ B @ right`` are block diagonal.
+    """
+    a_arr = as_square_array(a_schur, "A")
+    b_arr = as_square_array(b_schur, "B")
+    n = a_arr.shape[0]
+    if not 0 <= split <= n:
+        raise DimensionError("split must lie between 0 and the pencil dimension")
+    r_block, l_block = solve_generalized_coupled_sylvester(
+        a_arr[:split, :split],
+        a_arr[split:, split:],
+        a_arr[:split, split:],
+        b_arr[:split, :split],
+        b_arr[split:, split:],
+        b_arr[:split, split:],
+        tol,
+    )
+    left = np.eye(n)
+    right = np.eye(n)
+    left[:split, split:] = -l_block
+    right[:split, split:] = r_block
+    return left, right

@@ -1,0 +1,73 @@
+"""Passivity tests: the proposed SHH test and the baseline methods.
+
+* :func:`repro.passivity.shh_test.shh_passivity_test` — the paper's O(n^3)
+  structure-preserving test (primary contribution).
+* :func:`repro.passivity.lmi_test.lmi_passivity_test` — the extended LMI /
+  positive-real-lemma test of Freund & Jarre (baseline, O(n^5)-O(n^6)).
+* :func:`repro.passivity.weierstrass_test.weierstrass_passivity_test` — the
+  decomposition-based baseline (separate proper and impulsive parts first).
+* :func:`repro.passivity.gare_test.gare_passivity_test` — the generalized-ARE
+  style test restricted to admissible systems.
+* :func:`repro.passivity.sampling.sampling_passivity_check` — frequency-sweep
+  verification utility (not a proof, used for cross-checks).
+"""
+
+from repro.passivity.result import PassivityReport, TestStep
+from repro.passivity.hamiltonian_test import (
+    ProperPositiveRealResult,
+    proper_positive_real_test,
+)
+from repro.passivity.m1 import (
+    InfiniteChainData,
+    extract_m1_via_chains,
+    impulsive_chain_data,
+)
+from repro.passivity.reduction import (
+    ImpulsiveReduction,
+    NondynamicReduction,
+    ShhRestoration,
+    remove_impulsive_modes,
+    remove_nondynamic_modes,
+    restore_shh_structure,
+)
+from repro.passivity.proper_part import (
+    ProperPartExtraction,
+    extract_stable_proper_part,
+)
+from repro.passivity.shh_test import (
+    ShhPassivityTest,
+    extract_proper_part,
+    shh_passivity_test,
+)
+from repro.passivity.lmi_test import build_positive_real_lmi_blocks, lmi_passivity_test
+from repro.passivity.weierstrass_test import weierstrass_passivity_test
+from repro.passivity.gare_test import admissible_to_state_space, gare_passivity_test
+from repro.passivity.sampling import SamplingSummary, sampling_passivity_check
+
+__all__ = [
+    "lmi_passivity_test",
+    "build_positive_real_lmi_blocks",
+    "weierstrass_passivity_test",
+    "gare_passivity_test",
+    "admissible_to_state_space",
+    "sampling_passivity_check",
+    "SamplingSummary",
+    "PassivityReport",
+    "TestStep",
+    "ProperPositiveRealResult",
+    "proper_positive_real_test",
+    "InfiniteChainData",
+    "extract_m1_via_chains",
+    "impulsive_chain_data",
+    "ImpulsiveReduction",
+    "NondynamicReduction",
+    "ShhRestoration",
+    "remove_impulsive_modes",
+    "remove_nondynamic_modes",
+    "restore_shh_structure",
+    "ProperPartExtraction",
+    "extract_stable_proper_part",
+    "ShhPassivityTest",
+    "shh_passivity_test",
+    "extract_proper_part",
+]

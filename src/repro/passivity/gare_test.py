@@ -1,0 +1,155 @@
+"""Generalized-ARE style passivity test for *admissible* descriptor systems.
+
+The paper mentions (Section 1) that the GARE-based test of Zhang, Lam & Xu
+works "only in the limited case of admissible (regular, stable and
+impulse-free) DSs".  This module provides that restricted baseline:
+
+1. verify admissibility (otherwise the test refuses with an explicit error),
+2. eliminate the nondynamic modes with the SVD-coordinate Schur complement —
+   for an impulse-free system this produces an equivalent *regular* state
+   space,
+3. solve the positive-real algebraic Riccati equation (Eq. 5) for a
+   stabilizing solution; existence (plus a positive semidefinite ``M0``
+   contribution when ``D + D^T`` is singular and has to be regularized) is the
+   passivity certificate.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+import numpy as np
+
+from repro.config import DEFAULT_TOLERANCES, Tolerances
+from repro.descriptor.system import DescriptorSystem, StateSpace
+from repro.descriptor.transforms import svd_coordinate_form
+from repro.exceptions import NotAdmissibleError, ReductionError, ReproError
+from repro.linalg.basics import is_positive_definite, is_positive_semidefinite
+from repro.linalg.riccati import solve_positive_real_are
+from repro.passivity.result import PassivityReport
+
+__all__ = ["gare_passivity_test", "admissible_to_state_space"]
+
+
+def admissible_to_state_space(
+    system: DescriptorSystem, tol: Optional[Tolerances] = None
+) -> StateSpace:
+    """Reduce an admissible descriptor system to an equivalent regular state space.
+
+    Uses the SVD coordinate form and the Schur complement of the (nonsingular,
+    because the system is impulse-free) ``A22`` block; the constant part of
+    the eliminated algebraic equations moves into the feedthrough.
+
+    Raises
+    ------
+    NotAdmissibleError
+        If the system is not admissible.
+    """
+    tol = tol or DEFAULT_TOLERANCES
+    if not system.is_admissible(tol):
+        raise NotAdmissibleError(
+            "the GARE-style reduction requires an admissible (regular, stable, "
+            "impulse-free) descriptor system"
+        )
+    form = svd_coordinate_form(system, tol)
+    r = form.rank
+    a11, a12, a21, a22, b1, b2, c1, c2 = form.blocks
+    e11 = form.system.e[:r, :r]
+    if a22.shape[0]:
+        a22_inv_a21 = np.linalg.solve(a22, a21)
+        a22_inv_b2 = np.linalg.solve(a22, b2)
+    else:
+        a22_inv_a21 = np.zeros((0, r))
+        a22_inv_b2 = np.zeros((0, system.n_inputs))
+    a_red = a11 - a12 @ a22_inv_a21
+    b_red = b1 - a12 @ a22_inv_b2
+    c_red = c1 - c2 @ a22_inv_a21
+    d_red = system.d - c2 @ a22_inv_b2
+    # E11 is nonsingular (it holds the nonzero singular values of E).
+    return StateSpace(
+        np.linalg.solve(e11, a_red), np.linalg.solve(e11, b_red), c_red, d_red
+    )
+
+
+def gare_passivity_test(
+    system: DescriptorSystem,
+    tol: Optional[Tolerances] = None,
+    regularization: Optional[float] = None,
+) -> PassivityReport:
+    """Riccati-equation passivity test, valid for admissible systems only."""
+    tol = tol or DEFAULT_TOLERANCES
+    start = time.perf_counter()
+    report = PassivityReport(is_passive=False, method="gare")
+
+    try:
+        state_space = admissible_to_state_space(system, tol)
+    except NotAdmissibleError as error:
+        report.failure_reason = str(error)
+        report.add_step("admissibility", str(error), passed=False)
+        report.elapsed_seconds = time.perf_counter() - start
+        return report
+    report.add_step(
+        "admissibility",
+        "system is admissible; reduced to an equivalent regular state space",
+        passed=True,
+        reduced_order=state_space.order,
+    )
+
+    r_matrix = state_space.d + state_space.d.T
+    if not is_positive_semidefinite(r_matrix, tol):
+        report.failure_reason = "D + D^T is indefinite"
+        report.add_step("feedthrough", report.failure_reason, passed=False)
+        report.elapsed_seconds = time.perf_counter() - start
+        return report
+
+    eps = regularization
+    if eps is None and not is_positive_definite(r_matrix, tol):
+        scale = max(1.0, float(np.max(np.abs(state_space.d), initial=0.0)))
+        eps = 1e3 * tol.psd_atol * scale
+    if eps:
+        state_space = StateSpace(
+            state_space.a,
+            state_space.b,
+            state_space.c,
+            state_space.d + 0.5 * eps * np.eye(state_space.d.shape[0]),
+        )
+    report.add_step(
+        "regularize",
+        "regularized the feedthrough to make D + D^T positive definite",
+        passed=None,
+        epsilon=float(eps or 0.0),
+    )
+
+    try:
+        solution = solve_positive_real_are(
+            state_space.a, state_space.b, state_space.c, state_space.d, tol
+        )
+    except ReproError as error:
+        report.failure_reason = (
+            f"no stabilizing solution of the positive-real ARE exists ({error})"
+        )
+        report.add_step("riccati", report.failure_reason, passed=False)
+        report.elapsed_seconds = time.perf_counter() - start
+        return report
+
+    x_psd = is_positive_semidefinite(solution.x, tol)
+    report.diagnostics["riccati_residual"] = solution.residual
+    report.diagnostics["x_min_eigenvalue"] = float(
+        np.min(np.linalg.eigvalsh(0.5 * (solution.x + solution.x.T)))
+    )
+    report.add_step(
+        "riccati",
+        "stabilizing positive-real ARE solution found",
+        passed=bool(x_psd and solution.residual < 1e-6),
+        residual=solution.residual,
+        x_positive_semidefinite=x_psd,
+    )
+    report.is_passive = bool(x_psd and solution.residual < 1e-6)
+    if not report.is_passive:
+        report.failure_reason = (
+            "the stabilizing ARE solution is not positive semidefinite or is "
+            "numerically inconsistent"
+        )
+    report.elapsed_seconds = time.perf_counter() - start
+    return report

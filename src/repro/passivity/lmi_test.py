@@ -1,0 +1,177 @@
+"""The extended LMI passivity test for descriptor systems (baseline).
+
+Implements the test of Freund & Jarre that the paper uses as its primary
+baseline (Section 2.2, Eq. 4): ``G(s)`` is positive real if the LMIs ::
+
+    [ A^T X + X^T A     X^T B - C^T ]
+    [ B^T X - C        -(D + D^T)   ]   <= 0,        E^T X = X^T E >= 0
+
+have a solution ``X`` (an *unstructured* square matrix).  The unknown is
+restricted to the linear subspace on which ``E^T X`` is symmetric; the
+remaining two semidefiniteness conditions are handed to the phase-I
+interior-point solver of :mod:`repro.sdp`.
+
+The cost of the test is dominated by the Newton iterations on ~``n^2``
+variables, i.e. O(n^5)-O(n^6) work — which is precisely why the paper proposes
+the O(n^3) SHH alternative.  The ``order_limit`` parameter mirrors the paper's
+Table 1, where the LMI test could not be run beyond order ~60-70.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+import numpy as np
+
+from repro.config import DEFAULT_TOLERANCES, Tolerances
+from repro.descriptor.system import DescriptorSystem
+from repro.exceptions import NotImplementedForSystemError
+from repro.linalg.subspaces import column_space, null_space
+from repro.passivity.result import PassivityReport
+from repro.sdp.barrier import solve_phase_one
+from repro.sdp.operators import AffineMatrixBlock
+
+__all__ = ["build_positive_real_lmi_blocks", "lmi_passivity_test"]
+
+
+def _symmetry_subspace_basis(e_matrix: np.ndarray, tol: Tolerances) -> np.ndarray:
+    """Basis (as columns of an ``n^2 x d`` matrix) of ``{X : E^T X symmetric}``."""
+    n = e_matrix.shape[0]
+    rows = []
+    for i in range(n):
+        for j in range(i + 1, n):
+            # (E^T X)_{ij} - (E^T X)_{ji} = sum_k E_{ki} X_{kj} - E_{kj} X_{ki}
+            row = np.zeros((n, n))
+            row[:, j] += e_matrix[:, i]
+            row[:, i] -= e_matrix[:, j]
+            rows.append(row.reshape(n * n))
+    if not rows:
+        return np.eye(n * n)
+    constraint = np.vstack(rows)
+    return null_space(constraint, tol, reference_scale=float(np.linalg.norm(e_matrix)))
+
+
+def build_positive_real_lmi_blocks(
+    system: DescriptorSystem, tol: Optional[Tolerances] = None
+):
+    """Construct the affine LMI blocks of Eq. 4 over the symmetry subspace.
+
+    Returns
+    -------
+    (blocks, basis):
+        ``blocks`` is the list of :class:`AffineMatrixBlock` (the negated
+        positive-real block and the restricted ``E^T X`` block); ``basis`` is
+        the ``n^2 x d`` parameterization of the unknown ``X``.
+    """
+    tol = tol or DEFAULT_TOLERANCES
+    if not system.is_square_io:
+        raise NotImplementedForSystemError("the LMI test requires a square system")
+    n = system.order
+    m = system.n_inputs
+    basis = _symmetry_subspace_basis(system.e, tol)
+    d = basis.shape[1]
+    basis_tensor = basis.reshape(n, n, d)
+
+    a_matrix, b_matrix, c_matrix, d_matrix = system.a, system.b, system.c, system.d
+
+    # Block 1: -F(X) = [[-(A^T X + X^T A), C^T - X^T B], [C - B^T X, D + D^T]] >= 0.
+    at_x = np.einsum("ka,kbd->abd", a_matrix, basis_tensor, optimize=True)
+    xt_a = np.einsum("kad,kb->abd", basis_tensor, a_matrix, optimize=True)
+    xt_b = np.einsum("kad,kb->abd", basis_tensor, b_matrix, optimize=True)
+
+    size1 = n + m
+    coeff1 = np.zeros((size1, size1, d))
+    coeff1[:n, :n, :] = -(at_x + xt_a)
+    coeff1[:n, n:, :] = -xt_b
+    coeff1[n:, :n, :] = -np.transpose(xt_b, (1, 0, 2))
+    constant1 = np.zeros((size1, size1))
+    constant1[:n, n:] = c_matrix.T
+    constant1[n:, :n] = c_matrix
+    constant1[n:, n:] = d_matrix + d_matrix.T
+    block1 = AffineMatrixBlock(
+        constant=constant1,
+        coefficients=coeff1.reshape(size1 * size1, d),
+        name="positive_real_lmi",
+    )
+
+    blocks = [block1]
+
+    # Block 2: E^T X >= 0, restricted to the range of E^T where it can be
+    # strictly positive definite (outside that range it vanishes identically
+    # on the symmetry subspace).
+    range_et = column_space(system.e.T, tol)
+    r = range_et.shape[1]
+    if r:
+        et_x = np.einsum("ka,kbd->abd", system.e, basis_tensor, optimize=True)
+        restricted = np.einsum(
+            "ai,abd,bj->ijd", range_et, et_x, range_et, optimize=True
+        )
+        block2 = AffineMatrixBlock(
+            constant=np.zeros((r, r)),
+            coefficients=restricted.reshape(r * r, d),
+            name="gramian_condition",
+        )
+        blocks.append(block2)
+    return blocks, basis
+
+
+def lmi_passivity_test(
+    system: DescriptorSystem,
+    tol: Optional[Tolerances] = None,
+    feasibility_tol: float = 1e-6,
+    order_limit: Optional[int] = None,
+    **solver_options,
+) -> PassivityReport:
+    """Run the extended LMI (positive-real lemma) passivity test.
+
+    Parameters
+    ----------
+    order_limit:
+        When set and the system order exceeds it, the test refuses to run
+        (mirrors the "NIL" entries of the paper's Table 1, where the LMI test
+        exhausts memory/time beyond order ~60-70).
+    """
+    tol = tol or DEFAULT_TOLERANCES
+    start = time.perf_counter()
+    report = PassivityReport(is_passive=False, method="lmi")
+
+    if order_limit is not None and system.order > order_limit:
+        report.failure_reason = (
+            f"order {system.order} exceeds the configured LMI order limit "
+            f"{order_limit} (test skipped, matching the paper's NIL entries)"
+        )
+        report.add_step("order_limit", report.failure_reason, passed=False)
+        report.elapsed_seconds = time.perf_counter() - start
+        return report
+
+    blocks, basis = build_positive_real_lmi_blocks(system, tol)
+    report.add_step(
+        "build_lmi",
+        "assembled the extended positive-real LMI over the E^T X symmetry subspace",
+        passed=None,
+        n_variables=basis.shape[1],
+        block_sizes=[block.size for block in blocks],
+    )
+
+    solution = solve_phase_one(
+        blocks, tol, feasibility_tol=feasibility_tol, **solver_options
+    )
+    report.diagnostics["phase_one_t"] = solution.optimal_t
+    report.diagnostics["newton_steps"] = solution.n_newton_steps
+    report.add_step(
+        "solve_lmi",
+        "phase-I interior-point feasibility solve",
+        passed=solution.feasible,
+        optimal_t=solution.optimal_t,
+        newton_steps=solution.n_newton_steps,
+        converged=solution.converged,
+    )
+    report.is_passive = bool(solution.feasible)
+    if not solution.feasible:
+        report.failure_reason = (
+            "the positive-real LMIs are infeasible (phase-I optimum "
+            f"t* = {solution.optimal_t:.3e} > 0)"
+        )
+    report.elapsed_seconds = time.perf_counter() - start
+    return report

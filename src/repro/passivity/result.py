@@ -1,0 +1,103 @@
+"""Result containers for the passivity tests.
+
+Every passivity test in the library (the proposed SHH test and all baselines)
+returns a :class:`PassivityReport` so that callers, examples and the benchmark
+harness can treat them interchangeably.  The report also carries a list of
+:class:`TestStep` entries mirroring the boxes of the paper's Figure 1, which
+makes the decision trail auditable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = ["TestStep", "PassivityReport"]
+
+
+@dataclass
+class TestStep:
+    """One step of a passivity-test flow.
+
+    Attributes
+    ----------
+    name:
+        Short machine-friendly identifier (e.g. ``"impulse_free_check"``).
+    description:
+        Human-readable explanation of what was checked or computed.
+    passed:
+        ``True``/``False`` for decision steps, ``None`` for purely
+        computational steps.
+    details:
+        Free-form numeric diagnostics attached to the step.
+    """
+
+    #: Tell pytest not to collect this class despite the ``Test`` prefix.
+    __test__ = False
+
+    name: str
+    description: str
+    passed: Optional[bool] = None
+    details: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class PassivityReport:
+    """Outcome of a passivity test.
+
+    Attributes
+    ----------
+    is_passive:
+        The verdict.  ``False`` may mean "proved non-passive" or "the test's
+        assumptions were violated" — consult :attr:`failure_reason`.
+    method:
+        Name of the algorithm that produced the verdict (``"shh"``, ``"lmi"``,
+        ``"weierstrass"``, ``"gare"``, ``"sampling"``).
+    failure_reason:
+        ``None`` for passive systems; otherwise a sentence describing the
+        first stage at which the test failed.
+    steps:
+        Ordered list of the executed steps (Figure 1 boxes for the SHH test).
+    diagnostics:
+        Aggregate numeric diagnostics (mode counts, extracted ``M1``
+        eigenvalues, subspace dimensions, solver statistics, ...).
+    elapsed_seconds:
+        Wall-clock time spent inside the test, measured by the test itself.
+    """
+
+    is_passive: bool
+    method: str
+    failure_reason: Optional[str] = None
+    steps: List[TestStep] = field(default_factory=list)
+    diagnostics: Dict[str, Any] = field(default_factory=dict)
+    elapsed_seconds: float = 0.0
+
+    def add_step(
+        self,
+        name: str,
+        description: str,
+        passed: Optional[bool] = None,
+        **details: Any,
+    ) -> TestStep:
+        """Append a step to the trail and return it."""
+        step = TestStep(name=name, description=description, passed=passed, details=dict(details))
+        self.steps.append(step)
+        return step
+
+    @property
+    def step_names(self) -> List[str]:
+        return [step.name for step in self.steps]
+
+    def summary(self) -> str:
+        """Multi-line human-readable summary of the test run."""
+        lines = [
+            f"method          : {self.method}",
+            f"passive         : {self.is_passive}",
+            f"elapsed seconds : {self.elapsed_seconds:.6f}",
+        ]
+        if self.failure_reason:
+            lines.append(f"failure reason  : {self.failure_reason}")
+        for step in self.steps:
+            status = "-" if step.passed is None else ("ok" if step.passed else "FAIL")
+            lines.append(f"  [{status:4s}] {step.name}: {step.description}")
+        return "\n".join(lines)

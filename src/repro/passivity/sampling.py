@@ -1,0 +1,86 @@
+"""Frequency-sweep passivity *check* (verification utility, not a proof).
+
+Evaluates the Hermitian part of ``G(j w)`` on a logarithmic frequency grid and
+reports the most negative eigenvalue encountered.  A negative value proves
+non-passivity; a nonnegative value only indicates passivity up to the grid
+resolution, which is why the library treats this as a cross-check for the
+eigenvalue-based tests rather than as a test in its own right.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.config import DEFAULT_TOLERANCES, Tolerances
+from repro.descriptor.system import DescriptorSystem
+from repro.exceptions import SingularPencilError
+from repro.passivity.result import PassivityReport
+
+__all__ = ["SamplingSummary", "sampling_passivity_check"]
+
+
+@dataclass(frozen=True)
+class SamplingSummary:
+    """Grid statistics of the Hermitian part of the frequency response."""
+
+    min_eigenvalue: float
+    argmin_omega: float
+    n_samples: int
+
+
+def sampling_passivity_check(
+    system: DescriptorSystem,
+    omega_min: float = 1e-4,
+    omega_max: float = 1e4,
+    n_samples: int = 400,
+    include_zero: bool = True,
+    tol: Optional[Tolerances] = None,
+) -> PassivityReport:
+    """Check ``G(j w) + G(j w)^* >= 0`` on a logarithmic frequency grid."""
+    tol = tol or DEFAULT_TOLERANCES
+    start = time.perf_counter()
+    report = PassivityReport(is_passive=False, method="sampling")
+
+    omegas = np.logspace(np.log10(omega_min), np.log10(omega_max), n_samples)
+    if include_zero:
+        omegas = np.concatenate([[0.0], omegas])
+    min_eig = np.inf
+    argmin = 0.0
+    evaluated = 0
+    for omega in omegas:
+        try:
+            value = system.evaluate(1j * float(omega), tol)
+        except SingularPencilError:
+            continue
+        evaluated += 1
+        hermitian = 0.5 * (value + value.conj().T)
+        smallest = float(np.min(np.linalg.eigvalsh(hermitian)))
+        if smallest < min_eig:
+            min_eig = smallest
+            argmin = float(omega)
+
+    summary = SamplingSummary(
+        min_eigenvalue=float(min_eig), argmin_omega=argmin, n_samples=evaluated
+    )
+    report.diagnostics["summary"] = summary
+    scale = max(1.0, float(np.max(np.abs(system.d), initial=1.0)))
+    report.is_passive = bool(min_eig >= -1e2 * tol.psd_atol * scale)
+    report.add_step(
+        "frequency_sweep",
+        "minimum eigenvalue of the Hermitian part over the frequency grid",
+        passed=report.is_passive,
+        min_eigenvalue=summary.min_eigenvalue,
+        argmin_omega=summary.argmin_omega,
+        n_samples=summary.n_samples,
+    )
+    if not report.is_passive:
+        report.failure_reason = (
+            f"the Hermitian part of G(j w) has eigenvalue {min_eig:.3e} at "
+            f"w = {argmin:.3e}"
+        )
+    report.elapsed_seconds = time.perf_counter() - start
+    return report

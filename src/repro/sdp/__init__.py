@@ -1,0 +1,17 @@
+"""Dense LMI feasibility solving (substrate for the LMI passivity baseline).
+
+No external SDP package is available in this environment, so the library
+ships its own phase-I log-barrier interior-point solver
+(:func:`repro.sdp.barrier.solve_phase_one`) operating on affine
+symmetric-matrix blocks (:class:`repro.sdp.operators.AffineMatrixBlock`).
+"""
+
+from repro.sdp.operators import AffineMatrixBlock, symmetric_basis_matrices
+from repro.sdp.barrier import PhaseOneResult, solve_phase_one
+
+__all__ = [
+    "AffineMatrixBlock",
+    "symmetric_basis_matrices",
+    "PhaseOneResult",
+    "solve_phase_one",
+]

@@ -1,0 +1,224 @@
+"""Phase-I log-barrier interior-point solver for LMI feasibility.
+
+Problem solved::
+
+    minimize    t
+    subject to  M_b(y) + t I  >= 0        for every block b,
+
+where each ``M_b`` is an affine symmetric-matrix-valued function of ``y``
+(an :class:`repro.sdp.operators.AffineMatrixBlock`).  The original LMI system
+``M_b(y) >= 0`` is feasible iff the optimal ``t*`` is ``<= 0`` (up to numerical
+tolerance; rank-deficient feasible sets have ``t* = 0``).
+
+The solver is a textbook short-step path-following method: for a decreasing
+sequence of barrier parameters ``mu`` it minimizes
+``t / mu - sum_b logdet(M_b(y) + t I)`` with damped Newton steps and a
+Cholesky-guarded backtracking line search.  The per-iteration cost is dominated
+by the dense Hessian assembly, O(d^2 s^2 + d s^3) for ``d`` variables and block
+size ``s`` — for the positive-real LMI this reproduces the O(n^5)-O(n^6)
+complexity the paper attributes to the LMI test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.config import DEFAULT_TOLERANCES, Tolerances
+from repro.exceptions import ConvergenceError
+from repro.sdp.operators import AffineMatrixBlock
+
+__all__ = ["PhaseOneResult", "solve_phase_one"]
+
+
+@dataclass
+class PhaseOneResult:
+    """Outcome of the phase-I feasibility solve.
+
+    Attributes
+    ----------
+    feasible:
+        ``True`` when the minimal infeasibility ``t*`` is below the
+        feasibility tolerance.
+    optimal_t:
+        The best (smallest) ``t`` found.
+    y:
+        The corresponding variable vector.
+    n_newton_steps:
+        Total number of Newton iterations performed.
+    converged:
+        ``False`` when the iteration limit was hit before the duality-gap
+        target; the verdict is then best-effort.
+    history:
+        Optimal ``t`` after each barrier stage (for diagnostics/benchmarks).
+    """
+
+    feasible: bool
+    optimal_t: float
+    y: np.ndarray
+    n_newton_steps: int
+    converged: bool
+    history: List[float] = field(default_factory=list)
+
+
+def _evaluate_blocks(
+    blocks: Sequence[AffineMatrixBlock], y: np.ndarray, t: float
+) -> List[np.ndarray]:
+    return [block.evaluate(y, shift=t) for block in blocks]
+
+
+def _all_positive_definite(matrices: Sequence[np.ndarray]) -> bool:
+    for matrix in matrices:
+        try:
+            np.linalg.cholesky(matrix)
+        except np.linalg.LinAlgError:
+            return False
+    return True
+
+
+def _barrier_value(matrices: Sequence[np.ndarray]) -> float:
+    value = 0.0
+    for matrix in matrices:
+        sign, logdet = np.linalg.slogdet(matrix)
+        if sign <= 0:
+            return np.inf
+        value -= logdet
+    return value
+
+
+def solve_phase_one(
+    blocks: Sequence[AffineMatrixBlock],
+    tol: Optional[Tolerances] = None,
+    feasibility_tol: float = 1e-6,
+    mu_initial: float = 1.0,
+    mu_factor: float = 0.2,
+    mu_final: float = 1e-9,
+    max_newton_per_stage: int = 40,
+    max_total_newton: int = 400,
+    early_exit_margin: float = 1e-8,
+) -> PhaseOneResult:
+    """Solve the phase-I problem ``min t`` s.t. ``M_b(y) + t I >= 0``.
+
+    Parameters
+    ----------
+    blocks:
+        The affine LMI blocks; all must share the same variable dimension.
+    feasibility_tol:
+        ``t* <= feasibility_tol`` is reported as feasible.
+    early_exit_margin:
+        As soon as an iterate with ``t < -early_exit_margin`` is found the
+        LMIs are strictly feasible and the solver returns immediately.
+    """
+    tol = tol or DEFAULT_TOLERANCES
+    if not blocks:
+        raise ConvergenceError("solve_phase_one needs at least one block")
+    n_variables = blocks[0].n_variables
+    for block in blocks:
+        if block.n_variables != n_variables:
+            raise ConvergenceError("all blocks must share the same variable dimension")
+
+    y = np.zeros(n_variables)
+    # Start strictly inside: t0 makes every block comfortably positive definite.
+    t = 0.0
+    for block in blocks:
+        eigs = np.linalg.eigvalsh(block.evaluate(y))
+        t = max(t, -float(eigs[0]))
+    scale = max(1.0, max(float(np.max(np.abs(b.constant), initial=0.0)) for b in blocks))
+    t += 0.1 * scale + 1.0
+
+    mu = mu_initial * max(1.0, t)
+    total_newton = 0
+    history: List[float] = []
+    converged = True
+
+    while mu > mu_final and total_newton < max_total_newton:
+        for _ in range(max_newton_per_stage):
+            matrices = _evaluate_blocks(blocks, y, t)
+            if not _all_positive_definite(matrices):
+                raise ConvergenceError("interior-point iterate left the cone")
+
+            gradient_y = np.zeros(n_variables)
+            gradient_t = 1.0 / mu
+            hessian_yy = np.zeros((n_variables, n_variables))
+            hessian_yt = np.zeros(n_variables)
+            hessian_tt = 0.0
+
+            for block, matrix in zip(blocks, matrices):
+                size = block.size
+                inverse = np.linalg.inv(matrix)
+                gradient_y -= block.coefficients.T @ inverse.reshape(size * size)
+                gradient_t -= float(np.trace(inverse))
+                # (W (x) W) K via a batched congruence: reshape K to (s, s, d).
+                k_tensor = block.coefficients.reshape(size, size, n_variables)
+                transformed = np.einsum(
+                    "ab,bcv,cd->adv", inverse, k_tensor, inverse, optimize=True
+                ).reshape(size * size, n_variables)
+                hessian_yy += block.coefficients.T @ transformed
+                w_squared = inverse @ inverse
+                hessian_yt += block.coefficients.T @ w_squared.reshape(size * size)
+                hessian_tt += float(np.trace(w_squared))
+
+            hessian = np.zeros((n_variables + 1, n_variables + 1))
+            hessian[:n_variables, :n_variables] = hessian_yy
+            hessian[:n_variables, n_variables] = hessian_yt
+            hessian[n_variables, :n_variables] = hessian_yt
+            hessian[n_variables, n_variables] = hessian_tt
+            gradient = np.concatenate([gradient_y, [gradient_t]])
+
+            # Damped Newton step; regularize mildly for safety.
+            reg = 1e-12 * max(1.0, float(np.trace(hessian))) / (n_variables + 1)
+            try:
+                step = np.linalg.solve(
+                    hessian + reg * np.eye(n_variables + 1), -gradient
+                )
+            except np.linalg.LinAlgError:
+                step = -gradient
+
+            decrement = float(-gradient @ step)
+            current_value = t / mu + _barrier_value(matrices)
+            alpha = 1.0
+            accepted = False
+            for _ in range(60):
+                y_new = y + alpha * step[:n_variables]
+                t_new = t + alpha * step[n_variables]
+                trial = _evaluate_blocks(blocks, y_new, t_new)
+                if _all_positive_definite(trial):
+                    trial_value = t_new / mu + _barrier_value(trial)
+                    if trial_value <= current_value - 1e-4 * alpha * max(decrement, 0.0):
+                        accepted = True
+                        break
+                alpha *= 0.5
+            total_newton += 1
+            if not accepted:
+                break
+            y, t = y_new, t_new
+            if t < -early_exit_margin:
+                return PhaseOneResult(
+                    feasible=True,
+                    optimal_t=float(t),
+                    y=y,
+                    n_newton_steps=total_newton,
+                    converged=True,
+                    history=history + [float(t)],
+                )
+            if max(decrement, 0.0) < 1e-9:
+                break
+            if total_newton >= max_total_newton:
+                converged = False
+                break
+        history.append(float(t))
+        mu *= mu_factor
+
+    if total_newton >= max_total_newton:
+        converged = False
+    feasible = bool(t <= feasibility_tol)
+    return PhaseOneResult(
+        feasible=feasible,
+        optimal_t=float(t),
+        y=y,
+        n_newton_steps=total_newton,
+        converged=converged,
+        history=history,
+    )

@@ -1,0 +1,105 @@
+"""Affine symmetric-matrix-valued operators for the LMI feasibility solver.
+
+An :class:`AffineMatrixBlock` represents a map ::
+
+    y  ->  C + sum_i y_i A_i            (all matrices symmetric, size s x s)
+
+in the "vectorized" form needed by the barrier solver: the coefficient
+matrices are stored as a single dense array of shape ``(s*s, d)`` so that
+evaluation and the Hessian assembly reduce to matrix products.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.exceptions import DimensionError
+
+__all__ = ["AffineMatrixBlock", "symmetric_basis_matrices"]
+
+
+@dataclass
+class AffineMatrixBlock:
+    """One LMI block ``C + sum_i y_i A_i (+ t I)``.
+
+    Attributes
+    ----------
+    constant:
+        The symmetric constant term ``C`` (shape ``(s, s)``).
+    coefficients:
+        Dense array of shape ``(s * s, d)``; column ``i`` is ``vec(A_i)``.
+    name:
+        Label used in diagnostics.
+    """
+
+    constant: np.ndarray
+    coefficients: np.ndarray
+    name: str = "block"
+
+    def __post_init__(self) -> None:
+        constant = np.asarray(self.constant, dtype=float)
+        if constant.ndim != 2 or constant.shape[0] != constant.shape[1]:
+            raise DimensionError("block constant must be a square matrix")
+        size = constant.shape[0]
+        coefficients = np.asarray(self.coefficients, dtype=float)
+        if coefficients.ndim != 2 or coefficients.shape[0] != size * size:
+            raise DimensionError(
+                f"coefficients must have {size * size} rows, got {coefficients.shape}"
+            )
+        self.constant = 0.5 * (constant + constant.T)
+        self.coefficients = coefficients
+
+    @property
+    def size(self) -> int:
+        return self.constant.shape[0]
+
+    @property
+    def n_variables(self) -> int:
+        return self.coefficients.shape[1]
+
+    def evaluate(self, y: np.ndarray, shift: float = 0.0) -> np.ndarray:
+        """Return ``C + sum_i y_i A_i + shift * I`` as a symmetric matrix."""
+        size = self.size
+        value = self.constant + (self.coefficients @ np.asarray(y, dtype=float)).reshape(
+            size, size
+        )
+        if shift:
+            value = value + shift * np.eye(size)
+        return 0.5 * (value + value.T)
+
+    @classmethod
+    def from_matrices(
+        cls, constant: np.ndarray, matrices: Sequence[np.ndarray], name: str = "block"
+    ) -> "AffineMatrixBlock":
+        """Build a block from an explicit list of coefficient matrices."""
+        constant = np.asarray(constant, dtype=float)
+        size = constant.shape[0]
+        columns = [np.asarray(m, dtype=float).reshape(size * size) for m in matrices]
+        coefficients = (
+            np.stack(columns, axis=1) if columns else np.zeros((size * size, 0))
+        )
+        return cls(constant=constant, coefficients=coefficients, name=name)
+
+
+def symmetric_basis_matrices(dimension: int) -> List[np.ndarray]:
+    """Canonical basis of the space of symmetric ``dimension x dimension`` matrices.
+
+    Diagonal units first, then the symmetrized off-diagonal units (scaled so
+    all basis matrices have unit Frobenius norm is *not* done — plain 0/1
+    entries keep the mapping to matrix entries transparent).
+    """
+    basis = []
+    for i in range(dimension):
+        unit = np.zeros((dimension, dimension))
+        unit[i, i] = 1.0
+        basis.append(unit)
+    for i in range(dimension):
+        for j in range(i + 1, dimension):
+            unit = np.zeros((dimension, dimension))
+            unit[i, j] = 1.0
+            unit[j, i] = 1.0
+            basis.append(unit)
+    return basis

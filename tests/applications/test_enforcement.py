@@ -1,0 +1,95 @@
+"""Tests for passivity enforcement."""
+
+import numpy as np
+import pytest
+
+from repro.applications import enforce_passivity, passivity_violation
+from repro.circuits import (
+    feedthrough_perturbation,
+    impulsive_rlc_ladder,
+    negative_resistor_perturbation,
+    rlc_ladder,
+)
+from repro.descriptor import DescriptorSystem, first_markov_parameter
+from repro.exceptions import NotImplementedForSystemError
+from repro.passivity import shh_passivity_test
+
+
+class TestViolationMeasure:
+    def test_passive_model_has_zero_violation(self, small_impulsive_ladder):
+        assert passivity_violation(small_impulsive_ladder) == pytest.approx(0.0, abs=1e-9)
+
+    def test_shifted_model_violation_matches_shift(self, small_impulsive_ladder):
+        response = small_impulsive_ladder.frequency_response(np.logspace(-3, 3, 200))
+        margin = min(
+            float(np.min(np.linalg.eigvalsh(0.5 * (v + v.conj().T)))) for v in response
+        )
+        shift = margin + 0.3
+        bad = feedthrough_perturbation(small_impulsive_ladder, shift)
+        violation = passivity_violation(bad)
+        assert violation == pytest.approx(shift - margin, rel=0.05)
+
+
+class TestEnforcement:
+    def test_repairs_shifted_model(self, small_impulsive_ladder):
+        bad = feedthrough_perturbation(small_impulsive_ladder, 0.6)
+        assert not shh_passivity_test(bad).is_passive
+        result = enforce_passivity(bad)
+        assert result.report.is_passive
+        assert result.remaining_violation <= 1e-8
+        assert result.feedthrough_shift >= result.original_violation
+
+    def test_repaired_model_stays_close_outside_violation(self, small_impulsive_ladder):
+        bad = feedthrough_perturbation(small_impulsive_ladder, 0.5)
+        result = enforce_passivity(bad, margin_fraction=0.01)
+        # The repair is a constant shift: the error w.r.t. the non-passive
+        # model is exactly the shift, and bounded by violation * (1 + margin).
+        omega = 3.0
+        delta = result.system.evaluate(1j * omega) - bad.evaluate(1j * omega)
+        assert float(np.max(np.abs(delta))) <= 1.05 * result.feedthrough_shift + 1e-6
+
+    def test_repairs_negative_m1(self):
+        # G(s) = 1/(s+1) + 1 - 0.2 s : impulsive part with negative M1.
+        e = np.zeros((3, 3))
+        e[0, 0] = 1.0
+        e[1, 2] = 1.0
+        a = np.diag([-1.0, 1.0, 1.0])
+        b = np.array([[1.0], [0.0], [np.sqrt(0.2)]])
+        c = np.array([[1.0, np.sqrt(0.2), 0.0]])
+        bad = DescriptorSystem(e, a, b, c, np.array([[1.0]]))
+        np.testing.assert_allclose(first_markov_parameter(bad), [[-0.2]], atol=1e-10)
+        assert not shh_passivity_test(bad).is_passive
+        result = enforce_passivity(bad)
+        assert result.report.is_passive
+        assert result.m1_clip_magnitude > 0.1
+        np.testing.assert_allclose(
+            first_markov_parameter(result.system), [[0.0]], atol=1e-8
+        )
+
+    def test_passive_model_is_left_essentially_unchanged(self, small_rlc_ladder):
+        result = enforce_passivity(small_rlc_ladder, margin_fraction=0.0)
+        assert result.feedthrough_shift == pytest.approx(0.0, abs=1e-9)
+        omega = 1.7
+        np.testing.assert_allclose(
+            result.system.evaluate(1j * omega),
+            small_rlc_ladder.evaluate(1j * omega),
+            atol=1e-7,
+        )
+
+    def test_unstable_model_rejected(self):
+        unstable = DescriptorSystem(
+            np.eye(1), np.array([[0.5]]), np.ones((1, 1)), np.ones((1, 1))
+        )
+        with pytest.raises(NotImplementedForSystemError):
+            enforce_passivity(unstable)
+
+    def test_nonsquare_model_rejected(self, rng):
+        sys = DescriptorSystem(
+            np.eye(3), -np.eye(3), rng.standard_normal((3, 2)), rng.standard_normal((1, 3))
+        )
+        with pytest.raises(NotImplementedForSystemError):
+            enforce_passivity(sys)
+
+    def test_s_squared_cannot_be_repaired(self, s_squared_system):
+        with pytest.raises(NotImplementedForSystemError):
+            enforce_passivity(s_squared_system)

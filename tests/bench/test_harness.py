@@ -1,0 +1,57 @@
+"""Tests for the Table 1 / Figure 2 benchmark harness."""
+
+import pytest
+
+from repro.bench import (
+    PAPER_TABLE1,
+    BenchmarkRow,
+    figure2_series,
+    format_table1,
+    run_single_model,
+    table1_rows,
+)
+from repro.circuits import paper_benchmark_model
+
+
+class TestPaperReference:
+    def test_paper_table_has_all_orders(self):
+        assert set(PAPER_TABLE1) == {20, 40, 60, 80, 100, 200, 400}
+
+    def test_nil_entries_match_paper(self):
+        for order in (80, 100, 200, 400):
+            assert PAPER_TABLE1[order]["lmi"] is None
+        for order in (20, 40, 60):
+            assert PAPER_TABLE1[order]["lmi"] is not None
+
+    def test_paper_values_spot_check(self):
+        assert PAPER_TABLE1[60]["lmi"] == pytest.approx(1550.25)
+        assert PAPER_TABLE1[400]["proposed"] == pytest.approx(155.1875)
+
+
+class TestHarnessFunctions:
+    def test_run_single_model_unknown_method(self):
+        system = paper_benchmark_model(15).system
+        with pytest.raises(ValueError):
+            run_single_model(system, methods=("nonsense",))
+
+    def test_lmi_skip_behaviour(self):
+        system = paper_benchmark_model(20).system
+        results = run_single_model(system, methods=("lmi",), lmi_order_limit=15)
+        assert results["lmi"]["seconds"] is None
+        assert results["lmi"]["passive"] is None
+
+    def test_figure2_series_alignment(self):
+        series = figure2_series(orders=(15, 20), lmi_order_limit=0)
+        assert series["order"] == [15, 20]
+        assert len(series["proposed"]) == 2
+        assert len(series["weierstrass"]) == 2
+        assert series["lmi"] == [None, None]
+
+    def test_format_table1_renders_nil_and_paper_columns(self):
+        row = BenchmarkRow(order=80, paper_seconds=PAPER_TABLE1[80])
+        row.seconds = {"lmi": None, "proposed": 0.5, "weierstrass": 0.6}
+        text = format_table1([row])
+        assert "NIL" in text
+        assert "80" in text
+        assert "0.5000" in text
+        assert "0.5547" in text  # paper's proposed entry for order 80

@@ -1,0 +1,115 @@
+"""Tests for the parametric circuit generators."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    feedthrough_perturbation,
+    impulsive_rlc_ladder,
+    negative_resistor_perturbation,
+    paper_benchmark_model,
+    random_passive_descriptor,
+    rc_line,
+    rlc_ladder,
+)
+from repro.descriptor import count_modes, first_markov_parameter
+from repro.exceptions import DimensionError
+
+
+class TestLadders:
+    def test_rlc_ladder_order_formula(self):
+        for n in (1, 3, 6):
+            assert rlc_ladder(n).system.order == 3 * n + 1
+
+    def test_rlc_ladder_is_stable_regular_descriptor(self):
+        sys = rlc_ladder(5).system
+        modes = count_modes(sys)
+        assert modes.is_stable
+        assert modes.n_nondynamic > 0  # singular E: true descriptor system
+        assert modes.n_impulsive == 0
+
+    def test_rc_line_is_impulse_free(self):
+        modes = count_modes(rc_line(7).system)
+        assert modes.n_impulsive == 0
+        assert modes.is_stable
+
+    def test_impulsive_ladder_has_impulsive_modes(self):
+        modes = count_modes(impulsive_rlc_ladder(4, 2).system)
+        assert modes.n_impulsive >= 2
+
+    def test_port_inductor_controls_m1(self):
+        with_l = impulsive_rlc_ladder(3, 0, series_port_inductor=0.7).system
+        np.testing.assert_allclose(first_markov_parameter(with_l), [[0.7]], atol=1e-8)
+        without_l = impulsive_rlc_ladder(3, 1, series_port_inductor=None).system
+        np.testing.assert_allclose(first_markov_parameter(without_l), [[0.0]], atol=1e-8)
+
+    def test_stub_count_validation(self):
+        with pytest.raises(DimensionError):
+            impulsive_rlc_ladder(2, 5)
+
+    def test_invalid_section_count(self):
+        with pytest.raises(DimensionError):
+            rlc_ladder(0)
+
+
+class TestPaperBenchmarkModel:
+    @pytest.mark.parametrize("order", [12, 20, 35, 40, 61, 100])
+    def test_exact_order(self, order):
+        model = paper_benchmark_model(order)
+        assert model.system.order == order
+
+    def test_model_is_passive_workload(self):
+        sys = paper_benchmark_model(30).system
+        modes = count_modes(sys)
+        assert modes.is_stable
+        assert modes.n_impulsive >= 1
+
+    def test_minimum_order_enforced(self):
+        with pytest.raises(DimensionError):
+            paper_benchmark_model(8)
+
+    def test_seed_changes_padding_values_not_structure(self):
+        a = paper_benchmark_model(25, seed=0).system
+        b = paper_benchmark_model(25, seed=1).system
+        assert a.order == b.order
+        assert not np.allclose(a.a, b.a)
+
+
+class TestRandomPassiveDescriptor:
+    def test_structural_properties(self):
+        sys = random_passive_descriptor(12, n_ports=3, rank_deficiency=4, seed=2)
+        assert sys.order == 12
+        assert sys.n_inputs == 3
+        assert sys.rank_e() == 8
+        np.testing.assert_allclose(sys.c, sys.b.T)
+        assert count_modes(sys).is_stable
+
+    def test_rank_deficiency_validation(self):
+        with pytest.raises(DimensionError):
+            random_passive_descriptor(5, rank_deficiency=5)
+
+    def test_reproducible_with_seed(self):
+        a = random_passive_descriptor(8, seed=11)
+        b = random_passive_descriptor(8, seed=11)
+        np.testing.assert_allclose(a.a, b.a)
+
+
+class TestPerturbations:
+    def test_negative_resistor_changes_only_a(self):
+        model = rlc_ladder(3)
+        bad = negative_resistor_perturbation(model, 0.3, node="n1")
+        np.testing.assert_allclose(bad.e, model.system.e)
+        assert not np.allclose(bad.a, model.system.a)
+
+    def test_negative_resistor_unknown_node_rejected(self):
+        with pytest.raises(DimensionError):
+            negative_resistor_perturbation(rlc_ladder(2), 0.1, node="does_not_exist")
+
+    def test_feedthrough_perturbation_shifts_response(self, small_rlc_ladder):
+        bad = feedthrough_perturbation(small_rlc_ladder, 0.25)
+        omega = 1.0
+        np.testing.assert_allclose(
+            bad.evaluate(1j * omega),
+            small_rlc_ladder.evaluate(1j * omega) - 0.25 * np.eye(1),
+            atol=1e-12,
+        )

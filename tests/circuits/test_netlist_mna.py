@@ -1,0 +1,95 @@
+"""Tests for netlist construction and MNA assembly."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Netlist, assemble_mna
+from repro.exceptions import DimensionError
+from repro.linalg.basics import is_negative_semidefinite, is_positive_semidefinite
+
+
+def _rc_divider():
+    netlist = Netlist()
+    netlist.add_port("p", "in")
+    netlist.add_resistor("r1", "in", "out", 2.0)
+    netlist.add_capacitor("c1", "out", "0", 0.5)
+    return netlist
+
+
+class TestNetlist:
+    def test_node_bookkeeping(self):
+        netlist = _rc_divider()
+        assert netlist.node_names == ["in", "out"]
+        assert netlist.n_nodes == 2
+        assert netlist.n_states == 2  # no inductors
+
+    def test_states_include_inductor_currents(self):
+        netlist = _rc_divider()
+        netlist.add_inductor("l1", "out", "0", 1.0)
+        assert netlist.n_states == 3
+
+    def test_element_validation(self):
+        netlist = Netlist()
+        with pytest.raises(DimensionError):
+            netlist.add_resistor("r", "a", "a", 1.0)
+        with pytest.raises(DimensionError):
+            netlist.add_capacitor("c", "a", "b", -1.0)
+
+    def test_validate_requires_port(self):
+        netlist = Netlist()
+        netlist.add_resistor("r1", "a", "0", 1.0)
+        with pytest.raises(DimensionError):
+            netlist.validate()
+
+    def test_validate_rejects_duplicate_names(self):
+        netlist = _rc_divider()
+        netlist.add_resistor("r1", "out", "0", 1.0)
+        with pytest.raises(DimensionError):
+            netlist.validate()
+
+
+class TestMnaAssembly:
+    def test_rc_divider_impedance(self):
+        # Z(s) = R + 1/(sC) is the driving-point impedance of the series RC.
+        model = assemble_mna(_rc_divider())
+        s0 = 0.3 + 1.1j
+        expected = 2.0 + 1.0 / (s0 * 0.5)
+        np.testing.assert_allclose(model.system.evaluate(s0), [[expected]], atol=1e-10)
+
+    def test_structural_passivity_properties(self, small_impulsive_ladder):
+        # E symmetric PSD, A + A^T NSD, C = B^T, D = 0: the passive-by-
+        # construction MNA structure.
+        sys = small_impulsive_ladder
+        assert is_positive_semidefinite(sys.e)
+        np.testing.assert_allclose(sys.e, sys.e.T, atol=1e-12)
+        assert is_negative_semidefinite(sys.a + sys.a.T)
+        np.testing.assert_allclose(sys.c, sys.b.T)
+        np.testing.assert_allclose(sys.d, 0.0)
+
+    def test_grounded_inductor_dc_short(self):
+        netlist = Netlist()
+        netlist.add_port("p", "a")
+        netlist.add_resistor("r", "a", "0", 5.0)
+        netlist.add_inductor("l", "a", "0", 2.0)
+        model = assemble_mna(netlist)
+        # At DC the inductor shorts the port: Z(0) = 0.
+        np.testing.assert_allclose(model.system.evaluate(0.0), [[0.0]], atol=1e-12)
+        # At high frequency the resistor dominates: Z -> 5.
+        np.testing.assert_allclose(model.system.evaluate(1e6j), [[5.0]], atol=1e-3)
+
+    def test_node_and_inductor_indices(self):
+        netlist = _rc_divider()
+        netlist.add_inductor("l1", "out", "0", 1.0)
+        model = assemble_mna(netlist)
+        assert set(model.node_index) == {"in", "out"}
+        assert model.inductor_index["l1"] == 2
+
+    def test_two_port_model_is_square(self):
+        netlist = _rc_divider()
+        netlist.add_port("p2", "out")
+        model = assemble_mna(netlist)
+        assert model.system.n_inputs == 2
+        assert model.system.n_outputs == 2
+        # Reciprocal network: symmetric impedance matrix.
+        z = model.system.evaluate(1.0j)
+        np.testing.assert_allclose(z, z.T, atol=1e-12)

@@ -1,0 +1,103 @@
+"""Shared fixtures: canonical example systems used across the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits import impulsive_rlc_ladder, rc_line, rlc_ladder
+from repro.descriptor import DescriptorSystem
+
+
+@pytest.fixture
+def rng():
+    """Deterministic random generator for reproducible tests."""
+    return np.random.default_rng(20060724)
+
+
+def make_sm1_system(m1: float = 2.0) -> DescriptorSystem:
+    """Minimal realization of ``G(s) = s * m1`` (purely impulsive)."""
+    e = np.array([[0.0, 1.0], [0.0, 0.0]])
+    a = np.eye(2)
+    b = np.array([[0.0], [-m1]])
+    c = np.array([[1.0, 0.0]])
+    return DescriptorSystem(e, a, b, c, np.zeros((1, 1)))
+
+
+def make_mixed_passive_system() -> DescriptorSystem:
+    """``G(s) = 1/(s+1) + s + 1``: finite + impulsive + nondynamic modes."""
+    e = np.zeros((4, 4))
+    e[0, 0] = 1.0
+    e[1, 2] = 1.0
+    a = np.diag([-1.0, 1.0, 1.0, -1.0])
+    b = np.array([[1.0], [0.0], [-1.0], [1.0]])
+    c = np.array([[1.0, 1.0, 0.0, 1.0]])
+    return DescriptorSystem(e, a, b, c, np.zeros((1, 1)))
+
+
+def make_index1_passive_system() -> DescriptorSystem:
+    """``G(s) = 1/(s+1) + 1`` realized with one nondynamic mode (index 1)."""
+    e = np.diag([1.0, 0.0])
+    a = np.diag([-1.0, -1.0])
+    b = np.array([[1.0], [1.0]])
+    c = np.array([[1.0, 1.0]])
+    return DescriptorSystem(e, a, b, c, np.zeros((1, 1)))
+
+
+def make_nonpassive_proper_system() -> DescriptorSystem:
+    """Stable but non-positive-real proper system: ``G(0) < 0``."""
+    e = np.eye(1)
+    a = np.array([[-2.0]])
+    b = np.array([[1.0]])
+    c = np.array([[-3.0]])
+    d = np.array([[1.0]])
+    return DescriptorSystem(e, a, b, c, d)
+
+
+def make_s_squared_system() -> DescriptorSystem:
+    """``G(s) = s^2``: nonzero M2, hence non-passive."""
+    e = np.array([[0.0, 1.0, 0.0], [0.0, 0.0, 1.0], [0.0, 0.0, 0.0]])
+    a = np.eye(3)
+    b = np.array([[0.0], [0.0], [-1.0]])
+    c = np.array([[1.0, 0.0, 0.0]])
+    return DescriptorSystem(e, a, b, c, np.zeros((1, 1)))
+
+
+@pytest.fixture
+def sm1_system():
+    return make_sm1_system()
+
+
+@pytest.fixture
+def mixed_passive_system():
+    return make_mixed_passive_system()
+
+
+@pytest.fixture
+def index1_passive_system():
+    return make_index1_passive_system()
+
+
+@pytest.fixture
+def nonpassive_proper_system():
+    return make_nonpassive_proper_system()
+
+
+@pytest.fixture
+def s_squared_system():
+    return make_s_squared_system()
+
+
+@pytest.fixture(scope="session")
+def small_rc_line():
+    return rc_line(5).system
+
+
+@pytest.fixture(scope="session")
+def small_rlc_ladder():
+    return rlc_ladder(4).system
+
+
+@pytest.fixture(scope="session")
+def small_impulsive_ladder():
+    return impulsive_rlc_ladder(4, 1).system

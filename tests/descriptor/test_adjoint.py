@@ -1,0 +1,81 @@
+"""Tests for the adjoint system and the SHH realization of Phi = G + G~."""
+
+import numpy as np
+import pytest
+
+from repro.descriptor import DescriptorSystem, adjoint_system, build_phi_realization
+from repro.exceptions import DimensionError
+from repro.linalg.hamiltonian import is_hamiltonian, is_skew_hamiltonian
+
+
+class TestAdjoint:
+    @pytest.mark.parametrize("omega", [0.0, 0.3, 2.7, 15.0])
+    def test_adjoint_equals_conjugate_transpose_on_axis(
+        self, small_rlc_ladder, omega
+    ):
+        adj = adjoint_system(small_rlc_ladder)
+        value = small_rlc_ladder.evaluate(1j * omega)
+        np.testing.assert_allclose(adj.evaluate(1j * omega), value.conj().T, atol=1e-9)
+
+    def test_adjoint_at_general_point(self, mixed_passive_system):
+        s0 = 0.8 + 1.2j
+        adj = adjoint_system(mixed_passive_system)
+        np.testing.assert_allclose(
+            adj.evaluate(s0), mixed_passive_system.evaluate(-s0).T, atol=1e-10
+        )
+
+    def test_adjoint_is_involutive_on_transfer(self, small_impulsive_ladder):
+        s0 = 0.5 + 0.4j
+        twice = adjoint_system(adjoint_system(small_impulsive_ladder))
+        np.testing.assert_allclose(
+            twice.evaluate(s0), small_impulsive_ladder.evaluate(s0), atol=1e-9
+        )
+
+
+class TestPhiRealization:
+    def test_shh_structure(self, small_impulsive_ladder):
+        phi = build_phi_realization(small_impulsive_ladder)
+        assert phi.is_shh()
+        assert is_skew_hamiltonian(phi.e_phi)
+        assert is_hamiltonian(phi.a_phi)
+        assert phi.order == 2 * small_impulsive_ladder.order
+
+    def test_transfer_is_g_plus_g_tilde(self, mixed_passive_system):
+        phi = build_phi_realization(mixed_passive_system)
+        s0 = 1.4 + 0.9j
+        expected = mixed_passive_system.evaluate(s0) + mixed_passive_system.evaluate(-s0).T
+        np.testing.assert_allclose(phi.evaluate(s0), expected, atol=1e-9)
+
+    def test_phi_is_hermitian_on_imaginary_axis(self, small_rlc_ladder):
+        phi = build_phi_realization(small_rlc_ladder)
+        value = phi.evaluate(2.0j)
+        np.testing.assert_allclose(value, value.conj().T, atol=1e-9)
+
+    def test_b_phi_is_j_times_c_phi_transposed(self, sm1_system):
+        phi = build_phi_realization(sm1_system)
+        np.testing.assert_allclose(phi.b_phi, phi.j @ phi.c_phi.T)
+
+    def test_d_phi_is_symmetric(self, rng):
+        sys = DescriptorSystem(
+            np.eye(3),
+            -np.eye(3),
+            rng.standard_normal((3, 2)),
+            rng.standard_normal((2, 3)),
+            rng.standard_normal((2, 2)),
+        )
+        phi = build_phi_realization(sys)
+        np.testing.assert_allclose(phi.d_phi, phi.d_phi.T)
+
+    def test_nonsquare_system_rejected(self, rng):
+        sys = DescriptorSystem(
+            np.eye(3), -np.eye(3), rng.standard_normal((3, 1)), rng.standard_normal((2, 3))
+        )
+        with pytest.raises(DimensionError):
+            build_phi_realization(sys)
+
+    def test_to_descriptor_roundtrip(self, index1_passive_system):
+        phi = build_phi_realization(index1_passive_system)
+        ds = phi.to_descriptor()
+        assert ds.order == phi.order
+        s0 = 0.2 + 0.6j
+        np.testing.assert_allclose(ds.evaluate(s0), phi.evaluate(s0))

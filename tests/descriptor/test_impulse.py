@@ -1,0 +1,92 @@
+"""Tests for the impulse controllability/observability characterizations."""
+
+import numpy as np
+import pytest
+
+from repro.descriptor import DescriptorSystem
+from repro.descriptor.impulse import (
+    impulse_uncontrollable_directions,
+    impulse_unobservable_directions,
+    is_impulse_controllable,
+    is_impulse_free,
+    is_impulse_observable,
+    preimage_of_range,
+)
+
+
+def _impulsive_unobservable_system():
+    """Grade-2 chain whose output matrix ignores the chain entirely."""
+    e = np.array([[1.0, 0.0, 0.0], [0.0, 0.0, 1.0], [0.0, 0.0, 0.0]])
+    a = np.diag([-1.0, 1.0, 1.0])
+    b = np.array([[1.0], [0.0], [1.0]])
+    c = np.array([[1.0, 0.0, 0.0]])  # does not see the impulsive chain
+    return DescriptorSystem(e, a, b, c)
+
+
+class TestImpulseFree:
+    def test_regular_e_is_impulse_free(self):
+        sys = DescriptorSystem(np.eye(2), -np.eye(2), np.ones((2, 1)), np.ones((1, 2)))
+        assert is_impulse_free(sys)
+
+    def test_index1_system_is_impulse_free(self, index1_passive_system):
+        assert is_impulse_free(index1_passive_system)
+
+    def test_impulsive_system_is_not(self, sm1_system, mixed_passive_system):
+        assert not is_impulse_free(sm1_system)
+        assert not is_impulse_free(mixed_passive_system)
+
+    def test_consistency_with_mode_count(self, small_impulsive_ladder, small_rc_line):
+        assert not is_impulse_free(small_impulsive_ladder)
+        assert is_impulse_free(small_rc_line)
+
+
+class TestObservabilityControllability:
+    def test_minimal_impulsive_system_is_impulse_observable(self, sm1_system):
+        # The realization of s*m is minimal: its impulsive mode is observable
+        # and controllable.
+        assert is_impulse_observable(sm1_system)
+        assert is_impulse_controllable(sm1_system)
+        assert impulse_unobservable_directions(sm1_system).shape[1] == 0
+
+    def test_unobservable_chain_detected(self):
+        sys = _impulsive_unobservable_system()
+        assert not is_impulse_observable(sys)
+        directions = impulse_unobservable_directions(sys)
+        assert directions.shape[1] == 1
+        # The direction lies in Ker E and Ker C and maps into Im E.
+        assert np.allclose(sys.e @ directions, 0.0, atol=1e-12)
+        assert np.allclose(sys.c @ directions, 0.0, atol=1e-12)
+
+    def test_dual_uncontrollable_chain_detected(self):
+        sys = _impulsive_unobservable_system().transpose()
+        assert not is_impulse_controllable(sys)
+        directions = impulse_uncontrollable_directions(sys)
+        assert directions.shape[1] == 1
+
+    def test_impulse_free_system_has_no_directions(self, index1_passive_system):
+        assert impulse_unobservable_directions(index1_passive_system).shape[1] == 0
+        assert impulse_uncontrollable_directions(index1_passive_system).shape[1] == 0
+
+    def test_circuit_models_are_impulse_controllable_and_observable(
+        self, small_impulsive_ladder
+    ):
+        # MNA impedance models driven/observed at ports with a series inductor
+        # keep their impulsive modes controllable and observable.
+        assert is_impulse_observable(small_impulsive_ladder) == is_impulse_controllable(
+            small_impulsive_ladder
+        )
+
+
+class TestPreimage:
+    def test_preimage_of_full_range_is_everything(self, rng):
+        a = rng.standard_normal((4, 4))
+        e = np.eye(4)
+        assert preimage_of_range(a, e).shape[1] == 4
+
+    def test_preimage_matches_manual_computation(self):
+        e = np.diag([1.0, 0.0])
+        a = np.array([[0.0, 1.0], [1.0, 0.0]])
+        # A v in Im E = span{e1}  <=>  v_1 = 0  => preimage = span{e2}.
+        basis = preimage_of_range(a, e)
+        assert basis.shape[1] == 1
+        assert abs(abs(basis[1, 0]) - 1.0) < 1e-12

@@ -1,0 +1,157 @@
+"""Tests for the DescriptorSystem / StateSpace containers."""
+
+import numpy as np
+import pytest
+
+from repro.descriptor import DescriptorSystem, StateSpace
+from repro.exceptions import (
+    DimensionError,
+    NotImplementedForSystemError,
+    SingularPencilError,
+)
+
+
+class TestConstruction:
+    def test_default_feedthrough_is_zero(self):
+        sys = DescriptorSystem(np.eye(2), -np.eye(2), np.ones((2, 1)), np.ones((1, 2)))
+        np.testing.assert_allclose(sys.d, np.zeros((1, 1)))
+
+    def test_shape_validation(self):
+        with pytest.raises(DimensionError):
+            DescriptorSystem(np.eye(2), -np.eye(3), np.ones((2, 1)), np.ones((1, 2)))
+        with pytest.raises(DimensionError):
+            DescriptorSystem(np.eye(2), -np.eye(2), np.ones((3, 1)), np.ones((1, 2)))
+        with pytest.raises(DimensionError):
+            DescriptorSystem(np.eye(2), -np.eye(2), np.ones((2, 1)), np.ones((1, 3)))
+        with pytest.raises(DimensionError):
+            DescriptorSystem(
+                np.eye(2), -np.eye(2), np.ones((2, 1)), np.ones((1, 2)), np.ones((2, 2))
+            )
+
+    def test_shape_properties(self, mixed_passive_system):
+        sys = mixed_passive_system
+        assert sys.order == 4
+        assert sys.n_inputs == 1
+        assert sys.n_outputs == 1
+        assert sys.is_square_io
+
+    def test_immutability_against_source_mutation(self):
+        e = np.eye(2)
+        sys = DescriptorSystem(e, -np.eye(2), np.ones((2, 1)), np.ones((1, 2)))
+        e[0, 0] = 99.0
+        assert sys.e[0, 0] != 99.0 or sys.e is not e  # stored copy is float cast
+
+
+class TestPencilProperties:
+    def test_rank_and_regularity(self, mixed_passive_system):
+        assert mixed_passive_system.rank_e() == 2
+        assert mixed_passive_system.is_regular()
+
+    def test_dynamic_degree(self, mixed_passive_system, index1_passive_system):
+        assert mixed_passive_system.dynamic_degree() == 1
+        assert index1_passive_system.dynamic_degree() == 1
+
+    def test_stability_check(self, mixed_passive_system):
+        assert mixed_passive_system.is_stable()
+        unstable = DescriptorSystem(
+            np.eye(1), np.array([[2.0]]), np.ones((1, 1)), np.ones((1, 1))
+        )
+        assert not unstable.is_stable()
+
+    def test_admissibility(self, index1_passive_system, mixed_passive_system):
+        assert index1_passive_system.is_admissible()
+        assert not mixed_passive_system.is_admissible()  # impulsive modes present
+
+
+class TestTransferFunction:
+    def test_evaluate_against_analytic(self, index1_passive_system):
+        s0 = 0.3 + 2.0j
+        expected = 1.0 / (s0 + 1.0) + 1.0
+        np.testing.assert_allclose(index1_passive_system.evaluate(s0), [[expected]])
+
+    def test_evaluate_at_pole_raises(self, index1_passive_system):
+        with pytest.raises(SingularPencilError):
+            index1_passive_system.evaluate(-1.0)
+
+    def test_frequency_response_shape(self, mixed_passive_system):
+        response = mixed_passive_system.frequency_response([0.1, 1.0, 10.0])
+        assert response.shape == (3, 1, 1)
+
+    def test_parallel_connection_adds_transfer_functions(
+        self, index1_passive_system, mixed_passive_system
+    ):
+        total = index1_passive_system + mixed_passive_system
+        s0 = 0.7 + 0.2j
+        np.testing.assert_allclose(
+            total.evaluate(s0),
+            index1_passive_system.evaluate(s0) + mixed_passive_system.evaluate(s0),
+            atol=1e-12,
+        )
+
+    def test_negation_and_scaling(self, index1_passive_system):
+        s0 = 1.0 + 1.0j
+        np.testing.assert_allclose(
+            (-index1_passive_system).evaluate(s0),
+            -index1_passive_system.evaluate(s0),
+        )
+        np.testing.assert_allclose(
+            index1_passive_system.scaled(3.0).evaluate(s0),
+            3.0 * index1_passive_system.evaluate(s0),
+        )
+
+    def test_transpose_transposes_transfer(self, small_rlc_ladder):
+        s0 = 0.5 + 1.5j
+        np.testing.assert_allclose(
+            small_rlc_ladder.transpose().evaluate(s0),
+            small_rlc_ladder.evaluate(s0).T,
+            atol=1e-10,
+        )
+
+
+class TestConversions:
+    def test_to_state_space_roundtrip(self):
+        a = np.array([[-1.0, 0.5], [0.0, -2.0]])
+        sys = DescriptorSystem(
+            2.0 * np.eye(2), 2.0 * a, np.ones((2, 1)), np.ones((1, 2)), np.ones((1, 1))
+        )
+        ss = sys.to_state_space()
+        np.testing.assert_allclose(ss.a, a, atol=1e-12)
+        s0 = 1.3 + 0.1j
+        np.testing.assert_allclose(ss.evaluate(s0), sys.evaluate(s0), atol=1e-12)
+
+    def test_to_state_space_rejects_singular_e(self, index1_passive_system):
+        with pytest.raises(NotImplementedForSystemError):
+            index1_passive_system.to_state_space()
+
+    def test_state_space_to_descriptor_roundtrip(self, rng):
+        ss = StateSpace(
+            -np.eye(3), rng.standard_normal((3, 2)), rng.standard_normal((2, 3)), np.eye(2)
+        )
+        ds = ss.to_descriptor()
+        s0 = 0.2 + 0.9j
+        np.testing.assert_allclose(ds.evaluate(s0), ss.evaluate(s0), atol=1e-12)
+
+
+class TestStateSpace:
+    def test_poles_and_stability(self, rng):
+        ss = StateSpace(np.diag([-1.0, -2.0]), np.ones((2, 1)), np.ones((1, 2)), np.zeros((1, 1)))
+        np.testing.assert_allclose(np.sort(ss.poles().real), [-2.0, -1.0])
+        assert ss.is_stable()
+        assert not StateSpace(np.eye(1), np.ones((1, 1)), np.ones((1, 1)), np.zeros((1, 1))).is_stable()
+
+    def test_transpose(self, rng):
+        ss = StateSpace(
+            -np.eye(3) + 0.1 * rng.standard_normal((3, 3)),
+            rng.standard_normal((3, 2)),
+            rng.standard_normal((1, 3)),
+            rng.standard_normal((1, 2)),
+        )
+        s0 = 0.4 + 0.6j
+        np.testing.assert_allclose(
+            ss.transpose().evaluate(s0), ss.evaluate(s0).T, atol=1e-12
+        )
+
+    def test_empty_state_space(self):
+        ss = StateSpace(np.zeros((0, 0)), np.zeros((0, 2)), np.zeros((2, 0)), np.eye(2))
+        np.testing.assert_allclose(ss.evaluate(1j), np.eye(2))
+        assert ss.is_stable()

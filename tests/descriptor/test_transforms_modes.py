@@ -1,0 +1,150 @@
+"""Tests for equivalence transforms, SVD coordinates and mode counting."""
+
+import numpy as np
+import pytest
+
+from repro.descriptor import DescriptorSystem, count_modes, index_of_nilpotency
+from repro.descriptor.transforms import (
+    restricted_system_equivalence,
+    strong_equivalence,
+    svd_coordinate_form,
+)
+from repro.exceptions import SingularPencilError, StructureError
+
+
+class TestRestrictedSystemEquivalence:
+    def test_preserves_transfer_function(self, mixed_passive_system, rng):
+        q, _ = np.linalg.qr(rng.standard_normal((4, 4)))
+        z, _ = np.linalg.qr(rng.standard_normal((4, 4)))
+        transformed = restricted_system_equivalence(mixed_passive_system, q, z)
+        s0 = 0.8 + 1.7j
+        np.testing.assert_allclose(
+            transformed.evaluate(s0), mixed_passive_system.evaluate(s0), atol=1e-10
+        )
+
+    def test_preserves_mode_structure(self, mixed_passive_system, rng):
+        q, _ = np.linalg.qr(rng.standard_normal((4, 4)))
+        z, _ = np.linalg.qr(rng.standard_normal((4, 4)))
+        transformed = restricted_system_equivalence(mixed_passive_system, q, z)
+        before = count_modes(mixed_passive_system)
+        after = count_modes(transformed)
+        assert before.n_finite == after.n_finite
+        assert before.n_impulsive == after.n_impulsive
+        assert before.n_nondynamic == after.n_nondynamic
+
+    def test_projection_reduces_order(self, mixed_passive_system):
+        left = np.eye(4)[:, :3]
+        right = np.eye(4)[:, :3]
+        reduced = restricted_system_equivalence(mixed_passive_system, left, right)
+        assert reduced.order == 3
+
+
+class TestStrongEquivalence:
+    def test_requires_annihilation_conditions(self, index1_passive_system):
+        n = index1_passive_system.order
+        bad_feedforward = np.ones((n, 1))
+        with pytest.raises(StructureError):
+            strong_equivalence(
+                index1_passive_system,
+                np.eye(n),
+                np.eye(n),
+                input_feedforward=bad_feedforward,
+            )
+
+    def test_preserves_transfer_with_valid_feedforward(self, index1_passive_system):
+        # E = diag(1, 0): feedforward supported on the kernel of E is allowed.
+        n = index1_passive_system.order
+        r_ff = np.array([[0.0], [0.5]])
+        transformed = strong_equivalence(
+            index1_passive_system, np.eye(n), np.eye(n), input_feedforward=r_ff
+        )
+        s0 = 1.1 + 0.3j
+        np.testing.assert_allclose(
+            transformed.evaluate(s0), index1_passive_system.evaluate(s0), atol=1e-12
+        )
+
+    def test_feedthrough_can_change_under_strong_equivalence(self, index1_passive_system):
+        n = index1_passive_system.order
+        r_ff = np.array([[0.0], [0.5]])
+        transformed = strong_equivalence(
+            index1_passive_system, np.eye(n), np.eye(n), input_feedforward=r_ff
+        )
+        assert not np.allclose(transformed.d, index1_passive_system.d)
+
+
+class TestSvdCoordinates:
+    def test_e_becomes_diagonal_with_trailing_zeros(self, small_rlc_ladder):
+        form = svd_coordinate_form(small_rlc_ladder)
+        r = form.rank
+        e_new = form.system.e
+        np.testing.assert_allclose(e_new[r:, :], 0.0, atol=1e-10)
+        np.testing.assert_allclose(e_new[:, r:], 0.0, atol=1e-10)
+        assert np.linalg.matrix_rank(e_new[:r, :r]) == r
+
+    def test_transfer_preserved(self, small_impulsive_ladder):
+        form = svd_coordinate_form(small_impulsive_ladder)
+        s0 = 0.2 + 1.1j
+        np.testing.assert_allclose(
+            form.system.evaluate(s0), small_impulsive_ladder.evaluate(s0), atol=1e-9
+        )
+
+    def test_blocks_shapes(self, index1_passive_system):
+        form = svd_coordinate_form(index1_passive_system)
+        a11, a12, a21, a22, b1, b2, c1, c2 = form.blocks
+        r = form.rank
+        n = index1_passive_system.order
+        assert a11.shape == (r, r)
+        assert a22.shape == (n - r, n - r)
+        assert b2.shape[0] == n - r
+        assert c2.shape[1] == n - r
+
+
+class TestModeCounting:
+    def test_mixed_system_counts(self, mixed_passive_system):
+        modes = count_modes(mixed_passive_system)
+        assert modes.order == 4
+        assert modes.n_finite == 1
+        assert modes.n_impulsive == 1
+        assert modes.n_nondynamic == 2
+        assert not modes.is_impulse_free
+        assert modes.is_stable
+
+    def test_regular_system_counts(self):
+        sys = DescriptorSystem(np.eye(3), -np.eye(3), np.ones((3, 1)), np.ones((1, 3)))
+        modes = count_modes(sys)
+        assert modes.n_finite == 3
+        assert modes.n_impulsive == 0
+        assert modes.n_nondynamic == 0
+
+    def test_singular_pencil_rejected(self):
+        sys = DescriptorSystem(
+            np.diag([1.0, 0.0]), np.diag([1.0, 0.0]), np.ones((2, 1)), np.ones((1, 2))
+        )
+        with pytest.raises(SingularPencilError):
+            count_modes(sys)
+
+    def test_sm1_system_counts(self, sm1_system):
+        modes = count_modes(sm1_system)
+        assert modes.n_finite == 0
+        assert modes.n_nondynamic == 1
+        assert modes.n_impulsive == 1
+
+
+class TestIndex:
+    def test_index_of_regular_system_is_zero(self):
+        sys = DescriptorSystem(np.eye(2), -np.eye(2), np.ones((2, 1)), np.ones((1, 2)))
+        assert index_of_nilpotency(sys) == 0
+
+    def test_index_one_for_impulse_free_singular_system(self, index1_passive_system):
+        assert index_of_nilpotency(index1_passive_system) == 1
+
+    def test_index_two_for_impulsive_system(self, sm1_system, mixed_passive_system):
+        assert index_of_nilpotency(sm1_system) == 2
+        assert index_of_nilpotency(mixed_passive_system) == 2
+
+    def test_index_three_for_s_squared(self, s_squared_system):
+        assert index_of_nilpotency(s_squared_system) == 3
+
+    def test_circuit_indices(self, small_rc_line, small_impulsive_ladder):
+        assert index_of_nilpotency(small_rc_line) == 1
+        assert index_of_nilpotency(small_impulsive_ladder) == 2

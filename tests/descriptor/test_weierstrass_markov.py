@@ -1,0 +1,150 @@
+"""Tests for spectral separation, Weierstrass form, Markov parameters and the
+additive decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.descriptor import (
+    DescriptorSystem,
+    additive_decomposition,
+    first_markov_parameter,
+    highest_nonzero_markov_index,
+    markov_parameters,
+    separate_finite_infinite,
+    weierstrass_form,
+    zeroth_markov_parameter,
+)
+from repro.exceptions import SingularPencilError
+
+
+class TestSeparation:
+    def test_dimensions(self, mixed_passive_system):
+        sep = separate_finite_infinite(mixed_passive_system)
+        assert sep.n_finite == 1
+        assert sep.finite_system.order == 1
+        assert sep.infinite_system.order == 3
+        # Finite block has nonsingular E; infinite block has nonsingular A.
+        assert np.linalg.matrix_rank(sep.finite_system.e) == 1
+        assert np.linalg.matrix_rank(sep.infinite_system.a) == 3
+
+    def test_nilpotency(self, mixed_passive_system, s_squared_system):
+        sep = separate_finite_infinite(mixed_passive_system)
+        n = sep.nilpotent_matrix
+        assert np.allclose(np.linalg.matrix_power(n, 2), 0.0, atol=1e-10)
+        sep2 = separate_finite_infinite(s_squared_system)
+        assert np.allclose(np.linalg.matrix_power(sep2.nilpotent_matrix, 3), 0.0, atol=1e-10)
+        assert not np.allclose(
+            np.linalg.matrix_power(sep2.nilpotent_matrix, 2), 0.0, atol=1e-10
+        )
+
+    def test_additivity_of_transfer_functions(self, mixed_passive_system):
+        sep = separate_finite_infinite(mixed_passive_system)
+        s0 = 0.9 + 0.5j
+        total = (
+            sep.finite_system.evaluate(s0)
+            + sep.infinite_system.evaluate(s0)
+            + sep.feedthrough
+        )
+        np.testing.assert_allclose(total, mixed_passive_system.evaluate(s0), atol=1e-9)
+
+    def test_circuit_model_separation(self, small_impulsive_ladder):
+        sep = separate_finite_infinite(small_impulsive_ladder)
+        s0 = 0.4 + 2.2j
+        total = (
+            sep.finite_system.evaluate(s0)
+            + sep.infinite_system.evaluate(s0)
+            + sep.feedthrough
+        )
+        np.testing.assert_allclose(total, small_impulsive_ladder.evaluate(s0), atol=1e-8)
+
+    def test_proper_state_space(self, mixed_passive_system):
+        sep = separate_finite_infinite(mixed_passive_system)
+        proper = sep.proper_state_space()
+        s0 = 1.0 + 3.0j
+        # Proper part of 1/(s+1) + s + 1 is 1/(s+1) + 1.
+        np.testing.assert_allclose(proper.evaluate(s0), [[1.0 / (s0 + 1) + 1.0]], atol=1e-10)
+
+    def test_singular_pencil_rejected(self):
+        sys = DescriptorSystem(
+            np.diag([1.0, 0.0]), np.diag([1.0, 0.0]), np.ones((2, 1)), np.ones((1, 2))
+        )
+        with pytest.raises(SingularPencilError):
+            separate_finite_infinite(sys)
+
+
+class TestMarkovParameters:
+    def test_mixed_system_parameters(self, mixed_passive_system):
+        m = markov_parameters(mixed_passive_system, 3)
+        np.testing.assert_allclose(m[0], [[1.0]], atol=1e-10)  # M0 = 1
+        np.testing.assert_allclose(m[1], [[1.0]], atol=1e-10)  # M1 = 1 (the s term)
+        np.testing.assert_allclose(m[2], [[0.0]], atol=1e-10)
+
+    def test_zeroth_and_first_helpers(self, mixed_passive_system):
+        np.testing.assert_allclose(zeroth_markov_parameter(mixed_passive_system), [[1.0]], atol=1e-10)
+        np.testing.assert_allclose(first_markov_parameter(mixed_passive_system), [[1.0]], atol=1e-10)
+
+    def test_s_squared_has_m2(self, s_squared_system):
+        m = markov_parameters(s_squared_system, 4)
+        np.testing.assert_allclose(m[2], [[1.0]], atol=1e-10)
+        assert highest_nonzero_markov_index(s_squared_system) == 2
+
+    def test_impulse_free_system_has_no_impulsive_markov(self, index1_passive_system):
+        assert highest_nonzero_markov_index(index1_passive_system) == 0
+        np.testing.assert_allclose(first_markov_parameter(index1_passive_system), 0.0, atol=1e-10)
+
+    def test_port_inductor_sets_m1_to_inductance(self, small_impulsive_ladder):
+        m1 = first_markov_parameter(small_impulsive_ladder)
+        # The series port inductor of 0.5 H dominates the s-term of Z(s).
+        np.testing.assert_allclose(m1, [[0.5]], atol=1e-8)
+
+
+class TestAdditiveDecomposition:
+    def test_reconstruction(self, mixed_passive_system):
+        dec = additive_decomposition(mixed_passive_system)
+        s0 = 0.6 + 1.9j
+        np.testing.assert_allclose(
+            dec.evaluate(s0), mixed_passive_system.evaluate(s0), atol=1e-9
+        )
+
+    def test_strictly_proper_part_has_no_feedthrough(self, mixed_passive_system):
+        dec = additive_decomposition(mixed_passive_system)
+        np.testing.assert_allclose(dec.strictly_proper.d, 0.0)
+        assert dec.strictly_proper.order == 1
+
+    def test_m1_accessor(self, mixed_passive_system, index1_passive_system):
+        np.testing.assert_allclose(
+            additive_decomposition(mixed_passive_system).m1, [[1.0]], atol=1e-10
+        )
+        np.testing.assert_allclose(
+            additive_decomposition(index1_passive_system).m1, [[0.0]], atol=1e-12
+        )
+
+    def test_circuit_model_decomposition(self, small_rlc_ladder):
+        dec = additive_decomposition(small_rlc_ladder)
+        assert not dec.impulsive_markov  # index-1 ladder: polynomial part is constant
+        s0 = 2.0j
+        np.testing.assert_allclose(
+            dec.evaluate(s0), small_rlc_ladder.evaluate(s0), atol=1e-8
+        )
+
+
+class TestWeierstrassForm:
+    def test_canonical_blocks(self, mixed_passive_system):
+        form = weierstrass_form(mixed_passive_system)
+        q = form.a_p.shape[0]
+        assert q == 1
+        # E -> diag(I, N), A -> diag(A_p, I).
+        e_can = form.left @ mixed_passive_system.e @ form.right
+        a_can = form.left @ mixed_passive_system.a @ form.right
+        np.testing.assert_allclose(e_can[:q, :q], np.eye(q), atol=1e-9)
+        np.testing.assert_allclose(a_can[q:, q:], np.eye(3), atol=1e-9)
+        np.testing.assert_allclose(e_can[:q, q:], 0.0, atol=1e-9)
+        np.testing.assert_allclose(e_can[q:, :q], 0.0, atol=1e-9)
+
+    def test_nilpotent_block(self, mixed_passive_system):
+        form = weierstrass_form(mixed_passive_system)
+        assert np.allclose(np.linalg.matrix_power(form.nilpotent, 2), 0.0, atol=1e-9)
+
+    def test_conditioning_reported(self, small_impulsive_ladder):
+        form = weierstrass_form(small_impulsive_ladder)
+        assert form.conditioning >= 1.0

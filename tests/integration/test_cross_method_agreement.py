@@ -1,0 +1,97 @@
+"""Integration tests: every passivity test must agree on the same models."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    feedthrough_perturbation,
+    impulsive_rlc_ladder,
+    negative_resistor_perturbation,
+    paper_benchmark_model,
+    random_passive_descriptor,
+    rc_line,
+    rlc_ladder,
+)
+from repro.passivity import (
+    gare_passivity_test,
+    lmi_passivity_test,
+    sampling_passivity_check,
+    shh_passivity_test,
+    weierstrass_passivity_test,
+)
+
+PASSIVE_MODELS = [
+    ("rc_line", lambda: rc_line(6).system),
+    ("rlc_ladder", lambda: rlc_ladder(5).system),
+    ("impulsive_ladder", lambda: impulsive_rlc_ladder(4, 1).system),
+    ("impulsive_two_stubs", lambda: impulsive_rlc_ladder(5, 2).system),
+    ("benchmark_order_25", lambda: paper_benchmark_model(25).system),
+    ("random_passive", lambda: random_passive_descriptor(12, seed=4, feedthrough_scale=1.0)),
+]
+
+
+@pytest.mark.parametrize("name,factory", PASSIVE_MODELS)
+def test_shh_weierstrass_sampling_agree_on_passive_models(name, factory):
+    system = factory()
+    shh = shh_passivity_test(system)
+    weierstrass = weierstrass_passivity_test(system)
+    sampling = sampling_passivity_check(system)
+    assert shh.is_passive, (name, shh.failure_reason)
+    assert weierstrass.is_passive, (name, weierstrass.failure_reason)
+    assert sampling.is_passive, name
+
+
+@pytest.mark.parametrize(
+    "name,factory",
+    [
+        (
+            "shifted_impulsive",
+            lambda: feedthrough_perturbation(impulsive_rlc_ladder(4, 1).system, 1.0),
+        ),
+        (
+            "negative_conductance",
+            lambda: negative_resistor_perturbation(rlc_ladder(4), 3.0),
+        ),
+        (
+            "shifted_random",
+            lambda: feedthrough_perturbation(
+                random_passive_descriptor(10, seed=9, feedthrough_scale=1.0), 8.0
+            ),
+        ),
+    ],
+)
+def test_shh_weierstrass_agree_on_nonpassive_models(name, factory):
+    system = factory()
+    shh = shh_passivity_test(system)
+    weierstrass = weierstrass_passivity_test(system)
+    assert not shh.is_passive, name
+    assert not weierstrass.is_passive, name
+
+
+def test_lmi_agrees_on_small_models():
+    passive = random_passive_descriptor(8, seed=3, feedthrough_scale=1.0)
+    nonpassive = feedthrough_perturbation(passive, 10.0)
+    assert lmi_passivity_test(passive).is_passive
+    assert not lmi_passivity_test(nonpassive).is_passive
+    assert shh_passivity_test(passive).is_passive
+    assert not shh_passivity_test(nonpassive).is_passive
+
+
+def test_gare_agrees_with_shh_on_admissible_models():
+    system = rc_line(8).system
+    assert gare_passivity_test(system).is_passive == shh_passivity_test(system).is_passive
+
+
+def test_passivity_margin_bracketing():
+    """The SHH verdict flips exactly around the sampled passivity margin."""
+    system = impulsive_rlc_ladder(4, 1).system
+    response = system.frequency_response(np.logspace(-3, 3, 300))
+    margin = min(
+        float(np.min(np.linalg.eigvalsh(0.5 * (value + value.conj().T))))
+        for value in response
+    )
+    assert margin > 0
+    still_passive = feedthrough_perturbation(system, 0.8 * margin)
+    not_passive = feedthrough_perturbation(system, 1.25 * margin)
+    assert shh_passivity_test(still_passive).is_passive
+    assert not shh_passivity_test(not_passive).is_passive

@@ -1,0 +1,61 @@
+"""End-to-end workload tests: larger circuit models through the full pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.bench import run_single_model, table1_rows
+from repro.circuits import paper_benchmark_model
+from repro.descriptor import additive_decomposition, count_modes
+from repro.passivity import extract_proper_part, shh_passivity_test
+
+
+class TestMediumOrderModels:
+    @pytest.mark.parametrize("order", [20, 40, 60])
+    def test_benchmark_models_are_passive(self, order):
+        system = paper_benchmark_model(order, n_impulsive_stubs=2).system
+        report = shh_passivity_test(system)
+        assert report.is_passive, report.failure_reason
+        assert report.diagnostics["n_impulsive_directions_removed"] > 0
+
+    def test_proper_part_extraction_matches_decomposition_medium(self):
+        system = paper_benchmark_model(30).system
+        proper_shh = extract_proper_part(system)
+        proper_ref = additive_decomposition(system).proper_part
+        for omega in (0.0, 0.5, 5.0, 50.0):
+            np.testing.assert_allclose(
+                proper_shh.evaluate(1j * omega),
+                proper_ref.evaluate(1j * omega),
+                atol=1e-5,
+            )
+
+    def test_mode_inventory_of_benchmark_model(self):
+        system = paper_benchmark_model(40, n_impulsive_stubs=2).system
+        modes = count_modes(system)
+        assert modes.order == 40
+        assert modes.n_impulsive >= 2
+        assert modes.n_nondynamic > 0
+        assert modes.is_stable
+
+
+class TestHarness:
+    def test_run_single_model_reports_all_methods(self):
+        system = paper_benchmark_model(20).system
+        results = run_single_model(system, lmi_order_limit=10)
+        assert results["lmi"]["seconds"] is None  # skipped above the limit
+        assert results["proposed"]["passive"] is True
+        assert results["weierstrass"]["passive"] is True
+        assert results["proposed"]["seconds"] > 0
+
+    def test_table1_rows_structure(self):
+        rows = table1_rows(orders=(20,), lmi_order_limit=0, methods=("proposed", "weierstrass"))
+        assert len(rows) == 1
+        row = rows[0]
+        assert row.order == 20
+        assert row.passive["proposed"] is True
+        assert row.paper_seconds["proposed"] == pytest.approx(0.1328)
+
+    def test_harness_timings_scale_with_order(self):
+        rows = table1_rows(
+            orders=(20, 60), lmi_order_limit=0, methods=("proposed",)
+        )
+        assert rows[1].seconds["proposed"] > rows[0].seconds["proposed"]

@@ -1,0 +1,121 @@
+"""Tests for repro.linalg.basics."""
+
+import numpy as np
+import pytest
+
+from repro.config import DEFAULT_TOLERANCES
+from repro.exceptions import DimensionError
+from repro.linalg.basics import (
+    as_2d_array,
+    as_square_array,
+    is_hermitian,
+    is_negative_semidefinite,
+    is_positive_definite,
+    is_positive_semidefinite,
+    is_skew_symmetric,
+    is_symmetric,
+    matrix_scale,
+    relative_error,
+    skew_part,
+    symmetric_part,
+)
+
+
+class TestShapeValidation:
+    def test_as_2d_array_accepts_matrix(self):
+        arr = as_2d_array([[1, 2], [3, 4]])
+        assert arr.shape == (2, 2)
+
+    def test_as_2d_array_rejects_vector(self):
+        with pytest.raises(DimensionError):
+            as_2d_array(np.ones(3))
+
+    def test_as_square_array_rejects_rectangular(self):
+        with pytest.raises(DimensionError):
+            as_square_array(np.ones((2, 3)))
+
+    def test_integer_input_is_promoted_to_float(self):
+        arr = as_2d_array(np.array([[1, 2], [3, 4]], dtype=int))
+        assert np.issubdtype(arr.dtype, np.number)
+
+
+class TestSymmetryPredicates:
+    def test_symmetric_matrix_detected(self):
+        m = np.array([[1.0, 2.0], [2.0, 3.0]])
+        assert is_symmetric(m)
+        assert not is_skew_symmetric(m)
+
+    def test_skew_symmetric_matrix_detected(self):
+        m = np.array([[0.0, 5.0], [-5.0, 0.0]])
+        assert is_skew_symmetric(m)
+        assert not is_symmetric(m)
+
+    def test_tolerance_scales_with_magnitude(self):
+        m = 1e8 * np.array([[1.0, 2.0], [2.0, 3.0]])
+        m[0, 1] += 1e-4  # tiny relative perturbation
+        assert is_symmetric(m)
+
+    def test_hermitian_complex_matrix(self):
+        m = np.array([[2.0, 1 + 1j], [1 - 1j, 3.0]])
+        assert is_hermitian(m)
+        assert not is_hermitian(1j * m + m)
+
+    def test_zero_matrix_is_both_symmetric_and_skew(self):
+        z = np.zeros((3, 3))
+        assert is_symmetric(z)
+        assert is_skew_symmetric(z)
+
+
+class TestDefiniteness:
+    def test_identity_is_positive_definite(self):
+        assert is_positive_definite(np.eye(4))
+        assert is_positive_semidefinite(np.eye(4))
+
+    def test_rank_deficient_gram_matrix_is_psd_not_pd(self):
+        v = np.array([[1.0], [2.0]])
+        gram = v @ v.T
+        assert is_positive_semidefinite(gram)
+        assert not is_positive_definite(gram)
+
+    def test_indefinite_matrix_rejected(self):
+        m = np.diag([1.0, -1.0])
+        assert not is_positive_semidefinite(m)
+        assert not is_negative_semidefinite(m)
+
+    def test_negative_semidefinite(self):
+        assert is_negative_semidefinite(-np.eye(3))
+
+    def test_nonsymmetric_input_uses_hermitian_part(self):
+        # [[1, 10], [-10, 1]] has Hermitian part I which is PD.
+        m = np.array([[1.0, 10.0], [-10.0, 1.0]])
+        assert is_positive_definite(m)
+
+    def test_empty_matrix_is_psd(self):
+        assert is_positive_semidefinite(np.zeros((0, 0)))
+
+
+class TestParts:
+    def test_symmetric_plus_skew_reconstructs(self, rng):
+        m = rng.standard_normal((5, 5))
+        np.testing.assert_allclose(symmetric_part(m) + skew_part(m), m)
+
+    def test_parts_have_expected_structure(self, rng):
+        m = rng.standard_normal((4, 4))
+        assert is_symmetric(symmetric_part(m))
+        assert is_skew_symmetric(skew_part(m))
+
+
+class TestScaleHelpers:
+    def test_matrix_scale_floor_is_one(self):
+        assert matrix_scale(np.zeros((2, 2))) == 1.0
+        assert matrix_scale(1e-3 * np.ones((2, 2))) == 1.0
+
+    def test_matrix_scale_tracks_largest_entry(self):
+        assert matrix_scale(np.array([[2.0, -7.0]])) == 7.0
+
+    def test_relative_error_zero_for_equal(self):
+        m = np.array([[1.0, 2.0]])
+        assert relative_error(m, m) == 0.0
+
+    def test_relative_error_normalizes(self):
+        assert relative_error(np.array([[2.0]]), np.array([[1.0]])) == pytest.approx(1.0)

@@ -1,0 +1,107 @@
+"""Tests for repro.linalg.pencil."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SingularPencilError
+from repro.linalg.pencil import (
+    classify_generalized_eigenvalues,
+    generalized_eigenvalues,
+    is_regular_pencil,
+    ordered_qz_finite_first,
+    pencil_degree,
+)
+
+
+def _weierstrass_pencil():
+    """Pencil with finite eigenvalues {-1, -2} and a 2x2 nilpotent block."""
+    e = np.zeros((4, 4))
+    e[0, 0] = 1.0
+    e[1, 1] = 1.0
+    e[2, 3] = 1.0
+    a = np.diag([-1.0, -2.0, 1.0, 1.0])
+    return e, a
+
+
+class TestRegularity:
+    def test_regular_pencil_detected(self):
+        e, a = _weierstrass_pencil()
+        assert is_regular_pencil(e, a)
+
+    def test_identity_pencil_is_regular(self):
+        assert is_regular_pencil(np.eye(3), np.diag([1.0, 2.0, 3.0]))
+
+    def test_singular_pencil_detected(self):
+        # Common null vector of E and A => det(sE - A) == 0 identically.
+        e = np.diag([1.0, 0.0])
+        a = np.diag([2.0, 0.0])
+        assert not is_regular_pencil(e, a)
+
+    def test_empty_pencil_is_regular(self):
+        assert is_regular_pencil(np.zeros((0, 0)), np.zeros((0, 0)))
+
+
+class TestSpectralClassification:
+    def test_finite_and_infinite_counts(self):
+        e, a = _weierstrass_pencil()
+        spectrum = classify_generalized_eigenvalues(e, a)
+        assert spectrum.n_infinite == 2
+        np.testing.assert_allclose(np.sort(spectrum.finite.real), [-2.0, -1.0], atol=1e-10)
+        assert spectrum.is_stable
+
+    def test_unstable_mode_detected(self):
+        e = np.eye(2)
+        a = np.diag([-1.0, 2.0])
+        spectrum = classify_generalized_eigenvalues(e, a)
+        assert spectrum.n_unstable == 1
+        assert not spectrum.is_stable
+
+    def test_imaginary_axis_mode_detected(self):
+        e = np.eye(2)
+        a = np.array([[0.0, 1.0], [-1.0, 0.0]])
+        spectrum = classify_generalized_eigenvalues(e, a)
+        assert spectrum.n_imaginary == 2
+        assert not spectrum.is_stable
+
+    def test_generalized_eigenvalue_pairs_shape(self):
+        e, a = _weierstrass_pencil()
+        alpha, beta = generalized_eigenvalues(e, a)
+        assert alpha.shape == beta.shape == (4,)
+
+
+class TestDegree:
+    def test_degree_counts_finite_modes(self):
+        e, a = _weierstrass_pencil()
+        assert pencil_degree(e, a) == 2
+
+    def test_degree_of_regular_state_space(self):
+        assert pencil_degree(np.eye(3), -np.eye(3)) == 3
+
+    def test_degree_of_singular_pencil_raises(self):
+        with pytest.raises(SingularPencilError):
+            pencil_degree(np.diag([1.0, 0.0]), np.diag([1.0, 0.0]))
+
+
+class TestOrderedQz:
+    def test_finite_block_leads(self, rng):
+        e, a = _weierstrass_pencil()
+        # Rotate into a dense representation to make the ordering nontrivial.
+        q, _ = np.linalg.qr(rng.standard_normal((4, 4)))
+        z, _ = np.linalg.qr(rng.standard_normal((4, 4)))
+        e_dense = q @ e @ z
+        a_dense = q @ a @ z
+        aa, ee, qq, zz, n_finite = ordered_qz_finite_first(e_dense, a_dense)
+        assert n_finite == 2
+        # Transformation property: A = Q aa Z^T.
+        np.testing.assert_allclose(qq @ aa @ zz.T, a_dense, atol=1e-10)
+        np.testing.assert_allclose(qq @ ee @ zz.T, e_dense, atol=1e-10)
+        # Leading 2x2 of ee is nonsingular (finite part), trailing block of ee
+        # carries the infinite eigenvalues (nilpotent after scaling).
+        assert np.linalg.matrix_rank(ee[:2, :2]) == 2
+        leading_eigs = np.linalg.eigvals(np.linalg.solve(ee[:2, :2], aa[:2, :2]))
+        np.testing.assert_allclose(np.sort(leading_eigs.real), [-2.0, -1.0], atol=1e-8)
+
+    def test_empty_input(self):
+        aa, ee, q, z, n_finite = ordered_qz_finite_first(np.zeros((0, 0)), np.zeros((0, 0)))
+        assert n_finite == 0
+        assert aa.shape == (0, 0)

@@ -1,0 +1,134 @@
+"""Tests for Riccati solvers and invariant-subspace routines."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ReductionError, StructureError
+from repro.linalg.hamiltonian import random_hamiltonian
+from repro.linalg.invariant_subspace import (
+    hamiltonian_stable_invariant_subspace,
+    imaginary_axis_eigenvalues,
+    stable_invariant_subspace,
+)
+from repro.linalg.riccati import (
+    positive_real_hamiltonian,
+    solve_care,
+    solve_positive_real_are,
+)
+
+
+class TestStableInvariantSubspace:
+    def test_diagonal_matrix(self):
+        a = np.diag([-1.0, 2.0, -3.0, 4.0])
+        basis, eigs = stable_invariant_subspace(a)
+        assert basis.shape == (4, 2)
+        assert set(np.round(eigs.real)) == {-1.0, -3.0}
+        # Invariance: A V = V (V^T A V).
+        np.testing.assert_allclose(a @ basis, basis @ (basis.T @ a @ basis), atol=1e-10)
+
+    def test_empty_matrix(self):
+        basis, eigs = stable_invariant_subspace(np.zeros((0, 0)))
+        assert basis.shape == (0, 0)
+        assert eigs.size == 0
+
+    def test_imaginary_axis_eigenvalues_detected(self):
+        a = np.array([[0.0, 2.0], [-2.0, 0.0]])
+        eigs = imaginary_axis_eigenvalues(a)
+        assert eigs.size == 2
+        np.testing.assert_allclose(np.sort(np.abs(eigs.imag)), [2.0, 2.0])
+
+    def test_no_imaginary_eigenvalues_for_damped_matrix(self):
+        a = np.array([[-0.5, 2.0], [-2.0, -0.5]])
+        assert imaginary_axis_eigenvalues(a).size == 0
+
+
+class TestHamiltonianSplitting:
+    def test_splitting_of_riccati_hamiltonian(self, rng):
+        n = 4
+        a = rng.standard_normal((n, n)) - 3 * np.eye(n)
+        g = rng.standard_normal((n, n))
+        g = g @ g.T
+        q = rng.standard_normal((n, n))
+        q = q @ q.T
+        h = np.block([[a, -g], [-q, -a.T]])
+        splitting = hamiltonian_stable_invariant_subspace(h, check_structure=True)
+        assert splitting.x1.shape == (n, n)
+        assert np.all(splitting.stable_eigenvalues.real < 0)
+        basis = splitting.basis
+        np.testing.assert_allclose(
+            h @ basis, basis @ splitting.stable_block, atol=1e-8
+        )
+        # Isotropy of the stable subspace: X1^T X2 symmetric.
+        sym = splitting.x1.T @ splitting.x2
+        np.testing.assert_allclose(sym, sym.T, atol=1e-8)
+
+    def test_imaginary_axis_spectrum_rejected(self):
+        # J itself is Hamiltonian with purely imaginary eigenvalues.
+        h = np.array([[0.0, 1.0], [-1.0, 0.0]])
+        with pytest.raises(ReductionError):
+            hamiltonian_stable_invariant_subspace(h)
+
+    def test_structure_check(self, rng):
+        with pytest.raises(StructureError):
+            hamiltonian_stable_invariant_subspace(np.diag([-1.0, -2.0, 1.0, 2.0]) + rng.standard_normal((4, 4)) * 0.0 + np.triu(np.ones((4, 4)), 1))
+
+
+class TestCare:
+    def test_solution_satisfies_equation(self, rng):
+        n, m = 5, 2
+        a = rng.standard_normal((n, n))
+        b = rng.standard_normal((n, m))
+        q = rng.standard_normal((n, n))
+        q = q @ q.T + np.eye(n)
+        r = np.eye(m)
+        sol = solve_care(a, b, q, r)
+        assert sol.residual < 1e-8
+        assert np.all(sol.closed_loop_eigenvalues.real < 0)
+        assert np.min(np.linalg.eigvalsh(sol.x)) > -1e-8
+
+    def test_scalar_care_analytic(self):
+        # a x + x a - x^2 + q = 0 with a=-1, b=1, r=1, q=3: x^2 +2x -3 =0 -> x=1.
+        sol = solve_care(np.array([[-1.0]]), np.array([[1.0]]), np.array([[3.0]]), np.eye(1))
+        np.testing.assert_allclose(sol.x, [[1.0]], atol=1e-10)
+
+    def test_indefinite_r_rejected(self, rng):
+        with pytest.raises(StructureError):
+            solve_care(np.eye(2), np.eye(2), np.eye(2), -np.eye(2))
+
+
+class TestPositiveRealAre:
+    def test_passive_symmetric_system_has_psd_solution(self, rng):
+        n, m = 5, 2
+        a = -np.diag(1.0 + rng.random(n))
+        b = rng.standard_normal((n, m))
+        c = b.T
+        d = np.eye(m)
+        sol = solve_positive_real_are(a, b, c, d)
+        assert sol.residual < 1e-7
+        assert np.min(np.linalg.eigvalsh(sol.x)) > -1e-8
+
+    def test_non_positive_real_system_has_no_stabilizing_solution(self):
+        # G(s) = 1 - 3/(s+2): G(0) = -0.5 < 0, not positive real.
+        a = np.array([[-2.0]])
+        b = np.array([[1.0]])
+        c = np.array([[-3.0]])
+        d = np.array([[1.0]])
+        with pytest.raises(ReductionError):
+            solve_positive_real_are(a, b, c, d)
+
+    def test_positive_real_hamiltonian_structure(self, rng):
+        n, m = 4, 2
+        a = -np.eye(n) + 0.1 * rng.standard_normal((n, n))
+        b = rng.standard_normal((n, m))
+        c = b.T
+        d = np.eye(m)
+        h = positive_real_hamiltonian(a, b, c, d)
+        from repro.linalg.hamiltonian import is_hamiltonian
+
+        assert is_hamiltonian(h)
+
+    def test_singular_r_rejected(self):
+        with pytest.raises(StructureError):
+            positive_real_hamiltonian(
+                -np.eye(2), np.ones((2, 1)), np.ones((1, 2)), np.zeros((1, 1))
+            )

@@ -1,0 +1,119 @@
+"""Tests for the PVL reduction and the SHH-pencil-to-Hamiltonian conversion."""
+
+import numpy as np
+import pytest
+import scipy.linalg
+
+from repro.exceptions import ReductionError, StructureError
+from repro.linalg.hamiltonian import (
+    is_hamiltonian,
+    random_hamiltonian,
+    random_skew_hamiltonian,
+)
+from repro.linalg.skew_hamiltonian_schur import (
+    pvl_decomposition,
+    shh_pencil_to_hamiltonian,
+)
+from repro.linalg.symplectic import is_orthogonal_symplectic
+
+
+class TestPvlDecomposition:
+    @pytest.mark.parametrize("half", [1, 2, 3, 5, 8, 12])
+    def test_reduction_properties(self, half, rng):
+        w = random_skew_hamiltonian(half, rng)
+        u, t = pvl_decomposition(w)
+        assert is_orthogonal_symplectic(u)
+        # U^T W U equals the returned form.
+        np.testing.assert_allclose(u.T @ w @ u, t, atol=1e-10 * max(1, np.abs(w).max()))
+        # Lower-left block annihilated, (2,2) block equals (1,1)^T.
+        np.testing.assert_allclose(t[half:, :half], 0.0, atol=1e-10)
+        np.testing.assert_allclose(t[half:, half:], t[:half, :half].T, atol=1e-9)
+
+    def test_upper_left_block_is_hessenberg(self, rng):
+        half = 6
+        w = random_skew_hamiltonian(half, rng)
+        _, t = pvl_decomposition(w)
+        below = np.tril(t[:half, :half], k=-2)
+        np.testing.assert_allclose(below, 0.0, atol=1e-10)
+
+    def test_spectrum_preserved(self, rng):
+        w = random_skew_hamiltonian(4, rng)
+        _, t = pvl_decomposition(w)
+        np.testing.assert_allclose(
+            np.sort(np.linalg.eigvals(w).real),
+            np.sort(np.linalg.eigvals(t).real),
+            atol=1e-8,
+        )
+
+    def test_rejects_unstructured_matrix(self, rng):
+        with pytest.raises(StructureError):
+            pvl_decomposition(rng.standard_normal((6, 6)))
+
+    def test_already_triangular_input(self):
+        w = np.block([[np.triu(np.ones((3, 3))), np.zeros((3, 3))],
+                      [np.zeros((3, 3)), np.triu(np.ones((3, 3))).T]])
+        u, t = pvl_decomposition(w)
+        assert is_orthogonal_symplectic(u)
+        np.testing.assert_allclose(t[3:, :3], 0.0, atol=1e-12)
+
+
+class TestShhPencilToHamiltonian:
+    @pytest.mark.parametrize("half", [1, 2, 4, 6])
+    def test_conversion_properties(self, half, rng):
+        w = random_skew_hamiltonian(half, rng) + 3.0 * np.eye(2 * half)
+        h = random_hamiltonian(half, rng)
+        result = shh_pencil_to_hamiltonian(w, h)
+        np.testing.assert_allclose(
+            result.left @ w @ result.right, np.eye(2 * half), atol=1e-8
+        )
+        assert is_hamiltonian(result.hamiltonian)
+        assert result.residual < 1e-10
+
+    def test_pencil_eigenvalues_preserved(self, rng):
+        half = 4
+        w = random_skew_hamiltonian(half, rng) + 4.0 * np.eye(2 * half)
+        h = random_hamiltonian(half, rng)
+        result = shh_pencil_to_hamiltonian(w, h)
+        pencil_eigs = scipy.linalg.eig(h, w, right=False)
+        standard_eigs = np.linalg.eigvals(result.hamiltonian)
+        np.testing.assert_allclose(
+            np.sort(pencil_eigs.real), np.sort(standard_eigs.real), atol=1e-7
+        )
+        np.testing.assert_allclose(
+            np.sort(pencil_eigs.imag), np.sort(standard_eigs.imag), atol=1e-7
+        )
+
+    def test_transfer_function_preserved(self, rng):
+        """The conversion is a strong equivalence: C (sW - H)^{-1} B is preserved."""
+        half = 3
+        w = random_skew_hamiltonian(half, rng) + 3.0 * np.eye(2 * half)
+        h = random_hamiltonian(half, rng)
+        b = rng.standard_normal((2 * half, 2))
+        c = rng.standard_normal((2, 2 * half))
+        result = shh_pencil_to_hamiltonian(w, h)
+        s0 = 0.9 + 1.1j
+        original = c @ np.linalg.solve(s0 * w - h, b.astype(complex))
+        b_new = result.left @ b
+        c_new = c @ result.right
+        converted = c_new @ np.linalg.solve(
+            s0 * np.eye(2 * half) - result.hamiltonian, b_new.astype(complex)
+        )
+        np.testing.assert_allclose(converted, original, atol=1e-8)
+
+    def test_singular_w_rejected(self, rng):
+        half = 3
+        w = random_skew_hamiltonian(half, rng)
+        # Make W singular by zeroing a row/column pair symmetrically.
+        w[:, 0] = 0.0
+        w[0, :] = 0.0
+        w[half, :] = 0.0
+        w[:, half] = 0.0
+        h = random_hamiltonian(half, rng)
+        with pytest.raises(ReductionError):
+            shh_pencil_to_hamiltonian(w, h, check_structure=False)
+
+    def test_structure_check_rejects_bad_pencil(self, rng):
+        with pytest.raises(StructureError):
+            shh_pencil_to_hamiltonian(
+                rng.standard_normal((6, 6)), random_hamiltonian(3, rng)
+            )

@@ -1,0 +1,135 @@
+"""Tests for repro.linalg.subspaces."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionError
+from repro.linalg.subspaces import (
+    column_space,
+    contains_subspace,
+    left_null_space,
+    null_space,
+    numerical_rank,
+    orth_complement,
+    orth_complement_within,
+    principal_angles,
+    project_onto,
+    subspace_intersection,
+    subspace_sum,
+    subspaces_equal,
+)
+
+
+def _is_orthonormal(basis):
+    if basis.shape[1] == 0:
+        return True
+    return np.allclose(basis.T @ basis, np.eye(basis.shape[1]), atol=1e-12)
+
+
+class TestRankAndBases:
+    def test_numerical_rank_of_low_rank_product(self, rng):
+        a = rng.standard_normal((8, 3))
+        b = rng.standard_normal((3, 8))
+        assert numerical_rank(a @ b) == 3
+
+    def test_numerical_rank_with_reference_scale_ignores_noise(self, rng):
+        noise = 1e-14 * rng.standard_normal((5, 5))
+        assert numerical_rank(noise, reference_scale=1.0) == 0
+        # Without a reference the noise looks full rank (documented behaviour).
+        assert numerical_rank(noise) == 5
+
+    def test_column_space_is_orthonormal_and_spans(self, rng):
+        a = rng.standard_normal((6, 2))
+        basis = column_space(np.hstack([a, a @ np.array([[1.0], [2.0]])]))
+        assert basis.shape == (6, 2)
+        assert _is_orthonormal(basis)
+
+    def test_null_space_annihilates(self, rng):
+        a = rng.standard_normal((3, 6))
+        kernel = null_space(a)
+        assert kernel.shape == (6, 3)
+        assert np.allclose(a @ kernel, 0.0, atol=1e-12)
+
+    def test_left_null_space_annihilates_from_left(self, rng):
+        a = rng.standard_normal((6, 3))
+        left = left_null_space(a)
+        assert left.shape == (6, 3)
+        assert np.allclose(left.T @ a, 0.0, atol=1e-12)
+
+    def test_null_space_of_full_rank_matrix_is_empty(self, rng):
+        a = rng.standard_normal((4, 4)) + 4 * np.eye(4)
+        assert null_space(a).shape == (4, 0)
+
+    def test_zero_matrix_kernel_is_everything(self):
+        assert null_space(np.zeros((3, 5))).shape == (5, 5)
+
+
+class TestSetOperations:
+    def test_sum_of_orthogonal_lines_is_plane(self):
+        e1 = np.array([[1.0], [0.0], [0.0]])
+        e2 = np.array([[0.0], [1.0], [0.0]])
+        total = subspace_sum(e1, e2)
+        assert total.shape[1] == 2
+
+    def test_sum_with_dependent_vectors_does_not_overcount(self):
+        e1 = np.array([[1.0], [0.0]])
+        assert subspace_sum(e1, 2 * e1).shape[1] == 1
+
+    def test_intersection_of_planes_in_r3_is_line(self):
+        plane_a = np.array([[1.0, 0.0], [0.0, 1.0], [0.0, 0.0]])
+        plane_b = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+        meet = subspace_intersection(plane_a, plane_b)
+        assert meet.shape[1] == 1
+        # The intersection is the y-axis.
+        assert abs(abs(meet[1, 0]) - 1.0) < 1e-10
+
+    def test_intersection_with_trivial_subspace_is_trivial(self):
+        plane = np.array([[1.0, 0.0], [0.0, 1.0], [0.0, 0.0]])
+        assert subspace_intersection(plane, np.zeros((3, 0))).shape[1] == 0
+
+    def test_intersection_requires_same_ambient_dimension(self):
+        with pytest.raises(DimensionError):
+            subspace_intersection(np.eye(3), np.eye(4))
+
+    def test_orth_complement_dimensions(self, rng):
+        basis = column_space(rng.standard_normal((7, 3)))
+        comp = orth_complement(basis)
+        assert comp.shape == (7, 4)
+        assert np.allclose(comp.T @ basis, 0.0, atol=1e-12)
+
+    def test_orth_complement_of_empty_basis_is_identity(self):
+        comp = orth_complement(np.zeros((4, 0)), ambient_dim=4)
+        assert comp.shape == (4, 4)
+
+    def test_orth_complement_within(self):
+        full = np.eye(3)[:, :2]  # span{e1, e2}
+        sub = np.array([[1.0], [0.0], [0.0]])
+        rest = orth_complement_within(sub, full)
+        assert rest.shape[1] == 1
+        assert abs(abs(rest[1, 0]) - 1.0) < 1e-10
+
+    def test_projection_is_idempotent(self, rng):
+        basis = column_space(rng.standard_normal((6, 2)))
+        vectors = rng.standard_normal((6, 3))
+        proj = project_onto(basis, vectors)
+        np.testing.assert_allclose(project_onto(basis, proj), proj, atol=1e-12)
+
+
+class TestComparisons:
+    def test_contains_and_equality(self, rng):
+        basis = column_space(rng.standard_normal((5, 3)))
+        sub = basis[:, :2]
+        assert contains_subspace(basis, sub)
+        assert not contains_subspace(sub, basis)
+        rotated = basis @ np.linalg.qr(rng.standard_normal((3, 3)))[0]
+        assert subspaces_equal(basis, rotated)
+
+    def test_principal_angles_orthogonal_subspaces(self):
+        a = np.array([[1.0], [0.0], [0.0]])
+        b = np.array([[0.0], [1.0], [0.0]])
+        angles = principal_angles(a, b)
+        np.testing.assert_allclose(angles, [np.pi / 2], atol=1e-12)
+
+    def test_principal_angles_identical_subspaces(self, rng):
+        basis = column_space(rng.standard_normal((5, 2)))
+        np.testing.assert_allclose(principal_angles(basis, basis), 0.0, atol=1e-7)

@@ -1,0 +1,138 @@
+"""Tests for the baseline passivity tests: LMI, Weierstrass, GARE, sampling."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    feedthrough_perturbation,
+    impulsive_rlc_ladder,
+    random_passive_descriptor,
+    rc_line,
+    rlc_ladder,
+)
+from repro.descriptor import DescriptorSystem
+from repro.passivity import (
+    gare_passivity_test,
+    lmi_passivity_test,
+    sampling_passivity_check,
+    weierstrass_passivity_test,
+)
+
+
+class TestLmiTest:
+    def test_passive_system_with_definite_feedthrough(self):
+        system = random_passive_descriptor(8, n_ports=2, seed=7, feedthrough_scale=1.0)
+        report = lmi_passivity_test(system)
+        assert report.is_passive
+        assert report.diagnostics["phase_one_t"] < 1e-6
+
+    def test_nonpassive_system_rejected(self):
+        system = random_passive_descriptor(8, n_ports=2, seed=7, feedthrough_scale=1.0)
+        bad = feedthrough_perturbation(system, 10.0)
+        report = lmi_passivity_test(bad)
+        assert not report.is_passive
+        assert report.diagnostics["phase_one_t"] > 1e-3
+
+    def test_mna_model_with_zero_feedthrough(self):
+        # D = 0 makes the LMI only non-strictly feasible; the phase-I optimum
+        # approaches 0 from above and the verdict is still "passive".
+        report = lmi_passivity_test(rlc_ladder(3).system)
+        assert report.is_passive
+
+    def test_order_limit_skips(self):
+        system = rlc_ladder(10).system
+        report = lmi_passivity_test(system, order_limit=10)
+        assert not report.is_passive
+        assert "order" in report.failure_reason
+        assert report.elapsed_seconds < 0.5
+
+    def test_small_nonpassive_proper_system(self, nonpassive_proper_system):
+        report = lmi_passivity_test(nonpassive_proper_system)
+        assert not report.is_passive
+
+    def test_report_counts_newton_steps(self):
+        system = random_passive_descriptor(6, seed=1, feedthrough_scale=1.0)
+        report = lmi_passivity_test(system)
+        assert report.diagnostics["newton_steps"] >= 1
+
+
+class TestWeierstrassTest:
+    def test_passive_circuit_models(self):
+        for system in (rc_line(5).system, rlc_ladder(4).system,
+                       impulsive_rlc_ladder(4, 1).system):
+            report = weierstrass_passivity_test(system)
+            assert report.is_passive, report.failure_reason
+            assert report.diagnostics["transformation_conditioning"] >= 1.0
+
+    def test_m1_reported(self, small_impulsive_ladder):
+        report = weierstrass_passivity_test(small_impulsive_ladder)
+        np.testing.assert_allclose(report.diagnostics["m1"], [[0.5]], atol=1e-6)
+
+    def test_negative_m1_rejected(self):
+        e = np.array([[0.0, 1.0], [0.0, 0.0]])
+        sys = DescriptorSystem(e, np.eye(2), np.array([[0.0], [2.0]]), np.array([[1.0, 0.0]]))
+        report = weierstrass_passivity_test(sys)
+        assert not report.is_passive
+
+    def test_higher_order_markov_rejected(self, s_squared_system):
+        report = weierstrass_passivity_test(s_squared_system)
+        assert not report.is_passive
+        assert "order >= 2" in report.failure_reason
+
+    def test_nonpassive_proper_part_rejected(self, nonpassive_proper_system):
+        report = weierstrass_passivity_test(nonpassive_proper_system)
+        assert not report.is_passive
+
+    def test_unstable_system_rejected(self):
+        sys = DescriptorSystem(np.eye(1), np.array([[0.5]]), np.ones((1, 1)), np.ones((1, 1)))
+        report = weierstrass_passivity_test(sys)
+        assert not report.is_passive
+
+    def test_agreement_with_shh_on_circuits(self):
+        from repro.passivity import shh_passivity_test
+
+        for n_sections in (3, 5):
+            system = impulsive_rlc_ladder(n_sections, 1).system
+            assert (
+                weierstrass_passivity_test(system).is_passive
+                == shh_passivity_test(system).is_passive
+            )
+
+
+class TestGareTest:
+    def test_admissible_passive_system(self):
+        report = gare_passivity_test(rc_line(5).system)
+        assert report.is_passive
+        assert report.diagnostics["riccati_residual"] < 1e-6
+
+    def test_impulsive_system_refused(self, small_impulsive_ladder):
+        report = gare_passivity_test(small_impulsive_ladder)
+        assert not report.is_passive
+        assert "admissible" in report.failure_reason
+
+    def test_nonpassive_admissible_system(self, nonpassive_proper_system):
+        report = gare_passivity_test(nonpassive_proper_system)
+        assert not report.is_passive
+
+    def test_regular_passive_state_space(self):
+        sys = DescriptorSystem(
+            np.eye(2), -np.eye(2), np.ones((2, 1)), np.ones((1, 2)), np.array([[1.0]])
+        )
+        assert gare_passivity_test(sys).is_passive
+
+
+class TestSamplingCheck:
+    def test_passive_model_passes(self, small_impulsive_ladder):
+        report = sampling_passivity_check(small_impulsive_ladder)
+        assert report.is_passive
+        assert report.diagnostics["summary"].min_eigenvalue >= -1e-8
+
+    def test_nonpassive_model_fails_with_frequency(self, small_impulsive_ladder):
+        bad = feedthrough_perturbation(small_impulsive_ladder, 1.0)
+        report = sampling_passivity_check(bad)
+        assert not report.is_passive
+        assert report.diagnostics["summary"].min_eigenvalue < 0
+
+    def test_grid_size_respected(self, index1_passive_system):
+        report = sampling_passivity_check(index1_passive_system, n_samples=50)
+        assert report.diagnostics["summary"].n_samples <= 51

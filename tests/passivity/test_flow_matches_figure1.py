@@ -1,0 +1,56 @@
+"""The step trail of the SHH test mirrors the boxes of the paper's Figure 1."""
+
+import pytest
+
+from repro.circuits import impulsive_rlc_ladder, rlc_ladder
+from repro.passivity import shh_passivity_test
+
+#: The Figure-1 boxes in execution order, mapped to the step names produced by
+#: :class:`repro.passivity.shh_test.ShhPassivityTest`.
+FIGURE1_SEQUENCE = [
+    "validate",                     # "Start with minimal descriptor system"
+    "stability",                    # standing assumption check
+    "build_phi",                    # "Form a new descriptor system Phi = G + G~"
+    "remove_impulsive_modes",       # "Remove impulse uncontrollable and unobservable modes"
+    "impulse_free_check",           # "Check if Phi(s) impulse-free"
+    "remove_nondynamic_modes",      # "Remove nondynamic modes in Phi(s)"
+    "markov_structure",             # "Check if #removed ... equals ..."
+    "m1_check",                     # "Extract M1 / Is M1 positive semidefinite"
+    "restore_shh",                  # transform into a regular, proper system
+    "extract_proper_part",          # "Extract stable and proper part"
+    "proper_part_positive_real",    # "Is this proper part passive?"
+]
+
+
+class TestFlowOrder:
+    def test_full_flow_for_passive_impulsive_model(self):
+        report = shh_passivity_test(impulsive_rlc_ladder(4, 1).system)
+        assert report.is_passive
+        assert report.step_names == FIGURE1_SEQUENCE
+
+    def test_full_flow_for_impulse_free_model(self):
+        report = shh_passivity_test(rlc_ladder(4).system)
+        assert report.is_passive
+        assert report.step_names == FIGURE1_SEQUENCE
+
+    def test_flow_stops_at_first_failed_box(self, s_squared_system):
+        report = shh_passivity_test(s_squared_system)
+        assert not report.is_passive
+        # The trail is a prefix of the full sequence: no step after the failure.
+        names = report.step_names
+        assert names == FIGURE1_SEQUENCE[: len(names)]
+        assert report.steps[-1].passed is False
+
+    def test_every_decision_box_reports_a_verdict(self):
+        report = shh_passivity_test(impulsive_rlc_ladder(3, 1).system)
+        decisions = {
+            "validate",
+            "stability",
+            "impulse_free_check",
+            "markov_structure",
+            "m1_check",
+            "proper_part_positive_real",
+        }
+        for step in report.steps:
+            if step.name in decisions:
+                assert step.passed is not None

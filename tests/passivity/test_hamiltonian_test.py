@@ -1,0 +1,75 @@
+"""Tests for the Hamiltonian-eigenvalue positive-realness test of proper systems."""
+
+import numpy as np
+import pytest
+
+from repro.descriptor import StateSpace
+from repro.exceptions import NotStableError
+from repro.passivity import proper_positive_real_test
+
+
+def _rc_like_state_space(n=4, seed=1):
+    rng = np.random.default_rng(seed)
+    b = rng.standard_normal((n, 2))
+    a = -np.diag(1.0 + rng.random(n))
+    return StateSpace(a, b, b.T, 0.5 * np.eye(2))
+
+
+class TestPositiveRealVerdicts:
+    def test_symmetric_relaxation_system_is_positive_real(self):
+        result = proper_positive_real_test(_rc_like_state_space())
+        assert result.is_positive_real
+        assert result.imaginary_eigenvalues.size == 0
+
+    def test_shifted_down_system_is_not_positive_real(self):
+        ss = _rc_like_state_space()
+        shifted = StateSpace(ss.a, ss.b, ss.c, ss.d - 3.0 * np.eye(2))
+        result = proper_positive_real_test(shifted)
+        assert not result.is_positive_real
+
+    def test_indefinite_feedthrough_short_circuits(self):
+        ss = StateSpace(-np.eye(1), np.ones((1, 1)), np.ones((1, 1)), np.array([[-1.0]]))
+        result = proper_positive_real_test(ss)
+        assert not result.is_positive_real
+        assert result.feedthrough_indefinite
+
+    def test_scalar_example_with_known_crossing(self):
+        # G(s) = 1 - 3/(s+2): real part changes sign at w^2 = ... -> not PR.
+        ss = StateSpace(np.array([[-2.0]]), np.array([[1.0]]), np.array([[-3.0]]), np.array([[1.0]]))
+        result = proper_positive_real_test(ss)
+        assert not result.is_positive_real
+        assert result.imaginary_eigenvalues.size >= 1 or result.boundary_check_min_eig < 0
+
+    def test_scalar_positive_real_example(self):
+        # G(s) = 1 + 1/(s+1) is positive real.
+        ss = StateSpace(np.array([[-1.0]]), np.array([[1.0]]), np.array([[1.0]]), np.array([[1.0]]))
+        assert proper_positive_real_test(ss).is_positive_real
+
+    def test_lossless_boundary_case(self):
+        # G(s) = 1/s is positive real (lossless); shifted slightly stable version:
+        ss = StateSpace(np.array([[-1e-6]]), np.array([[1.0]]), np.array([[1.0]]), np.array([[0.0]]))
+        result = proper_positive_real_test(ss)
+        assert result.is_positive_real
+        assert result.regularization > 0  # singular D + D^T triggered regularization
+
+
+class TestGuards:
+    def test_unstable_system_rejected(self):
+        ss = StateSpace(np.array([[1.0]]), np.ones((1, 1)), np.ones((1, 1)), np.eye(1))
+        with pytest.raises(NotStableError):
+            proper_positive_real_test(ss)
+
+    def test_unstable_allowed_when_not_required(self):
+        ss = StateSpace(np.array([[1.0]]), np.ones((1, 1)), np.ones((1, 1)), 5 * np.eye(1))
+        result = proper_positive_real_test(ss, require_stable=False)
+        assert result is not None
+
+    def test_order_zero_system(self):
+        ss = StateSpace(np.zeros((0, 0)), np.zeros((0, 2)), np.zeros((2, 0)), np.eye(2))
+        assert proper_positive_real_test(ss).is_positive_real
+        ss_bad = StateSpace(np.zeros((0, 0)), np.zeros((0, 2)), np.zeros((2, 0)), -np.eye(2))
+        assert not proper_positive_real_test(ss_bad).is_positive_real
+
+    def test_boundary_anchor_reported(self):
+        result = proper_positive_real_test(_rc_like_state_space())
+        assert result.boundary_check_min_eig > 0

@@ -1,0 +1,91 @@
+"""Tests for the generalized-eigenvector-chain machinery of Section 3.4."""
+
+import numpy as np
+import pytest
+
+from repro.descriptor import DescriptorSystem, first_markov_parameter
+from repro.passivity import extract_m1_via_chains, impulsive_chain_data
+
+
+class TestChainData:
+    def test_impulse_free_system_has_no_chains(self, index1_passive_system, small_rc_line):
+        assert impulsive_chain_data(index1_passive_system).n_chains == 0
+        assert impulsive_chain_data(small_rc_line).n_chains == 0
+
+    def test_sm1_system_has_one_chain(self, sm1_system):
+        data = impulsive_chain_data(sm1_system)
+        assert data.n_chains == 1
+        assert not data.has_higher_grade
+        # Chain property: E v2 = A v1.
+        np.testing.assert_allclose(
+            sm1_system.e @ data.v2_right, sm1_system.a @ data.v1_right, atol=1e-10
+        )
+
+    def test_mixed_system_chain(self, mixed_passive_system):
+        data = impulsive_chain_data(mixed_passive_system)
+        assert data.n_chains == 1
+        assert not data.has_higher_grade
+
+    def test_s_squared_system_has_higher_grade(self, s_squared_system):
+        data = impulsive_chain_data(s_squared_system)
+        assert data.has_higher_grade
+
+    def test_circuit_models(self, small_impulsive_ladder, small_rlc_ladder):
+        impulsive = impulsive_chain_data(small_impulsive_ladder)
+        assert impulsive.n_chains >= 1
+        assert not impulsive.has_higher_grade
+        assert impulsive_chain_data(small_rlc_ladder).n_chains == 0
+
+    def test_left_chains_match_transposed_system(self, sm1_system):
+        data = impulsive_chain_data(sm1_system)
+        data_t = impulsive_chain_data(sm1_system.transpose())
+        assert data.v1_left.shape[1] == data_t.v1_right.shape[1]
+
+
+class TestM1Extraction:
+    def test_sm1_value(self, sm1_system):
+        m1 = extract_m1_via_chains(sm1_system)
+        np.testing.assert_allclose(m1, [[2.0]], atol=1e-10)
+
+    def test_matches_spectral_separation(self, mixed_passive_system, small_impulsive_ladder):
+        for system in (mixed_passive_system, small_impulsive_ladder):
+            via_chains = extract_m1_via_chains(system)
+            via_separation = first_markov_parameter(system)
+            np.testing.assert_allclose(via_chains, via_separation, atol=1e-8)
+
+    def test_impulse_free_system_gives_zero(self, index1_passive_system):
+        np.testing.assert_allclose(
+            extract_m1_via_chains(index1_passive_system), [[0.0]], atol=1e-12
+        )
+
+    def test_reuses_precomputed_chain_data(self, sm1_system):
+        data = impulsive_chain_data(sm1_system)
+        m1 = extract_m1_via_chains(sm1_system, chain_data=data)
+        np.testing.assert_allclose(m1, [[2.0]], atol=1e-10)
+
+    def test_negative_m1_detected(self):
+        # G(s) = -s: M1 = -1.
+        e = np.array([[0.0, 1.0], [0.0, 0.0]])
+        a = np.eye(2)
+        b = np.array([[0.0], [1.0]])
+        c = np.array([[1.0, 0.0]])
+        sys = DescriptorSystem(e, a, b, c)
+        m1 = extract_m1_via_chains(sys)
+        np.testing.assert_allclose(m1, [[-1.0]], atol=1e-10)
+
+    def test_multiport_m1_symmetry_for_symmetric_network(self, rng):
+        # Two ports sharing a series inductor through a symmetric network give
+        # a symmetric M1.
+        from repro.circuits import Netlist, assemble_mna
+
+        netlist = Netlist()
+        netlist.add_port("p1", "a")
+        netlist.add_port("p2", "b")
+        netlist.add_inductor("l1", "a", "c", 1.0)
+        netlist.add_inductor("l2", "b", "c", 1.0)
+        netlist.add_resistor("r1", "c", "0", 1.0)
+        netlist.add_capacitor("c1", "c", "0", 1.0)
+        system = assemble_mna(netlist).system
+        m1 = extract_m1_via_chains(system)
+        np.testing.assert_allclose(m1, m1.T, atol=1e-9)
+        assert np.min(np.linalg.eigvalsh(0.5 * (m1 + m1.T))) >= -1e-10

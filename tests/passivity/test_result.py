@@ -1,0 +1,43 @@
+"""Tests for the PassivityReport / TestStep containers."""
+
+from repro.passivity import PassivityReport
+from repro.passivity.result import TestStep
+
+
+class TestReportApi:
+    def test_add_step_appends_and_returns(self):
+        report = PassivityReport(is_passive=False, method="shh")
+        step = report.add_step("check", "a decision step", passed=True, value=3)
+        assert isinstance(step, TestStep)
+        assert report.steps[-1] is step
+        assert step.details["value"] == 3
+
+    def test_step_names_property(self):
+        report = PassivityReport(is_passive=True, method="lmi")
+        report.add_step("first", "one")
+        report.add_step("second", "two", passed=False)
+        assert report.step_names == ["first", "second"]
+
+    def test_summary_mentions_failures(self):
+        report = PassivityReport(
+            is_passive=False, method="shh", failure_reason="because"
+        )
+        report.add_step("bad_step", "went wrong", passed=False)
+        text = report.summary()
+        assert "because" in text
+        assert "FAIL" in text
+        assert "bad_step" in text
+
+    def test_summary_for_passing_run(self):
+        report = PassivityReport(is_passive=True, method="weierstrass")
+        report.add_step("computational", "no verdict attached")
+        text = report.summary()
+        assert "True" in text
+        assert "weierstrass" in text
+
+    def test_default_fields(self):
+        report = PassivityReport(is_passive=True, method="gare")
+        assert report.steps == []
+        assert report.diagnostics == {}
+        assert report.elapsed_seconds == 0.0
+        assert report.failure_reason is None

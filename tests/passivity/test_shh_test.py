@@ -1,0 +1,165 @@
+"""End-to-end tests of the proposed SHH passivity test (Figure 1 flow)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    feedthrough_perturbation,
+    impulsive_rlc_ladder,
+    negative_resistor_perturbation,
+    random_passive_descriptor,
+    rc_line,
+    rlc_ladder,
+)
+from repro.descriptor import DescriptorSystem
+from repro.passivity import ShhPassivityTest, extract_proper_part, shh_passivity_test
+
+
+class TestPassiveVerdicts:
+    def test_purely_impulsive_passive_system(self, sm1_system):
+        report = shh_passivity_test(sm1_system)
+        assert report.is_passive
+        np.testing.assert_allclose(report.diagnostics["m1"], [[2.0]], atol=1e-10)
+
+    def test_mixed_passive_system(self, mixed_passive_system):
+        report = shh_passivity_test(mixed_passive_system)
+        assert report.is_passive
+        assert report.failure_reason is None
+
+    def test_index1_passive_system(self, index1_passive_system):
+        assert shh_passivity_test(index1_passive_system).is_passive
+
+    def test_rc_line_and_ladders(self):
+        for system in (rc_line(6).system, rlc_ladder(5).system,
+                       impulsive_rlc_ladder(5, 2).system):
+            report = shh_passivity_test(system)
+            assert report.is_passive, report.failure_reason
+
+    def test_random_passive_descriptors(self):
+        for seed in range(4):
+            system = random_passive_descriptor(10, n_ports=2, seed=seed)
+            report = shh_passivity_test(system)
+            assert report.is_passive, (seed, report.failure_reason)
+
+    def test_two_port_ladder(self):
+        system = rlc_ladder(4, n_ports=2).system
+        report = shh_passivity_test(system)
+        assert report.is_passive, report.failure_reason
+
+
+class TestNonPassiveVerdicts:
+    def test_negative_m1(self):
+        e = np.array([[0.0, 1.0], [0.0, 0.0]])
+        sys = DescriptorSystem(e, np.eye(2), np.array([[0.0], [2.0]]), np.array([[1.0, 0.0]]))
+        report = shh_passivity_test(sys)
+        assert not report.is_passive
+        assert "M1" in report.failure_reason or "residue" in report.failure_reason
+
+    def test_skew_m1_not_passive(self):
+        e_block = np.array([[0.0, 1.0], [0.0, 0.0]])
+        e = np.kron(np.eye(2), e_block)
+        b = np.zeros((4, 2))
+        b[1, 1] = -1.0
+        b[3, 0] = 1.0
+        c = np.zeros((2, 4))
+        c[0, 0] = 1.0
+        c[1, 2] = 1.0
+        sys = DescriptorSystem(e, np.eye(4), b, c)
+        report = shh_passivity_test(sys)
+        assert not report.is_passive
+
+    def test_s_squared_not_passive(self, s_squared_system):
+        report = shh_passivity_test(s_squared_system)
+        assert not report.is_passive
+
+    def test_non_positive_real_proper_part(self, nonpassive_proper_system):
+        report = shh_passivity_test(nonpassive_proper_system)
+        assert not report.is_passive
+        assert report.steps[-1].name == "proper_part_positive_real"
+
+    def test_unstable_system_rejected_early(self):
+        sys = DescriptorSystem(np.eye(1), np.array([[1.0]]), np.ones((1, 1)), np.ones((1, 1)))
+        report = shh_passivity_test(sys)
+        assert not report.is_passive
+        assert "left half plane" in report.failure_reason
+
+    def test_feedthrough_perturbation_detected(self):
+        model = impulsive_rlc_ladder(4, 1)
+        system = model.system
+        response = system.frequency_response(np.logspace(-2, 2, 100))
+        margin = min(
+            float(np.min(np.linalg.eigvalsh(0.5 * (r + r.conj().T)))) for r in response
+        )
+        bad = feedthrough_perturbation(system, 1.5 * margin)
+        report = shh_passivity_test(bad)
+        assert not report.is_passive
+
+    def test_negative_resistor_perturbation_detected(self):
+        model = rlc_ladder(4)
+        bad = negative_resistor_perturbation(model, conductance=2.0)
+        report = shh_passivity_test(bad)
+        assert not report.is_passive
+
+    def test_nonsquare_system_rejected(self, rng):
+        sys = DescriptorSystem(
+            np.eye(3), -np.eye(3), rng.standard_normal((3, 2)), rng.standard_normal((1, 3))
+        )
+        report = shh_passivity_test(sys)
+        assert not report.is_passive
+        assert "square" in report.failure_reason
+
+    def test_singular_pencil_rejected(self):
+        sys = DescriptorSystem(
+            np.diag([1.0, 0.0]), np.diag([-1.0, 0.0]), np.ones((2, 1)), np.ones((1, 2))
+        )
+        report = shh_passivity_test(sys)
+        assert not report.is_passive
+        assert "singular" in report.failure_reason
+
+
+class TestReportContents:
+    def test_elapsed_time_recorded(self, small_rlc_ladder):
+        report = shh_passivity_test(small_rlc_ladder)
+        assert report.elapsed_seconds > 0.0
+        assert report.method == "shh"
+
+    def test_diagnostics_for_impulsive_model(self, small_impulsive_ladder):
+        report = shh_passivity_test(small_impulsive_ladder)
+        assert report.diagnostics["n_impulsive_directions_removed"] > 0
+        assert report.diagnostics["n_impulsive_chains"] >= 1
+        assert "m1_eigenvalues" in report.diagnostics
+        assert report.diagnostics["proper_part_order"] > 0
+
+    def test_summary_is_printable(self, small_rlc_ladder):
+        report = shh_passivity_test(small_rlc_ladder)
+        text = report.summary()
+        assert "passive" in text
+        assert "proper_part_positive_real" in text
+
+    def test_stability_check_can_be_disabled(self):
+        sys = DescriptorSystem(np.eye(1), np.array([[1.0]]), np.ones((1, 1)), np.ones((1, 1)))
+        driver = ShhPassivityTest(check_stability=False)
+        report = driver.run(sys)
+        # Without the stability gate the flow proceeds and fails later (the
+        # Hamiltonian splitting has no even stable/anti-stable split).
+        assert not report.is_passive
+        assert "stability" not in report.step_names
+
+
+class TestProperPartSidetrack:
+    def test_extracted_proper_part_matches_analytic(self, mixed_passive_system):
+        proper = extract_proper_part(mixed_passive_system)
+        s0 = 0.5 + 0.8j
+        np.testing.assert_allclose(
+            proper.evaluate(s0), [[1.0 / (s0 + 1.0) + 1.0]], atol=1e-8
+        )
+
+    def test_extracted_proper_part_of_circuit_model(self, small_impulsive_ladder):
+        proper = extract_proper_part(small_impulsive_ladder)
+        from repro.descriptor import additive_decomposition
+
+        reference = additive_decomposition(small_impulsive_ladder).proper_part
+        for omega in (0.0, 0.7, 3.0, 20.0):
+            np.testing.assert_allclose(
+                proper.evaluate(1j * omega), reference.evaluate(1j * omega), atol=1e-6
+            )

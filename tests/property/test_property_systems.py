@@ -1,0 +1,149 @@
+"""Property-based tests for descriptor-system invariants and the passivity tests."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits import (
+    feedthrough_perturbation,
+    impulsive_rlc_ladder,
+    random_passive_descriptor,
+    rlc_ladder,
+)
+from repro.descriptor import (
+    adjoint_system,
+    build_phi_realization,
+    count_modes,
+    markov_parameters,
+    separate_finite_infinite,
+)
+from repro.passivity import remove_impulsive_modes, shh_passivity_test
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    order=st.integers(min_value=6, max_value=16),
+    rank_deficiency=st.integers(min_value=1, max_value=3),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_random_passive_descriptors_pass_the_shh_test(order, rank_deficiency, seed):
+    """Structurally passive random descriptor systems are always accepted."""
+    system = random_passive_descriptor(
+        order, n_ports=2, rank_deficiency=min(rank_deficiency, order - 2), seed=seed
+    )
+    report = shh_passivity_test(system)
+    assert report.is_passive, report.failure_reason
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    order=st.integers(min_value=6, max_value=14),
+    seed=st.integers(min_value=0, max_value=10_000),
+    shift=st.floats(min_value=1.0, max_value=10.0),
+)
+def test_sufficiently_shifted_systems_are_rejected(order, seed, shift):
+    """Shifting the feedthrough far below the passivity margin must be caught."""
+    system = random_passive_descriptor(order, n_ports=2, rank_deficiency=2, seed=seed,
+                                       feedthrough_scale=0.3)
+    # The margin is bounded by the largest eigenvalue of D + D^T plus the H-inf
+    # norm contribution; a large negative shift is certainly non-passive
+    # because G(j w) + G(j w)^* inherits the negative shift at all frequencies.
+    margin_bound = float(np.max(np.linalg.eigvalsh(system.d + system.d.T)))
+    hinf_bound = margin_bound + float(np.linalg.norm(system.b, 2) ** 2) * float(
+        np.linalg.norm(np.linalg.inv(system.a), 2)
+    )
+    bad = feedthrough_perturbation(system, hinf_bound + shift)
+    report = shh_passivity_test(bad)
+    assert not report.is_passive
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    n_sections=st.integers(min_value=1, max_value=5),
+    n_stubs=st.integers(min_value=0, max_value=2),
+    omega=st.floats(min_value=0.01, max_value=50.0),
+)
+def test_phi_is_hermitian_and_psd_for_passive_ladders(n_sections, n_stubs, omega):
+    """Phi(j w) = G(j w) + G(j w)^* is Hermitian PSD for passive RLC models."""
+    n_stubs = min(n_stubs, n_sections)
+    system = impulsive_rlc_ladder(n_sections, n_stubs).system
+    phi = build_phi_realization(system)
+    value = phi.evaluate(1j * omega)
+    np.testing.assert_allclose(value, value.conj().T, atol=1e-8)
+    assert np.min(np.linalg.eigvalsh(0.5 * (value + value.conj().T))) >= -1e-8
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    n_sections=st.integers(min_value=1, max_value=5),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_mode_counts_are_consistent(n_sections, seed):
+    """finite + nondynamic + impulsive always equals the order."""
+    rng = np.random.default_rng(seed)
+    system = rlc_ladder(
+        n_sections,
+        series_resistance=float(0.2 + rng.random()),
+        series_inductance=float(0.5 + rng.random()),
+        shunt_capacitance=float(0.5 + rng.random()),
+    ).system
+    modes = count_modes(system)
+    assert modes.n_finite + modes.n_nondynamic + modes.n_impulsive == modes.order
+    assert modes.rank_e == modes.n_finite + modes.n_impulsive
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    n_sections=st.integers(min_value=1, max_value=4),
+    n_stubs=st.integers(min_value=0, max_value=2),
+    point_real=st.floats(min_value=0.1, max_value=2.0),
+    point_imag=st.floats(min_value=-3.0, max_value=3.0),
+)
+def test_impulsive_reduction_preserves_phi_transfer(
+    n_sections, n_stubs, point_real, point_imag
+):
+    """The one-shot projection of Section 3.1 never changes Phi(s)."""
+    n_stubs = min(n_stubs, n_sections)
+    system = impulsive_rlc_ladder(n_sections, n_stubs).system
+    phi = build_phi_realization(system)
+    reduction = remove_impulsive_modes(phi)
+    s0 = complex(point_real, point_imag)
+    np.testing.assert_allclose(
+        reduction.system.evaluate(s0), phi.evaluate(s0), atol=1e-7
+    )
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    n_sections=st.integers(min_value=1, max_value=4),
+    omega=st.floats(min_value=0.0, max_value=20.0),
+)
+def test_adjoint_and_separation_are_consistent(n_sections, omega):
+    """G~(j w) equals G(j w)^* and the spectral separation re-sums to G."""
+    system = impulsive_rlc_ladder(n_sections, 1).system
+    adj = adjoint_system(system)
+    value = system.evaluate(1j * omega)
+    np.testing.assert_allclose(adj.evaluate(1j * omega), value.conj().T, atol=1e-8)
+    separation = separate_finite_infinite(system)
+    total = (
+        separation.finite_system.evaluate(1j * omega)
+        + separation.infinite_system.evaluate(1j * omega)
+        + separation.feedthrough
+    )
+    np.testing.assert_allclose(total, value, atol=1e-7)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    inductance=st.floats(min_value=0.05, max_value=5.0),
+    n_sections=st.integers(min_value=1, max_value=4),
+)
+def test_m1_equals_port_inductance(inductance, n_sections):
+    """A series port inductor of L henries always yields M1 = [[L]]."""
+    system = impulsive_rlc_ladder(
+        n_sections, 0, series_port_inductor=inductance
+    ).system
+    parameters = markov_parameters(system, 2)
+    np.testing.assert_allclose(parameters[1], [[inductance]], atol=1e-7)
+    report = shh_passivity_test(system)
+    assert report.is_passive
+    np.testing.assert_allclose(report.diagnostics["m1"], [[inductance]], atol=1e-7)

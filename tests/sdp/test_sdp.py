@@ -1,0 +1,94 @@
+"""Tests for the affine LMI blocks and the phase-I barrier solver."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConvergenceError, DimensionError
+from repro.sdp import AffineMatrixBlock, solve_phase_one, symmetric_basis_matrices
+
+
+class TestAffineMatrixBlock:
+    def test_from_matrices_and_evaluate(self):
+        constant = np.eye(2)
+        a1 = np.array([[0.0, 1.0], [1.0, 0.0]])
+        a2 = np.diag([1.0, -1.0])
+        block = AffineMatrixBlock.from_matrices(constant, [a1, a2])
+        value = block.evaluate(np.array([2.0, 3.0]), shift=0.5)
+        expected = constant + 2.0 * a1 + 3.0 * a2 + 0.5 * np.eye(2)
+        np.testing.assert_allclose(value, expected)
+
+    def test_constant_is_symmetrized(self):
+        block = AffineMatrixBlock.from_matrices(np.array([[1.0, 2.0], [0.0, 1.0]]), [])
+        np.testing.assert_allclose(block.constant, block.constant.T)
+
+    def test_shape_validation(self):
+        with pytest.raises(DimensionError):
+            AffineMatrixBlock(constant=np.ones((2, 3)), coefficients=np.zeros((6, 1)))
+        with pytest.raises(DimensionError):
+            AffineMatrixBlock(constant=np.eye(2), coefficients=np.zeros((3, 1)))
+
+    def test_symmetric_basis_count(self):
+        basis = symmetric_basis_matrices(4)
+        assert len(basis) == 10
+        for matrix in basis:
+            np.testing.assert_allclose(matrix, matrix.T)
+
+
+class TestPhaseOneSolver:
+    def test_trivially_feasible_problem(self):
+        # M(y) = I + y * E11 is PSD at y = 0 already.
+        block = AffineMatrixBlock.from_matrices(np.eye(2), [np.diag([1.0, 0.0])])
+        result = solve_phase_one([block])
+        assert result.feasible
+        assert result.optimal_t <= 1e-6
+
+    def test_strictly_feasible_problem_found_by_moving_y(self):
+        # M(y) = diag(y - 1, 1): feasible only for y >= 1.
+        block = AffineMatrixBlock.from_matrices(
+            np.diag([-1.0, 1.0]), [np.diag([1.0, 0.0])]
+        )
+        result = solve_phase_one([block])
+        assert result.feasible
+
+    def test_infeasible_problem(self):
+        # Two blocks requiring y >= 1 and -y >= 1 simultaneously: infeasible,
+        # the best achievable t is 1 (at y = 0).
+        block_up = AffineMatrixBlock.from_matrices(np.array([[-1.0]]), [np.array([[1.0]])])
+        block_down = AffineMatrixBlock.from_matrices(np.array([[-1.0]]), [np.array([[-1.0]])])
+        result = solve_phase_one([block_up, block_down])
+        assert not result.feasible
+        assert result.optimal_t > 0.5
+
+    def test_marginally_feasible_problem(self):
+        # M(y) = [[y, 0], [0, -y]] is PSD only at y = 0 where it is singular:
+        # the optimum t* is 0, reported feasible within tolerance.
+        block = AffineMatrixBlock.from_matrices(
+            np.zeros((2, 2)), [np.diag([1.0, -1.0])]
+        )
+        result = solve_phase_one([block])
+        assert result.feasible
+        assert abs(result.optimal_t) < 1e-4
+
+    def test_solver_requires_blocks(self):
+        with pytest.raises(ConvergenceError):
+            solve_phase_one([])
+
+    def test_mismatched_variable_counts_rejected(self):
+        block_a = AffineMatrixBlock.from_matrices(np.eye(2), [np.eye(2)])
+        block_b = AffineMatrixBlock.from_matrices(np.eye(2), [np.eye(2), np.eye(2)])
+        with pytest.raises(ConvergenceError):
+            solve_phase_one([block_a, block_b])
+
+    def test_multivariable_feasibility(self, rng):
+        # Random diagonally-dominant feasible problem in 5 variables.
+        dimension = 4
+        matrices = [np.diag(rng.random(dimension)) for _ in range(5)]
+        constant = -0.5 * np.eye(dimension)
+        block = AffineMatrixBlock.from_matrices(constant, matrices)
+        result = solve_phase_one([block])
+        assert result.feasible
+
+    def test_newton_step_budget_respected(self):
+        block = AffineMatrixBlock.from_matrices(np.eye(3), [np.diag([1.0, 0.0, 0.0])])
+        result = solve_phase_one([block], max_total_newton=3)
+        assert result.n_newton_steps <= 3

@@ -1,0 +1,54 @@
+"""Smoke tests: the example scripts import and their main() functions run.
+
+The two reproduction scripts (Table 1 / Figure 2) are exercised only through
+their argument parsers here — their full runs are covered by the benchmark
+suite and would dominate the unit-test runtime.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[1] / "examples"
+
+
+def _load(name: str):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"examples_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize(
+    "name",
+    ["quickstart", "proper_part_extraction"],
+)
+def test_fast_examples_run_to_completion(name, capsys):
+    module = _load(name)
+    module.main()
+    output = capsys.readouterr().out
+    assert "PASSIVE" in output or "passivity" in output.lower()
+
+
+def test_reproduction_scripts_expose_cli():
+    table1 = _load("reproduce_table1")
+    figure2 = _load("reproduce_figure2")
+    # Argument parsing errors exit with code 2; a bogus flag must be rejected.
+    with pytest.raises(SystemExit):
+        table1.main(["--bogus-flag"])
+    with pytest.raises(SystemExit):
+        figure2.main(["--bogus-flag"])
+
+
+def test_macromodel_example_importable():
+    module = _load("interconnect_macromodel_check")
+    assert callable(module.main)
+
+
+def test_enforcement_example_importable():
+    module = _load("passivity_enforcement_and_mor")
+    assert callable(module.main)

@@ -1,0 +1,78 @@
+"""Package-level tests: public API surface, configuration, exceptions."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.config import DEFAULT_TOLERANCES, Tolerances
+from repro import exceptions
+
+
+class TestPublicApi:
+    def test_version_string(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_primary_entry_points_are_callable(self):
+        assert callable(repro.shh_passivity_test)
+        assert callable(repro.lmi_passivity_test)
+        assert callable(repro.weierstrass_passivity_test)
+        assert callable(repro.extract_proper_part)
+
+    def test_subpackages_exposed(self):
+        assert repro.circuits is not None
+        assert repro.linalg is not None
+        assert repro.descriptor is not None
+        assert repro.passivity is not None
+
+
+class TestTolerances:
+    def test_defaults_are_sensible(self):
+        assert 0 < DEFAULT_TOLERANCES.rank_rtol < 1e-6
+        assert 0 < DEFAULT_TOLERANCES.psd_atol < 1e-4
+
+    def test_with_creates_modified_copy(self):
+        custom = DEFAULT_TOLERANCES.with_(rank_rtol=1e-8)
+        assert custom.rank_rtol == 1e-8
+        assert custom.psd_atol == DEFAULT_TOLERANCES.psd_atol
+        assert DEFAULT_TOLERANCES.rank_rtol != 1e-8  # original untouched
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_TOLERANCES.rank_rtol = 0.0
+
+    def test_custom_tolerances_affect_rank_decisions(self):
+        from repro.linalg.subspaces import numerical_rank
+
+        matrix = np.diag([1.0, 1e-9])
+        assert numerical_rank(matrix, Tolerances(rank_rtol=1e-12)) == 2
+        assert numerical_rank(matrix, Tolerances(rank_rtol=1e-6)) == 1
+
+
+class TestExceptionHierarchy:
+    def test_all_library_errors_share_a_base(self):
+        for name in (
+            "DimensionError",
+            "StructureError",
+            "SingularPencilError",
+            "NotStableError",
+            "NotAdmissibleError",
+            "ReductionError",
+            "ConvergenceError",
+            "NotImplementedForSystemError",
+        ):
+            cls = getattr(exceptions, name)
+            assert issubclass(cls, exceptions.ReproError)
+
+    def test_value_error_compatibility(self):
+        assert issubclass(exceptions.DimensionError, ValueError)
+        assert issubclass(exceptions.SingularPencilError, ValueError)
+
+    def test_catching_the_base_class_catches_library_failures(self):
+        from repro.descriptor import DescriptorSystem
+
+        with pytest.raises(exceptions.ReproError):
+            DescriptorSystem(np.eye(2), np.eye(3), np.ones((2, 1)), np.ones((1, 2)))
