@@ -20,7 +20,7 @@ import pytest
 
 from benchmarks.conftest import full_run
 from repro.circuits import paper_benchmark_model
-from repro.passivity import shh_passivity_test, weierstrass_passivity_test
+from repro.engine import check_passivity
 
 FIGURE2_ORDERS = (20, 40, 60, 80, 100, 150, 200, 300, 400) if full_run() else (
     20, 50, 80, 120,
@@ -39,8 +39,8 @@ def figure2_models():
 def test_figure2_proposed_series(benchmark, figure2_models, order):
     """Figure 2 (both panels), 'Proposed Passivity Test' series."""
     report = benchmark.pedantic(
-        shh_passivity_test,
-        args=(figure2_models[order],),
+        check_passivity,
+        args=(figure2_models[order], "proposed"),
         rounds=1,
         iterations=1,
         warmup_rounds=0,
@@ -52,8 +52,8 @@ def test_figure2_proposed_series(benchmark, figure2_models, order):
 def test_figure2_weierstrass_series(benchmark, figure2_models, order):
     """Figure 2 (both panels), 'Weierstrass Test' series."""
     report = benchmark.pedantic(
-        weierstrass_passivity_test,
-        args=(figure2_models[order],),
+        check_passivity,
+        args=(figure2_models[order], "weierstrass"),
         rounds=1,
         iterations=1,
         warmup_rounds=0,
@@ -74,7 +74,7 @@ def test_figure2_shape_both_methods_are_cubic(figure2_models):
     orders, times = [], []
     for order, system in figure2_models.items():
         start = time.perf_counter()
-        shh_passivity_test(system)
+        check_passivity(system, method="proposed")
         times.append(time.perf_counter() - start)
         orders.append(order)
     if len(orders) < 3:

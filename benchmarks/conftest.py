@@ -7,6 +7,8 @@ full paper-scale reproduction stays one flag away:
 * ``REPRO_BENCH_FULL=1`` — benchmark the complete Table 1 grid
   (orders 20..400 and the LMI test up to order 60, exactly like the paper).
   Without it the grid stops at order 100 and the LMI test at order 40.
+* ``REPRO_BENCH_SMOKE=1`` — CI smoke mode: a reduced order grid (20, 40) with
+  the LMI test at order 20 only, keeping the whole run under a minute.
 * ``REPRO_BENCH_LMI_LIMIT=<order>`` — override the LMI cut-off explicitly.
 """
 
@@ -23,7 +25,13 @@ def full_run() -> bool:
     return os.environ.get("REPRO_BENCH_FULL", "0") == "1"
 
 
+def smoke_run() -> bool:
+    return os.environ.get("REPRO_BENCH_SMOKE", "0") == "1"
+
+
 def table1_orders() -> tuple:
+    if smoke_run():
+        return (20, 40)
     if full_run():
         return (20, 40, 60, 80, 100, 200, 400)
     return (20, 40, 60, 80, 100)
@@ -32,6 +40,8 @@ def table1_orders() -> tuple:
 def lmi_order_limit() -> int:
     if "REPRO_BENCH_LMI_LIMIT" in os.environ:
         return int(os.environ["REPRO_BENCH_LMI_LIMIT"])
+    if smoke_run():
+        return 20
     return 60 if full_run() else 40
 
 

@@ -6,15 +6,18 @@ Run with::
 
 The script builds a small RLC interconnect model with MNA (a genuine
 descriptor system: singular E, impulsive modes from a series port inductor),
-runs the proposed skew-Hamiltonian/Hamiltonian passivity test, and prints the
-full decision trail of the paper's Figure-1 flow.
+checks it through the engine's ``check_passivity`` entry point — which
+profiles the system, auto-selects the right method (the proposed
+skew-Hamiltonian/Hamiltonian test here, since the model has impulsive modes)
+and shares the expensive decompositions through a cache — and prints the full
+decision trail of the paper's Figure-1 flow.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro import shh_passivity_test
+from repro import DecompositionCache, check_passivity, select_method
 from repro.circuits import impulsive_rlc_ladder
 from repro.descriptor import count_modes
 
@@ -38,9 +41,16 @@ def main() -> None:
     print(f"stable finite spectrum: {modes.is_stable}")
     print()
 
-    print("=== Proposed SHH passivity test ===")
-    report = shh_passivity_test(system)
+    print("=== Engine passivity check (method='auto') ===")
+    cache = DecompositionCache()
+    spec = select_method(system, cache=cache)
+    print(f"auto-selected method: {spec.name} ({spec.description})")
+    report = check_passivity(system, method="auto", cache=cache)
     print(report.summary())
+    print(
+        f"cache: {cache.stats.hits} hit(s), {cache.stats.misses} computation(s) "
+        "— the profile's chain analysis was reused by the test"
+    )
     print()
 
     if "m1" in report.diagnostics:

@@ -8,6 +8,9 @@ A from-scratch Python reproduction of
 
 The top-level namespace re-exports the objects most users need:
 
+* :func:`check_passivity` — the engine entry point with ``method="auto"``
+  dispatch, plus :class:`BatchRunner` / :class:`DecompositionCache` /
+  :class:`MethodRegistry` for batched, cached, pluggable sweeps,
 * :class:`DescriptorSystem` / :class:`StateSpace` — system containers,
 * :func:`shh_passivity_test` — the paper's O(n^3) structure-preserving test,
 * :func:`lmi_passivity_test`, :func:`weierstrass_passivity_test`,
@@ -15,8 +18,7 @@ The top-level namespace re-exports the objects most users need:
 * :func:`extract_proper_part` — the proper-part "sidetrack",
 * the :mod:`repro.circuits` generators for RLC/MNA workloads.
 
-See ``README.md`` for a quickstart and ``DESIGN.md`` for the full system
-inventory.
+See ``README.md`` for a quickstart (engine API first) and the layout table.
 """
 
 from repro.config import DEFAULT_TOLERANCES, Tolerances
@@ -45,12 +47,41 @@ from repro.passivity import (
     shh_passivity_test,
     weierstrass_passivity_test,
 )
-from repro import circuits, descriptor, linalg, passivity, sdp
+from repro.engine import (
+    BatchOutcome,
+    BatchResult,
+    BatchRunner,
+    CacheStats,
+    DecompositionCache,
+    MethodRegistry,
+    MethodSpec,
+    SystemProfile,
+    UnknownMethodError,
+    check_passivity,
+    profile_system,
+    register_method,
+    select_method,
+)
+from repro import circuits, descriptor, engine, linalg, passivity, sdp
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
+    "check_passivity",
+    "select_method",
+    "profile_system",
+    "register_method",
+    "BatchOutcome",
+    "BatchResult",
+    "BatchRunner",
+    "CacheStats",
+    "DecompositionCache",
+    "MethodRegistry",
+    "MethodSpec",
+    "SystemProfile",
+    "UnknownMethodError",
+    "engine",
     "Tolerances",
     "DEFAULT_TOLERANCES",
     "DescriptorSystem",

@@ -34,9 +34,10 @@ import numpy as np
 from repro.config import DEFAULT_TOLERANCES, Tolerances
 from repro.descriptor.decompose import additive_decomposition
 from repro.descriptor.system import DescriptorSystem
+from repro.engine.api import check_passivity
+from repro.engine.cache import DecompositionCache
 from repro.exceptions import NotImplementedForSystemError
 from repro.passivity.result import PassivityReport
-from repro.passivity.shh_test import shh_passivity_test
 
 __all__ = ["passivity_violation", "EnforcementResult", "enforce_passivity"]
 
@@ -47,6 +48,7 @@ def passivity_violation(
     omega_min: float = 1e-4,
     omega_max: float = 1e4,
     tol: Optional[Tolerances] = None,
+    cache: Optional[DecompositionCache] = None,
 ) -> float:
     """Worst frequency-domain passivity violation of the *proper* response.
 
@@ -64,7 +66,11 @@ def passivity_violation(
     # Add the Hamiltonian-predicted crossings of the proper part, if it can be
     # extracted; these are exactly where the violation is extremal.
     try:
-        decomposition = additive_decomposition(system, tol)
+        decomposition = (
+            cache.additive(system, tol)
+            if cache is not None
+            else additive_decomposition(system, tol)
+        )
         proper = decomposition.proper_part
         r_matrix = proper.d + proper.d.T
         if proper.order and np.linalg.matrix_rank(r_matrix) == r_matrix.shape[0]:
@@ -129,6 +135,7 @@ def enforce_passivity(
     system: DescriptorSystem,
     margin_fraction: float = 0.05,
     tol: Optional[Tolerances] = None,
+    cache: Optional[DecompositionCache] = None,
 ) -> EnforcementResult:
     """Repair a (slightly) non-passive descriptor system.
 
@@ -142,6 +149,11 @@ def enforce_passivity(
         Extra shift added on top of the measured violation, relative to it
         (5 % by default), to keep the repaired model strictly inside the
         passive set despite sampling error.
+    cache:
+        Optional engine decomposition cache.  The violation measurement and
+        the repair both need the additive decomposition of ``system``; with a
+        cache it is computed once, and the certification re-test shares the
+        cache too (a fresh per-call cache is used when omitted).
 
     Raises
     ------
@@ -156,15 +168,16 @@ def enforce_passivity(
             "passivity enforcement requires a stable model; unstable poles "
             "cannot be repaired by perturbing D or M1"
         )
+    cache = cache if cache is not None else DecompositionCache()
 
-    violation = passivity_violation(system, tol=tol)
+    violation = passivity_violation(system, tol=tol, cache=cache)
     shift = (1.0 + margin_fraction) * violation
 
     # Repair the impulsive part: replace M1 by its symmetric PSD part.  The
     # perturbation acts on the infinite block's coupling through B_inf; doing
     # it exactly requires the separated realization, so the repaired system is
     # reassembled from the decomposition.
-    decomposition = additive_decomposition(system, tol)
+    decomposition = cache.additive(system, tol)
     m1 = decomposition.m1
     m1_psd = _psd_part(m1)
     m1_change = float(np.linalg.norm(m1 - m1_psd))
@@ -177,8 +190,8 @@ def enforce_passivity(
         )
 
     repaired = _reassemble(decomposition, m1_psd, shift, system.n_inputs)
-    report = shh_passivity_test(repaired, tol)
-    remaining = passivity_violation(repaired, tol=tol)
+    report = check_passivity(repaired, method="shh", tol=tol, cache=cache)
+    remaining = passivity_violation(repaired, tol=tol, cache=cache)
     return EnforcementResult(
         system=repaired,
         feedthrough_shift=shift,

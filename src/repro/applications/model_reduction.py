@@ -29,6 +29,7 @@ import numpy as np
 from repro.config import DEFAULT_TOLERANCES, Tolerances
 from repro.descriptor.decompose import additive_decomposition
 from repro.descriptor.system import DescriptorSystem, StateSpace
+from repro.engine.cache import DecompositionCache
 from repro.exceptions import DimensionError, NotImplementedForSystemError, NotStableError
 from repro.linalg.lyapunov import solve_continuous_lyapunov
 
@@ -126,8 +127,17 @@ def reduce_descriptor_system(
     system: DescriptorSystem,
     proper_order: int,
     tol: Optional[Tolerances] = None,
+    cache: Optional[DecompositionCache] = None,
 ) -> ReducedModel:
     """Reduce a stable descriptor system, preserving its impulsive structure.
+
+    Parameters
+    ----------
+    cache:
+        Optional engine decomposition cache; lets repeated reductions of the
+        same model (e.g. an order sweep searching for the smallest passive
+        reduced model) reuse the additive decomposition instead of recomputing
+        it per candidate order.
 
     Raises
     ------
@@ -138,7 +148,11 @@ def reduce_descriptor_system(
     tol = tol or DEFAULT_TOLERANCES
     if not system.is_square_io:
         raise NotImplementedForSystemError("reduction is implemented for square systems")
-    decomposition = additive_decomposition(system, tol)
+    decomposition = (
+        cache.additive(system, tol)
+        if cache is not None
+        else additive_decomposition(system, tol)
+    )
     higher = decomposition.impulsive_markov[1:]
     if any(np.max(np.abs(term), initial=0.0) > 1e-10 for term in higher):
         raise NotImplementedForSystemError(

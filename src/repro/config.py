@@ -38,6 +38,12 @@ class Tolerances:
     infinite_eig_threshold:
         Generalized eigenvalues with ``|beta| <= infinite_eig_threshold *
         |alpha|`` are classified as infinite.
+    grade3_continuation_atol:
+        Absolute threshold on the grade-2 coefficient block of a chain
+        continuation (an orthonormal null-space basis, so unit scale) above
+        which a grade-3 generalized eigenvector chain is declared present.
+        Badly scaled models may need a looser or tighter value, like every
+        other rank decision.
     """
 
     rank_rtol: float = 1e-10
@@ -46,6 +52,7 @@ class Tolerances:
     psd_atol: float = 1e-8
     feasibility_margin: float = 1e-9
     infinite_eig_threshold: float = 1e-10
+    grade3_continuation_atol: float = 1e-7
 
     def with_(self, **updates: float) -> "Tolerances":
         """Return a copy of the tolerance bundle with selected fields replaced."""

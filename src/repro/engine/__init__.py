@@ -1,0 +1,56 @@
+"""Unified passivity engine: method registry, shared cache, batch runner.
+
+The engine is the orchestration layer on top of the individual passivity
+tests:
+
+* :mod:`repro.engine.registry` — pluggable :class:`MethodSpec` table with
+  capability metadata (cost class, order limits, admissibility requirements),
+* :mod:`repro.engine.cache` — fingerprint-keyed :class:`DecompositionCache`
+  sharing expensive intermediates (chain structure, Weierstrass form,
+  admissible reduction, additive decomposition) across methods and calls,
+* :mod:`repro.engine.runner` — :class:`BatchRunner` fanning systems x methods
+  over a process/thread pool with per-task timeouts and telemetry,
+* :mod:`repro.engine.api` — :func:`check_passivity`, the one-call entry point
+  with ``method="auto"`` selection.
+"""
+
+from repro.engine.api import check_passivity, select_method
+from repro.engine.cache import (
+    CacheStats,
+    DecompositionCache,
+    SystemProfile,
+    fingerprint_system,
+    profile_system,
+)
+from repro.engine.registry import (
+    COST_CUBIC,
+    COST_SDP,
+    DEFAULT_REGISTRY,
+    MethodRegistry,
+    MethodSpec,
+    UnknownMethodError,
+    get_method,
+    register_method,
+)
+from repro.engine.runner import BatchOutcome, BatchResult, BatchRunner
+
+__all__ = [
+    "check_passivity",
+    "select_method",
+    "CacheStats",
+    "DecompositionCache",
+    "SystemProfile",
+    "fingerprint_system",
+    "profile_system",
+    "COST_CUBIC",
+    "COST_SDP",
+    "DEFAULT_REGISTRY",
+    "MethodRegistry",
+    "MethodSpec",
+    "UnknownMethodError",
+    "get_method",
+    "register_method",
+    "BatchOutcome",
+    "BatchResult",
+    "BatchRunner",
+]

@@ -1,0 +1,165 @@
+"""Top-level passivity-checking API: ``check_passivity(system, method="auto")``.
+
+This is the engine's front door.  It resolves the requested method in the
+registry, enforces the method's capability metadata (order limits,
+admissibility requirements), routes expensive intermediates through the shared
+decomposition cache, and — for ``method="auto"`` — picks the right algorithm
+from the cached structural profile of the system:
+
+* **SHH** by default: the paper's O(n^3) structure-preserving test handles any
+  square regular descriptor system.
+* **GARE** when the system is already admissible (regular, stable,
+  impulse-free): the Riccati certificate then applies directly, with no
+  impulsive reductions to perform.
+* **LMI** is never auto-selected: within its order limit the SHH test is
+  already faster, and beyond it the LMI test is impractical (the paper's NIL
+  entries).  It remains available by explicit request.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.config import DEFAULT_TOLERANCES, Tolerances
+from repro.descriptor.system import DescriptorSystem
+from repro.engine.cache import DecompositionCache, SystemProfile, profile_system
+from repro.engine.registry import DEFAULT_REGISTRY, MethodRegistry, MethodSpec
+from repro.passivity.result import PassivityReport
+
+__all__ = ["check_passivity", "select_method"]
+
+
+def select_method(
+    system: DescriptorSystem,
+    tol: Optional[Tolerances] = None,
+    cache: Optional[DecompositionCache] = None,
+    registry: Optional[MethodRegistry] = None,
+    profile: Optional[SystemProfile] = None,
+) -> MethodSpec:
+    """Pick the method ``check_passivity(system, method="auto")`` would run."""
+    registry = registry or DEFAULT_REGISTRY
+    if profile is None:
+        profile = profile_system(system, tol, cache=cache)
+    if profile.is_admissible and "gare" in registry:
+        return registry.resolve("gare")
+    return registry.resolve("shh")
+
+
+#: Sentinel distinguishing "no order_limit override given" from an explicit None.
+_UNSET = object()
+
+
+def _order_limit_report(
+    spec: MethodSpec, system: DescriptorSystem, limit: int
+) -> PassivityReport:
+    reason = (
+        f"skipped: order {system.order} exceeds the {spec.name} method's "
+        f"order limit of {limit} (pass order_limit=None to force)"
+    )
+    report = PassivityReport(is_passive=False, method=spec.name, failure_reason=reason)
+    report.add_step("order_limit", reason, passed=False)
+    return report
+
+
+def _not_admissible_report(spec: MethodSpec, profile: SystemProfile) -> PassivityReport:
+    reasons = []
+    if not profile.is_regular:
+        reasons.append("the pencil s E - A is singular")
+    if not profile.is_stable:
+        reasons.append("the finite spectrum is not stable")
+    if not profile.is_impulse_free:
+        reasons.append(f"{profile.n_impulsive_chains} impulsive mode(s) present")
+    reason = (
+        f"the {spec.name} method requires an admissible (regular, stable, "
+        f"impulse-free) descriptor system: " + "; ".join(reasons)
+    )
+    report = PassivityReport(is_passive=False, method=spec.name, failure_reason=reason)
+    report.add_step("admissibility", reason, passed=False)
+    return report
+
+
+def check_passivity(
+    system: DescriptorSystem,
+    method: str = "auto",
+    tol: Optional[Tolerances] = None,
+    cache: Optional[DecompositionCache] = None,
+    registry: Optional[MethodRegistry] = None,
+    **options: Any,
+) -> PassivityReport:
+    """Check passivity of a descriptor system through the engine.
+
+    Parameters
+    ----------
+    system:
+        The descriptor system under test.
+    method:
+        A registered method name or alias (``"shh"``/``"proposed"``,
+        ``"lmi"``, ``"weierstrass"``, ``"gare"``, plus anything the caller has
+        registered), or ``"auto"`` to select from the system's structural
+        profile.
+    tol:
+        Tolerance bundle; also part of the cache key.
+    cache:
+        Optional :class:`DecompositionCache`.  When supplied, expensive
+        intermediates (chain structure, Weierstrass form, admissible
+        reduction) are computed once per system and shared across methods and
+        repeated calls.  When omitted, an ephemeral per-call cache still
+        shares intermediates *within* the call (e.g. the auto profile's chain
+        analysis feeds the SHH test) but nothing persists across calls.
+        On a cache miss the decomposition cost is paid during the adapter's
+        fetch, before the method's own ``elapsed_seconds`` timer starts —
+        time the whole ``check_passivity`` call when benchmarking.
+    registry:
+        Method registry; defaults to the process-wide registry.
+    **options:
+        Forwarded to the method runner (e.g. ``check_stability=False`` for the
+        SHH test, ``order_limit=None`` to override an LMI refusal).
+
+    Returns
+    -------
+    PassivityReport
+        The report of the selected method; ``report.diagnostics["engine"]``
+        records the dispatch decision.
+    """
+    registry = registry or DEFAULT_REGISTRY
+    tol = tol or DEFAULT_TOLERANCES
+    persistent = cache is not None
+    if cache is None:
+        # Ephemeral cache: the auto profile, admissibility pre-screen and the
+        # method itself share one structural analysis instead of recomputing
+        # the O(n^3) decompositions within a single call.
+        cache = DecompositionCache(maxsize=8)
+
+    auto = method == "auto"
+    profile: Optional[SystemProfile] = None
+    if auto:
+        profile = profile_system(system, tol, cache=cache)
+        spec = select_method(system, tol, cache=cache, registry=registry, profile=profile)
+    else:
+        spec = registry.resolve(method)
+
+    # The order limit is an engine-level control for every method: the
+    # override is consumed here, never forwarded to runners (most of which
+    # have no such parameter).
+    override = options.pop("order_limit", _UNSET)
+    limit = spec.order_limit if override is _UNSET else override
+    if limit is not None and system.order > limit:
+        report = _order_limit_report(spec, system, limit)
+        report.diagnostics["engine"] = {"method": spec.name, "auto": auto, "skipped": True}
+        return report
+
+    if spec.requires_admissible:
+        # Pre-screen against the cached profile: the chain analysis is shared
+        # with the SHH test, so a refusal costs no extra decompositions.
+        if profile is None:
+            profile = profile_system(system, tol, cache=cache)
+        if not profile.is_admissible:
+            report = _not_admissible_report(spec, profile)
+            report.diagnostics["engine"] = {"method": spec.name, "auto": auto}
+            return report
+
+    report = spec.run(system, tol=tol, cache=cache, **options)
+    report.diagnostics.setdefault(
+        "engine", {"method": spec.name, "auto": auto, "cached": persistent}
+    )
+    return report

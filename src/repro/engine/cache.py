@@ -1,0 +1,373 @@
+"""Fingerprint-keyed cache of expensive decomposition intermediates.
+
+Every passivity method in the library front-loads an O(n^3) structural
+computation — the grade-1/2 chain structure at infinity for the SHH test, the
+(quasi-)Weierstrass canonical form for the decomposition baseline, the
+admissible Schur-complement reduction for the GARE test, the additive
+decomposition for enforcement and model reduction.  When several methods (or
+repeated calls) analyse the *same* system, those intermediates are identical
+and recomputing them is pure waste.
+
+:class:`DecompositionCache` keys each intermediate by a SHA-256 fingerprint of
+the system matrices ``(E, A, B, C, D)`` together with the tolerance bundle
+(rank decisions depend on the thresholds, so the same matrices under different
+tolerances are different cache entries).  The cache is bounded (LRU), thread
+safe, and keeps per-kind hit/miss counters so batch sweeps can verify the
+sharing actually happened.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import astuple, dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.config import DEFAULT_TOLERANCES, Tolerances
+from repro.descriptor.decompose import AdditiveDecomposition, additive_decomposition
+from repro.descriptor.system import DescriptorSystem, StateSpace
+from repro.descriptor.weierstrass import WeierstrassForm, weierstrass_form
+from repro.exceptions import NotAdmissibleError
+from repro.passivity.gare_test import admissible_to_state_space
+from repro.passivity.m1 import InfiniteChainData, impulsive_chain_data
+
+__all__ = [
+    "CacheStats",
+    "DecompositionCache",
+    "SystemProfile",
+    "fingerprint_system",
+    "profile_system",
+    "CHAIN_DATA",
+    "WEIERSTRASS_FORM",
+    "ADDITIVE_DECOMPOSITION",
+    "GARE_STATE_SPACE",
+    "SYSTEM_PROFILE",
+]
+
+#: Cache-entry kinds used by the built-in convenience accessors.
+CHAIN_DATA = "chain_data"
+WEIERSTRASS_FORM = "weierstrass_form"
+ADDITIVE_DECOMPOSITION = "additive_decomposition"
+GARE_STATE_SPACE = "gare_state_space"
+SYSTEM_PROFILE = "system_profile"
+
+
+def fingerprint_system(
+    system: DescriptorSystem, tol: Optional[Tolerances] = None
+) -> str:
+    """SHA-256 fingerprint of ``(E, A, B, C, D)`` plus the tolerance bundle.
+
+    Two systems share a fingerprint exactly when their matrices are bitwise
+    identical and the rank/definiteness thresholds agree, which is the
+    condition under which every decomposition intermediate coincides.
+    """
+    tol = tol or DEFAULT_TOLERANCES
+    hasher = hashlib.sha256()
+    for label, matrix in zip("EABCD", system.matrices()):
+        hasher.update(label.encode())
+        hasher.update(repr(matrix.shape).encode())
+        hasher.update(np.ascontiguousarray(matrix).tobytes())
+    hasher.update(repr(astuple(tol)).encode())
+    return hasher.hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction accounting, in aggregate and per entry kind."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    by_kind: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    def record(self, kind: str, hit: bool) -> None:
+        counters = self.by_kind.setdefault(kind, {"hits": 0, "misses": 0})
+        if hit:
+            self.hits += 1
+            counters["hits"] += 1
+        else:
+            self.misses += 1
+            counters["misses"] += 1
+
+    def hits_for(self, kind: str) -> int:
+        return self.by_kind.get(kind, {}).get("hits", 0)
+
+    def misses_for(self, kind: str) -> int:
+        """Number of actual computations performed for ``kind``."""
+        return self.by_kind.get(kind, {}).get("misses", 0)
+
+    def merge(self, other: "CacheStats") -> None:
+        """Fold another counter set into this one (batch-worker aggregation)."""
+        self.hits += other.hits
+        self.misses += other.misses
+        self.evictions += other.evictions
+        for kind, counters in other.by_kind.items():
+            mine = self.by_kind.setdefault(kind, {"hits": 0, "misses": 0})
+            mine["hits"] += counters.get("hits", 0)
+            mine["misses"] += counters.get("misses", 0)
+
+    def snapshot(self) -> "CacheStats":
+        """Independent copy of the current counters."""
+        copy = CacheStats(
+            hits=self.hits, misses=self.misses, evictions=self.evictions
+        )
+        copy.by_kind = {kind: dict(counters) for kind, counters in self.by_kind.items()}
+        return copy
+
+    def minus(self, baseline: "CacheStats") -> "CacheStats":
+        """Counter deltas since ``baseline`` (per-sweep telemetry)."""
+        delta = CacheStats(
+            hits=self.hits - baseline.hits,
+            misses=self.misses - baseline.misses,
+            evictions=self.evictions - baseline.evictions,
+        )
+        for kind, counters in self.by_kind.items():
+            base = baseline.by_kind.get(kind, {})
+            hits = counters.get("hits", 0) - base.get("hits", 0)
+            misses = counters.get("misses", 0) - base.get("misses", 0)
+            if hits or misses:
+                delta.by_kind[kind] = {"hits": hits, "misses": misses}
+        return delta
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class DecompositionCache:
+    """Bounded, thread-safe cache of per-system decomposition intermediates.
+
+    Parameters
+    ----------
+    maxsize:
+        Maximum number of cached entries (across all kinds); the least
+        recently used entry is evicted first.  ``None`` disables eviction.
+    """
+
+    def __init__(self, maxsize: Optional[int] = 256) -> None:
+        if maxsize is not None and maxsize < 1:
+            raise ValueError("maxsize must be at least 1 (or None for unbounded)")
+        self.maxsize = maxsize
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[Tuple[str, str], Tuple[str, Any]]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._key_locks: Dict[Tuple[str, str], threading.Lock] = {}
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._key_locks.clear()
+
+    # ------------------------------------------------------------------
+    def get_or_compute(
+        self,
+        system: DescriptorSystem,
+        kind: str,
+        compute: Callable[[], Any],
+        tol: Optional[Tolerances] = None,
+        cache_errors: Tuple[type, ...] = (),
+    ) -> Any:
+        """Return the cached intermediate of ``kind`` for ``system``.
+
+        On a miss, ``compute()`` runs exactly once per key even under
+        concurrent access (a per-key lock serializes racing threads) and the
+        result is stored.  Exceptions of a type listed in ``cache_errors`` are
+        cached as negative entries and re-raised on every subsequent lookup;
+        any other exception propagates without polluting the cache.
+        """
+        key = (fingerprint_system(system, tol), kind)
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                return self._unwrap(key, kind, cached)
+            key_lock = self._key_locks.setdefault(key, threading.Lock())
+        with key_lock:
+            with self._lock:
+                cached = self._entries.get(key)
+                if cached is not None:
+                    return self._unwrap(key, kind, cached)
+            try:
+                value = compute()
+            except cache_errors as error:
+                self._store(key, kind, ("error", error))
+                raise
+            except BaseException:
+                # Not cached: drop the per-key lock so repeated failures on
+                # distinct systems cannot grow _key_locks without bound.
+                with self._lock:
+                    self._key_locks.pop(key, None)
+                raise
+            self._store(key, kind, ("value", value))
+            return value
+
+    def _unwrap(self, key, kind: str, entry: Tuple[str, Any]) -> Any:
+        # Caller holds self._lock.
+        self.stats.record(kind, hit=True)
+        self._entries.move_to_end(key)
+        tag, payload = entry
+        if tag == "error":
+            raise payload
+        return payload
+
+    def _store(self, key, kind: str, entry: Tuple[str, Any]) -> None:
+        with self._lock:
+            self.stats.record(kind, hit=False)
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            self._key_locks.pop(key, None)
+            while self.maxsize is not None and len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    # ------------------------------------------------------------------
+    # Convenience accessors for the intermediates the engine shares.
+    # ------------------------------------------------------------------
+    def chain_data(
+        self, system: DescriptorSystem, tol: Optional[Tolerances] = None
+    ) -> InfiniteChainData:
+        """Grade-1/2 chain structure at infinity (Section 3.4 machinery)."""
+        effective = tol or DEFAULT_TOLERANCES
+        return self.get_or_compute(
+            system,
+            CHAIN_DATA,
+            lambda: impulsive_chain_data(system, effective),
+            tol=effective,
+        )
+
+    def weierstrass(
+        self, system: DescriptorSystem, tol: Optional[Tolerances] = None
+    ) -> WeierstrassForm:
+        """(Quasi-)Weierstrass canonical form of the system."""
+        effective = tol or DEFAULT_TOLERANCES
+        return self.get_or_compute(
+            system,
+            WEIERSTRASS_FORM,
+            lambda: weierstrass_form(system, effective),
+            tol=effective,
+        )
+
+    def additive(
+        self, system: DescriptorSystem, tol: Optional[Tolerances] = None
+    ) -> AdditiveDecomposition:
+        """Additive decomposition ``G = G_sp + M0 + s M1 + ...`` (Eq. 3)."""
+        effective = tol or DEFAULT_TOLERANCES
+        return self.get_or_compute(
+            system,
+            ADDITIVE_DECOMPOSITION,
+            lambda: additive_decomposition(system, effective),
+            tol=effective,
+        )
+
+    def gare_state_space(
+        self, system: DescriptorSystem, tol: Optional[Tolerances] = None
+    ) -> StateSpace:
+        """Admissible Schur-complement reduction used by the GARE test.
+
+        Raises
+        ------
+        NotAdmissibleError
+            If the system is not admissible; the refusal is cached so repeated
+            GARE attempts on the same system stay cheap.
+        """
+        effective = tol or DEFAULT_TOLERANCES
+        return self.get_or_compute(
+            system,
+            GARE_STATE_SPACE,
+            lambda: admissible_to_state_space(system, effective),
+            tol=effective,
+            cache_errors=(NotAdmissibleError,),
+        )
+
+    def profile(
+        self, system: DescriptorSystem, tol: Optional[Tolerances] = None
+    ) -> "SystemProfile":
+        """Cached :func:`profile_system` of the system."""
+        return profile_system(system, tol, cache=self)
+
+
+@dataclass(frozen=True)
+class SystemProfile:
+    """Structural summary of a descriptor system used for method dispatch.
+
+    Attributes
+    ----------
+    fingerprint:
+        The system's cache fingerprint (matrices + tolerances).
+    order / n_inputs / n_outputs / is_square_io:
+        Shape information.
+    is_regular / is_stable:
+        Pencil regularity and stability of the finite spectrum (``is_stable``
+        is ``False`` for an irregular pencil, whose spectrum is undefined).
+    n_impulsive_chains:
+        Number of grade-2 generalized eigenvector chains at infinity, i.e.
+        the number of impulsive modes.
+    has_higher_grade:
+        True when grade-3 (or higher) chains exist — the system then has
+        Markov parameters of order >= 2 and cannot be passive.
+    """
+
+    fingerprint: str
+    order: int
+    n_inputs: int
+    n_outputs: int
+    is_square_io: bool
+    is_regular: bool
+    is_stable: bool
+    n_impulsive_chains: int
+    has_higher_grade: bool
+
+    @property
+    def is_impulse_free(self) -> bool:
+        return self.n_impulsive_chains == 0
+
+    @property
+    def is_admissible(self) -> bool:
+        """Regular, stable and impulse-free (the paper's admissibility)."""
+        return self.is_regular and self.is_stable and self.is_impulse_free
+
+
+def profile_system(
+    system: DescriptorSystem,
+    tol: Optional[Tolerances] = None,
+    cache: Optional[DecompositionCache] = None,
+) -> SystemProfile:
+    """Compute (or fetch) the structural profile of ``system``.
+
+    The profile drives the engine's auto-selection and admissibility
+    pre-screening.  The underlying chain-structure computation is shared with
+    the SHH test through the cache, so profiling before testing costs nothing
+    extra.
+    """
+    effective = tol or DEFAULT_TOLERANCES
+
+    def compute() -> SystemProfile:
+        chains = (
+            cache.chain_data(system, effective)
+            if cache is not None
+            else impulsive_chain_data(system, effective)
+        )
+        regular = system.is_regular(effective)
+        stable = bool(regular and system.spectrum(effective).is_stable)
+        return SystemProfile(
+            fingerprint=fingerprint_system(system, effective),
+            order=system.order,
+            n_inputs=system.n_inputs,
+            n_outputs=system.n_outputs,
+            is_square_io=system.is_square_io,
+            is_regular=regular,
+            is_stable=stable,
+            n_impulsive_chains=chains.n_chains,
+            has_higher_grade=chains.has_higher_grade,
+        )
+
+    if cache is None:
+        return compute()
+    return cache.get_or_compute(system, SYSTEM_PROFILE, compute, tol=effective)

@@ -1,0 +1,378 @@
+"""Parallel batch execution of passivity tests over systems x methods.
+
+A production passivity service checks many macromodels with several methods;
+the individual tests are independent, so the sweep parallelizes trivially.
+:class:`BatchRunner` fans the ``systems x methods`` grid out over a process
+pool (or a thread pool / serial loop), applies a best-effort per-task timeout,
+and returns results in deterministic ``(system, method)`` order regardless of
+completion order, together with timing telemetry and the cache counters that
+show how many decompositions were shared.
+
+Backends
+--------
+``"process"``
+    One task per *system*, running all requested methods in the worker with a
+    worker-local :class:`DecompositionCache` so per-system intermediates are
+    still shared; worker cache counters are merged into the outcome.  Method
+    runners must be picklable (module-level functions) — the built-in registry
+    qualifies.
+``"thread"``
+    One task per ``(system, method)`` pair sharing the runner's cache; NumPy
+    releases the GIL in the O(n^3) kernels, so threads overlap well.
+``"serial"``
+    In-process loop, mainly for debugging and deterministic accounting.
+``"auto"``
+    ``"process"`` when a pool can be created, otherwise ``"serial"``.
+
+Timeouts are enforced while *collecting* results: a task that exceeds
+``task_timeout`` is reported as ``timed_out`` and the sweep moves on.  Queued
+cells that never started are cancelled at the end of the sweep and ``run()``
+returns without joining hung workers — but an already-running worker cannot
+be forcibly killed (the usual executor limitation) and keeps running in the
+background until it finishes.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import (
+    BrokenExecutor,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    TimeoutError as FutureTimeoutError,
+)
+from pickle import PicklingError
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.config import DEFAULT_TOLERANCES, Tolerances
+from repro.descriptor.system import DescriptorSystem
+from repro.engine.api import check_passivity
+from repro.engine.cache import CacheStats, DecompositionCache
+from repro.engine.registry import DEFAULT_REGISTRY, MethodRegistry
+from repro.passivity.result import PassivityReport
+
+__all__ = ["BatchResult", "BatchOutcome", "BatchRunner"]
+
+
+@dataclass
+class BatchResult:
+    """Outcome of one ``(system, method)`` cell of a batch sweep."""
+
+    system_index: int
+    method: str
+    report: Optional[PassivityReport] = None
+    seconds: Optional[float] = None
+    error: Optional[str] = None
+    timed_out: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """True when the method ran to a verdict."""
+        return self.report is not None and self.error is None and not self.timed_out
+
+    @property
+    def skipped(self) -> bool:
+        """True when the engine refused the cell (e.g. over the order limit)."""
+        return bool(
+            self.report is not None
+            and self.report.diagnostics.get("engine", {}).get("skipped")
+        )
+
+    @property
+    def is_passive(self) -> Optional[bool]:
+        """The verdict; ``None`` when the cell failed, timed out or was
+        skipped (matching the harness's ``None`` for NIL entries)."""
+        if not self.ok or self.skipped:
+            return None
+        return self.report.is_passive
+
+
+@dataclass
+class BatchOutcome:
+    """Ordered results plus telemetry of one :meth:`BatchRunner.run` sweep."""
+
+    results: List[BatchResult]
+    cache_stats: CacheStats
+    total_seconds: float
+    backend: str
+    n_workers: int
+
+    def by_system(self, system_index: int) -> List[BatchResult]:
+        return [r for r in self.results if r.system_index == system_index]
+
+    def verdicts(self) -> Dict[Tuple[int, str], Optional[bool]]:
+        """``(system_index, method) -> is_passive`` for quick assertions."""
+        return {(r.system_index, r.method): r.is_passive for r in self.results}
+
+    @property
+    def n_timed_out(self) -> int:
+        return sum(1 for r in self.results if r.timed_out)
+
+    @property
+    def n_failed(self) -> int:
+        return sum(1 for r in self.results if r.error is not None)
+
+
+def _run_cell(
+    system: DescriptorSystem,
+    method: str,
+    tol: Tolerances,
+    cache: Optional[DecompositionCache],
+    registry: Optional[MethodRegistry],
+    options: Dict[str, Any],
+) -> Tuple[Optional[PassivityReport], float, Optional[str]]:
+    """Run one method on one system, converting exceptions to error strings."""
+    start = time.perf_counter()
+    try:
+        report = check_passivity(
+            system, method=method, tol=tol, cache=cache, registry=registry, **options
+        )
+        return report, time.perf_counter() - start, None
+    except Exception as error:  # noqa: BLE001 - one bad cell must not kill the sweep
+        message = f"{type(error).__name__}: {error}"
+        return None, time.perf_counter() - start, message
+
+
+def _process_worker(
+    payload: Tuple[
+        int,
+        DescriptorSystem,
+        Tuple[str, ...],
+        Tolerances,
+        Dict[str, Dict[str, Any]],
+        Optional[MethodRegistry],
+        Optional[int],
+    ],
+) -> Tuple[int, List[Tuple[str, Optional[PassivityReport], float, Optional[str]]], CacheStats]:
+    """Process-pool task: run every requested method on one system."""
+    index, system, methods, tol, method_options, registry, cache_maxsize = payload
+    cache = DecompositionCache(maxsize=cache_maxsize)
+    cells = []
+    for method in methods:
+        report, seconds, error = _run_cell(
+            system, method, tol, cache, registry, method_options.get(method, {})
+        )
+        cells.append((method, report, seconds, error))
+    return index, cells, cache.stats
+
+
+class BatchRunner:
+    """Fan passivity tests over ``systems x methods`` with pooling and caching.
+
+    Parameters
+    ----------
+    registry:
+        Method registry used for dispatch (default: the process-wide one).
+        With the ``"process"`` backend a custom registry must be picklable.
+    cache:
+        Shared :class:`DecompositionCache` for the ``"thread"``/``"serial"``
+        backends; a fresh one is created when omitted.  The ``"process"``
+        backend uses worker-local caches instead and merges their counters.
+        After a timed-out thread cell, the abandoned task keeps running and
+        eventually records into this cache, so per-sweep stats deltas of
+        *later* ``run()`` calls on the same runner are best-effort; use a
+        fresh runner when exact accounting matters.
+    max_workers:
+        Pool size (default: executor's choice).
+    task_timeout:
+        Best-effort per-task timeout in seconds (``None`` disables).
+    backend:
+        ``"auto"``, ``"process"``, ``"thread"`` or ``"serial"``.
+    tol:
+        Tolerance bundle applied to every test (also the cache key).
+    """
+
+    def __init__(
+        self,
+        registry: Optional[MethodRegistry] = None,
+        cache: Optional[DecompositionCache] = None,
+        max_workers: Optional[int] = None,
+        task_timeout: Optional[float] = None,
+        backend: str = "auto",
+        tol: Optional[Tolerances] = None,
+    ) -> None:
+        if backend not in ("auto", "process", "thread", "serial"):
+            raise ValueError(f"unknown backend {backend!r}")
+        self.registry = registry or DEFAULT_REGISTRY
+        self.cache = cache if cache is not None else DecompositionCache()
+        self.max_workers = max_workers
+        self.task_timeout = task_timeout
+        self.backend = backend
+        self.tol = tol or DEFAULT_TOLERANCES
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        systems: Sequence[DescriptorSystem],
+        methods: Sequence[str] = ("auto",),
+        method_options: Optional[Dict[str, Dict[str, Any]]] = None,
+    ) -> BatchOutcome:
+        """Run every method on every system and collect ordered results.
+
+        ``methods`` entries are registry names/aliases or ``"auto"``; all are
+        validated up front so a typo fails before any work is spent.
+        ``method_options`` maps a requested method name to extra keyword
+        arguments for its runner.
+        """
+        systems = list(systems)
+        methods = tuple(methods)
+        for name in method_options or {}:
+            if name != "auto" and name not in self.registry:
+                raise ValueError(f"method_options given for unknown method {name!r}")
+
+        def canonical(name: str) -> str:
+            return name if name == "auto" else self.registry.resolve(name).name
+
+        # Validate every requested method up front and normalize the options
+        # keys, so options given under an alias ("shh") reach a sweep that
+        # requested the canonical name ("proposed") and vice versa.
+        by_canonical: Dict[str, Dict[str, Any]] = {}
+        for name, opts in (method_options or {}).items():
+            by_canonical.setdefault(canonical(name), {}).update(opts)
+        method_options = {method: by_canonical.get(canonical(method), {}) for method in methods}
+
+        start = time.perf_counter()
+        backend = self.backend
+        if backend in ("auto", "process"):
+            # Only pool *creation* triggers the serial fallback; a pool that
+            # breaks mid-sweep surfaces as per-cell errors instead of silently
+            # discarding completed work and re-running everything locally.
+            try:
+                pool = ProcessPoolExecutor(max_workers=self.max_workers)
+            except (OSError, PermissionError):
+                if backend == "process":
+                    raise
+                outcome = self._run_local(systems, methods, method_options, "serial")
+            else:
+                outcome = self._run_process(pool, systems, methods, method_options)
+        else:
+            outcome = self._run_local(systems, methods, method_options, backend)
+        outcome.total_seconds = time.perf_counter() - start
+        return outcome
+
+    # ------------------------------------------------------------------
+    def _run_local(
+        self,
+        systems: List[DescriptorSystem],
+        methods: Tuple[str, ...],
+        method_options: Dict[str, Dict[str, Any]],
+        backend: str,
+    ) -> BatchOutcome:
+        registry = self.registry
+        cells = [
+            (si, mi, system, method)
+            for si, system in enumerate(systems)
+            for mi, method in enumerate(methods)
+        ]
+        results: Dict[Tuple[int, int], BatchResult] = {}
+        # The runner's cache (and its counters) outlives individual sweeps;
+        # the outcome reports per-sweep deltas, matching the process backend.
+        stats_baseline = self.cache.stats.snapshot()
+
+        if backend == "serial":
+            n_workers = 1
+            for si, mi, system, method in cells:
+                report, seconds, error = _run_cell(
+                    system, method, self.tol, self.cache, registry,
+                    method_options.get(method, {}),
+                )
+                results[(si, mi)] = BatchResult(si, method, report, seconds, error)
+        else:
+            pool = ThreadPoolExecutor(max_workers=self.max_workers)
+            try:
+                n_workers = pool._max_workers
+                futures: List[Tuple[int, int, str, Future]] = [
+                    (
+                        si,
+                        mi,
+                        method,
+                        pool.submit(
+                            _run_cell, system, method, self.tol, self.cache,
+                            registry, method_options.get(method, {}),
+                        ),
+                    )
+                    for si, mi, system, method in cells
+                ]
+                for si, mi, method, future in futures:
+                    try:
+                        report, seconds, error = future.result(timeout=self.task_timeout)
+                        results[(si, mi)] = BatchResult(si, method, report, seconds, error)
+                    except FutureTimeoutError:
+                        results[(si, mi)] = BatchResult(si, method, timed_out=True)
+            finally:
+                # Do not join hung workers: cancel anything still queued and
+                # return promptly; a running thread cannot be killed but must
+                # not block the sweep either.
+                pool.shutdown(wait=False, cancel_futures=True)
+
+        ordered = [results[key] for key in sorted(results)]
+        return BatchOutcome(
+            results=ordered,
+            cache_stats=self.cache.stats.minus(stats_baseline),
+            total_seconds=0.0,
+            backend=backend,
+            n_workers=n_workers,
+        )
+
+    # ------------------------------------------------------------------
+    def _run_process(
+        self,
+        pool: ProcessPoolExecutor,
+        systems: List[DescriptorSystem],
+        methods: Tuple[str, ...],
+        method_options: Dict[str, Dict[str, Any]],
+    ) -> BatchOutcome:
+        # Group by system so the worker-local cache still shares the
+        # per-system intermediates across methods.  The registry is shipped to
+        # the workers (specs pickle by reference, so runners must be
+        # module-level functions); relying on the worker re-importing
+        # DEFAULT_REGISTRY would drop dynamically registered methods under a
+        # spawn start method.
+        registry = self.registry
+        merged = CacheStats()
+        results: Dict[Tuple[int, int], BatchResult] = {}
+        try:
+            n_workers = pool._max_workers
+            futures = [
+                (
+                    si,
+                    pool.submit(
+                        _process_worker,
+                        (si, system, methods, self.tol, method_options, registry,
+                         self.cache.maxsize),
+                    ),
+                )
+                for si, system in enumerate(systems)
+            ]
+            for si, future in futures:
+                try:
+                    index, cells, stats = future.result(timeout=self.task_timeout)
+                except FutureTimeoutError:
+                    for mi, method in enumerate(methods):
+                        results[(si, mi)] = BatchResult(si, method, timed_out=True)
+                    continue
+                except (BrokenExecutor, PicklingError, OSError) as error:
+                    # A broken pool (OOM-killed worker, unpicklable payload)
+                    # costs the affected cells, not the whole sweep.
+                    message = f"{type(error).__name__}: {error}"
+                    for mi, method in enumerate(methods):
+                        results[(si, mi)] = BatchResult(si, method, error=message)
+                    continue
+                merged.merge(stats)
+                # The worker emits one cell per entry of ``methods``, in
+                # order, so duplicates in the method list stay distinct.
+                for mi, (method, report, seconds, error) in enumerate(cells):
+                    results[(index, mi)] = BatchResult(index, method, report, seconds, error)
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+        ordered = [results[key] for key in sorted(results)]
+        return BatchOutcome(
+            results=ordered,
+            cache_stats=merged,
+            total_seconds=0.0,
+            backend="process",
+            n_workers=n_workers,
+        )

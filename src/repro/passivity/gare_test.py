@@ -76,19 +76,29 @@ def gare_passivity_test(
     system: DescriptorSystem,
     tol: Optional[Tolerances] = None,
     regularization: Optional[float] = None,
+    state_space: Optional[StateSpace] = None,
 ) -> PassivityReport:
-    """Riccati-equation passivity test, valid for admissible systems only."""
+    """Riccati-equation passivity test, valid for admissible systems only.
+
+    Parameters
+    ----------
+    state_space:
+        Optional precomputed result of :func:`admissible_to_state_space` (for
+        example from the engine's decomposition cache); supplying it skips the
+        admissibility check and the Schur-complement reduction.
+    """
     tol = tol or DEFAULT_TOLERANCES
     start = time.perf_counter()
     report = PassivityReport(is_passive=False, method="gare")
 
-    try:
-        state_space = admissible_to_state_space(system, tol)
-    except NotAdmissibleError as error:
-        report.failure_reason = str(error)
-        report.add_step("admissibility", str(error), passed=False)
-        report.elapsed_seconds = time.perf_counter() - start
-        return report
+    if state_space is None:
+        try:
+            state_space = admissible_to_state_space(system, tol)
+        except NotAdmissibleError as error:
+            report.failure_reason = str(error)
+            report.add_step("admissibility", str(error), passed=False)
+            report.elapsed_seconds = time.perf_counter() - start
+            return report
     report.add_step(
         "admissibility",
         "system is admissible; reduced to an equivalent regular state space",

@@ -124,7 +124,9 @@ def impulsive_chain_data(
             # level belong to kernel-only solutions and do not indicate a
             # grade-3 continuation.
             y_part = continuation[: v2_right.shape[1], :]
-            has_higher = bool(np.linalg.norm(y_part, ord=2) > 1e-7)
+            has_higher = bool(
+                np.linalg.norm(y_part, ord=2) > tol.grade3_continuation_atol
+            )
 
     return InfiniteChainData(
         v1_right=v1_right,

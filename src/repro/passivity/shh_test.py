@@ -36,7 +36,11 @@ from repro.descriptor.system import DescriptorSystem, StateSpace
 from repro.exceptions import ReductionError, ReproError, SingularPencilError
 from repro.linalg.basics import is_positive_semidefinite, is_symmetric
 from repro.passivity.hamiltonian_test import proper_positive_real_test
-from repro.passivity.m1 import extract_m1_via_chains, impulsive_chain_data
+from repro.passivity.m1 import (
+    InfiniteChainData,
+    extract_m1_via_chains,
+    impulsive_chain_data,
+)
 from repro.passivity.proper_part import extract_stable_proper_part
 from repro.passivity.reduction import (
     remove_impulsive_modes,
@@ -71,12 +75,25 @@ class ShhPassivityTest:
     check_stability: bool = True
     strict_counting: bool = False
 
-    def run(self, system: DescriptorSystem) -> PassivityReport:
-        """Execute the full Figure-1 flow on ``system`` and return the report."""
+    def run(
+        self,
+        system: DescriptorSystem,
+        chain_data: Optional["InfiniteChainData"] = None,
+    ) -> PassivityReport:
+        """Execute the full Figure-1 flow on ``system`` and return the report.
+
+        Parameters
+        ----------
+        chain_data:
+            Optional precomputed grade-1/2 chain structure at infinity (for
+            example from the engine's decomposition cache); when omitted it is
+            computed from scratch.  Must have been computed with the same
+            tolerance bundle.
+        """
         start = time.perf_counter()
         report = PassivityReport(is_passive=False, method="shh")
         try:
-            self._run_flow(system, report)
+            self._run_flow(system, report, chain_data=chain_data)
         except ReproError as error:
             # Any structural failure inside the flow means the reductions
             # could not be completed, which the paper interprets as a
@@ -89,7 +106,12 @@ class ShhPassivityTest:
         return report
 
     # ------------------------------------------------------------------
-    def _run_flow(self, system: DescriptorSystem, report: PassivityReport) -> None:
+    def _run_flow(
+        self,
+        system: DescriptorSystem,
+        report: PassivityReport,
+        chain_data: Optional["InfiniteChainData"] = None,
+    ) -> None:
         tol = self.tol
 
         # Step 0: validation -------------------------------------------------
@@ -176,7 +198,7 @@ class ShhPassivityTest:
         )
 
         # Step 5: Markov-parameter structure of G -------------------------------
-        chains = impulsive_chain_data(system, tol)
+        chains = chain_data if chain_data is not None else impulsive_chain_data(system, tol)
         report.diagnostics["n_impulsive_chains"] = chains.n_chains
         if chains.has_higher_grade:
             report.add_step(
@@ -309,12 +331,13 @@ def shh_passivity_test(
     system: DescriptorSystem,
     tol: Optional[Tolerances] = None,
     check_stability: bool = True,
+    chain_data: Optional["InfiniteChainData"] = None,
 ) -> PassivityReport:
     """Run the proposed SHH passivity test on ``system`` (functional interface)."""
     driver = ShhPassivityTest(
         tol=tol or DEFAULT_TOLERANCES, check_stability=check_stability
     )
-    return driver.run(system)
+    return driver.run(system, chain_data=chain_data)
 
 
 def extract_proper_part(

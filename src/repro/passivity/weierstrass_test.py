@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.config import DEFAULT_TOLERANCES, Tolerances
 from repro.descriptor.system import DescriptorSystem, StateSpace
-from repro.descriptor.weierstrass import weierstrass_form
+from repro.descriptor.weierstrass import WeierstrassForm, weierstrass_form
 from repro.linalg.basics import is_positive_semidefinite, is_symmetric
 from repro.passivity.hamiltonian_test import proper_positive_real_test
 from repro.passivity.result import PassivityReport
@@ -34,8 +34,17 @@ def weierstrass_passivity_test(
     system: DescriptorSystem,
     tol: Optional[Tolerances] = None,
     check_stability: bool = True,
+    form: Optional[WeierstrassForm] = None,
 ) -> PassivityReport:
-    """Passivity test via explicit proper/impulsive separation (Weierstrass route)."""
+    """Passivity test via explicit proper/impulsive separation (Weierstrass route).
+
+    Parameters
+    ----------
+    form:
+        Optional precomputed (quasi-)Weierstrass canonical form of ``system``
+        (for example from the engine's decomposition cache); when omitted the
+        decomposition — the dominant cost of this test — is computed here.
+    """
     tol = tol or DEFAULT_TOLERANCES
     start = time.perf_counter()
     report = PassivityReport(is_passive=False, method="weierstrass")
@@ -52,7 +61,8 @@ def weierstrass_passivity_test(
         return report
     report.add_step("validate", "square system with a regular pencil", passed=True)
 
-    form = weierstrass_form(system, tol)
+    if form is None:
+        form = weierstrass_form(system, tol)
     report.diagnostics["transformation_conditioning"] = form.conditioning
     report.add_step(
         "weierstrass_form",

@@ -34,6 +34,61 @@ class TestHarnessFunctions:
         with pytest.raises(ValueError):
             run_single_model(system, methods=("nonsense",))
 
+    def test_method_names_validated_before_any_timing(self):
+        # A typo anywhere in the method list must fail *before* the valid
+        # methods are run, so no timing work is wasted on a doomed sweep.
+        from repro.engine import DecompositionCache, UnknownMethodError
+
+        system = paper_benchmark_model(15).system
+        cache = DecompositionCache()
+        with pytest.raises(UnknownMethodError, match="nonsense"):
+            run_single_model(
+                system, methods=("proposed", "weierstrass", "nonsense"), cache=cache
+            )
+        assert cache.stats.misses == 0  # nothing was computed
+
+    def test_registry_aliases_accepted(self):
+        # "shh" (canonical) and "proposed" (the paper's Table-1 label) both
+        # dispatch through the engine registry; results keep the caller's key.
+        system = paper_benchmark_model(15).system
+        results = run_single_model(system, methods=("shh",), lmi_order_limit=None)
+        assert results["shh"]["passive"] is True
+
+    def test_registry_order_limits_become_nil_entries(self):
+        # Any registered method refused by its order limit reports NIL
+        # (None/None), exactly like the LMI column — not a non-passive False.
+        from repro.engine import MethodRegistry, MethodSpec
+        from repro.engine.registry import DEFAULT_REGISTRY
+        from repro.passivity.result import PassivityReport
+
+        def never_runs(system, tol, cache, **options):  # pragma: no cover
+            raise AssertionError("order limit should have skipped this")
+
+        registry = MethodRegistry()
+        registry.register(DEFAULT_REGISTRY.resolve("shh"))
+        registry.register(
+            MethodSpec(name="tiny", runner=never_runs, description="", order_limit=1)
+        )
+        system = paper_benchmark_model(15).system
+        results = run_single_model(
+            system, methods=("proposed", "tiny"), lmi_order_limit=None,
+            registry=registry,
+        )
+        assert results["proposed"]["passive"] is True
+        assert results["tiny"] == {"seconds": None, "passive": None}
+
+    def test_methods_share_a_decomposition_cache(self):
+        from repro.engine import DecompositionCache
+
+        system = paper_benchmark_model(15).system
+        cache = DecompositionCache()
+        run_single_model(
+            system, methods=("proposed", "gare"), lmi_order_limit=None, cache=cache
+        )
+        # The GARE admissibility pre-screen reused the SHH chain analysis.
+        assert cache.stats.misses_for("chain_data") == 1
+        assert cache.stats.hits_for("chain_data") >= 1
+
     def test_lmi_skip_behaviour(self):
         system = paper_benchmark_model(20).system
         results = run_single_model(system, methods=("lmi",), lmi_order_limit=15)

@@ -1,0 +1,186 @@
+"""Tests for the fingerprint-keyed decomposition cache."""
+
+import numpy as np
+import pytest
+
+from repro.config import DEFAULT_TOLERANCES, Tolerances
+from repro.descriptor import DescriptorSystem
+from repro.engine import DecompositionCache, fingerprint_system, profile_system
+from repro.exceptions import NotAdmissibleError
+
+
+def perturbed(system, eps=1e-12):
+    return DescriptorSystem(
+        system.e, system.a + eps, system.b, system.c, system.d
+    )
+
+
+class TestFingerprint:
+    def test_deterministic(self, small_rlc_ladder):
+        assert fingerprint_system(small_rlc_ladder) == fingerprint_system(
+            small_rlc_ladder
+        )
+
+    def test_sensitive_to_matrix_perturbation(self, small_rlc_ladder):
+        assert fingerprint_system(small_rlc_ladder) != fingerprint_system(
+            perturbed(small_rlc_ladder)
+        )
+
+    def test_sensitive_to_tolerances(self, small_rlc_ladder):
+        loose = Tolerances(rank_rtol=1e-6)
+        assert fingerprint_system(small_rlc_ladder) != fingerprint_system(
+            small_rlc_ladder, loose
+        )
+        assert fingerprint_system(small_rlc_ladder) == fingerprint_system(
+            small_rlc_ladder, DEFAULT_TOLERANCES
+        )
+
+
+class TestHitMissAccounting:
+    def test_miss_then_hit(self, small_rlc_ladder):
+        cache = DecompositionCache()
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return "payload"
+
+        first = cache.get_or_compute(small_rlc_ladder, "thing", compute)
+        second = cache.get_or_compute(small_rlc_ladder, "thing", compute)
+        assert first == second == "payload"
+        assert len(calls) == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.misses_for("thing") == 1
+        assert cache.stats.hits_for("thing") == 1
+
+    def test_kinds_are_independent_entries(self, small_rlc_ladder):
+        cache = DecompositionCache()
+        cache.get_or_compute(small_rlc_ladder, "alpha", lambda: 1)
+        cache.get_or_compute(small_rlc_ladder, "beta", lambda: 2)
+        assert cache.get_or_compute(small_rlc_ladder, "alpha", lambda: -1) == 1
+        assert cache.get_or_compute(small_rlc_ladder, "beta", lambda: -2) == 2
+        assert cache.stats.misses == 2
+        assert cache.stats.hits == 2
+
+    def test_different_systems_do_not_collide(
+        self, small_rlc_ladder, small_rc_line
+    ):
+        cache = DecompositionCache()
+        cache.get_or_compute(small_rlc_ladder, "thing", lambda: "ladder")
+        assert (
+            cache.get_or_compute(small_rc_line, "thing", lambda: "line") == "line"
+        )
+        assert cache.stats.misses == 2
+
+    def test_chain_data_shared(self, small_impulsive_ladder):
+        cache = DecompositionCache()
+        first = cache.chain_data(small_impulsive_ladder)
+        second = cache.chain_data(small_impulsive_ladder)
+        assert first is second
+        assert cache.stats.misses_for("chain_data") == 1
+        assert cache.stats.hits_for("chain_data") == 1
+
+    def test_weierstrass_shared(self, small_impulsive_ladder):
+        cache = DecompositionCache()
+        assert cache.weierstrass(small_impulsive_ladder) is cache.weierstrass(
+            small_impulsive_ladder
+        )
+        assert cache.stats.misses_for("weierstrass_form") == 1
+
+    def test_stats_merge(self):
+        from repro.engine import CacheStats
+
+        left = CacheStats()
+        left.record("a", hit=False)
+        right = CacheStats()
+        right.record("a", hit=True)
+        right.record("b", hit=False)
+        left.merge(right)
+        assert left.hits == 1 and left.misses == 2
+        assert left.hits_for("a") == 1 and left.misses_for("b") == 1
+
+
+class TestEviction:
+    def test_lru_eviction_bounds_size(self, small_rlc_ladder):
+        cache = DecompositionCache(maxsize=2)
+        for kind in ("one", "two", "three"):
+            cache.get_or_compute(small_rlc_ladder, kind, lambda kind=kind: kind)
+        assert len(cache) == 2
+        assert cache.stats.evictions == 1
+        # "one" was evicted, "three" survived.
+        assert (
+            cache.get_or_compute(small_rlc_ladder, "three", lambda: "fresh")
+            == "three"
+        )
+        assert (
+            cache.get_or_compute(small_rlc_ladder, "one", lambda: "fresh") == "fresh"
+        )
+
+    def test_invalid_maxsize_rejected(self):
+        with pytest.raises(ValueError):
+            DecompositionCache(maxsize=0)
+
+
+class TestNegativeCaching:
+    def test_gare_refusal_cached(self, small_impulsive_ladder, monkeypatch):
+        cache = DecompositionCache()
+        with pytest.raises(NotAdmissibleError):
+            cache.gare_state_space(small_impulsive_ladder)
+        # Second lookup re-raises from the cache without recomputing.
+        import repro.engine.cache as cache_module
+
+        def boom(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("refusal should come from the cache")
+
+        monkeypatch.setattr(cache_module, "admissible_to_state_space", boom)
+        with pytest.raises(NotAdmissibleError):
+            cache.gare_state_space(small_impulsive_ladder)
+        assert cache.stats.misses_for("gare_state_space") == 1
+        assert cache.stats.hits_for("gare_state_space") == 1
+
+    def test_unexpected_errors_not_cached(self, small_rlc_ladder):
+        cache = DecompositionCache()
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) == 1:
+                raise RuntimeError("transient")
+            return "ok"
+
+        with pytest.raises(RuntimeError):
+            cache.get_or_compute(small_rlc_ladder, "flaky", flaky)
+        assert cache.get_or_compute(small_rlc_ladder, "flaky", flaky) == "ok"
+        assert len(calls) == 2
+
+
+class TestSystemProfile:
+    def test_profile_of_admissible_system(self, small_rc_line):
+        profile = profile_system(small_rc_line)
+        assert profile.is_regular
+        assert profile.is_stable
+        assert profile.is_impulse_free
+        assert profile.is_admissible
+        assert profile.order == small_rc_line.order
+
+    def test_profile_of_impulsive_system(self, small_impulsive_ladder):
+        profile = profile_system(small_impulsive_ladder)
+        assert profile.n_impulsive_chains > 0
+        assert not profile.is_impulse_free
+        assert not profile.is_admissible
+
+    def test_profile_cached_and_shares_chain_data(self, small_impulsive_ladder):
+        cache = DecompositionCache()
+        profile_system(small_impulsive_ladder, cache=cache)
+        profile_system(small_impulsive_ladder, cache=cache)
+        assert cache.stats.misses_for("system_profile") == 1
+        assert cache.stats.hits_for("system_profile") == 1
+        # The chain analysis behind the profile is itself a cache entry.
+        cache.chain_data(small_impulsive_ladder)
+        assert cache.stats.misses_for("chain_data") == 1
+        assert cache.stats.hits_for("chain_data") == 1
+
+    def test_higher_grade_flagged(self, s_squared_system):
+        profile = profile_system(s_squared_system)
+        assert profile.has_higher_grade

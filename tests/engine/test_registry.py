@@ -1,0 +1,150 @@
+"""Tests for the passivity-method registry."""
+
+import pytest
+
+from repro.engine import (
+    COST_CUBIC,
+    COST_SDP,
+    DEFAULT_REGISTRY,
+    MethodRegistry,
+    MethodSpec,
+    UnknownMethodError,
+    check_passivity,
+)
+from repro.passivity.result import PassivityReport
+
+
+def _toy_runner(system, tol, cache, **options):
+    report = PassivityReport(is_passive=True, method="toy")
+    report.diagnostics["options"] = dict(options)
+    return report
+
+
+def make_toy_spec(**overrides):
+    fields = dict(
+        name="toy",
+        runner=_toy_runner,
+        description="always-passive stub",
+        cost=COST_CUBIC,
+        aliases=("stub",),
+    )
+    fields.update(overrides)
+    return MethodSpec(**fields)
+
+
+class TestRegistryRoundTrip:
+    def test_register_and_lookup(self):
+        registry = MethodRegistry()
+        spec = registry.register(make_toy_spec())
+        assert registry.resolve("toy") is spec
+        assert registry.resolve("stub") is spec
+        assert "toy" in registry
+        assert "stub" in registry
+        assert registry.names() == ("toy",)
+        assert len(registry) == 1
+
+    def test_metadata_round_trip(self):
+        registry = MethodRegistry()
+        registry.register(
+            make_toy_spec(cost=COST_SDP, order_limit=42, requires_admissible=True)
+        )
+        spec = registry.resolve("toy")
+        assert spec.cost == COST_SDP
+        assert spec.order_limit == 42
+        assert spec.requires_admissible
+
+    def test_unknown_method_error(self):
+        registry = MethodRegistry()
+        registry.register(make_toy_spec())
+        with pytest.raises(UnknownMethodError, match="nonsense"):
+            registry.resolve("nonsense")
+        # The error lists the registered names and stays a ValueError for
+        # backwards compatibility with the old if/elif dispatch.
+        with pytest.raises(ValueError, match="toy"):
+            registry.resolve("nonsense")
+
+    def test_duplicate_registration_rejected(self):
+        registry = MethodRegistry()
+        registry.register(make_toy_spec())
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register(make_toy_spec())
+
+    def test_alias_collision_rejected(self):
+        registry = MethodRegistry()
+        registry.register(make_toy_spec())
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register(make_toy_spec(name="other", aliases=("stub",)))
+
+    def test_replace_under_a_former_alias_name_wins(self):
+        # Registering a new spec whose canonical name was previously an alias
+        # of another spec must not leave the old alias mapping shadowing it.
+        registry = MethodRegistry()
+        registry.register(make_toy_spec(name="x", aliases=("y",)))
+        replacement = make_toy_spec(name="y", aliases=())
+        registry.register(replacement, replace=True)
+        assert registry.resolve("y") is replacement
+
+    def test_alias_cannot_shadow_another_canonical_name(self):
+        registry = MethodRegistry()
+        registry.register(make_toy_spec(name="x", aliases=()))
+        with pytest.raises(ValueError, match="shadow"):
+            registry.register(
+                make_toy_spec(name="z", aliases=("x",)), replace=True
+            )
+
+    def test_replace_drops_stale_aliases(self):
+        registry = MethodRegistry()
+        registry.register(make_toy_spec(aliases=("old_alias",)))
+        registry.register(make_toy_spec(aliases=("new_alias",)), replace=True)
+        assert registry.resolve("new_alias").name == "toy"
+        with pytest.raises(UnknownMethodError):
+            registry.resolve("old_alias")
+
+    def test_unregister_removes_aliases(self):
+        registry = MethodRegistry()
+        registry.register(make_toy_spec())
+        registry.unregister("toy")
+        assert "toy" not in registry
+        assert "stub" not in registry
+
+    def test_unregister_keeps_reassigned_aliases(self):
+        # A replace=True registration took over "stub"; removing the original
+        # spec must not delete the alias from its new owner.
+        registry = MethodRegistry()
+        registry.register(make_toy_spec(name="a", aliases=("stub",)))
+        taker = make_toy_spec(name="b", aliases=("stub",))
+        registry.register(taker, replace=True)
+        registry.unregister("a")
+        assert registry.resolve("stub") is taker
+
+
+class TestDefaultRegistry:
+    def test_builtin_methods_present(self):
+        assert set(DEFAULT_REGISTRY.names()) == {"shh", "lmi", "weierstrass", "gare"}
+
+    def test_proposed_alias_maps_to_shh(self):
+        assert DEFAULT_REGISTRY.resolve("proposed").name == "shh"
+
+    def test_capability_metadata(self):
+        assert DEFAULT_REGISTRY.resolve("lmi").cost == COST_SDP
+        assert DEFAULT_REGISTRY.resolve("lmi").order_limit == 60
+        assert DEFAULT_REGISTRY.resolve("gare").requires_admissible
+        assert DEFAULT_REGISTRY.resolve("shh").order_limit is None
+        assert not DEFAULT_REGISTRY.resolve("shh").requires_admissible
+
+
+class TestCustomRegistryDispatch:
+    def test_check_passivity_uses_custom_registry(self, small_rc_line):
+        registry = MethodRegistry()
+        registry.register(make_toy_spec())
+        report = check_passivity(small_rc_line, method="stub", registry=registry)
+        assert report.method == "toy"
+        assert report.is_passive
+
+    def test_options_forwarded_to_runner(self, small_rc_line):
+        registry = MethodRegistry()
+        registry.register(make_toy_spec())
+        report = check_passivity(
+            small_rc_line, method="toy", registry=registry, flavour="vanilla"
+        )
+        assert report.diagnostics["options"] == {"flavour": "vanilla"}
