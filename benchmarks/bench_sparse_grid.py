@@ -1,0 +1,117 @@
+"""Sparse backend benchmark: ``shh-sparse`` vs. the dense path on RC grids.
+
+Acceptance target of the sparse-backend PR: on a >= 2k-node grid the sparse
+path must beat the dense path by >= 5x in speed *or* memory.  Both are
+measured here:
+
+* **speedup** — dense ``shh`` vs. ``shh-sparse`` head-to-head on grids the
+  dense pipeline can still handle (the dense cost grows like O((2n)^3); at
+  order ~256 the measured gap is already two to three orders of magnitude),
+* **memory** — on the >= 2k-node grid the CSR stamps are compared against the
+  2 * n^2 * 8 bytes the dense pipeline's ``E``/``A`` views would occupy (the
+  dense run itself would take tens of minutes there, which is precisely the
+  cap the sparse backend removes).
+
+Sizes follow the shared smoke/full conventions of ``benchmarks/conftest.py``:
+``REPRO_BENCH_SMOKE=1`` shrinks the head-to-head grid to 12x12 for CI, the
+default is 16x16, and ``REPRO_BENCH_FULL=1`` adds a 24x24 head-to-head round.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.conftest import full_run, smoke_run
+from repro.circuits import rc_grid
+from repro.engine import check_passivity
+
+
+def head_to_head_grids() -> tuple:
+    if smoke_run():
+        return ((12, 12),)
+    if full_run():
+        return ((16, 16), (24, 24))
+    return ((16, 16),)
+
+
+#: The acceptance-scale grid: 46 x 46 = 2116 nodes >= 2k.
+LARGE_GRID = (46, 46)
+
+HEAD_TO_HEAD = head_to_head_grids()
+
+
+@pytest.fixture(scope="module")
+def grid_systems():
+    systems = {}
+    for rows, cols in HEAD_TO_HEAD:
+        systems[(rows, cols, "dense")] = rc_grid(rows, cols, sparse=False).system
+        systems[(rows, cols, "sparse")] = rc_grid(rows, cols, sparse=True).system
+    systems["large"] = rc_grid(*LARGE_GRID, sparse=True).system
+    return systems
+
+
+@pytest.mark.parametrize("rows,cols", HEAD_TO_HEAD)
+def test_sparse_speedup_over_dense_path(benchmark, grid_systems, rows, cols):
+    """Head-to-head: the sparse method must be >= 5x faster than dense SHH."""
+    dense_system = grid_systems[(rows, cols, "dense")]
+    sparse_system = grid_systems[(rows, cols, "sparse")]
+
+    start = time.perf_counter()
+    dense_report = check_passivity(dense_system, method="shh")
+    dense_seconds = time.perf_counter() - start
+    assert dense_report.is_passive, dense_report.failure_reason
+
+    # Manual timing for the assertion (works under --benchmark-disable too);
+    # the pedantic run below feeds the benchmark report when enabled.
+    start = time.perf_counter()
+    sparse_report = check_passivity(sparse_system, "shh-sparse")
+    sparse_seconds = time.perf_counter() - start
+    assert sparse_report.is_passive, sparse_report.failure_reason
+
+    benchmark.pedantic(
+        check_passivity,
+        args=(sparse_system, "shh-sparse"),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=1,
+    )
+
+    speedup = dense_seconds / sparse_seconds
+    benchmark.extra_info["order"] = dense_system.order
+    benchmark.extra_info["dense_seconds"] = dense_seconds
+    benchmark.extra_info["speedup"] = speedup
+    # Guard against timer noise on tiny grids: only assert when the dense
+    # side did measurable work (it does, from 12x12 up).
+    if dense_seconds >= 0.05:
+        assert speedup >= 5.0, f"speedup {speedup:.1f}x below the 5x target"
+
+
+def test_large_grid_memory_reduction(grid_systems):
+    """>= 2k nodes: CSR stamps must undercut the dense E/A views >= 5x."""
+    system = grid_systems["large"]
+    assert system.order >= 2000
+    sparse_bytes = 0
+    for matrix in (system.sparse_e, system.sparse_a):
+        sparse_bytes += matrix.data.nbytes + matrix.indices.nbytes + matrix.indptr.nbytes
+    dense_bytes = 2 * system.order ** 2 * 8
+    reduction = dense_bytes / sparse_bytes
+    assert reduction >= 5.0, f"memory reduction {reduction:.1f}x below the 5x target"
+
+
+def test_large_grid_sparse_verdict(benchmark, grid_systems):
+    """The >= 2k-node grid itself: auto-dispatched sparse verdict, timed."""
+    system = grid_systems["large"]
+    report = benchmark.pedantic(
+        check_passivity,
+        args=(system,),
+        kwargs={"method": "auto"},
+        rounds=3,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    assert report.method == "shh-sparse"
+    assert report.is_passive, report.failure_reason
+    benchmark.extra_info["order"] = system.order
+    benchmark.extra_info["nnz"] = system.nnz

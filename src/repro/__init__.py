@@ -45,6 +45,8 @@ from repro.passivity import (
     proper_positive_real_test,
     sampling_passivity_check,
     shh_passivity_test,
+    sparse_shh_passivity_test,
+    structural_passivity_certificate,
     weierstrass_passivity_test,
 )
 from repro.engine import (
@@ -99,6 +101,8 @@ __all__ = [
     "PassivityReport",
     "ShhPassivityTest",
     "shh_passivity_test",
+    "sparse_shh_passivity_test",
+    "structural_passivity_certificate",
     "lmi_passivity_test",
     "weierstrass_passivity_test",
     "gare_passivity_test",

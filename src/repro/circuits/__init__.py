@@ -4,12 +4,16 @@ from repro.circuits.elements import Capacitor, Inductor, Port, Resistor
 from repro.circuits.netlist import Netlist
 from repro.circuits.mna import MnaModel, assemble_mna
 from repro.circuits.generators import (
+    coupled_line_bus,
     feedthrough_perturbation,
     impulsive_rlc_ladder,
     negative_resistor_perturbation,
     paper_benchmark_model,
+    random_coupled_bus,
     random_passive_descriptor,
+    rc_grid,
     rc_line,
+    rlc_grid,
     rlc_ladder,
 )
 
@@ -24,6 +28,10 @@ __all__ = [
     "rlc_ladder",
     "impulsive_rlc_ladder",
     "rc_line",
+    "rc_grid",
+    "rlc_grid",
+    "coupled_line_bus",
+    "random_coupled_bus",
     "paper_benchmark_model",
     "random_passive_descriptor",
     "negative_resistor_perturbation",

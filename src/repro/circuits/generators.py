@@ -40,6 +40,10 @@ __all__ = [
     "rlc_ladder",
     "impulsive_rlc_ladder",
     "rc_line",
+    "rc_grid",
+    "rlc_grid",
+    "coupled_line_bus",
+    "random_coupled_bus",
     "paper_benchmark_model",
     "random_passive_descriptor",
     "negative_resistor_perturbation",
@@ -175,6 +179,212 @@ def rc_line(
         netlist.add_resistor(f"r{k}", f"n{k - 1}", f"n{k}", series_resistance)
         netlist.add_capacitor(f"c{k}", f"n{k}", "0", shunt_capacitance)
     return assemble_mna(netlist)
+
+
+# ----------------------------------------------------------------------
+# Large parameterized workloads for the sparse backend
+# ----------------------------------------------------------------------
+def rc_grid(
+    rows: int,
+    cols: int,
+    series_resistance: float = 0.5,
+    shunt_capacitance: float = 1.0,
+    shunt_conductance: float = 0.02,
+    n_ports: int = 2,
+    sparse: bool = True,
+) -> MnaModel:
+    """2-D RC mesh: ``rows x cols`` nodes, resistive links, shunt C at each node.
+
+    The canonical power-grid / substrate interconnect workload: every matrix
+    row has at most five nonzeros, so the model scales to tens of thousands of
+    nodes on the sparse assembly path.  The port corner nodes carry no
+    capacitor, which keeps ``E`` singular and the model a genuine (index-1)
+    descriptor system; everything is built from positive elements and is
+    passive by construction.
+
+    The model order is ``rows * cols``; ports sit at the grid corners (up to
+    four).
+    """
+    if rows < 2 or cols < 2:
+        raise DimensionError("the grid needs at least 2 x 2 nodes")
+    if not 1 <= n_ports <= 4:
+        raise DimensionError("the grid supports 1 to 4 corner ports")
+    netlist = Netlist()
+
+    def node(r: int, c: int) -> str:
+        return f"g{r}_{c}"
+
+    corners = [(0, 0), (rows - 1, cols - 1), (0, cols - 1), (rows - 1, 0)]
+    port_nodes = {node(r, c) for r, c in corners[:n_ports]}
+    for k, (r, c) in enumerate(corners[:n_ports]):
+        netlist.add_port(f"p{k}", node(r, c))
+    for r in range(rows):
+        for c in range(cols):
+            label = node(r, c)
+            if c + 1 < cols:
+                netlist.add_resistor(f"rh{r}_{c}", label, node(r, c + 1), series_resistance)
+            if r + 1 < rows:
+                netlist.add_resistor(f"rv{r}_{c}", label, node(r + 1, c), series_resistance)
+            if label in port_nodes:
+                # Port corners: conductance only, so E stays singular.
+                netlist.add_resistor(f"rg{r}_{c}", label, "0", 1.0 / max(shunt_conductance, 1e-3))
+            else:
+                netlist.add_capacitor(f"c{r}_{c}", label, "0", shunt_capacitance)
+                netlist.add_resistor(f"rg{r}_{c}", label, "0", 1.0 / shunt_conductance)
+    return assemble_mna(netlist, sparse=sparse)
+
+
+def rlc_grid(
+    rows: int,
+    cols: int,
+    series_resistance: float = 0.4,
+    link_inductance: float = 0.6,
+    shunt_capacitance: float = 1.0,
+    shunt_conductance: float = 0.02,
+    n_ports: int = 2,
+    sparse: bool = True,
+) -> MnaModel:
+    """2-D RLC mesh: resistive rows, inductive columns, shunt C at each node.
+
+    Horizontal links are resistors, vertical links are inductors (adding one
+    inductor-current state each), so the model mixes capacitive, inductive and
+    resistive dynamics like an on-chip power grid with package inductance.
+    The order is ``rows * cols + (rows - 1) * cols`` (nodes plus one inductor
+    current per vertical link); each vertical link carries a small parallel
+    resistor to keep the finite spectrum strictly damped.
+    """
+    if rows < 2 or cols < 2:
+        raise DimensionError("the grid needs at least 2 x 2 nodes")
+    if not 1 <= n_ports <= 4:
+        raise DimensionError("the grid supports 1 to 4 corner ports")
+    netlist = Netlist()
+
+    def node(r: int, c: int) -> str:
+        return f"g{r}_{c}"
+
+    corners = [(0, 0), (rows - 1, cols - 1), (0, cols - 1), (rows - 1, 0)]
+    port_nodes = {node(r, c) for r, c in corners[:n_ports]}
+    for k, (r, c) in enumerate(corners[:n_ports]):
+        netlist.add_port(f"p{k}", node(r, c))
+    for r in range(rows):
+        for c in range(cols):
+            label = node(r, c)
+            if c + 1 < cols:
+                netlist.add_resistor(f"rh{r}_{c}", label, node(r, c + 1), series_resistance)
+            if r + 1 < rows:
+                netlist.add_inductor(f"lv{r}_{c}", label, node(r + 1, c), link_inductance)
+                # Parallel loss keeps every LC resonance strictly damped.
+                netlist.add_resistor(
+                    f"rl{r}_{c}", label, node(r + 1, c), 10.0 / max(shunt_conductance, 1e-3)
+                )
+            if label in port_nodes:
+                netlist.add_resistor(f"rg{r}_{c}", label, "0", 1.0 / max(shunt_conductance, 1e-3))
+            else:
+                netlist.add_capacitor(f"c{r}_{c}", label, "0", shunt_capacitance)
+                netlist.add_resistor(f"rg{r}_{c}", label, "0", 1.0 / shunt_conductance)
+    return assemble_mna(netlist, sparse=sparse)
+
+
+def coupled_line_bus(
+    n_lines: int,
+    n_sections: int,
+    series_resistance: float = 0.4,
+    series_inductance: float = 0.8,
+    shunt_capacitance: float = 1.0,
+    shunt_conductance: float = 0.05,
+    coupling_capacitance: float = 0.25,
+    sparse: bool = True,
+) -> MnaModel:
+    """Multi-port bus of capacitively coupled RLC transmission-line ladders.
+
+    ``n_lines`` parallel R-L/C ladders with coupling capacitors between
+    adjacent lines at every tap, one port per line at the near end — the
+    classic coupled-interconnect crosstalk workload.  The coupling capacitors
+    make the nodal capacitance block genuinely non-diagonal, which exercises
+    the sparse deflation's non-trivial ``E11``.  Order is
+    ``n_lines * (3 * n_sections + 1)``.
+    """
+    if n_lines < 2:
+        raise DimensionError("the bus needs at least two coupled lines")
+    if n_sections < 1:
+        raise DimensionError("each line needs at least one section")
+    netlist = Netlist()
+    for line in range(n_lines):
+        netlist.add_port(f"p{line}", f"t{line}_0")
+        netlist.add_resistor(
+            f"rin{line}", f"t{line}_0", "0", 1.0 / max(shunt_conductance, 1e-3)
+        )
+        for k in range(1, n_sections + 1):
+            netlist.add_resistor(
+                f"r{line}_{k}", f"t{line}_{k - 1}", f"m{line}_{k}", series_resistance
+            )
+            netlist.add_inductor(
+                f"l{line}_{k}", f"m{line}_{k}", f"t{line}_{k}", series_inductance
+            )
+            netlist.add_capacitor(f"c{line}_{k}", f"t{line}_{k}", "0", shunt_capacitance)
+            netlist.add_resistor(
+                f"rg{line}_{k}", f"t{line}_{k}", "0", 1.0 / shunt_conductance
+            )
+    for line in range(n_lines - 1):
+        for k in range(1, n_sections + 1):
+            netlist.add_capacitor(
+                f"cc{line}_{k}", f"t{line}_{k}", f"t{line + 1}_{k}", coupling_capacitance
+            )
+    return assemble_mna(netlist, sparse=sparse)
+
+
+def random_coupled_bus(
+    n_nodes: int,
+    n_ports: int = 2,
+    extra_edge_fraction: float = 0.5,
+    capacitor_fraction: float = 0.7,
+    inductor_fraction: float = 0.1,
+    seed: Optional[int] = None,
+    sparse: bool = True,
+) -> MnaModel:
+    """Randomized connected RLC network, passive by construction.
+
+    A random spanning tree over ``n_nodes`` nodes plus
+    ``extra_edge_fraction * n_nodes`` chords, all resistive; a random
+    ``capacitor_fraction`` of the nodes get shunt capacitors,
+    ``inductor_fraction`` of the chords become inductive links, and every node
+    keeps a small shunt conductance so the model is strictly lossy.  All
+    element values are positive, so the MNA model satisfies the structural
+    passivity LMI regardless of the drawn topology — which is what makes this
+    generator suitable for property-based testing of the sparse backend.
+    """
+    if n_nodes < 2:
+        raise DimensionError("the bus needs at least two nodes")
+    if not 1 <= n_ports <= n_nodes:
+        raise DimensionError("n_ports must be between 1 and n_nodes")
+    rng = np.random.default_rng(seed)
+    netlist = Netlist()
+
+    def value(low: float = 0.2, high: float = 1.2) -> float:
+        return float(low + (high - low) * rng.random())
+
+    # Random spanning tree: connect each node to a random earlier node.
+    for k in range(1, n_nodes):
+        other = int(rng.integers(0, k))
+        netlist.add_resistor(f"rt{k}", f"n{k}", f"n{other}", value())
+    n_extra = int(extra_edge_fraction * n_nodes)
+    n_inductive = int(inductor_fraction * n_extra)
+    for j in range(n_extra):
+        i, k = rng.integers(0, n_nodes, size=2)
+        if i == k:
+            continue
+        if j < n_inductive:
+            netlist.add_inductor(f"le{j}", f"n{int(i)}", f"n{int(k)}", value(0.3, 1.0))
+        else:
+            netlist.add_resistor(f"re{j}", f"n{int(i)}", f"n{int(k)}", value())
+    capacitive = rng.random(n_nodes) < capacitor_fraction
+    for k in range(n_nodes):
+        if capacitive[k]:
+            netlist.add_capacitor(f"c{k}", f"n{k}", "0", value(0.5, 1.5))
+        netlist.add_resistor(f"rg{k}", f"n{k}", "0", 1.0 / value(0.01, 0.05))
+    for k, port_node in enumerate(rng.choice(n_nodes, size=n_ports, replace=False)):
+        netlist.add_port(f"p{k}", f"n{int(port_node)}")
+    return assemble_mna(netlist, sparse=sparse)
 
 
 def paper_benchmark_model(

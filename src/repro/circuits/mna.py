@@ -21,9 +21,10 @@ index-2 (impulsive) behaviour the paper's experiments exercise.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, List, Tuple
 
 import numpy as np
+import scipy.sparse
 
 from repro.circuits.netlist import GROUND, Netlist
 from repro.descriptor.system import DescriptorSystem
@@ -38,7 +39,11 @@ class MnaModel:
     Attributes
     ----------
     system:
-        The descriptor system in impedance form.
+        The descriptor system in impedance form.  When assembled with
+        ``sparse=True`` the system keeps the CSR stamps
+        (``system.sparse_e`` / ``system.sparse_a``) alongside a lazily
+        densified dense view, so large models never materialize ``n x n``
+        arrays unless a dense algorithm asks for them.
     node_index:
         Mapping node label -> index in the voltage part of the state vector.
     inductor_index:
@@ -50,21 +55,10 @@ class MnaModel:
     node_index: Dict[str, int]
     inductor_index: Dict[str, int]
 
-
-def _stamp_two_terminal(
-    matrix: np.ndarray, index: Dict[str, int], node_pos: str, node_neg: str, value: float
-) -> None:
-    """Add the conductance-style stamp of a two-terminal element in place."""
-    if node_pos != GROUND:
-        i = index[node_pos]
-        matrix[i, i] += value
-    if node_neg != GROUND:
-        j = index[node_neg]
-        matrix[j, j] += value
-    if node_pos != GROUND and node_neg != GROUND:
-        i, j = index[node_pos], index[node_neg]
-        matrix[i, j] -= value
-        matrix[j, i] -= value
+    @property
+    def is_sparse(self) -> bool:
+        """True when the model was assembled on the sparse path."""
+        return self.system.is_sparse
 
 
 def _incidence_column(
@@ -78,55 +72,130 @@ def _incidence_column(
     return column
 
 
-def assemble_mna(netlist: Netlist) -> MnaModel:
-    """Assemble the impedance-form MNA descriptor system of a netlist."""
+class _TripletStamper:
+    """Accumulator of ``(row, col, value)`` stamps shared by both assembly paths.
+
+    The same stamp sequence feeds either a dense in-place accumulation
+    (``np.add.at`` applies duplicates in insertion order, exactly like the
+    historical dense loops) or a COO -> CSR conversion, so the two paths
+    produce numerically identical matrices.
+    """
+
+    def __init__(self) -> None:
+        self.rows: List[int] = []
+        self.cols: List[int] = []
+        self.values: List[float] = []
+
+    def add(self, row: int, col: int, value: float) -> None:
+        self.rows.append(row)
+        self.cols.append(col)
+        self.values.append(float(value))
+
+    def stamp_two_terminal(
+        self, index: Dict[str, int], node_pos: str, node_neg: str, value: float
+    ) -> None:
+        """Conductance-style stamp of a two-terminal element."""
+        if node_pos != GROUND:
+            i = index[node_pos]
+            self.add(i, i, value)
+        if node_neg != GROUND:
+            j = index[node_neg]
+            self.add(j, j, value)
+        if node_pos != GROUND and node_neg != GROUND:
+            i, j = index[node_pos], index[node_neg]
+            self.add(i, j, -value)
+            self.add(j, i, -value)
+
+    def to_dense(self, shape: Tuple[int, int]) -> np.ndarray:
+        matrix = np.zeros(shape)
+        if self.rows:
+            np.add.at(matrix, (np.array(self.rows), np.array(self.cols)), self.values)
+        return matrix
+
+    def to_csr(self, shape: Tuple[int, int]) -> "scipy.sparse.csr_matrix":
+        if not self.rows:
+            return scipy.sparse.csr_matrix(shape, dtype=float)
+        rows = np.asarray(self.rows)
+        cols = np.asarray(self.cols)
+        values = np.asarray(self.values)
+        # Deterministic duplicate handling: a *stable* sort keeps duplicate
+        # stamps in insertion order and reduceat sums them sequentially —
+        # bitwise identical to the dense path's in-order accumulation
+        # (scipy's own sum_duplicates gives no such ordering guarantee).
+        permutation = np.lexsort((cols, rows))
+        rows, cols, values = rows[permutation], cols[permutation], values[permutation]
+        keys = rows.astype(np.int64) * shape[1] + cols
+        new_group = keys[1:] != keys[:-1]
+        starts = np.flatnonzero(np.concatenate(([True], new_group)))
+        group_ids = np.cumsum(np.concatenate(([0], new_group.astype(np.int64))))
+        summed = np.zeros(starts.size)
+        # Sequential accumulation (np.add.at is unbuffered and in-order), the
+        # same rounding as the dense path; reduceat would sum pairwise.
+        np.add.at(summed, group_ids, values)
+        coo = scipy.sparse.coo_matrix(
+            (summed, (rows[starts], cols[starts])), shape=shape, dtype=float
+        )
+        return coo.tocsr()
+
+
+def assemble_mna(netlist: Netlist, sparse: bool = False) -> MnaModel:
+    """Assemble the impedance-form MNA descriptor system of a netlist.
+
+    Parameters
+    ----------
+    sparse:
+        When true, assemble the pencil stamps ``E``/``A`` as ``scipy.sparse``
+        CSR matrices via a triplet (COO) accumulation — O(elements) time and
+        memory instead of O(n^2) — and return a sparse-backed
+        :class:`~repro.descriptor.system.DescriptorSystem`.  Both paths stamp
+        the same triplet sequence, so the assembled matrices are numerically
+        identical; only the storage differs.
+    """
     netlist.validate()
     index = netlist.node_index
     n_nodes = netlist.n_nodes
     n_inductors = len(netlist.inductors)
     n_ports = len(netlist.ports)
+    order = n_nodes + n_inductors
 
-    conductance = np.zeros((n_nodes, n_nodes))
-    capacitance = np.zeros((n_nodes, n_nodes))
+    e_stamps = _TripletStamper()
+    a_stamps = _TripletStamper()
     for resistor in netlist.resistors:
-        _stamp_two_terminal(
-            conductance, index, resistor.node_pos, resistor.node_neg, 1.0 / resistor.value
+        # A carries -G: stamp the negated conductance directly.
+        a_stamps.stamp_two_terminal(
+            index, resistor.node_pos, resistor.node_neg, -1.0 / resistor.value
         )
     for capacitor in netlist.capacitors:
-        _stamp_two_terminal(
-            capacitance, index, capacitor.node_pos, capacitor.node_neg, capacitor.value
+        e_stamps.stamp_two_terminal(
+            index, capacitor.node_pos, capacitor.node_neg, capacitor.value
         )
 
-    inductor_incidence = np.zeros((n_nodes, n_inductors))
-    inductance = np.zeros((n_inductors, n_inductors))
     inductor_index = {}
     for k, inductor in enumerate(netlist.inductors):
-        inductor_incidence[:, k] = _incidence_column(
-            n_nodes, index, inductor.node_pos, inductor.node_neg
-        )
-        inductance[k, k] = inductor.value
-        inductor_index[inductor.name] = n_nodes + k
-
-    port_incidence = np.zeros((n_nodes, n_ports))
-    for k, port in enumerate(netlist.ports):
-        port_incidence[:, k] = _incidence_column(
-            n_nodes, index, port.node_pos, port.node_neg
-        )
-
-    order = n_nodes + n_inductors
-    e_matrix = np.zeros((order, order))
-    e_matrix[:n_nodes, :n_nodes] = capacitance
-    e_matrix[n_nodes:, n_nodes:] = inductance
-
-    a_matrix = np.zeros((order, order))
-    a_matrix[:n_nodes, :n_nodes] = -conductance
-    a_matrix[:n_nodes, n_nodes:] = -inductor_incidence
-    a_matrix[n_nodes:, :n_nodes] = inductor_incidence.T
+        current = n_nodes + k
+        e_stamps.add(current, current, inductor.value)
+        for node, sign in ((inductor.node_pos, 1.0), (inductor.node_neg, -1.0)):
+            if node != GROUND:
+                i = index[node]
+                a_stamps.add(i, current, -sign)
+                a_stamps.add(current, i, sign)
+        inductor_index[inductor.name] = current
 
     b_matrix = np.zeros((order, n_ports))
-    b_matrix[:n_nodes, :] = port_incidence
+    for k, port in enumerate(netlist.ports):
+        b_matrix[:n_nodes, k] = _incidence_column(
+            n_nodes, index, port.node_pos, port.node_neg
+        )
     c_matrix = b_matrix.T
     d_matrix = np.zeros((n_ports, n_ports))
+
+    shape = (order, order)
+    if sparse:
+        e_matrix = e_stamps.to_csr(shape)
+        a_matrix = a_stamps.to_csr(shape)
+    else:
+        e_matrix = e_stamps.to_dense(shape)
+        a_matrix = a_stamps.to_dense(shape)
 
     system = DescriptorSystem(e_matrix, a_matrix, b_matrix, c_matrix, d_matrix)
     return MnaModel(system=system, node_index=dict(index), inductor_index=inductor_index)

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Optional, Tuple
 
 import numpy as np
+import scipy.sparse
 
 from repro.config import DEFAULT_TOLERANCES, Tolerances
 from repro.exceptions import (
@@ -117,9 +118,15 @@ class DescriptorSystem:
     Parameters
     ----------
     e, a:
-        Square ``n x n`` pencil matrices.
+        Square ``n x n`` pencil matrices.  ``scipy.sparse`` matrices are
+        accepted: they are kept as canonical CSR stamps (:attr:`sparse_e` /
+        :attr:`sparse_a`) and densified *lazily*, only when an algorithm
+        touches the dense view — a large sparse MNA model can therefore be
+        assembled, fingerprinted and tested by the sparse backend without a
+        single ``n x n`` dense array being allocated.
     b:
-        ``n x m`` input matrix.
+        ``n x m`` input matrix (sparse inputs are densified eagerly: the thin
+        dimension keeps them cheap).
     c:
         ``p x n`` output matrix.
     d:
@@ -133,13 +140,35 @@ class DescriptorSystem:
     d: Optional[np.ndarray] = None
 
     def __post_init__(self) -> None:
-        e = as_square_array(self.e, "E").astype(float)
-        a = as_square_array(self.a, "A").astype(float)
-        if e.shape != a.shape:
+        from repro.linalg.sparse import to_canonical_csr
+
+        sparse_e = sparse_a = None
+        e_in, a_in = self.e, self.a
+        if scipy.sparse.issparse(e_in):
+            sparse_e = to_canonical_csr(e_in)
+            if sparse_e.shape[0] != sparse_e.shape[1]:
+                raise DimensionError(f"E must be square, got shape {sparse_e.shape}")
+        if scipy.sparse.issparse(a_in):
+            sparse_a = to_canonical_csr(a_in)
+            if sparse_a.shape[0] != sparse_a.shape[1]:
+                raise DimensionError(f"A must be square, got shape {sparse_a.shape}")
+
+        e_shape = sparse_e.shape if sparse_e is not None else None
+        a_shape = sparse_a.shape if sparse_a is not None else None
+        e = None if sparse_e is not None else as_square_array(e_in, "E").astype(float)
+        a = None if sparse_a is not None else as_square_array(a_in, "A").astype(float)
+        if e is not None:
+            e_shape = e.shape
+        if a is not None:
+            a_shape = a.shape
+        if e_shape != a_shape:
             raise DimensionError("E and A must have the same shape")
-        n = e.shape[0]
-        b = as_2d_array(self.b, "B").astype(float)
-        c = as_2d_array(self.c, "C").astype(float)
+        n = e_shape[0]
+
+        b_in = self.b.toarray() if scipy.sparse.issparse(self.b) else self.b
+        c_in = self.c.toarray() if scipy.sparse.issparse(self.c) else self.c
+        b = as_2d_array(b_in, "B").astype(float)
+        c = as_2d_array(c_in, "C").astype(float)
         if b.shape[0] != n:
             raise DimensionError(f"B must have {n} rows, got {b.shape[0]}")
         if c.shape[1] != n:
@@ -147,16 +176,89 @@ class DescriptorSystem:
         if self.d is None:
             d = np.zeros((c.shape[0], b.shape[1]))
         else:
-            d = as_2d_array(self.d, "D").astype(float)
+            d_in = self.d.toarray() if scipy.sparse.issparse(self.d) else self.d
+            d = as_2d_array(d_in, "D").astype(float)
             if d.shape != (c.shape[0], b.shape[1]):
                 raise DimensionError(
                     f"D must have shape {(c.shape[0], b.shape[1])}, got {d.shape}"
                 )
-        object.__setattr__(self, "e", e)
-        object.__setattr__(self, "a", a)
+
+        object.__setattr__(self, "_sparse_e", sparse_e)
+        object.__setattr__(self, "_sparse_a", sparse_a)
+        object.__setattr__(self, "_order", int(n))
+        # Sparse pencil stamps stay sparse: delete the dense field so access
+        # goes through __getattr__, which densifies on first touch.
+        if sparse_e is None:
+            object.__setattr__(self, "e", e)
+        else:
+            object.__delattr__(self, "e")
+        if sparse_a is None:
+            object.__setattr__(self, "a", a)
+        else:
+            object.__delattr__(self, "a")
         object.__setattr__(self, "b", b)
         object.__setattr__(self, "c", c)
         object.__setattr__(self, "d", d)
+
+    def __getattr__(self, name: str):
+        # Only reached when the dense field is absent, i.e. the matrix came in
+        # sparse and has not been densified yet.
+        if name in ("e", "a"):
+            stored = self.__dict__.get(f"_sparse_{name}")
+            if stored is not None:
+                dense = np.asarray(stored.toarray(), dtype=float)
+                object.__setattr__(self, name, dense)
+                return dense
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}"
+        )
+
+    # ------------------------------------------------------------------
+    # Sparse view
+    # ------------------------------------------------------------------
+    @property
+    def is_sparse(self) -> bool:
+        """True when the pencil stamps were supplied as sparse matrices."""
+        return (
+            self.__dict__.get("_sparse_e") is not None
+            or self.__dict__.get("_sparse_a") is not None
+        )
+
+    def _sparse_view(self, name: str) -> "scipy.sparse.csr_matrix":
+        """Canonical CSR of a pencil stamp, built once per instance when dense."""
+        stored = self.__dict__.get(f"_sparse_{name}")
+        if stored is not None:
+            return stored
+        cached = self.__dict__.get(f"_sparse_{name}_view")
+        if cached is None:
+            from repro.linalg.sparse import to_canonical_csr
+
+            cached = to_canonical_csr(getattr(self, name))
+            object.__setattr__(self, f"_sparse_{name}_view", cached)
+        return cached
+
+    @property
+    def sparse_e(self) -> "scipy.sparse.csr_matrix":
+        """Canonical CSR view of ``E`` (built on demand for dense systems)."""
+        return self._sparse_view("e")
+
+    @property
+    def sparse_a(self) -> "scipy.sparse.csr_matrix":
+        """Canonical CSR view of ``A`` (built on demand for dense systems)."""
+        return self._sparse_view("a")
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored nonzeros of the pencil stamps ``E`` and ``A``."""
+        return int(self.sparse_e.nnz + self.sparse_a.nnz)
+
+    @property
+    def density(self) -> float:
+        """``nnz / (2 n^2)``: fill fraction of the pencil stamps."""
+        n = self.order
+        if n == 0:
+            return 0.0
+        return self.nnz / (2.0 * n * n)
 
     # ------------------------------------------------------------------
     # Basic shape information
@@ -164,7 +266,7 @@ class DescriptorSystem:
     @property
     def order(self) -> int:
         """State dimension ``n``."""
-        return self.e.shape[0]
+        return self.__dict__["_order"]
 
     @property
     def n_inputs(self) -> int:
@@ -329,6 +431,12 @@ class DescriptorSystem:
         return DescriptorSystem(self.e, self.a, self.b, factor * self.c, factor * self.d)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.is_sparse:
+            # No dense SVD for large sparse stamps: report the fill instead.
+            return (
+                f"DescriptorSystem(order={self.order}, inputs={self.n_inputs}, "
+                f"outputs={self.n_outputs}, sparse nnz={self.nnz})"
+            )
         return (
             f"DescriptorSystem(order={self.order}, inputs={self.n_inputs}, "
             f"outputs={self.n_outputs}, rank_E={self.rank_e()})"

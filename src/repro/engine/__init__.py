@@ -14,7 +14,12 @@ tests:
   with ``method="auto"`` selection.
 """
 
-from repro.engine.api import check_passivity, select_method
+from repro.engine.api import (
+    SPARSE_AUTO_MAX_DENSITY,
+    SPARSE_AUTO_MIN_ORDER,
+    check_passivity,
+    select_method,
+)
 from repro.engine.cache import (
     CacheStats,
     DecompositionCache,
@@ -25,6 +30,7 @@ from repro.engine.cache import (
 from repro.engine.registry import (
     COST_CUBIC,
     COST_SDP,
+    COST_SPARSE,
     DEFAULT_REGISTRY,
     MethodRegistry,
     MethodSpec,
@@ -37,6 +43,8 @@ from repro.engine.runner import BatchOutcome, BatchResult, BatchRunner
 __all__ = [
     "check_passivity",
     "select_method",
+    "SPARSE_AUTO_MIN_ORDER",
+    "SPARSE_AUTO_MAX_DENSITY",
     "CacheStats",
     "DecompositionCache",
     "SystemProfile",
@@ -44,6 +52,7 @@ __all__ = [
     "profile_system",
     "COST_CUBIC",
     "COST_SDP",
+    "COST_SPARSE",
     "DEFAULT_REGISTRY",
     "MethodRegistry",
     "MethodSpec",

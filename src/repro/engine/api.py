@@ -11,6 +11,11 @@ from the cached structural profile of the system:
 * **GARE** when the system is already admissible (regular, stable,
   impulse-free): the Riccati certificate then applies directly, with no
   impulsive reductions to perform.
+* **SHH-sparse** for large sparse-backed systems (order >=
+  :data:`SPARSE_AUTO_MIN_ORDER` with pencil density <=
+  :data:`SPARSE_AUTO_MAX_DENSITY`): the dense structural profile is O(n^3)
+  and would densify the stamps, so the sparse method is chosen *before* any
+  profiling and the densification never happens.
 * **LMI** is never auto-selected: within its order limit the SHH test is
   already faster, and beyond it the LMI test is impractical (the paper's NIL
   entries).  It remains available by explicit request.
@@ -26,7 +31,31 @@ from repro.engine.cache import DecompositionCache, SystemProfile, profile_system
 from repro.engine.registry import DEFAULT_REGISTRY, MethodRegistry, MethodSpec
 from repro.passivity.result import PassivityReport
 
-__all__ = ["check_passivity", "select_method"]
+__all__ = [
+    "check_passivity",
+    "select_method",
+    "SPARSE_AUTO_MIN_ORDER",
+    "SPARSE_AUTO_MAX_DENSITY",
+]
+
+#: ``method="auto"`` routes sparse-backed systems of at least this order to
+#: the ``shh-sparse`` method (below it, the dense pipeline is already cheap
+#: and its structural profile enables the GARE shortcut).
+SPARSE_AUTO_MIN_ORDER = 256
+
+#: ...provided the pencil stamps are actually sparse: above this fill
+#: fraction (``nnz / 2n^2``) the dense pipeline wins and is selected instead.
+SPARSE_AUTO_MAX_DENSITY = 0.25
+
+
+def _auto_prefers_sparse(system: DescriptorSystem, registry: MethodRegistry) -> bool:
+    """True when ``method="auto"`` should dispatch to the sparse backend."""
+    return (
+        "shh-sparse" in registry
+        and system.is_sparse
+        and system.order >= SPARSE_AUTO_MIN_ORDER
+        and system.density <= SPARSE_AUTO_MAX_DENSITY
+    )
 
 
 def select_method(
@@ -38,6 +67,10 @@ def select_method(
 ) -> MethodSpec:
     """Pick the method ``check_passivity(system, method="auto")`` would run."""
     registry = registry or DEFAULT_REGISTRY
+    # Large sparse systems are routed before (and instead of) the dense
+    # structural profile, whose chain analysis would densify the stamps.
+    if _auto_prefers_sparse(system, registry):
+        return registry.resolve("shh-sparse")
     if profile is None:
         profile = profile_system(system, tol, cache=cache)
     if profile.is_admissible and "gare" in registry:
@@ -133,8 +166,16 @@ def check_passivity(
     auto = method == "auto"
     profile: Optional[SystemProfile] = None
     if auto:
-        profile = profile_system(system, tol, cache=cache)
-        spec = select_method(system, tol, cache=cache, registry=registry, profile=profile)
+        if _auto_prefers_sparse(system, registry):
+            # Skip the dense profile entirely: profiling a large sparse
+            # system would densify its stamps and run the O(n^3) chain
+            # analysis the sparse method exists to avoid.
+            spec = registry.resolve("shh-sparse")
+        else:
+            profile = profile_system(system, tol, cache=cache)
+            spec = select_method(
+                system, tol, cache=cache, registry=registry, profile=profile
+            )
     else:
         spec = registry.resolve(method)
 

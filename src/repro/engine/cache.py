@@ -31,8 +31,10 @@ from repro.descriptor.decompose import AdditiveDecomposition, additive_decomposi
 from repro.descriptor.system import DescriptorSystem, StateSpace
 from repro.descriptor.weierstrass import WeierstrassForm, weierstrass_form
 from repro.exceptions import NotAdmissibleError
+from repro.linalg.sparse import SparseDeflation
 from repro.passivity.gare_test import admissible_to_state_space
 from repro.passivity.m1 import InfiniteChainData, impulsive_chain_data
+from repro.passivity.sparse_shh import SPARSE_DEFLATION, fetch_sparse_deflation
 
 __all__ = [
     "CacheStats",
@@ -45,9 +47,12 @@ __all__ = [
     "ADDITIVE_DECOMPOSITION",
     "GARE_STATE_SPACE",
     "SYSTEM_PROFILE",
+    "SPARSE_DEFLATION",
 ]
 
-#: Cache-entry kinds used by the built-in convenience accessors.
+#: Cache-entry kinds used by the built-in convenience accessors
+#: (SPARSE_DEFLATION is owned by :mod:`repro.passivity.sparse_shh` and
+#: re-exported here).
 CHAIN_DATA = "chain_data"
 WEIERSTRASS_FORM = "weierstrass_form"
 ADDITIVE_DECOMPOSITION = "additive_decomposition"
@@ -60,13 +65,35 @@ def fingerprint_system(
 ) -> str:
     """SHA-256 fingerprint of ``(E, A, B, C, D)`` plus the tolerance bundle.
 
-    Two systems share a fingerprint exactly when their matrices are bitwise
-    identical and the rank/definiteness thresholds agree, which is the
-    condition under which every decomposition intermediate coincides.
+    Two systems share a fingerprint exactly when their matrices are
+    numerically identical and the rank/definiteness thresholds agree, which is
+    the condition under which every decomposition intermediate coincides.
+
+    The pencil stamps ``E`` and ``A`` are hashed through their *canonical CSR*
+    triplets (sorted indices, duplicates summed, explicit zeros dropped), so:
+
+    * a sparse-backed system is fingerprinted without ever densifying — the
+      hash cost is O(nnz), not O(n^2) bytes,
+    * a dense system and its sparse representation hash to the *same* key and
+      therefore share cache entries,
+    * structurally different sparsity patterns hash differently (the column
+      index array is part of the digest).
+
+    The thin matrices ``B``, ``C``, ``D`` are hashed as dense bytes (both
+    representations store them dense).
     """
     tol = tol or DEFAULT_TOLERANCES
     hasher = hashlib.sha256()
-    for label, matrix in zip("EABCD", system.matrices()):
+    # sparse_e / sparse_a are canonical CSR in every path (__post_init__
+    # canonicalizes sparse inputs, the dense view caches a canonicalized
+    # conversion), so they are hashed directly.
+    for label, canonical in (("E", system.sparse_e), ("A", system.sparse_a)):
+        hasher.update(label.encode())
+        hasher.update(repr(canonical.shape).encode())
+        hasher.update(np.asarray(canonical.indptr, dtype=np.int64).tobytes())
+        hasher.update(np.asarray(canonical.indices, dtype=np.int64).tobytes())
+        hasher.update(np.ascontiguousarray(canonical.data).tobytes())
+    for label, matrix in zip("BCD", (system.b, system.c, system.d)):
         hasher.update(label.encode())
         hasher.update(repr(matrix.shape).encode())
         hasher.update(np.ascontiguousarray(matrix).tobytes())
@@ -285,6 +312,20 @@ class DecompositionCache:
             tol=effective,
             cache_errors=(NotAdmissibleError,),
         )
+
+    def sparse_deflation(
+        self, system: DescriptorSystem, tol: Optional[Tolerances] = None
+    ) -> SparseDeflation:
+        """Permutation-based nondynamic-mode deflation of the sparse backend.
+
+        Raises
+        ------
+        ReductionError
+            If the sparse deflation does not apply (impulsive modes, or a
+            kernel of ``E`` not spanned by coordinate vectors); the refusal is
+            cached so repeated sparse attempts on the same system stay cheap.
+        """
+        return fetch_sparse_deflation(system, tol or DEFAULT_TOLERANCES, self)
 
     def profile(
         self, system: DescriptorSystem, tol: Optional[Tolerances] = None

@@ -21,6 +21,7 @@ from repro.passivity.gare_test import gare_passivity_test
 from repro.passivity.lmi_test import lmi_passivity_test
 from repro.passivity.result import PassivityReport
 from repro.passivity.shh_test import shh_passivity_test
+from repro.passivity.sparse_shh import sparse_shh_passivity_test
 from repro.passivity.weierstrass_test import weierstrass_passivity_test
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -29,6 +30,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = [
     "COST_CUBIC",
     "COST_SDP",
+    "COST_SPARSE",
     "DEFAULT_REGISTRY",
     "MethodRegistry",
     "MethodSpec",
@@ -37,9 +39,11 @@ __all__ = [
     "register_method",
 ]
 
-#: Cost classes: dense O(n^3) pipelines vs. the O(n^5)-O(n^6) interior-point LMI.
+#: Cost classes: dense O(n^3) pipelines vs. the O(n^5)-O(n^6) interior-point
+#: LMI vs. the sparse backend whose cost scales with the stored nonzeros.
 COST_CUBIC = "O(n^3)"
 COST_SDP = "O(n^5)-O(n^6)"
+COST_SPARSE = "O(nnz)"
 
 #: Runner signature: ``runner(system, tol, cache, **options) -> PassivityReport``.
 MethodRunner = Callable[..., PassivityReport]
@@ -225,6 +229,18 @@ def _run_weierstrass(
     return weierstrass_passivity_test(system, tol=tol, form=form, **options)
 
 
+def _run_shh_sparse(
+    system: DescriptorSystem,
+    tol: Optional[Tolerances],
+    cache: Optional["DecompositionCache"],
+    **options: Any,
+) -> PassivityReport:
+    # The sparse test routes its deflation intermediate through the cache
+    # itself (the certificate path needs no decomposition at all, so nothing
+    # is prefetched here).
+    return sparse_shh_passivity_test(system, tol=tol, cache=cache, **options)
+
+
 def _run_lmi(
     system: DescriptorSystem,
     tol: Optional[Tolerances],
@@ -296,6 +312,21 @@ DEFAULT_REGISTRY.register(
         description="generalized-ARE certificate, admissible systems only",
         cost=COST_CUBIC,
         requires_admissible=True,
+    )
+)
+DEFAULT_REGISTRY.register(
+    MethodSpec(
+        name="shh-sparse",
+        runner=_run_shh_sparse,
+        description=(
+            "sparsity-aware test for large MNA models: O(nnz) structural "
+            "LMI certificate, permutation-based deflation, half-size "
+            "Hamiltonian test"
+        ),
+        cost=COST_SPARSE,
+        # No order limit: lifting the dense caps is the point of the method.
+        order_limit=None,
+        aliases=("sparse",),
     )
 )
 

@@ -24,6 +24,9 @@ descriptor-system machinery and the passivity tests:
   Hamiltonian Schur method.
 * :mod:`repro.linalg.pencil` — regularity, generalized eigenvalues and
   finite/infinite spectral classification of matrix pencils.
+* :mod:`repro.linalg.sparse` — the sparsity-preserving helpers of the sparse
+  MNA backend: canonical CSR forms, sparse LU-backed solves, Gershgorin /
+  Lanczos spectral probes and the permutation-based nondynamic deflation.
 """
 
 from repro.linalg.basics import (
@@ -76,6 +79,19 @@ from repro.linalg.pencil import (
     is_regular_pencil,
     pencil_degree,
 )
+from repro.linalg.sparse import (
+    SparseDeflation,
+    extreme_symmetric_eigenvalue,
+    is_sparse_nsd,
+    is_sparse_psd,
+    is_sparse_symmetric,
+    kernel_permutation,
+    sparse_nondynamic_deflation,
+    sparse_regularity_probe,
+    symmetric_spectrum_bounds,
+    to_canonical_csr,
+    try_sparse_lu,
+)
 
 __all__ = [
     "is_symmetric",
@@ -116,4 +132,15 @@ __all__ = [
     "classify_generalized_eigenvalues",
     "is_regular_pencil",
     "pencil_degree",
+    "SparseDeflation",
+    "extreme_symmetric_eigenvalue",
+    "is_sparse_nsd",
+    "is_sparse_psd",
+    "is_sparse_symmetric",
+    "kernel_permutation",
+    "sparse_nondynamic_deflation",
+    "sparse_regularity_probe",
+    "symmetric_spectrum_bounds",
+    "to_canonical_csr",
+    "try_sparse_lu",
 ]

@@ -1,0 +1,478 @@
+"""Sparsity-preserving linear algebra helpers for the sparse MNA backend.
+
+The MNA stamps of interconnect circuits are intrinsically sparse (a few
+nonzeros per row), yet the dense reduction pipeline densifies immediately and
+caps the model orders that can be exercised.  This module collects the
+matrix-level building blocks of the sparse path:
+
+* canonicalization (:func:`to_canonical_csr`) shared with the cache
+  fingerprint, so numerically equal dense and sparse representations hash to
+  the same key,
+* sparse LU-backed solves (:class:`SparseLU`, :func:`try_sparse_lu`) used by
+  the permutation-based deflation and the pencil regularity probe,
+* permutation-based nondynamic-mode deflation
+  (:func:`sparse_nondynamic_deflation`): the sparsity-preserving counterpart
+  of the dense SVD-coordinate Schur complement — the kernel of an MNA ``E`` is
+  spanned by coordinate vectors (nodes without capacitance), so a permutation
+  replaces the orthogonal SVD transform and the stamps stay sparse,
+* spectral probes (:func:`symmetric_spectrum_bounds`,
+  :func:`extreme_symmetric_eigenvalue`, :func:`is_sparse_psd`,
+  :func:`is_sparse_nsd`): O(nnz) Gershgorin bounds first, a Lanczos probe when
+  the bounds are inconclusive, and a dense fallback only for small matrices.
+
+Everything here operates on raw matrices; the descriptor- and passivity-level
+wrappers live in :mod:`repro.descriptor.system` and
+:mod:`repro.passivity.sparse_shh`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+import numpy as np
+import scipy.sparse as sparse
+import scipy.sparse.linalg as sparse_linalg
+
+from repro.config import DEFAULT_TOLERANCES, Tolerances
+from repro.exceptions import ConvergenceError, DimensionError, ReductionError
+
+__all__ = [
+    "issparse",
+    "to_canonical_csr",
+    "sparse_matrix_scale",
+    "is_sparse_symmetric",
+    "SparseLU",
+    "try_sparse_lu",
+    "sparse_regularity_probe",
+    "symmetric_spectrum_bounds",
+    "extreme_symmetric_eigenvalue",
+    "is_sparse_psd",
+    "is_sparse_nsd",
+    "kernel_permutation",
+    "SparseDeflation",
+    "sparse_nondynamic_deflation",
+]
+
+#: Re-export so callers do not need to import scipy directly.
+issparse = sparse.issparse
+
+#: Matrices at or below this order fall back to dense eigenvalue routines when
+#: the Gershgorin bounds are inconclusive and the Lanczos probe stalls.
+_DENSE_EIG_FALLBACK_ORDER = 1024
+
+
+def to_canonical_csr(matrix) -> sparse.csr_matrix:
+    """Return ``matrix`` as a canonical float64 CSR matrix.
+
+    Canonical means: duplicate entries summed, explicit zeros eliminated and
+    column indices sorted.  Two numerically identical matrices — one dense,
+    one sparse, however assembled — canonicalize to bitwise identical
+    ``(indptr, indices, data)`` triplets, which is what makes the cache
+    fingerprint representation independent.
+    """
+    if sparse.issparse(matrix):
+        canonical = matrix.tocsr().astype(float, copy=True)
+    else:
+        arr = np.asarray(matrix)
+        if arr.ndim != 2:
+            raise DimensionError(f"matrix must be 2-dimensional, got shape {arr.shape}")
+        canonical = sparse.csr_matrix(arr.astype(float))
+    canonical.sum_duplicates()
+    canonical.eliminate_zeros()
+    canonical.sort_indices()
+    return canonical
+
+
+def sparse_matrix_scale(matrix) -> float:
+    """``max(1, largest magnitude)`` of a sparse (or dense) matrix."""
+    if sparse.issparse(matrix):
+        data = matrix.data
+        if data.size == 0:
+            return 1.0
+        return max(1.0, float(np.max(np.abs(data))))
+    arr = np.asarray(matrix)
+    if arr.size == 0:
+        return 1.0
+    return max(1.0, float(np.max(np.abs(arr))))
+
+
+def is_sparse_symmetric(matrix, tol: Optional[Tolerances] = None) -> bool:
+    """Check ``M == M^T`` without densifying."""
+    tol = tol or DEFAULT_TOLERANCES
+    csr = to_canonical_csr(matrix)
+    if csr.shape[0] != csr.shape[1]:
+        return False
+    defect = csr - csr.T
+    if defect.nnz == 0:
+        return True
+    return float(np.max(np.abs(defect.data))) <= tol.structure_rtol * sparse_matrix_scale(csr)
+
+
+# ----------------------------------------------------------------------
+# Sparse LU-backed solves
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SparseLU:
+    """A successful sparse LU factorization plus a pivot-based conditioning probe.
+
+    Attributes
+    ----------
+    factor:
+        The :class:`scipy.sparse.linalg.SuperLU` object.
+    min_pivot / max_pivot:
+        Extreme magnitudes of the diagonal of ``U``; their ratio is a cheap
+        (not fail-safe) singularity indicator used by the regularity probe.
+    """
+
+    factor: sparse_linalg.SuperLU
+    min_pivot: float
+    max_pivot: float
+
+    def solve(self, rhs: np.ndarray) -> np.ndarray:
+        """Solve ``A x = rhs`` for a dense right-hand side (vector or matrix)."""
+        return self.factor.solve(np.asarray(rhs))
+
+    @property
+    def pivot_ratio(self) -> float:
+        """``min |U_ii| / max |U_ii|``: 0 means numerically singular."""
+        if self.max_pivot == 0.0:
+            return 0.0
+        return self.min_pivot / self.max_pivot
+
+
+def try_sparse_lu(
+    matrix, tol: Optional[Tolerances] = None
+) -> Optional[SparseLU]:
+    """Sparse LU of a square matrix, or ``None`` when it is (numerically) singular.
+
+    Wraps :func:`scipy.sparse.linalg.splu` and additionally rejects
+    factorizations whose pivot ratio falls below the rank tolerance — SuperLU
+    happily factorizes nearly singular matrices, but downstream Schur
+    complements would then be garbage.
+    """
+    tol = tol or DEFAULT_TOLERANCES
+    csc = sparse.csc_matrix(matrix)
+    if csc.shape[0] != csc.shape[1]:
+        raise DimensionError(f"LU needs a square matrix, got shape {csc.shape}")
+    if csc.shape[0] == 0:
+        return None
+    try:
+        factor = sparse_linalg.splu(csc)
+    except RuntimeError:
+        # SuperLU raises RuntimeError("Factor is exactly singular").
+        return None
+    pivots = np.abs(factor.U.diagonal())
+    if pivots.size == 0 or np.min(pivots) == 0.0:
+        return None
+    lu = SparseLU(
+        factor=factor, min_pivot=float(np.min(pivots)), max_pivot=float(np.max(pivots))
+    )
+    if lu.pivot_ratio <= tol.rank_rtol:
+        return None
+    return lu
+
+
+#: Deterministic complex probe shifts (unit scale); scaled per matrix pair.
+_PROBE_SHIFTS = (0.7310582 + 1.2143197j, -1.3190391 + 0.4728823j)
+
+
+def sparse_regularity_probe(
+    e_matrix, a_matrix, tol: Optional[Tolerances] = None
+) -> bool:
+    """Probabilistic regularity check of the pencil ``s E - A`` without QZ.
+
+    ``det(s E - A)`` is a polynomial in ``s``; for a singular pencil it
+    vanishes identically, so a nonsingular evaluation at any shift proves
+    regularity.  The probe factorizes ``s0 E - A`` at deterministic complex
+    shifts (scaled to the pencil) with a sparse LU; success at any shift
+    certifies regularity with probability one, while failure at every shift is
+    reported as (numerically) singular.
+    """
+    tol = tol or DEFAULT_TOLERANCES
+    e_csc = sparse.csc_matrix(e_matrix, dtype=complex)
+    a_csc = sparse.csc_matrix(a_matrix, dtype=complex)
+    if e_csc.shape != a_csc.shape or e_csc.shape[0] != e_csc.shape[1]:
+        raise DimensionError("the pencil matrices must be square and of equal shape")
+    if e_csc.shape[0] == 0:
+        return True
+    # Balance the shift so both terms contribute at comparable magnitude.
+    scale = sparse_matrix_scale(a_csc) / sparse_matrix_scale(e_csc)
+    for shift in _PROBE_SHIFTS:
+        shifted = (shift * scale) * e_csc - a_csc
+        try:
+            factor = sparse_linalg.splu(shifted.tocsc())
+        except RuntimeError:
+            continue
+        pivots = np.abs(factor.U.diagonal())
+        if pivots.size and np.min(pivots) > tol.rank_rtol * np.max(pivots):
+            return True
+    return False
+
+
+# ----------------------------------------------------------------------
+# Spectral probes
+# ----------------------------------------------------------------------
+def symmetric_spectrum_bounds(matrix) -> Tuple[float, float]:
+    """Gershgorin bounds ``(lo, hi)`` on the spectrum of a symmetric matrix.
+
+    O(nnz); exact enough to certify definiteness of diagonally dominant
+    circuit stamps (conductance/capacitance Laplacians) without any
+    eigenvalue computation.
+    """
+    csr = to_canonical_csr(matrix)
+    n = csr.shape[0]
+    if n == 0:
+        return 0.0, 0.0
+    diagonal = csr.diagonal()
+    absolute_row_sums = np.abs(csr).sum(axis=1)
+    absolute_row_sums = np.asarray(absolute_row_sums).ravel()
+    radii = absolute_row_sums - np.abs(diagonal)
+    return float(np.min(diagonal - radii)), float(np.max(diagonal + radii))
+
+
+def extreme_symmetric_eigenvalue(
+    matrix,
+    which: str = "largest",
+    tol: Optional[Tolerances] = None,
+) -> float:
+    """Extreme algebraic eigenvalue of a symmetric matrix, sparsely when possible.
+
+    Uses a Lanczos probe (:func:`scipy.sparse.linalg.eigsh`) for large
+    matrices and dense ``eigvalsh`` below :data:`_DENSE_EIG_FALLBACK_ORDER`
+    or when the probe stalls on a matrix small enough to densify.
+
+    Raises
+    ------
+    ConvergenceError
+        If the Lanczos probe fails on a matrix too large to densify
+        (callers like :func:`is_sparse_psd` treat that as inconclusive).
+    """
+    if which not in ("largest", "smallest"):
+        raise ValueError("which must be 'largest' or 'smallest'")
+    tol = tol or DEFAULT_TOLERANCES
+    csr = to_canonical_csr(matrix)
+    n = csr.shape[0]
+    if n == 0:
+        return 0.0
+    if n == 1:
+        return float(csr.toarray()[0, 0])
+    if n <= _DENSE_EIG_FALLBACK_ORDER:
+        eigenvalues = np.linalg.eigvalsh(csr.toarray())
+        return float(eigenvalues[-1] if which == "largest" else eigenvalues[0])
+    mode = "LA" if which == "largest" else "SA"
+    try:
+        values = sparse_linalg.eigsh(
+            csr.astype(float),
+            k=1,
+            which=mode,
+            maxiter=50 * n,
+            tol=1e-8,
+            return_eigenvectors=False,
+        )
+        return float(values[0])
+    except sparse_linalg.ArpackNoConvergence as error:
+        # Partial spectrum is still a converged Ritz value: usable.
+        converged = np.asarray(error.eigenvalues).ravel()
+        if converged.size:
+            return float(converged[-1] if which == "largest" else converged[0])
+        raise ConvergenceError(
+            f"Lanczos probe did not converge on a {n} x {n} matrix too large "
+            "to densify"
+        ) from error
+    except sparse_linalg.ArpackError as error:
+        raise ConvergenceError(
+            f"Lanczos probe failed on a {n} x {n} matrix too large to densify"
+        ) from error
+
+
+def is_sparse_psd(matrix, tol: Optional[Tolerances] = None) -> bool:
+    """Positive semidefiniteness of a symmetric sparse matrix.
+
+    Gershgorin first (certifies diagonally dominant stamps in O(nnz)), then
+    the Lanczos/dense probe for the smallest eigenvalue.
+    """
+    tol = tol or DEFAULT_TOLERANCES
+    threshold = -tol.psd_atol * sparse_matrix_scale(matrix)
+    lo, _hi = symmetric_spectrum_bounds(matrix)
+    if lo >= threshold:
+        return True
+    try:
+        return extreme_symmetric_eigenvalue(matrix, "smallest", tol) >= threshold
+    except ConvergenceError:
+        # Inconclusive probe: conservatively not certified.
+        return False
+
+
+def is_sparse_nsd(matrix, tol: Optional[Tolerances] = None) -> bool:
+    """Negative semidefiniteness of a symmetric sparse matrix (dual of PSD)."""
+    tol = tol or DEFAULT_TOLERANCES
+    threshold = tol.psd_atol * sparse_matrix_scale(matrix)
+    _lo, hi = symmetric_spectrum_bounds(matrix)
+    if hi <= threshold:
+        return True
+    try:
+        return extreme_symmetric_eigenvalue(matrix, "largest", tol) <= threshold
+    except ConvergenceError:
+        return False
+
+
+# ----------------------------------------------------------------------
+# Permutation-based nondynamic-mode deflation
+# ----------------------------------------------------------------------
+def kernel_permutation(e_matrix, tol: Optional[Tolerances] = None) -> Tuple[np.ndarray, np.ndarray]:
+    """Split the state indices by the structural kernel of ``E``.
+
+    Returns ``(dynamic, kernel)`` index arrays: ``kernel`` holds the states
+    whose ``E`` row *and* column are structurally zero (for MNA stamps these
+    are exactly the nodes carrying neither capacitance nor inductance).  The
+    permutation ``[dynamic; kernel]`` is the sparsity-preserving substitute
+    for the SVD coordinate form of Eq. 7 whenever the remaining ``E11`` block
+    is nonsingular — which the deflation verifies with a sparse LU.
+    """
+    tol = tol or DEFAULT_TOLERANCES
+    csr = to_canonical_csr(e_matrix)
+    if csr.shape[0] != csr.shape[1]:
+        raise DimensionError(f"E must be square, got shape {csr.shape}")
+    threshold = tol.rank_rtol * sparse_matrix_scale(csr)
+    magnitude = abs(csr)
+    magnitude.data[magnitude.data <= threshold] = 0.0
+    magnitude.eliminate_zeros()
+    row_weight = np.asarray(magnitude.sum(axis=1)).ravel()
+    col_weight = np.asarray(magnitude.sum(axis=0)).ravel()
+    structural = row_weight + col_weight
+    kernel = np.flatnonzero(structural == 0.0)
+    dynamic = np.flatnonzero(structural != 0.0)
+    return dynamic, kernel
+
+
+@dataclass(frozen=True)
+class SparseDeflation:
+    """Result of the permutation-based nondynamic-mode deflation.
+
+    The reduced system is an ordinary (dense) state space equivalent to the
+    input descriptor system: ``G(s) = d + c (s I - a)^{-1} b``.  Only the
+    *dynamic* block is ever densified — the eliminated kernel states never
+    touch an ``n x n`` dense array.
+
+    Attributes
+    ----------
+    a, b, c, d:
+        The reduced state-space matrices (dense, order ``len(dynamic_index)``).
+    dynamic_index / kernel_index:
+        The state permutation used for the deflation.
+    n_eliminated:
+        Number of nondynamic states removed (``len(kernel_index)``).
+    """
+
+    a: np.ndarray
+    b: np.ndarray
+    c: np.ndarray
+    d: np.ndarray
+    dynamic_index: np.ndarray
+    kernel_index: np.ndarray
+
+    @property
+    def n_eliminated(self) -> int:
+        return int(self.kernel_index.size)
+
+    @property
+    def order(self) -> int:
+        return int(self.dynamic_index.size)
+
+
+def sparse_nondynamic_deflation(
+    e_matrix,
+    a_matrix,
+    b_matrix: np.ndarray,
+    c_matrix: np.ndarray,
+    d_matrix: np.ndarray,
+    tol: Optional[Tolerances] = None,
+) -> SparseDeflation:
+    """Eliminate the nondynamic modes of ``(E, A, B, C, D)`` without densifying.
+
+    The permutation ``[dynamic; kernel]`` from :func:`kernel_permutation`
+    block-partitions the pencil as ::
+
+        E = [[E11, 0], [0, 0]],   A = [[A11, A12], [A21, A22]]
+
+    and, when ``A22`` is nonsingular (index-1 structure: no impulsive modes
+    among the kernel states), the Schur complement ::
+
+        A_red = A11 - A12 A22^{-1} A21        B_red = B1 - A12 A22^{-1} B2
+        C_red = C1 - C2 A22^{-1} A21          D_red = D  - C2 A22^{-1} B2
+
+    is a strong equivalence that preserves the transfer function exactly —
+    the same reduction as :func:`repro.passivity.gare_test.admissible_to_state_space`
+    but with sparse LU solves instead of a dense SVD.  The final conversion
+    ``A = E11^{-1} A_red`` etc. uses a sparse LU of ``E11``.
+
+    Raises
+    ------
+    ReductionError
+        If ``A22`` is singular (the system has impulsive modes — index >= 2 —
+        and needs the full dense machinery), or if ``E11`` is singular (the
+        kernel of ``E`` is not spanned by coordinate vectors, e.g. a floating
+        capacitor loop; the permutation split does not apply).
+    """
+    tol = tol or DEFAULT_TOLERANCES
+    e_csr = to_canonical_csr(e_matrix)
+    a_csr = to_canonical_csr(a_matrix)
+    if e_csr.shape != a_csr.shape:
+        raise DimensionError("E and A must have the same shape")
+    b_arr = np.asarray(
+        b_matrix.toarray() if sparse.issparse(b_matrix) else b_matrix, dtype=float
+    )
+    c_arr = np.asarray(
+        c_matrix.toarray() if sparse.issparse(c_matrix) else c_matrix, dtype=float
+    )
+    d_arr = np.asarray(
+        d_matrix.toarray() if sparse.issparse(d_matrix) else d_matrix, dtype=float
+    )
+
+    dynamic, kernel = kernel_permutation(e_csr, tol)
+    e11 = e_csr[dynamic][:, dynamic]
+    lu_e11 = try_sparse_lu(e11, tol) if dynamic.size else None
+    if dynamic.size and lu_e11 is None:
+        raise ReductionError(
+            "E11 is numerically singular after the structural split: the kernel "
+            "of E is not spanned by coordinate vectors (permutation deflation "
+            "does not apply; use the dense SVD-coordinate reduction)"
+        )
+
+    if kernel.size == 0:
+        a_red = a_csr.toarray()
+        b_red, c_red, d_red = b_arr, c_arr, d_arr
+    else:
+        a11 = a_csr[dynamic][:, dynamic]
+        a12 = a_csr[dynamic][:, kernel]
+        a21 = a_csr[kernel][:, dynamic]
+        a22 = a_csr[kernel][:, kernel]
+        lu22 = try_sparse_lu(a22, tol)
+        if lu22 is None:
+            raise ReductionError(
+                "A22 is singular on the kernel of E: the system has impulsive "
+                "modes (index >= 2); the sparse nondynamic deflation only "
+                "handles index-1 structure"
+            )
+        a22_inv_a21 = lu22.solve(a21.toarray())
+        a22_inv_b2 = lu22.solve(b_arr[kernel])
+        a_red = a11.toarray() - a12 @ a22_inv_a21
+        b_red = b_arr[dynamic] - a12 @ a22_inv_b2
+        c_red = c_arr[:, dynamic] - c_arr[:, kernel] @ a22_inv_a21
+        d_red = d_arr - c_arr[:, kernel] @ a22_inv_b2
+
+    if dynamic.size:
+        a_state = lu_e11.solve(a_red)
+        b_state = lu_e11.solve(b_red)
+    else:
+        a_state = np.zeros((0, 0))
+        b_state = np.zeros((0, b_arr.shape[1]))
+    return SparseDeflation(
+        a=a_state,
+        b=b_state,
+        c=c_red,
+        d=d_red,
+        dynamic_index=dynamic,
+        kernel_index=kernel,
+    )

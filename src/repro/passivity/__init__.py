@@ -10,6 +10,9 @@
   style test restricted to admissible systems.
 * :func:`repro.passivity.sampling.sampling_passivity_check` — frequency-sweep
   verification utility (not a proof, used for cross-checks).
+* :func:`repro.passivity.sparse_shh.sparse_shh_passivity_test` — the
+  sparsity-aware method for large MNA models (O(nnz) structural certificate,
+  permutation-based deflation, half-size Hamiltonian test).
 """
 
 from repro.passivity.result import PassivityReport, TestStep
@@ -43,8 +46,16 @@ from repro.passivity.lmi_test import build_positive_real_lmi_blocks, lmi_passivi
 from repro.passivity.weierstrass_test import weierstrass_passivity_test
 from repro.passivity.gare_test import admissible_to_state_space, gare_passivity_test
 from repro.passivity.sampling import SamplingSummary, sampling_passivity_check
+from repro.passivity.sparse_shh import (
+    StructuralCertificate,
+    sparse_shh_passivity_test,
+    structural_passivity_certificate,
+)
 
 __all__ = [
+    "StructuralCertificate",
+    "sparse_shh_passivity_test",
+    "structural_passivity_certificate",
     "lmi_passivity_test",
     "build_positive_real_lmi_blocks",
     "weierstrass_passivity_test",

@@ -1,0 +1,357 @@
+"""Sparsity-aware passivity test for large MNA-style descriptor systems.
+
+The dense SHH flow densifies immediately (Phi doubles the order, the
+reductions are SVD/QZ based), which caps the system orders the engine can
+exercise.  This module provides ``shh-sparse``, a method that never
+materializes an ``n x n`` dense array for the systems it is designed for:
+
+1.  **Structural certificate** (O(nnz)): MNA-assembled interconnect models
+    satisfy the extended positive-real LMI (Eq. 4) with ``X = I`` *by
+    construction*: ``E = E^T >= 0``, ``A + A^T <= 0``, ``C = B^T`` and
+    ``D + D^T >= 0``.  Those four conditions are verified directly on the
+    sparse stamps (Gershgorin bounds, then Lanczos probes), and pencil
+    regularity is certified by a sparse-LU probe of ``s0 E - A`` at
+    deterministic complex shifts.  When all hold, the system is passive — no
+    decomposition at all.
+
+2.  **Sparse admissible reduction + half-size test**: when the certificate is
+    inconclusive (e.g. a perturbed, possibly non-passive model), the
+    permutation-based nondynamic-mode deflation
+    (:func:`repro.linalg.sparse.sparse_nondynamic_deflation`) eliminates the
+    kernel states of ``E`` with sparse LU solves — the sparsity-preserving
+    substitute for the dense Weierstrass machinery — and the resulting proper
+    state space of the *dynamic* order only is tested with the same
+    Hamiltonian-eigenvalue half-size test that closes the dense flow.
+
+3.  **Dense fallback**: systems whose structure the sparse path cannot handle
+    (impulsive modes, non-coordinate kernels) are forwarded to the dense SHH
+    test when they are small enough to densify, and reported as unsupported
+    beyond that order.
+
+The verdicts agree with the dense methods wherever both apply; the sparse
+path is what lifts the order limits.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.config import DEFAULT_TOLERANCES, Tolerances
+from repro.descriptor.system import DescriptorSystem, StateSpace
+from repro.exceptions import ReductionError, ReproError
+from repro.linalg.basics import is_positive_semidefinite
+from repro.linalg.sparse import (
+    SparseDeflation,
+    is_sparse_nsd,
+    is_sparse_psd,
+    is_sparse_symmetric,
+    sparse_matrix_scale,
+    sparse_nondynamic_deflation,
+    sparse_regularity_probe,
+)
+from repro.passivity.hamiltonian_test import proper_positive_real_test
+from repro.passivity.result import PassivityReport
+
+__all__ = [
+    "StructuralCertificate",
+    "structural_passivity_certificate",
+    "sparse_shh_passivity_test",
+    "fetch_sparse_deflation",
+    "SPARSE_DENSE_FALLBACK_ORDER",
+    "SPARSE_DEFLATION",
+]
+
+#: Systems the sparse reduction cannot handle are forwarded to the dense SHH
+#: test up to this order; beyond it the report states the limitation instead.
+SPARSE_DENSE_FALLBACK_ORDER = 1200
+
+#: Cache-entry kind used for the deflation intermediate (shared through any
+#: object with the :class:`repro.engine.cache.DecompositionCache` protocol).
+SPARSE_DEFLATION = "sparse_deflation"
+
+
+@dataclass(frozen=True)
+class StructuralCertificate:
+    """Outcome of the O(nnz) structural passivity certificate.
+
+    The certificate checks the extended positive-real LMI (Eq. 4) at the
+    explicit solution ``X = I``: it is *sufficient* for passivity (given a
+    regular pencil) and *inconclusive* when any condition fails — a failed
+    certificate says nothing about non-passivity.
+    """
+
+    e_symmetric: bool
+    e_psd: bool
+    dissipation_nsd: bool
+    reciprocal: bool
+    feedthrough_psd: bool
+
+    @property
+    def certified(self) -> bool:
+        return (
+            self.e_symmetric
+            and self.e_psd
+            and self.dissipation_nsd
+            and self.reciprocal
+            and self.feedthrough_psd
+        )
+
+
+def structural_passivity_certificate(
+    system: DescriptorSystem, tol: Optional[Tolerances] = None
+) -> StructuralCertificate:
+    """Check the ``X = I`` positive-real LMI directly on the sparse stamps.
+
+    All checks run on the CSR views without densifying the pencil:
+    ``E = E^T ⪰ 0`` and ``A + A^T ⪯ 0`` via Gershgorin/Lanczos probes,
+    ``C = B^T`` on the (thin, dense) port matrices and ``D + D^T ⪰ 0`` on the
+    small feedthrough.
+    """
+    tol = tol or DEFAULT_TOLERANCES
+    e_sparse = system.sparse_e
+    a_sparse = system.sparse_a
+    e_symmetric = is_sparse_symmetric(e_sparse, tol)
+    e_psd = bool(e_symmetric and is_sparse_psd(e_sparse, tol))
+    dissipation = a_sparse + a_sparse.T
+    dissipation_nsd = is_sparse_nsd(dissipation, tol)
+    scale = max(
+        1.0,
+        float(np.max(np.abs(system.b), initial=0.0)),
+        float(np.max(np.abs(system.c), initial=0.0)),
+    )
+    reciprocal = bool(
+        np.max(np.abs(system.c - system.b.T), initial=0.0) <= tol.structure_rtol * scale
+    )
+    feedthrough_psd = is_positive_semidefinite(system.d + system.d.T, tol)
+    return StructuralCertificate(
+        e_symmetric=e_symmetric,
+        e_psd=e_psd,
+        dissipation_nsd=dissipation_nsd,
+        reciprocal=reciprocal,
+        feedthrough_psd=feedthrough_psd,
+    )
+
+
+def fetch_sparse_deflation(
+    system: DescriptorSystem, tol: Tolerances, cache: Optional[Any] = None
+) -> SparseDeflation:
+    """Compute (or fetch from the engine cache) the sparse deflation.
+
+    The single definition of the ``sparse_deflation`` cache wiring:
+    :meth:`repro.engine.cache.DecompositionCache.sparse_deflation` delegates
+    here, so the entry kind and the cached-error policy cannot drift apart.
+    """
+
+    def compute() -> SparseDeflation:
+        return sparse_nondynamic_deflation(
+            system.sparse_e, system.sparse_a, system.b, system.c, system.d, tol
+        )
+
+    if cache is None:
+        return compute()
+    return cache.get_or_compute(
+        system, SPARSE_DEFLATION, compute, tol=tol, cache_errors=(ReductionError,)
+    )
+
+
+def _dense_fallback(
+    system: DescriptorSystem,
+    tol: Tolerances,
+    report: PassivityReport,
+    reason: str,
+    **options: Any,
+) -> PassivityReport:
+    """Forward an unsupported structure to the dense SHH test, keeping the trail."""
+    from repro.passivity.shh_test import shh_passivity_test
+
+    report.add_step(
+        "dense_fallback",
+        f"sparse reduction not applicable ({reason}); running the dense SHH flow",
+        passed=None,
+        order=system.order,
+    )
+    dense_report = shh_passivity_test(system, tol=tol, **options)
+    report.is_passive = dense_report.is_passive
+    report.failure_reason = dense_report.failure_reason
+    report.steps.extend(dense_report.steps)
+    report.diagnostics.update(dense_report.diagnostics)
+    report.diagnostics["sparse_path"] = "dense-fallback"
+    return report
+
+
+def sparse_shh_passivity_test(
+    system: DescriptorSystem,
+    tol: Optional[Tolerances] = None,
+    cache: Optional[Any] = None,
+    structural_certificate: bool = True,
+    dense_fallback_order: int = SPARSE_DENSE_FALLBACK_ORDER,
+    **options: Any,
+) -> PassivityReport:
+    """Run the sparsity-aware passivity test on ``system``.
+
+    Parameters
+    ----------
+    system:
+        The descriptor system; sparse-backed systems are tested without
+        densifying, dense systems are canonicalized to CSR on the fly.
+    cache:
+        Optional :class:`repro.engine.cache.DecompositionCache` (duck-typed:
+        any object with ``get_or_compute``); the deflation intermediate is
+        shared through it across repeated calls and methods.
+    structural_certificate:
+        Set to false to skip the O(nnz) certificate and always run the
+        reduction path (mainly for tests and benchmarking).
+    dense_fallback_order:
+        Largest order forwarded to the dense SHH test when the sparse
+        reduction does not apply (impulsive modes, non-coordinate kernels).
+    """
+    tol = tol or DEFAULT_TOLERANCES
+    start = time.perf_counter()
+    report = PassivityReport(is_passive=False, method="shh-sparse")
+    try:
+        _run_flow(
+            system,
+            report,
+            tol,
+            cache,
+            structural_certificate,
+            dense_fallback_order,
+            **options,
+        )
+    except ReproError as error:
+        report.is_passive = False
+        if report.failure_reason is None:
+            report.failure_reason = f"sparse reduction failed: {error}"
+        report.add_step("reduction_failure", str(error), passed=False)
+    report.elapsed_seconds = time.perf_counter() - start
+    return report
+
+
+def _run_flow(
+    system: DescriptorSystem,
+    report: PassivityReport,
+    tol: Tolerances,
+    cache: Optional[Any],
+    structural_certificate: bool,
+    dense_fallback_order: int,
+    **options: Any,
+) -> None:
+    if not system.is_square_io:
+        report.failure_reason = "system is not square (inputs != outputs)"
+        report.add_step("validate", report.failure_reason, passed=False)
+        return
+    nnz, density = system.nnz, system.density
+    report.diagnostics["nnz"] = nnz
+    report.diagnostics["density"] = density
+    report.add_step(
+        "sparse_structure",
+        "canonical CSR stamps of the pencil",
+        passed=None,
+        nnz=nnz,
+        density=density,
+        sparse_input=system.is_sparse,
+    )
+
+    # Step 1: O(nnz) structural certificate (the X = I solution of Eq. 4).
+    if structural_certificate:
+        certificate = structural_passivity_certificate(system, tol)
+        report.diagnostics["structural_certificate"] = certificate
+        report.add_step(
+            "structural_certificate",
+            "positive-real LMI at X = I, checked on the sparse stamps",
+            passed=certificate.certified or None,
+            e_symmetric=certificate.e_symmetric,
+            e_psd=certificate.e_psd,
+            dissipation_nsd=certificate.dissipation_nsd,
+            reciprocal=certificate.reciprocal,
+            feedthrough_psd=certificate.feedthrough_psd,
+        )
+        if certificate.certified:
+            regular = sparse_regularity_probe(system.sparse_e, system.sparse_a, tol)
+            report.add_step(
+                "regularity_probe",
+                "sparse-LU factorization of s0 E - A at deterministic shifts",
+                passed=regular,
+            )
+            if not regular:
+                report.failure_reason = "the pencil s E - A is (numerically) singular"
+                return
+            report.is_passive = True
+            report.diagnostics["sparse_path"] = "structural-certificate"
+            return
+
+    # Step 2: sparse admissible-style reduction.
+    try:
+        deflation = fetch_sparse_deflation(system, tol, cache)
+    except ReductionError as error:
+        _dense_fallback_or_refuse(
+            system, tol, report, str(error), dense_fallback_order, **options
+        )
+        return
+    report.diagnostics["n_nondynamic_removed"] = deflation.n_eliminated
+    report.add_step(
+        "sparse_deflation",
+        "permutation-based Schur-complement elimination of the nondynamic modes",
+        passed=None,
+        n_removed=deflation.n_eliminated,
+        reduced_order=deflation.order,
+    )
+
+    proper = StateSpace(deflation.a, deflation.b, deflation.c, deflation.d)
+    stable = proper.is_stable(tol)
+    report.add_step(
+        "stability",
+        "all poles of the reduced proper part lie in the open left half plane",
+        passed=stable,
+        reduced_order=proper.order,
+    )
+    if not stable:
+        report.failure_reason = (
+            "the system has finite modes outside the open left half plane"
+        )
+        return
+
+    # Step 3: half-size Hamiltonian-eigenvalue test on the proper part.
+    pr_result = proper_positive_real_test(proper, tol)
+    report.diagnostics["proper_pr_imaginary_eigenvalues"] = (
+        pr_result.imaginary_eigenvalues
+    )
+    report.add_step(
+        "proper_part_positive_real",
+        "Hamiltonian-eigenvalue positive-realness test of the reduced proper part",
+        passed=pr_result.is_positive_real,
+        n_imaginary_crossings=int(pr_result.imaginary_eigenvalues.size),
+        regularization=pr_result.regularization,
+        anchor_min_eig=pr_result.boundary_check_min_eig,
+    )
+    report.diagnostics["sparse_path"] = "sparse-reduction"
+    if not pr_result.is_positive_real:
+        report.failure_reason = (
+            "the proper part is not positive real (the Hermitian part of the "
+            "frequency response becomes indefinite)"
+        )
+        return
+    report.is_passive = True
+
+
+def _dense_fallback_or_refuse(
+    system: DescriptorSystem,
+    tol: Tolerances,
+    report: PassivityReport,
+    reason: str,
+    dense_fallback_order: int,
+    **options: Any,
+) -> None:
+    if system.order <= dense_fallback_order:
+        _dense_fallback(system, tol, report, reason, **options)
+        return
+    report.failure_reason = (
+        f"unsupported structure for the sparse path ({reason}) and order "
+        f"{system.order} exceeds the dense fallback limit of {dense_fallback_order}"
+    )
+    report.add_step("dense_fallback", report.failure_reason, passed=False)
+    report.diagnostics["sparse_path"] = "unsupported"

@@ -4,12 +4,16 @@ import numpy as np
 import pytest
 
 from repro.circuits import (
+    coupled_line_bus,
     feedthrough_perturbation,
     impulsive_rlc_ladder,
     negative_resistor_perturbation,
     paper_benchmark_model,
+    random_coupled_bus,
     random_passive_descriptor,
+    rc_grid,
     rc_line,
+    rlc_grid,
     rlc_ladder,
 )
 from repro.descriptor import count_modes, first_markov_parameter
@@ -113,3 +117,72 @@ class TestPerturbations:
             small_rlc_ladder.evaluate(1j * omega) - 0.25 * np.eye(1),
             atol=1e-12,
         )
+
+
+class TestGridGenerators:
+    def test_rc_grid_shape_and_structure(self):
+        model = rc_grid(4, 5, n_ports=2, sparse=True)
+        system = model.system
+        assert system.order == 20
+        assert system.n_inputs == 2
+        assert system.is_sparse
+        # Port corners carry no capacitor: E stays singular (descriptor form).
+        assert system.rank_e() < system.order
+
+    def test_rc_grid_validation(self):
+        with pytest.raises(DimensionError):
+            rc_grid(1, 5)
+        with pytest.raises(DimensionError):
+            rc_grid(3, 3, n_ports=5)
+
+    def test_rlc_grid_counts_inductor_states(self):
+        rows, cols = 3, 4
+        model = rlc_grid(rows, cols, sparse=True)
+        assert model.system.order == rows * cols + (rows - 1) * cols
+        assert len(model.inductor_index) == (rows - 1) * cols
+
+    def test_grids_are_passive(self):
+        from repro.passivity import shh_passivity_test
+
+        for system in (
+            rc_grid(3, 4, sparse=False).system,
+            rlc_grid(3, 3, sparse=False).system,
+        ):
+            assert shh_passivity_test(system).is_passive
+
+
+class TestCoupledLineBus:
+    def test_shape_and_ports(self):
+        model = coupled_line_bus(3, 2, sparse=True)
+        assert model.system.n_inputs == 3
+        assert model.system.order == 3 * (3 * 2 + 1)
+
+    def test_coupling_makes_e_nondiagonal(self):
+        system = coupled_line_bus(2, 2, sparse=True).system
+        nodal = system.sparse_e.toarray()
+        off_diagonal = nodal - np.diag(np.diag(nodal))
+        assert np.any(off_diagonal != 0.0)
+
+    def test_validation(self):
+        with pytest.raises(DimensionError):
+            coupled_line_bus(1, 3)
+        with pytest.raises(DimensionError):
+            coupled_line_bus(2, 0)
+
+
+class TestRandomCoupledBus:
+    def test_reproducible_and_passive(self):
+        from repro.passivity import shh_passivity_test
+
+        first = random_coupled_bus(15, seed=42, sparse=True)
+        second = random_coupled_bus(15, seed=42, sparse=True)
+        assert np.array_equal(
+            first.system.sparse_a.toarray(), second.system.sparse_a.toarray()
+        )
+        assert shh_passivity_test(first.system).is_passive
+
+    def test_validation(self):
+        with pytest.raises(DimensionError):
+            random_coupled_bus(1)
+        with pytest.raises(DimensionError):
+            random_coupled_bus(5, n_ports=9)

@@ -93,3 +93,43 @@ class TestMnaAssembly:
         # Reciprocal network: symmetric impedance matrix.
         z = model.system.evaluate(1.0j)
         np.testing.assert_allclose(z, z.T, atol=1e-12)
+
+
+class TestSparseAssembly:
+    def test_sparse_path_matches_dense_bitwise(self):
+        netlist = _rc_divider()
+        netlist.add_inductor("l1", "out", "0", 1.0)
+        dense = assemble_mna(netlist, sparse=False)
+        sparse = assemble_mna(netlist, sparse=True)
+        assert sparse.is_sparse and not dense.is_sparse
+        for name in "eabcd":
+            assert np.array_equal(
+                getattr(dense.system, name), getattr(sparse.system, name)
+            ), name
+
+    def test_sparse_model_keeps_csr_stamps(self):
+        import scipy.sparse
+
+        model = assemble_mna(_rc_divider(), sparse=True)
+        assert scipy.sparse.issparse(model.system.sparse_e)
+        assert scipy.sparse.issparse(model.system.sparse_a)
+        # The dense view has not been materialized by assembly itself.
+        assert "e" not in model.system.__dict__
+
+    def test_sparse_assembly_is_structurally_passive(self):
+        netlist = _rc_divider()
+        netlist.add_inductor("l1", "out", "0", 1.0)
+        system = assemble_mna(netlist, sparse=True).system
+        assert is_positive_semidefinite(system.e)
+        assert is_negative_semidefinite(system.a + system.a.T)
+        np.testing.assert_allclose(system.c, system.b.T)
+
+    def test_duplicate_stamps_summed_identically(self):
+        # Two resistors in parallel at the same nodes create duplicate
+        # triplets; both paths must sum them in the same order.
+        netlist = _rc_divider()
+        netlist.add_resistor("r2", "in", "out", 3.0)
+        netlist.add_resistor("r3", "in", "out", 7.0)
+        dense = assemble_mna(netlist, sparse=False).system
+        sparse = assemble_mna(netlist, sparse=True).system
+        assert np.array_equal(dense.a, sparse.a)

@@ -155,3 +155,83 @@ class TestStateSpace:
         ss = StateSpace(np.zeros((0, 0)), np.zeros((0, 2)), np.zeros((2, 0)), np.eye(2))
         np.testing.assert_allclose(ss.evaluate(1j), np.eye(2))
         assert ss.is_stable()
+
+
+class TestSparseDescriptorSystem:
+    @pytest.fixture
+    def sparse_pair(self):
+        import scipy.sparse
+
+        e = np.diag([1.0, 0.0, 2.0])
+        a = np.array([[-1.0, 0.5, 0.0], [0.0, -2.0, 0.0], [0.3, 0.0, -1.5]])
+        b = np.array([[1.0], [0.0], [1.0]])
+        dense = DescriptorSystem(e, a, b, b.T)
+        sparse = DescriptorSystem(
+            scipy.sparse.csr_matrix(e), scipy.sparse.csr_matrix(a), b, b.T
+        )
+        return dense, sparse
+
+    def test_sparse_inputs_accepted_and_flagged(self, sparse_pair):
+        dense, sparse = sparse_pair
+        assert sparse.is_sparse
+        assert not dense.is_sparse
+        assert sparse.order == dense.order
+        assert sparse.nnz == np.count_nonzero(dense.e) + np.count_nonzero(dense.a)
+
+    def test_lazy_densification(self, sparse_pair):
+        dense, sparse = sparse_pair
+        assert "e" not in sparse.__dict__  # not densified yet
+        np.testing.assert_allclose(sparse.e, dense.e)
+        assert "e" in sparse.__dict__  # cached after first touch
+        assert sparse.is_sparse  # the sparse stamps remain authoritative
+
+    def test_dense_and_sparse_views_agree_everywhere(self, sparse_pair):
+        dense, sparse = sparse_pair
+        s0 = 0.7 + 1.3j
+        np.testing.assert_allclose(sparse.evaluate(s0), dense.evaluate(s0), atol=1e-12)
+        assert sparse.rank_e() == dense.rank_e()
+        assert sparse.is_regular() == dense.is_regular()
+
+    def test_sparse_b_c_d_densified_eagerly(self):
+        import scipy.sparse
+
+        e = scipy.sparse.identity(2, format="csr")
+        a = scipy.sparse.csr_matrix(-np.eye(2))
+        b = scipy.sparse.csr_matrix(np.ones((2, 1)))
+        system = DescriptorSystem(e, a, b, b.T)
+        assert isinstance(system.b, np.ndarray)
+        assert isinstance(system.c, np.ndarray)
+
+    def test_sparse_shape_validation(self):
+        import scipy.sparse
+
+        rect = scipy.sparse.csr_matrix(np.ones((2, 3)))
+        with pytest.raises(DimensionError):
+            DescriptorSystem(rect, rect, np.ones((2, 1)), np.ones((1, 2)))
+        e = scipy.sparse.identity(2, format="csr")
+        a = scipy.sparse.identity(3, format="csr")
+        with pytest.raises(DimensionError):
+            DescriptorSystem(e, -a, np.ones((2, 1)), np.ones((1, 2)))
+
+    def test_pickle_preserves_sparse_backing(self, sparse_pair):
+        import pickle
+
+        _dense, sparse = sparse_pair
+        clone = pickle.loads(pickle.dumps(sparse))
+        assert clone.is_sparse
+        assert "e" not in clone.__dict__
+        np.testing.assert_allclose(clone.e, sparse.e)
+
+    def test_sparse_view_of_dense_system(self, sparse_pair):
+        import scipy.sparse
+
+        dense, _sparse = sparse_pair
+        view = dense.sparse_e
+        assert scipy.sparse.issparse(view)
+        np.testing.assert_allclose(view.toarray(), dense.e)
+
+    def test_density_of_empty_system(self):
+        empty = DescriptorSystem(
+            np.zeros((0, 0)), np.zeros((0, 0)), np.zeros((0, 1)), np.zeros((1, 0))
+        )
+        assert empty.density == 0.0

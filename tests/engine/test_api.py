@@ -56,6 +56,82 @@ class TestExplicitDispatch:
         assert report.diagnostics["engine"]["auto"] is False
 
 
+class TestSparseAutoSelection:
+    def test_auto_selects_shh_sparse_for_large_sparse_mna_systems(self):
+        from repro.circuits import rc_grid
+        from repro.engine import SPARSE_AUTO_MIN_ORDER, select_method
+
+        system = rc_grid(16, 16, sparse=True).system
+        assert system.order >= SPARSE_AUTO_MIN_ORDER
+        assert select_method(system).name == "shh-sparse"
+        report = check_passivity(system, method="auto")
+        assert report.method == "shh-sparse"
+        assert report.is_passive, report.failure_reason
+        assert report.diagnostics["engine"]["auto"] is True
+
+    def test_auto_does_not_densify_large_sparse_systems(self):
+        from repro.circuits import rc_grid
+
+        system = rc_grid(16, 16, sparse=True).system
+        check_passivity(system, method="auto")
+        # The dense views were never materialized by profiling or dispatch.
+        assert "e" not in system.__dict__
+        assert "a" not in system.__dict__
+
+    def test_small_sparse_systems_keep_the_dense_dispatch(self):
+        from repro.circuits import rc_grid
+        from repro.engine import SPARSE_AUTO_MIN_ORDER, select_method
+
+        system = rc_grid(4, 4, sparse=True).system
+        assert system.order < SPARSE_AUTO_MIN_ORDER
+        assert select_method(system).name in ("shh", "gare")
+
+    def test_dense_systems_keep_the_dense_dispatch_at_any_order(self):
+        from repro.circuits import rc_line
+
+        system = rc_line(12).system
+        assert not system.is_sparse
+        from repro.engine import select_method
+
+        assert select_method(system).name in ("shh", "gare")
+
+    def test_auto_falls_back_when_sparse_method_unregistered(self):
+        from repro.circuits import rc_grid
+        from repro.engine import DEFAULT_REGISTRY, select_method
+
+        registry = MethodRegistry()
+        for name in DEFAULT_REGISTRY.names():
+            if name != "shh-sparse":
+                registry.register(DEFAULT_REGISTRY.resolve(name))
+        system = rc_grid(16, 16, sparse=True).system
+        assert select_method(system, registry=registry).name in ("shh", "gare")
+
+
+class TestBatchRunnerSparseWiring:
+    def test_sparse_method_in_a_batch_sweep(self):
+        from repro.circuits import random_coupled_bus, rc_grid
+
+        systems = [
+            rc_grid(4, 4, sparse=True).system,
+            random_coupled_bus(10, seed=3, sparse=True).system,
+        ]
+        runner = BatchRunner(backend="serial", cache=DecompositionCache())
+        outcome = runner.run(systems, methods=("shh-sparse", "shh"))
+        verdicts = outcome.verdicts()
+        for index in range(len(systems)):
+            assert verdicts[(index, "shh-sparse")] is True
+            assert verdicts[(index, "shh-sparse")] == verdicts[(index, "shh")]
+
+    def test_sparse_systems_survive_the_process_backend(self):
+        # Sparse-backed DescriptorSystems must pickle across the pool.
+        from repro.circuits import rc_grid
+
+        systems = [rc_grid(4, 4, sparse=True).system]
+        runner = BatchRunner(backend="process", max_workers=2)
+        outcome = runner.run(systems, methods=("shh-sparse",))
+        assert outcome.results[0].is_passive is True
+
+
 class TestIrregularSystems:
     @pytest.fixture
     def singular_pencil_system(self):

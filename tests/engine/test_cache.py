@@ -36,6 +36,89 @@ class TestFingerprint:
         )
 
 
+class TestSparseFingerprintRegression:
+    """Fingerprints are representation independent and pattern sensitive."""
+
+    def test_equal_sparse_and_dense_representations_share_a_fingerprint(self):
+        from repro.circuits import rc_grid
+
+        dense = rc_grid(4, 4, sparse=False).system
+        sparse = rc_grid(4, 4, sparse=True).system
+        assert fingerprint_system(dense) == fingerprint_system(sparse)
+
+    def test_equal_representations_hit_the_same_cache_entry(self):
+        from repro.circuits import rc_grid
+
+        cache = DecompositionCache()
+        dense = rc_grid(4, 4, sparse=False).system
+        sparse = rc_grid(4, 4, sparse=True).system
+        first = cache.get_or_compute(dense, "thing", lambda: "dense-computed")
+        second = cache.get_or_compute(sparse, "thing", lambda: "sparse-computed")
+        assert first == second == "dense-computed"
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+
+    def test_sparse_fingerprint_does_not_densify(self):
+        import scipy.sparse
+
+        from repro.circuits import rc_grid
+
+        system = rc_grid(6, 6, sparse=True).system
+        fingerprint_system(system)
+        # The lazy dense view must still be un-materialized afterwards.
+        assert "e" not in system.__dict__
+        assert "a" not in system.__dict__
+        assert scipy.sparse.issparse(system.sparse_e)
+
+    def test_structurally_different_patterns_never_collide(self):
+        import scipy.sparse
+
+        from repro.descriptor import DescriptorSystem
+
+        def make(pattern_entry):
+            e = scipy.sparse.csr_matrix(np.diag([1.0, 1.0, 0.0]))
+            rows, cols, vals = zip(*pattern_entry)
+            a = scipy.sparse.coo_matrix(
+                (vals, (rows, cols)), shape=(3, 3)
+            ).tocsr() + scipy.sparse.diags([-2.0, -2.0, -2.0])
+            b = np.ones((3, 1))
+            return DescriptorSystem(e, a, b, b.T)
+
+        # Same stored values, different positions: the index arrays are part
+        # of the digest, so the fingerprints must differ.
+        first = make([(0, 1, 0.5)])
+        second = make([(1, 0, 0.5)])
+        third = make([(0, 2, 0.5)])
+        prints = {fingerprint_system(s) for s in (first, second, third)}
+        assert len(prints) == 3
+
+    def test_explicit_zeros_do_not_change_the_fingerprint(self):
+        import scipy.sparse
+
+        from repro.descriptor import DescriptorSystem
+
+        e_plain = scipy.sparse.csr_matrix(np.diag([1.0, 0.0]))
+        e_padded = scipy.sparse.csr_matrix(
+            ([1.0, 0.0], ([0, 1], [0, 1])), shape=(2, 2)
+        )
+        a = -np.eye(2)
+        b = np.ones((2, 1))
+        plain = DescriptorSystem(e_plain, a, b, b.T)
+        padded = DescriptorSystem(e_padded, a, b, b.T)
+        assert fingerprint_system(plain) == fingerprint_system(padded)
+
+    def test_value_perturbation_changes_sparse_fingerprint(self):
+        from repro.circuits import rc_grid
+
+        base = rc_grid(4, 4, sparse=True).system
+        from repro.descriptor import DescriptorSystem
+
+        bumped = DescriptorSystem(
+            base.sparse_e * (1.0 + 1e-12), base.sparse_a, base.b, base.c, base.d
+        )
+        assert fingerprint_system(base) != fingerprint_system(bumped)
+
+
 class TestHitMissAccounting:
     def test_miss_then_hit(self, small_rlc_ladder):
         cache = DecompositionCache()

@@ -120,7 +120,9 @@ class TestRegistryRoundTrip:
 
 class TestDefaultRegistry:
     def test_builtin_methods_present(self):
-        assert set(DEFAULT_REGISTRY.names()) == {"shh", "lmi", "weierstrass", "gare"}
+        assert set(DEFAULT_REGISTRY.names()) == {
+            "shh", "lmi", "weierstrass", "gare", "shh-sparse",
+        }
 
     def test_proposed_alias_maps_to_shh(self):
         assert DEFAULT_REGISTRY.resolve("proposed").name == "shh"
@@ -131,6 +133,74 @@ class TestDefaultRegistry:
         assert DEFAULT_REGISTRY.resolve("gare").requires_admissible
         assert DEFAULT_REGISTRY.resolve("shh").order_limit is None
         assert not DEFAULT_REGISTRY.resolve("shh").requires_admissible
+
+    def test_shh_sparse_registration_and_metadata(self):
+        from repro.engine import COST_SPARSE
+
+        spec = DEFAULT_REGISTRY.resolve("shh-sparse")
+        assert spec.cost == COST_SPARSE
+        assert spec.order_limit is None
+        assert not spec.requires_admissible
+        assert DEFAULT_REGISTRY.resolve("sparse") is spec
+
+    def test_shh_sparse_does_not_shadow_shh_aliases(self):
+        # Registering the sparse method must leave the dense SHH lookups (its
+        # canonical name and the paper's "proposed" alias) untouched.
+        assert DEFAULT_REGISTRY.resolve("shh").name == "shh"
+        assert DEFAULT_REGISTRY.resolve("proposed").name == "shh"
+        assert DEFAULT_REGISTRY.resolve("shh-sparse").name == "shh-sparse"
+        assert DEFAULT_REGISTRY.resolve("shh-sparse") is not DEFAULT_REGISTRY.resolve("shh")
+
+
+class TestRegisterErrorMessages:
+    """Direct tests of the alias-shadowing error message paths."""
+
+    def test_duplicate_canonical_name_message_names_the_offender(self):
+        registry = MethodRegistry()
+        registry.register(make_toy_spec(name="shh-like", aliases=()))
+        with pytest.raises(ValueError, match=r"'shh-like' is already registered"):
+            registry.register(make_toy_spec(name="shh-like", aliases=()))
+
+    def test_duplicate_alias_message_names_the_alias(self):
+        registry = MethodRegistry()
+        registry.register(make_toy_spec(name="a", aliases=("fast",)))
+        with pytest.raises(ValueError, match=r"'fast' is already registered"):
+            registry.register(make_toy_spec(name="b", aliases=("fast",)))
+
+    def test_alias_shadowing_message_points_at_the_shadowed_method(self):
+        registry = MethodRegistry()
+        registry.register(make_toy_spec(name="victim", aliases=()))
+        with pytest.raises(
+            ValueError,
+            match=r"alias 'victim' would shadow the registered method 'victim'",
+        ):
+            registry.register(
+                make_toy_spec(name="attacker", aliases=("victim",)), replace=True
+            )
+
+    def test_alias_shadowing_message_suggests_unregistering(self):
+        registry = MethodRegistry()
+        registry.register(make_toy_spec(name="victim", aliases=()))
+        with pytest.raises(ValueError, match="unregister it first"):
+            registry.register(
+                make_toy_spec(name="attacker", aliases=("victim",)), replace=True
+            )
+
+    def test_sparse_spec_cannot_take_shh_alias(self):
+        # The scenario the shh-sparse registration must avoid: an alias that
+        # would shadow the dense method's canonical name is rejected even
+        # with replace=True.
+        registry = MethodRegistry()
+        registry.register(make_toy_spec(name="shh", aliases=("proposed",)))
+        with pytest.raises(ValueError, match="shadow"):
+            registry.register(
+                make_toy_spec(name="shh-sparse", aliases=("shh",)), replace=True
+            )
+        # A disjoint alias set registers cleanly and leaves "shh" resolvable.
+        registry.register(make_toy_spec(name="shh-sparse", aliases=("sparse",)))
+        assert registry.resolve("shh").name == "shh"
+        assert registry.resolve("proposed").name == "shh"
+        assert registry.resolve("sparse").name == "shh-sparse"
 
 
 class TestCustomRegistryDispatch:

@@ -4,12 +4,16 @@ import numpy as np
 import pytest
 
 from repro.circuits import (
+    coupled_line_bus,
     feedthrough_perturbation,
     impulsive_rlc_ladder,
     negative_resistor_perturbation,
     paper_benchmark_model,
+    random_coupled_bus,
     random_passive_descriptor,
+    rc_grid,
     rc_line,
+    rlc_grid,
     rlc_ladder,
 )
 from repro.passivity import (
@@ -17,6 +21,7 @@ from repro.passivity import (
     lmi_passivity_test,
     sampling_passivity_check,
     shh_passivity_test,
+    sparse_shh_passivity_test,
     weierstrass_passivity_test,
 )
 
@@ -27,6 +32,10 @@ PASSIVE_MODELS = [
     ("impulsive_two_stubs", lambda: impulsive_rlc_ladder(5, 2).system),
     ("benchmark_order_25", lambda: paper_benchmark_model(25).system),
     ("random_passive", lambda: random_passive_descriptor(12, seed=4, feedthrough_scale=1.0)),
+    ("rc_grid", lambda: rc_grid(4, 5, sparse=True).system),
+    ("rlc_grid", lambda: rlc_grid(3, 4, sparse=True).system),
+    ("coupled_bus", lambda: coupled_line_bus(3, 2, sparse=True).system),
+    ("random_bus", lambda: random_coupled_bus(14, seed=2, sparse=True).system),
 ]
 
 
@@ -39,6 +48,14 @@ def test_shh_weierstrass_sampling_agree_on_passive_models(name, factory):
     assert shh.is_passive, (name, shh.failure_reason)
     assert weierstrass.is_passive, (name, weierstrass.failure_reason)
     assert sampling.is_passive, name
+
+
+@pytest.mark.parametrize("name,factory", PASSIVE_MODELS)
+def test_shh_sparse_joins_the_agreement_matrix_on_passive_models(name, factory):
+    system = factory()
+    sparse = sparse_shh_passivity_test(system)
+    assert sparse.is_passive, (name, sparse.failure_reason)
+    assert sparse.method == "shh-sparse"
 
 
 @pytest.mark.parametrize(
@@ -64,8 +81,39 @@ def test_shh_weierstrass_agree_on_nonpassive_models(name, factory):
     system = factory()
     shh = shh_passivity_test(system)
     weierstrass = weierstrass_passivity_test(system)
+    sparse = sparse_shh_passivity_test(system)
     assert not shh.is_passive, name
     assert not weierstrass.is_passive, name
+    assert not sparse.is_passive, name
+
+
+NONPASSIVE_GENERATOR_MODELS = [
+    (
+        "shifted_grid",
+        lambda: feedthrough_perturbation(rc_grid(4, 4, sparse=True).system, 3.0),
+    ),
+    (
+        "negative_grid_conductance",
+        lambda: negative_resistor_perturbation(rlc_grid(3, 3, sparse=False), 4.0),
+    ),
+    (
+        "shifted_bus",
+        lambda: feedthrough_perturbation(
+            random_coupled_bus(12, seed=8, sparse=True).system, 4.0
+        ),
+    ),
+]
+
+
+@pytest.mark.parametrize("name,factory", NONPASSIVE_GENERATOR_MODELS)
+def test_all_methods_reject_perturbed_generator_workloads(name, factory):
+    system = factory()
+    verdicts = {
+        "shh": shh_passivity_test(system).is_passive,
+        "weierstrass": weierstrass_passivity_test(system).is_passive,
+        "shh-sparse": sparse_shh_passivity_test(system).is_passive,
+    }
+    assert verdicts == {"shh": False, "weierstrass": False, "shh-sparse": False}, name
 
 
 def test_lmi_agrees_on_small_models():

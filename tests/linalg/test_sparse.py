@@ -1,0 +1,188 @@
+"""Tests for the sparsity-preserving linear algebra helpers."""
+
+import numpy as np
+import pytest
+import scipy.sparse
+
+from repro.config import Tolerances
+from repro.exceptions import ReductionError
+from repro.linalg.sparse import (
+    extreme_symmetric_eigenvalue,
+    is_sparse_nsd,
+    is_sparse_psd,
+    is_sparse_symmetric,
+    kernel_permutation,
+    sparse_nondynamic_deflation,
+    sparse_regularity_probe,
+    symmetric_spectrum_bounds,
+    to_canonical_csr,
+    try_sparse_lu,
+)
+
+
+class TestCanonicalCsr:
+    def test_dense_and_sparse_inputs_canonicalize_identically(self, rng):
+        dense = rng.standard_normal((6, 6))
+        dense[np.abs(dense) < 0.8] = 0.0
+        a = to_canonical_csr(dense)
+        b = to_canonical_csr(scipy.sparse.coo_matrix(dense))
+        assert np.array_equal(a.indptr, b.indptr)
+        assert np.array_equal(a.indices, b.indices)
+        assert np.array_equal(a.data, b.data)
+
+    def test_explicit_zeros_and_duplicates_are_normalized(self):
+        rows = [0, 0, 1, 1]
+        cols = [0, 0, 1, 1]
+        vals = [1.0, 2.0, 0.5, -0.5]
+        coo = scipy.sparse.coo_matrix((vals, (rows, cols)), shape=(2, 2))
+        canonical = to_canonical_csr(coo)
+        # (0,0) duplicates sum to 3, (1,1) duplicates cancel and are dropped.
+        assert canonical.nnz == 1
+        assert canonical[0, 0] == 3.0
+
+
+class TestSparseLu:
+    def test_solves_match_dense(self, rng):
+        matrix = rng.standard_normal((8, 8)) + 8 * np.eye(8)
+        lu = try_sparse_lu(scipy.sparse.csc_matrix(matrix))
+        rhs = rng.standard_normal((8, 3))
+        np.testing.assert_allclose(lu.solve(rhs), np.linalg.solve(matrix, rhs), atol=1e-10)
+
+    def test_singular_matrix_returns_none(self):
+        singular = scipy.sparse.csc_matrix(np.array([[1.0, 2.0], [2.0, 4.0]]))
+        assert try_sparse_lu(singular) is None
+
+    def test_nearly_singular_matrix_rejected_by_pivot_ratio(self):
+        nearly = scipy.sparse.csc_matrix(np.diag([1.0, 1e-14]))
+        assert try_sparse_lu(nearly) is None
+
+    def test_empty_matrix_returns_none(self):
+        assert try_sparse_lu(scipy.sparse.csc_matrix((0, 0))) is None
+
+
+class TestRegularityProbe:
+    def test_regular_pencil_detected(self):
+        e = scipy.sparse.diags([1.0, 0.0])
+        a = scipy.sparse.diags([-1.0, -1.0])
+        assert sparse_regularity_probe(e, a)
+
+    def test_singular_pencil_detected(self):
+        # E and A share a common null vector -> det(sE - A) == 0 identically.
+        e = scipy.sparse.csc_matrix(np.diag([1.0, 0.0]))
+        a = scipy.sparse.csc_matrix(np.diag([-1.0, 0.0]))
+        assert not sparse_regularity_probe(e, a)
+
+    def test_matches_dense_classifier_on_random_pencils(self, rng):
+        from repro.linalg.pencil import is_regular_pencil
+
+        for trial in range(5):
+            e = rng.standard_normal((7, 7))
+            e[:, -2:] = 0.0
+            a = rng.standard_normal((7, 7))
+            expected = is_regular_pencil(e, a)
+            assert sparse_regularity_probe(e, a) == expected
+
+
+class TestSpectralProbes:
+    def test_gershgorin_bounds_contain_spectrum(self, rng):
+        matrix = rng.standard_normal((10, 10))
+        matrix = 0.5 * (matrix + matrix.T)
+        lo, hi = symmetric_spectrum_bounds(matrix)
+        eigenvalues = np.linalg.eigvalsh(matrix)
+        assert lo <= eigenvalues[0] + 1e-12
+        assert hi >= eigenvalues[-1] - 1e-12
+
+    def test_extreme_eigenvalues_match_dense(self, rng):
+        matrix = rng.standard_normal((30, 30))
+        matrix = 0.5 * (matrix + matrix.T)
+        eigenvalues = np.linalg.eigvalsh(matrix)
+        assert extreme_symmetric_eigenvalue(matrix, "largest") == pytest.approx(
+            eigenvalues[-1], abs=1e-8
+        )
+        assert extreme_symmetric_eigenvalue(matrix, "smallest") == pytest.approx(
+            eigenvalues[0], abs=1e-8
+        )
+
+    def test_definiteness_of_circuit_style_laplacian(self):
+        # Diagonally dominant conductance Laplacian: Gershgorin certifies both
+        # G >= 0 and -(G + small shunt) <= 0 without any eigensolve.
+        laplacian = np.array(
+            [[2.1, -1.0, -1.0], [-1.0, 2.2, -1.0], [-1.0, -1.0, 2.3]]
+        )
+        assert is_sparse_psd(scipy.sparse.csr_matrix(laplacian))
+        assert is_sparse_nsd(scipy.sparse.csr_matrix(-laplacian))
+        assert not is_sparse_nsd(scipy.sparse.csr_matrix(laplacian))
+
+    def test_indefinite_matrix_rejected_by_both(self):
+        indefinite = scipy.sparse.diags([1.0, -1.0])
+        assert not is_sparse_psd(indefinite)
+        assert not is_sparse_nsd(indefinite)
+
+    def test_symmetry_predicate(self):
+        symmetric = scipy.sparse.csr_matrix(np.array([[1.0, 2.0], [2.0, 3.0]]))
+        askew = scipy.sparse.csr_matrix(np.array([[1.0, 2.0], [-2.0, 3.0]]))
+        assert is_sparse_symmetric(symmetric)
+        assert not is_sparse_symmetric(askew)
+
+
+class TestKernelPermutation:
+    def test_structural_split(self):
+        e = scipy.sparse.csr_matrix(np.diag([1.0, 0.0, 2.0, 0.0]))
+        dynamic, kernel = kernel_permutation(e)
+        assert dynamic.tolist() == [0, 2]
+        assert kernel.tolist() == [1, 3]
+
+    def test_tiny_entries_are_dropped(self):
+        e = np.diag([1.0, 1e-16])
+        dynamic, kernel = kernel_permutation(e, Tolerances())
+        assert kernel.tolist() == [1]
+
+
+class TestSparseDeflation:
+    def test_matches_dense_admissible_reduction(self):
+        from repro.circuits import rc_line
+        from repro.passivity import admissible_to_state_space
+
+        system = rc_line(6).system
+        deflation = sparse_nondynamic_deflation(
+            system.sparse_e, system.sparse_a, system.b, system.c, system.d
+        )
+        dense = admissible_to_state_space(system)
+        assert deflation.n_eliminated == system.order - dense.order
+        # Same transfer function (the state coordinates differ).
+        from repro.descriptor import StateSpace
+
+        reduced = StateSpace(deflation.a, deflation.b, deflation.c, deflation.d)
+        for s in (1j * 0.1, 1j * 1.7, 2.0 + 0.5j):
+            np.testing.assert_allclose(
+                reduced.evaluate(s), system.evaluate(s), atol=1e-9
+            )
+
+    def test_nonsingular_e_passes_through(self):
+        from repro.descriptor import StateSpace
+
+        a = np.array([[-2.0, 1.0], [0.0, -1.0]])
+        b = np.array([[1.0], [1.0]])
+        deflation = sparse_nondynamic_deflation(
+            np.eye(2), a, b, b.T, np.zeros((1, 1))
+        )
+        assert deflation.n_eliminated == 0
+        np.testing.assert_allclose(deflation.a, a, atol=1e-12)
+
+    def test_impulsive_structure_raises(self):
+        # Coordinate kernel states (zero E rows/columns) whose A22 block is
+        # singular: the index-2 situation the sparse deflation must refuse.
+        e = np.diag([1.0, 0.0, 0.0])
+        a = np.array([[-1.0, 0.0, 0.0], [0.0, 0.0, 1.0], [0.0, 0.0, 0.0]])
+        b = np.array([[1.0], [0.0], [1.0]])
+        with pytest.raises(ReductionError, match="impulsive"):
+            sparse_nondynamic_deflation(e, a, b, b.T, np.zeros((1, 1)))
+
+    def test_non_coordinate_kernel_raises(self):
+        # E is singular but with no zero row/column: the permutation split
+        # leaves a singular E11 behind and must refuse.
+        e = np.array([[1.0, 1.0], [1.0, 1.0]])
+        a = -np.eye(2)
+        b = np.ones((2, 1))
+        with pytest.raises(ReductionError, match="E11"):
+            sparse_nondynamic_deflation(e, a, b, b.T, np.zeros((1, 1)))

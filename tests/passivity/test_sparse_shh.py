@@ -1,0 +1,172 @@
+"""Unit tests of the sparsity-aware ``shh-sparse`` passivity test."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    coupled_line_bus,
+    feedthrough_perturbation,
+    impulsive_rlc_ladder,
+    negative_resistor_perturbation,
+    random_passive_descriptor,
+    rc_grid,
+    rc_line,
+    rlc_grid,
+    rlc_ladder,
+)
+from repro.engine import DecompositionCache
+from repro.passivity import (
+    shh_passivity_test,
+    sparse_shh_passivity_test,
+    structural_passivity_certificate,
+)
+
+
+class TestStructuralCertificate:
+    def test_mna_models_are_certified(self):
+        for system in (
+            rc_grid(4, 4, sparse=True).system,
+            rlc_grid(3, 3, sparse=True).system,
+            rlc_ladder(4).system,
+            impulsive_rlc_ladder(4, 1).system,
+        ):
+            certificate = structural_passivity_certificate(system)
+            assert certificate.certified, certificate
+
+    def test_random_passive_descriptor_is_certified(self):
+        system = random_passive_descriptor(12, seed=3, feedthrough_scale=1.0)
+        assert structural_passivity_certificate(system).certified
+
+    def test_negative_conductance_breaks_dissipation(self):
+        system = negative_resistor_perturbation(rlc_ladder(4), 3.0)
+        certificate = structural_passivity_certificate(system)
+        assert not certificate.dissipation_nsd
+        assert not certificate.certified
+
+    def test_shifted_feedthrough_breaks_certificate(self):
+        system = feedthrough_perturbation(rc_line(5).system, 1.0)
+        certificate = structural_passivity_certificate(system)
+        assert not certificate.feedthrough_psd
+
+    def test_non_reciprocal_system_not_certified(self):
+        base = rc_line(5).system
+        from repro.descriptor import DescriptorSystem
+
+        skewed = DescriptorSystem(base.e, base.a, base.b, 2.0 * base.c, base.d)
+        assert not structural_passivity_certificate(skewed).reciprocal
+
+
+class TestSparsePaths:
+    def test_certificate_path_on_passive_grid(self):
+        report = sparse_shh_passivity_test(rc_grid(6, 6, sparse=True).system)
+        assert report.is_passive
+        assert report.diagnostics["sparse_path"] == "structural-certificate"
+        assert "sparse_deflation" not in report.step_names
+
+    def test_reduction_path_on_perturbed_grid(self):
+        bad = feedthrough_perturbation(rc_grid(5, 5, sparse=True).system, 5.0)
+        report = sparse_shh_passivity_test(bad)
+        assert not report.is_passive
+        assert report.diagnostics["sparse_path"] == "sparse-reduction"
+
+    def test_reduction_path_accepts_passive_but_uncertified_grid(self):
+        # Scaling C by a positive factor keeps the impedance passive but
+        # breaks C = B^T, so the certificate fails and the reduction path
+        # must still reach the correct (passive) verdict.
+        system = rc_grid(4, 4, sparse=True).system
+        from repro.descriptor import DescriptorSystem
+
+        nudged = DescriptorSystem(
+            system.e, system.a, system.b, system.c * (1.0 + 1e-4), system.d
+        )
+        report = sparse_shh_passivity_test(nudged)
+        dense = shh_passivity_test(nudged)
+        assert report.diagnostics["sparse_path"] == "sparse-reduction"
+        assert report.is_passive == dense.is_passive
+
+    def test_dense_fallback_on_impulsive_nonpassive_model(self):
+        bad = feedthrough_perturbation(impulsive_rlc_ladder(4, 1).system, 1.0)
+        report = sparse_shh_passivity_test(bad)
+        assert not report.is_passive
+        assert report.diagnostics["sparse_path"] == "dense-fallback"
+        assert report.method == "shh-sparse"
+
+    def test_unsupported_structure_beyond_fallback_limit(self, sm1_system):
+        bad = feedthrough_perturbation(sm1_system, 1.0)
+        report = sparse_shh_passivity_test(bad, dense_fallback_order=1)
+        assert not report.is_passive
+        assert report.diagnostics["sparse_path"] == "unsupported"
+        assert "fallback limit" in report.failure_reason
+
+    def test_certificate_can_be_disabled(self):
+        system = rc_grid(4, 4, sparse=True).system
+        report = sparse_shh_passivity_test(system, structural_certificate=False)
+        assert report.is_passive
+        assert report.diagnostics["sparse_path"] == "sparse-reduction"
+
+    def test_nonsquare_system_rejected(self):
+        from repro.descriptor import DescriptorSystem
+
+        system = DescriptorSystem(
+            np.eye(2), -np.eye(2), np.ones((2, 2)), np.ones((1, 2))
+        )
+        report = sparse_shh_passivity_test(system)
+        assert not report.is_passive
+        assert "square" in report.failure_reason
+
+    def test_unstable_system_rejected(self):
+        from repro.descriptor import DescriptorSystem
+
+        system = DescriptorSystem(
+            np.eye(1), np.array([[0.5]]), np.ones((1, 1)), np.ones((1, 1))
+        )
+        report = sparse_shh_passivity_test(system, structural_certificate=False)
+        assert not report.is_passive
+        assert "left half plane" in report.failure_reason
+
+    def test_singular_pencil_reported_not_passive(self):
+        from repro.descriptor import DescriptorSystem
+
+        # E = A = diag(1, 0) with the LMI structure intact: the certificate
+        # holds but the pencil is singular, which the LU probe must catch.
+        e = np.diag([1.0, 0.0])
+        a = np.diag([-1.0, 0.0])
+        b = np.array([[1.0], [0.0]])
+        system = DescriptorSystem(e, a, b, b.T)
+        report = sparse_shh_passivity_test(system)
+        assert not report.is_passive
+        assert "singular" in report.failure_reason
+
+
+class TestCacheIntegration:
+    def test_deflation_shared_through_cache(self):
+        cache = DecompositionCache()
+        bad = feedthrough_perturbation(rc_grid(4, 4, sparse=True).system, 5.0)
+        first = sparse_shh_passivity_test(bad, cache=cache)
+        second = sparse_shh_passivity_test(bad, cache=cache)
+        assert first.is_passive == second.is_passive is False
+        assert cache.stats.misses_for("sparse_deflation") == 1
+        assert cache.stats.hits_for("sparse_deflation") == 1
+
+    def test_cache_accessor_matches_direct_computation(self):
+        cache = DecompositionCache()
+        system = rc_line(6).system
+        deflation = cache.sparse_deflation(system)
+        assert deflation.n_eliminated >= 1
+        assert cache.sparse_deflation(system) is deflation
+
+
+class TestAgreementOnDenseInputs:
+    @pytest.mark.parametrize("factory", [
+        lambda: rlc_ladder(5).system,
+        lambda: rc_line(6).system,
+        lambda: impulsive_rlc_ladder(5, 2).system,
+        lambda: coupled_line_bus(2, 2, sparse=False).system,
+        lambda: random_passive_descriptor(10, seed=7, feedthrough_scale=1.0),
+    ])
+    def test_dense_input_systems_verdicts_match_shh(self, factory):
+        system = factory()
+        assert (
+            sparse_shh_passivity_test(system).is_passive
+            == shh_passivity_test(system).is_passive
+        )

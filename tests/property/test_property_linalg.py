@@ -1,5 +1,6 @@
 """Property-based tests (hypothesis) for the structured linear-algebra kernel."""
 
+import pytest
 import numpy as np
 from hypothesis import given, settings, strategies as st
 from hypothesis.extra.numpy import arrays
@@ -20,6 +21,8 @@ from repro.linalg.subspaces import (
     orth_complement,
 )
 from repro.linalg.symplectic import is_orthogonal_symplectic
+
+pytestmark = pytest.mark.property
 
 finite_floats = st.floats(
     min_value=-10.0, max_value=10.0, allow_nan=False, allow_infinity=False

@@ -1,5 +1,6 @@
 """Property-based tests for descriptor-system invariants and the passivity tests."""
 
+import pytest
 import numpy as np
 from hypothesis import given, settings, strategies as st
 
@@ -17,6 +18,8 @@ from repro.descriptor import (
     separate_finite_infinite,
 )
 from repro.passivity import remove_impulsive_modes, shh_passivity_test
+
+pytestmark = pytest.mark.property
 
 
 @settings(max_examples=15, deadline=None)
