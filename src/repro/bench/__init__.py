@@ -1,5 +1,6 @@
 """Benchmark harness shared by ``benchmarks/`` and ``examples/``."""
 
+from repro.bench.counters import QZCounter
 from repro.bench.harness import (
     BenchmarkRow,
     PAPER_TABLE1,
@@ -12,6 +13,7 @@ from repro.bench.harness import (
 __all__ = [
     "BenchmarkRow",
     "PAPER_TABLE1",
+    "QZCounter",
     "run_single_model",
     "table1_rows",
     "figure2_series",

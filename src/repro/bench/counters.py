@@ -1,0 +1,59 @@
+"""Instrumentation counters shared by the benchmarks and the regression tests.
+
+The single-factorization guarantee of the spectral-context engine is asserted
+by *counting* the library's QZ factorizations rather than timing them:
+:class:`QZCounter` wraps ``scipy.linalg.qz`` / ``scipy.linalg.ordqz`` with
+counting pass-throughs for the duration of a ``with`` block.  Keeping the one
+implementation here means the counting regression suite and the
+``bench_spectral_reuse`` benchmark can never drift apart on *what* they count.
+"""
+
+from __future__ import annotations
+
+import scipy.linalg
+
+__all__ = ["QZCounter"]
+
+
+class QZCounter:
+    """Count ``scipy.linalg.qz``/``ordqz`` calls made while the block runs.
+
+    The library performs every pencil factorization through these two entry
+    points (attribute lookup at call time), so patching the module attributes
+    intercepts them all; scipy-internal pre-bound references (e.g. inside its
+    own solvers) are deliberately not counted.
+    """
+
+    def __init__(self) -> None:
+        self.qz = 0
+        self.ordqz = 0
+        self._original_qz = None
+        self._original_ordqz = None
+
+    @property
+    def total(self) -> int:
+        return self.qz + self.ordqz
+
+    def reset(self) -> None:
+        self.qz = 0
+        self.ordqz = 0
+
+    def __enter__(self) -> "QZCounter":
+        self._original_qz = scipy.linalg.qz
+        self._original_ordqz = scipy.linalg.ordqz
+
+        def counted_qz(*args, **kwargs):
+            self.qz += 1
+            return self._original_qz(*args, **kwargs)
+
+        def counted_ordqz(*args, **kwargs):
+            self.ordqz += 1
+            return self._original_ordqz(*args, **kwargs)
+
+        scipy.linalg.qz = counted_qz
+        scipy.linalg.ordqz = counted_ordqz
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        scipy.linalg.qz = self._original_qz
+        scipy.linalg.ordqz = self._original_ordqz

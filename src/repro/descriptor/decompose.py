@@ -16,6 +16,7 @@ import numpy as np
 from repro.config import DEFAULT_TOLERANCES, Tolerances
 from repro.descriptor.system import DescriptorSystem, StateSpace
 from repro.descriptor.weierstrass import separate_finite_infinite
+from repro.linalg.pencil import SpectralContext
 
 __all__ = ["AdditiveDecomposition", "additive_decomposition"]
 
@@ -65,11 +66,18 @@ class AdditiveDecomposition:
 
 
 def additive_decomposition(
-    system: DescriptorSystem, tol: Optional[Tolerances] = None
+    system: DescriptorSystem,
+    tol: Optional[Tolerances] = None,
+    context: Optional[SpectralContext] = None,
 ) -> AdditiveDecomposition:
-    """Decompose ``G`` into strictly proper and polynomial parts (Eq. 3)."""
+    """Decompose ``G`` into strictly proper and polynomial parts (Eq. 3).
+
+    ``context`` optionally supplies the precomputed
+    :class:`~repro.linalg.pencil.SpectralContext` so the spectral separation
+    reuses the cached ordered QZ.
+    """
     tol = tol or DEFAULT_TOLERANCES
-    separation = separate_finite_infinite(system, tol)
+    separation = separate_finite_infinite(system, tol, context=context)
     finite_ss = separation.finite_system.to_state_space(tol)
     n_markov = separation.infinite_system.order + 1
     parameters = separation.markov_parameters(max(n_markov, 2))

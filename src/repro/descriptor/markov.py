@@ -21,6 +21,7 @@ import numpy as np
 from repro.config import DEFAULT_TOLERANCES, Tolerances
 from repro.descriptor.system import DescriptorSystem
 from repro.descriptor.weierstrass import separate_finite_infinite
+from repro.linalg.pencil import SpectralContext
 
 __all__ = [
     "markov_parameters",
@@ -34,32 +35,39 @@ def markov_parameters(
     system: DescriptorSystem,
     count: Optional[int] = None,
     tol: Optional[Tolerances] = None,
+    context: Optional[SpectralContext] = None,
 ) -> List[np.ndarray]:
     """Return ``[M0, M1, ..., M_{count-1}]``.
 
     When ``count`` is omitted it defaults to the size of the infinite block
-    plus one, which is guaranteed to cover every nonzero parameter.
+    plus one, which is guaranteed to cover every nonzero parameter.  A
+    precomputed :class:`~repro.linalg.pencil.SpectralContext` lets the
+    underlying separation reuse the cached ordered QZ.
     """
     tol = tol or DEFAULT_TOLERANCES
-    separation = separate_finite_infinite(system, tol)
+    separation = separate_finite_infinite(system, tol, context=context)
     if count is None:
         count = separation.infinite_system.order + 1
     return separation.markov_parameters(count)
 
 
 def zeroth_markov_parameter(
-    system: DescriptorSystem, tol: Optional[Tolerances] = None
+    system: DescriptorSystem,
+    tol: Optional[Tolerances] = None,
+    context: Optional[SpectralContext] = None,
 ) -> np.ndarray:
     """``M0``: the constant term of ``G`` at infinity (includes ``D``)."""
-    return markov_parameters(system, 1, tol)[0]
+    return markov_parameters(system, 1, tol, context=context)[0]
 
 
 def first_markov_parameter(
-    system: DescriptorSystem, tol: Optional[Tolerances] = None
+    system: DescriptorSystem,
+    tol: Optional[Tolerances] = None,
+    context: Optional[SpectralContext] = None,
 ) -> np.ndarray:
     """``M1``: the residue matrix at infinity whose positive semidefiniteness
     passivity requires (positive-realness condition 3 of Section 2.1)."""
-    return markov_parameters(system, 2, tol)[1]
+    return markov_parameters(system, 2, tol, context=context)[1]
 
 
 def highest_nonzero_markov_index(

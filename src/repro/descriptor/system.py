@@ -32,6 +32,7 @@ from repro.exceptions import (
 from repro.linalg.basics import as_2d_array, as_square_array
 from repro.linalg.pencil import (
     GeneralizedSpectrum,
+    SpectralContext,
     classify_generalized_eigenvalues,
     is_regular_pencil,
     pencil_degree,
@@ -298,24 +299,64 @@ class DescriptorSystem:
 
         return numerical_rank(self.e, tol)
 
-    def is_regular(self, tol: Optional[Tolerances] = None) -> bool:
-        """True when the pencil ``s E - A`` is regular."""
+    def is_regular(
+        self,
+        tol: Optional[Tolerances] = None,
+        context: Optional[SpectralContext] = None,
+    ) -> bool:
+        """True when the pencil ``s E - A`` is regular.
+
+        An injectable :class:`~repro.linalg.pencil.SpectralContext` (for
+        example from the engine's decomposition cache) answers from the
+        already-computed factorization instead of re-probing the pencil.
+        """
+        if context is not None:
+            return context.is_regular
         return is_regular_pencil(self.e, self.a, tol)
 
-    def spectrum(self, tol: Optional[Tolerances] = None) -> GeneralizedSpectrum:
-        """Classified generalized spectrum of the pencil."""
+    def spectrum(
+        self,
+        tol: Optional[Tolerances] = None,
+        context: Optional[SpectralContext] = None,
+    ) -> GeneralizedSpectrum:
+        """Classified generalized spectrum of the pencil.
+
+        With an injected :class:`~repro.linalg.pencil.SpectralContext` the
+        classification comes from the cached factorization (raising
+        :class:`~repro.exceptions.SingularPencilError` for a singular pencil);
+        without one a fresh QZ is computed.
+        """
+        if context is not None:
+            return context.classified_spectrum()
         return classify_generalized_eigenvalues(self.e, self.a, tol)
 
-    def finite_poles(self, tol: Optional[Tolerances] = None) -> np.ndarray:
+    def finite_poles(
+        self,
+        tol: Optional[Tolerances] = None,
+        context: Optional[SpectralContext] = None,
+    ) -> np.ndarray:
         """Finite generalized eigenvalues (the finite dynamic modes)."""
-        return self.spectrum(tol).finite
+        return self.spectrum(tol, context=context).finite
 
     def dynamic_degree(self, tol: Optional[Tolerances] = None) -> int:
         """``q = deg det(s E - A)``: the number of finite dynamic modes."""
         return pencil_degree(self.e, self.a, tol)
 
-    def is_stable(self, tol: Optional[Tolerances] = None) -> bool:
-        """True when every finite dynamic mode lies in the open left half plane."""
+    def is_stable(
+        self,
+        tol: Optional[Tolerances] = None,
+        context: Optional[SpectralContext] = None,
+    ) -> bool:
+        """True when every finite dynamic mode lies in the open left half plane.
+
+        Stability is only meaningful for a regular pencil.  With an injected
+        context a singular pencil reports ``False`` (matching the engine's
+        profile semantics); without one the raw QZ classification of the
+        degenerate eigenvalue pairs is used, which can be vacuously ``True``
+        — check :meth:`is_regular` first when the pencil may be singular.
+        """
+        if context is not None:
+            return context.is_stable
         return self.spectrum(tol).is_stable
 
     def is_impulse_free(self, tol: Optional[Tolerances] = None) -> bool:

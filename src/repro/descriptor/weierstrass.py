@@ -25,7 +25,11 @@ import numpy as np
 from repro.config import DEFAULT_TOLERANCES, Tolerances
 from repro.descriptor.system import DescriptorSystem, StateSpace
 from repro.exceptions import ReductionError, SingularPencilError
-from repro.linalg.pencil import is_regular_pencil, ordered_qz_finite_first
+from repro.linalg.pencil import (
+    SpectralContext,
+    is_regular_pencil,
+    ordered_qz_finite_first,
+)
 from repro.linalg.sylvester import block_diagonalize_pencil
 
 __all__ = [
@@ -119,7 +123,9 @@ def polynomial_markov_parameter(
 
 
 def separate_finite_infinite(
-    system: DescriptorSystem, tol: Optional[Tolerances] = None
+    system: DescriptorSystem,
+    tol: Optional[Tolerances] = None,
+    context: Optional[SpectralContext] = None,
 ) -> FiniteInfiniteSeparation:
     """Separate the finite and infinite spectral parts of a regular descriptor system.
 
@@ -130,13 +136,24 @@ def separate_finite_infinite(
        (unit upper-triangular, hence perfectly conditioned to apply),
     3. slicing into the two diagonal subsystems.
 
+    When a precomputed :class:`~repro.linalg.pencil.SpectralContext` is
+    supplied (for example from the engine's decomposition cache), step 1 —
+    the dominant O(n^3) cost — reuses the cached factorization instead of
+    running a fresh ordered QZ, and the regularity probe is answered from the
+    cached verdict.
+
     Raises
     ------
     SingularPencilError
         If the pencil is singular.
     """
     tol = tol or DEFAULT_TOLERANCES
-    if not is_regular_pencil(system.e, system.a, tol):
+    if context is not None:
+        if not context.is_regular:
+            raise SingularPencilError(
+                "finite/infinite separation requires a regular pencil"
+            )
+    elif not is_regular_pencil(system.e, system.a, tol):
         raise SingularPencilError("finite/infinite separation requires a regular pencil")
 
     n = system.order
@@ -152,9 +169,12 @@ def separate_finite_infinite(
             n_finite=0,
         )
 
-    aa, ee, q_matrix, z_matrix, n_finite = ordered_qz_finite_first(
-        system.e, system.a, tol
-    )
+    if context is not None:
+        aa, ee, q_matrix, z_matrix, n_finite = context.ordered_qz()
+    else:
+        aa, ee, q_matrix, z_matrix, n_finite = ordered_qz_finite_first(
+            system.e, system.a, tol
+        )
     # scipy.ordqz returns A = Q aa Z^H, E = Q ee Z^H, so the transformed system
     # uses left multiplication by Q^T and right by Z.
     left_corr, right_corr = block_diagonalize_pencil(aa, ee, n_finite, tol)
@@ -217,16 +237,20 @@ class WeierstrassForm:
 
 
 def weierstrass_form(
-    system: DescriptorSystem, tol: Optional[Tolerances] = None
+    system: DescriptorSystem,
+    tol: Optional[Tolerances] = None,
+    context: Optional[SpectralContext] = None,
 ) -> WeierstrassForm:
     """Compute the quasi-Weierstrass form of a regular descriptor system.
 
     Built on top of :func:`separate_finite_infinite` by additionally scaling
     the finite block with ``E_11^{-1}`` and the infinite block with
-    ``A_22^{-1}`` — the non-orthogonal step that degrades conditioning.
+    ``A_22^{-1}`` — the non-orthogonal step that degrades conditioning.  A
+    precomputed :class:`~repro.linalg.pencil.SpectralContext` is forwarded to
+    the separation so the ordered QZ is reused rather than recomputed.
     """
     tol = tol or DEFAULT_TOLERANCES
-    separation = separate_finite_infinite(system, tol)
+    separation = separate_finite_infinite(system, tol, context=context)
     finite = separation.finite_system
     infinite = separation.infinite_system
     q = separation.n_finite

@@ -6,8 +6,9 @@ tests:
 * :mod:`repro.engine.registry` — pluggable :class:`MethodSpec` table with
   capability metadata (cost class, order limits, admissibility requirements),
 * :mod:`repro.engine.cache` — fingerprint-keyed :class:`DecompositionCache`
-  sharing expensive intermediates (chain structure, Weierstrass form,
-  admissible reduction, additive decomposition) across methods and calls,
+  sharing expensive intermediates (pencil spectral context, chain structure,
+  Weierstrass form, admissible reduction, additive decomposition) across
+  methods and calls,
 * :mod:`repro.engine.runner` — :class:`BatchRunner` fanning systems x methods
   over a process/thread pool with per-task timeouts and telemetry,
 * :mod:`repro.engine.api` — :func:`check_passivity`, the one-call entry point
@@ -21,12 +22,14 @@ from repro.engine.api import (
     select_method,
 )
 from repro.engine.cache import (
+    PENCIL_SPECTRUM,
     CacheStats,
     DecompositionCache,
     SystemProfile,
     fingerprint_system,
     profile_system,
 )
+from repro.linalg.pencil import SpectralContext, compute_spectral_context
 from repro.engine.registry import (
     COST_CUBIC,
     COST_SDP,
@@ -48,6 +51,9 @@ __all__ = [
     "CacheStats",
     "DecompositionCache",
     "SystemProfile",
+    "SpectralContext",
+    "PENCIL_SPECTRUM",
+    "compute_spectral_context",
     "fingerprint_system",
     "profile_system",
     "COST_CUBIC",

@@ -82,6 +82,37 @@ def select_method(
 _UNSET = object()
 
 
+def _attach_engine_diagnostics(
+    report: PassivityReport,
+    spec: MethodSpec,
+    auto: bool,
+    cached: bool,
+    skipped: bool,
+    factorizations: int,
+) -> None:
+    """Record the dispatch decision under ``diagnostics["engine"]``.
+
+    Every ``check_passivity`` exit — success, order-limit refusal,
+    admissibility refusal — writes the *same* schema so downstream telemetry
+    never has to guard for missing keys:
+
+    * ``method`` / ``auto`` — the resolved method and whether auto-selection
+      picked it,
+    * ``cached`` — whether a persistent caller-supplied cache was in play,
+    * ``skipped`` — True when the engine refused the cell without running it,
+    * ``factorizations`` — decomposition computations this call actually
+      performed (0 on a warm cache; best-effort when several threads share
+      one cache concurrently).
+    """
+    report.diagnostics["engine"] = {
+        "method": spec.name,
+        "auto": auto,
+        "cached": cached,
+        "skipped": skipped,
+        "factorizations": factorizations,
+    }
+
+
 def _order_limit_report(
     spec: MethodSpec, system: DescriptorSystem, limit: int
 ) -> PassivityReport:
@@ -162,6 +193,10 @@ def check_passivity(
         # method itself share one structural analysis instead of recomputing
         # the O(n^3) decompositions within a single call.
         cache = DecompositionCache(maxsize=8)
+    factorizations_baseline = cache.stats.factorizations
+
+    def factorizations_delta() -> int:
+        return cache.stats.factorizations - factorizations_baseline
 
     auto = method == "auto"
     profile: Optional[SystemProfile] = None
@@ -186,21 +221,31 @@ def check_passivity(
     limit = spec.order_limit if override is _UNSET else override
     if limit is not None and system.order > limit:
         report = _order_limit_report(spec, system, limit)
-        report.diagnostics["engine"] = {"method": spec.name, "auto": auto, "skipped": True}
+        _attach_engine_diagnostics(
+            report, spec, auto, persistent, skipped=True,
+            factorizations=factorizations_delta(),
+        )
         return report
 
     if spec.requires_admissible:
-        # Pre-screen against the cached profile: the chain analysis is shared
-        # with the SHH test, so a refusal costs no extra decompositions.
+        # Pre-screen against the cached profile: the chain analysis and the
+        # pencil spectrum are shared with the method itself, so a refusal
+        # costs no extra decompositions.
         if profile is None:
             profile = profile_system(system, tol, cache=cache)
         if not profile.is_admissible:
+            # Not "skipped": the admissibility pre-screen *is* the method's
+            # own first step, and the refusal is its (non-passive) verdict.
             report = _not_admissible_report(spec, profile)
-            report.diagnostics["engine"] = {"method": spec.name, "auto": auto}
+            _attach_engine_diagnostics(
+                report, spec, auto, persistent, skipped=False,
+                factorizations=factorizations_delta(),
+            )
             return report
 
     report = spec.run(system, tol=tol, cache=cache, **options)
-    report.diagnostics.setdefault(
-        "engine", {"method": spec.name, "auto": auto, "cached": persistent}
+    _attach_engine_diagnostics(
+        report, spec, auto, persistent, skipped=False,
+        factorizations=factorizations_delta(),
     )
     return report

@@ -31,6 +31,7 @@ from repro.descriptor.decompose import AdditiveDecomposition, additive_decomposi
 from repro.descriptor.system import DescriptorSystem, StateSpace
 from repro.descriptor.weierstrass import WeierstrassForm, weierstrass_form
 from repro.exceptions import NotAdmissibleError
+from repro.linalg.pencil import SpectralContext, compute_spectral_context
 from repro.linalg.sparse import SparseDeflation
 from repro.passivity.gare_test import admissible_to_state_space
 from repro.passivity.m1 import InfiniteChainData, impulsive_chain_data
@@ -47,6 +48,7 @@ __all__ = [
     "ADDITIVE_DECOMPOSITION",
     "GARE_STATE_SPACE",
     "SYSTEM_PROFILE",
+    "PENCIL_SPECTRUM",
     "SPARSE_DEFLATION",
 ]
 
@@ -58,6 +60,7 @@ WEIERSTRASS_FORM = "weierstrass_form"
 ADDITIVE_DECOMPOSITION = "additive_decomposition"
 GARE_STATE_SPACE = "gare_state_space"
 SYSTEM_PROFILE = "system_profile"
+PENCIL_SPECTRUM = "pencil_spectrum"
 
 
 def fingerprint_system(
@@ -103,11 +106,19 @@ def fingerprint_system(
 
 @dataclass
 class CacheStats:
-    """Hit/miss/eviction accounting, in aggregate and per entry kind."""
+    """Hit/miss/eviction/factorization accounting, in aggregate and per kind.
+
+    ``factorizations`` counts the *actual decomposition computations* the
+    cache performed (every ``compute()`` it ran, including negatively cached
+    refusals).  Hits and seeded entries do not count, so the counter is the
+    assertable "how many O(n^3) factorizations did this workload really pay
+    for" telemetry the single-factorization regression tests pin down.
+    """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    factorizations: int = 0
     by_kind: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     def record(self, kind: str, hit: bool) -> None:
@@ -119,27 +130,45 @@ class CacheStats:
             self.misses += 1
             counters["misses"] += 1
 
+    def record_factorization(self, kind: str) -> None:
+        """Count one actual decomposition computation for ``kind``."""
+        counters = self.by_kind.setdefault(kind, {"hits": 0, "misses": 0})
+        counters["factorizations"] = counters.get("factorizations", 0) + 1
+        self.factorizations += 1
+
     def hits_for(self, kind: str) -> int:
         return self.by_kind.get(kind, {}).get("hits", 0)
 
     def misses_for(self, kind: str) -> int:
-        """Number of actual computations performed for ``kind``."""
+        """Number of cache misses recorded for ``kind``."""
         return self.by_kind.get(kind, {}).get("misses", 0)
+
+    def factorizations_for(self, kind: str) -> int:
+        """Number of actual computations performed for ``kind``."""
+        return self.by_kind.get(kind, {}).get("factorizations", 0)
 
     def merge(self, other: "CacheStats") -> None:
         """Fold another counter set into this one (batch-worker aggregation)."""
         self.hits += other.hits
         self.misses += other.misses
         self.evictions += other.evictions
+        self.factorizations += other.factorizations
         for kind, counters in other.by_kind.items():
             mine = self.by_kind.setdefault(kind, {"hits": 0, "misses": 0})
             mine["hits"] += counters.get("hits", 0)
             mine["misses"] += counters.get("misses", 0)
+            if counters.get("factorizations", 0):
+                mine["factorizations"] = (
+                    mine.get("factorizations", 0) + counters["factorizations"]
+                )
 
     def snapshot(self) -> "CacheStats":
         """Independent copy of the current counters."""
         copy = CacheStats(
-            hits=self.hits, misses=self.misses, evictions=self.evictions
+            hits=self.hits,
+            misses=self.misses,
+            evictions=self.evictions,
+            factorizations=self.factorizations,
         )
         copy.by_kind = {kind: dict(counters) for kind, counters in self.by_kind.items()}
         return copy
@@ -150,13 +179,19 @@ class CacheStats:
             hits=self.hits - baseline.hits,
             misses=self.misses - baseline.misses,
             evictions=self.evictions - baseline.evictions,
+            factorizations=self.factorizations - baseline.factorizations,
         )
         for kind, counters in self.by_kind.items():
             base = baseline.by_kind.get(kind, {})
             hits = counters.get("hits", 0) - base.get("hits", 0)
             misses = counters.get("misses", 0) - base.get("misses", 0)
-            if hits or misses:
+            factorizations = counters.get("factorizations", 0) - base.get(
+                "factorizations", 0
+            )
+            if hits or misses or factorizations:
                 delta.by_kind[kind] = {"hits": hits, "misses": misses}
+                if factorizations:
+                    delta.by_kind[kind]["factorizations"] = factorizations
         return delta
 
     @property
@@ -224,7 +259,7 @@ class DecompositionCache:
             try:
                 value = compute()
             except cache_errors as error:
-                self._store(key, kind, ("error", error))
+                self._store(key, kind, ("error", error), computed=True)
                 raise
             except BaseException:
                 # Not cached: drop the per-key lock so repeated failures on
@@ -232,8 +267,36 @@ class DecompositionCache:
                 with self._lock:
                     self._key_locks.pop(key, None)
                 raise
-            self._store(key, kind, ("value", value))
+            self._store(key, kind, ("value", value), computed=True)
             return value
+
+    def contains(
+        self,
+        system: DescriptorSystem,
+        kind: str,
+        tol: Optional[Tolerances] = None,
+    ) -> bool:
+        """True when an entry of ``kind`` is cached for ``system`` (no stats)."""
+        key = (fingerprint_system(system, tol), kind)
+        with self._lock:
+            return key in self._entries
+
+    def seed(
+        self,
+        system: DescriptorSystem,
+        kind: str,
+        value: Any,
+        tol: Optional[Tolerances] = None,
+    ) -> None:
+        """Store a precomputed intermediate without running (or counting) a compute.
+
+        Used to transfer decompositions across process boundaries: the batch
+        runner computes a system's spectral context once in the parent and
+        seeds each worker-local cache with it, so the worker's lookups are
+        hits and its ``factorizations`` counter stays at zero.
+        """
+        key = (fingerprint_system(system, tol), kind)
+        self._store(key, kind, ("value", value), computed=False, count_miss=False)
 
     def _unwrap(self, key, kind: str, entry: Tuple[str, Any]) -> Any:
         # Caller holds self._lock.
@@ -244,9 +307,19 @@ class DecompositionCache:
             raise payload
         return payload
 
-    def _store(self, key, kind: str, entry: Tuple[str, Any]) -> None:
+    def _store(
+        self,
+        key,
+        kind: str,
+        entry: Tuple[str, Any],
+        computed: bool = True,
+        count_miss: bool = True,
+    ) -> None:
         with self._lock:
-            self.stats.record(kind, hit=False)
+            if count_miss:
+                self.stats.record(kind, hit=False)
+            if computed:
+                self.stats.record_factorization(kind)
             self._entries[key] = entry
             self._entries.move_to_end(key)
             self._key_locks.pop(key, None)
@@ -269,15 +342,40 @@ class DecompositionCache:
             tol=effective,
         )
 
+    def spectral(
+        self, system: DescriptorSystem, tol: Optional[Tolerances] = None
+    ) -> SpectralContext:
+        """Ordered-QZ spectral context of the pencil ``(E, A)``.
+
+        The compute-once bundle behind the engine's dense path: regularity,
+        stability, the finite/infinite split and the Weierstrass transform
+        seeds all come from this single factorization, which the profile, the
+        passivity methods and the spectral separation share through the cache.
+        """
+        effective = tol or DEFAULT_TOLERANCES
+        return self.get_or_compute(
+            system,
+            PENCIL_SPECTRUM,
+            lambda: compute_spectral_context(system.e, system.a, effective),
+            tol=effective,
+        )
+
     def weierstrass(
         self, system: DescriptorSystem, tol: Optional[Tolerances] = None
     ) -> WeierstrassForm:
-        """(Quasi-)Weierstrass canonical form of the system."""
+        """(Quasi-)Weierstrass canonical form of the system.
+
+        The ordered QZ underlying the form is fetched through
+        :meth:`spectral`, so a cached spectral context makes this a
+        reordering-free construction on top of the existing factorization.
+        """
         effective = tol or DEFAULT_TOLERANCES
         return self.get_or_compute(
             system,
             WEIERSTRASS_FORM,
-            lambda: weierstrass_form(system, effective),
+            lambda: weierstrass_form(
+                system, effective, context=self.spectral(system, effective)
+            ),
             tol=effective,
         )
 
@@ -289,7 +387,9 @@ class DecompositionCache:
         return self.get_or_compute(
             system,
             ADDITIVE_DECOMPOSITION,
-            lambda: additive_decomposition(system, effective),
+            lambda: additive_decomposition(
+                system, effective, context=self.spectral(system, effective)
+            ),
             tol=effective,
         )
 
@@ -297,6 +397,9 @@ class DecompositionCache:
         self, system: DescriptorSystem, tol: Optional[Tolerances] = None
     ) -> StateSpace:
         """Admissible Schur-complement reduction used by the GARE test.
+
+        The admissibility pre-check inside the reduction reads the cached
+        spectral context instead of re-running its own pencil spectrum.
 
         Raises
         ------
@@ -308,7 +411,9 @@ class DecompositionCache:
         return self.get_or_compute(
             system,
             GARE_STATE_SPACE,
-            lambda: admissible_to_state_space(system, effective),
+            lambda: admissible_to_state_space(
+                system, effective, context=self.spectral(system, effective)
+            ),
             tol=effective,
             cache_errors=(NotAdmissibleError,),
         )
@@ -384,8 +489,9 @@ def profile_system(
 
     The profile drives the engine's auto-selection and admissibility
     pre-screening.  The underlying chain-structure computation is shared with
-    the SHH test through the cache, so profiling before testing costs nothing
-    extra.
+    the SHH test and the pencil spectrum with every spectral consumer (method
+    step-0 classification, GARE admissibility, Weierstrass reduction) through
+    the cache, so profiling before testing costs nothing extra.
     """
     effective = tol or DEFAULT_TOLERANCES
 
@@ -395,8 +501,13 @@ def profile_system(
             if cache is not None
             else impulsive_chain_data(system, effective)
         )
-        regular = system.is_regular(effective)
-        stable = bool(regular and system.spectrum(effective).is_stable)
+        context = (
+            cache.spectral(system, effective)
+            if cache is not None
+            else compute_spectral_context(system.e, system.a, effective)
+        )
+        regular = context.is_regular
+        stable = context.is_stable
         return SystemProfile(
             fingerprint=fingerprint_system(system, effective),
             order=system.order,

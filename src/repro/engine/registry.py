@@ -77,6 +77,11 @@ class MethodSpec:
         True when the method is only valid for admissible (regular, stable,
         impulse-free) systems; the engine pre-screens such methods against the
         cached system profile.
+    uses_spectral_cache:
+        True when the method's runner consults the cached pencil spectral
+        context (the dense SHH/GARE/Weierstrass adapters do); the batch
+        runner only hoists a system's context out of the workers when some
+        requested method would actually read it.
     aliases:
         Alternative lookup names (e.g. ``"proposed"`` for the SHH test,
         matching the paper's Table-1 column label).
@@ -88,6 +93,7 @@ class MethodSpec:
     cost: str = COST_CUBIC
     order_limit: Optional[int] = None
     requires_admissible: bool = False
+    uses_spectral_cache: bool = True
     aliases: Tuple[str, ...] = ()
 
     def run(
@@ -195,6 +201,25 @@ class MethodRegistry:
 # Built-in runners: thin adapters that route the expensive intermediates
 # through the shared decomposition cache when one is supplied.
 # ----------------------------------------------------------------------
+def _fetch_spectral(
+    system: DescriptorSystem,
+    tol: Optional[Tolerances],
+    cache: Optional["DecompositionCache"],
+):
+    """The cached spectral context, or ``None`` when unavailable.
+
+    Decomposition errors (e.g. a malformed pencil) are swallowed so each
+    test's own validation produces its graceful failure report instead of the
+    adapter leaking the error.
+    """
+    if cache is None:
+        return None
+    try:
+        return cache.spectral(system, tol)
+    except ReproError:
+        return None
+
+
 def _run_shh(
     system: DescriptorSystem,
     tol: Optional[Tolerances],
@@ -209,7 +234,16 @@ def _run_shh(
             # Let the test's own validation produce the graceful failure
             # report instead of leaking the decomposition error.
             chain_data = None
-    return shh_passivity_test(system, tol=tol, chain_data=chain_data, **options)
+    context = options.pop("spectral_context", None)
+    if context is None:
+        context = _fetch_spectral(system, tol, cache)
+    return shh_passivity_test(
+        system,
+        tol=tol,
+        chain_data=chain_data,
+        spectral_context=context,
+        **options,
+    )
 
 
 def _run_weierstrass(
@@ -226,7 +260,12 @@ def _run_weierstrass(
             # E.g. a singular pencil: the test validates the system itself
             # and must report is_passive=False, exactly as without a cache.
             form = None
-    return weierstrass_passivity_test(system, tol=tol, form=form, **options)
+    context = options.pop("context", None)
+    if context is None:
+        context = _fetch_spectral(system, tol, cache)
+    return weierstrass_passivity_test(
+        system, tol=tol, form=form, context=context, **options
+    )
 
 
 def _run_shh_sparse(
@@ -268,7 +307,12 @@ def _run_gare(
             )
             report.add_step("admissibility", str(error), passed=False)
             return report
-    return gare_passivity_test(system, tol=tol, state_space=state_space, **options)
+    context = options.pop("context", None)
+    if context is None and state_space is None:
+        context = _fetch_spectral(system, tol, cache)
+    return gare_passivity_test(
+        system, tol=tol, state_space=state_space, context=context, **options
+    )
 
 
 #: Process-wide default registry holding the four built-in methods.
@@ -295,6 +339,7 @@ DEFAULT_REGISTRY.register(
         # Mirrors the paper's Table 1, where the LMI test hits the machine's
         # limits beyond order ~60-70 (the NIL entries).
         order_limit=60,
+        uses_spectral_cache=False,
     )
 )
 DEFAULT_REGISTRY.register(
@@ -326,6 +371,7 @@ DEFAULT_REGISTRY.register(
         cost=COST_SPARSE,
         # No order limit: lifting the dense caps is the point of the method.
         order_limit=None,
+        uses_spectral_cache=False,
         aliases=("sparse",),
     )
 )

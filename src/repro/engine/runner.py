@@ -49,8 +49,14 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from repro.config import DEFAULT_TOLERANCES, Tolerances
 from repro.descriptor.system import DescriptorSystem
 from repro.engine.api import check_passivity
-from repro.engine.cache import CacheStats, DecompositionCache
+from repro.engine.cache import (
+    PENCIL_SPECTRUM,
+    CacheStats,
+    DecompositionCache,
+    fingerprint_system,
+)
 from repro.engine.registry import DEFAULT_REGISTRY, MethodRegistry
+from repro.linalg.pencil import SpectralContext
 from repro.passivity.result import PassivityReport
 
 __all__ = ["BatchResult", "BatchOutcome", "BatchRunner"]
@@ -144,11 +150,20 @@ def _process_worker(
         Dict[str, Dict[str, Any]],
         Optional[MethodRegistry],
         Optional[int],
+        Optional[SpectralContext],
     ],
 ) -> Tuple[int, List[Tuple[str, Optional[PassivityReport], float, Optional[str]]], CacheStats]:
-    """Process-pool task: run every requested method on one system."""
-    index, system, methods, tol, method_options, registry, cache_maxsize = payload
+    """Process-pool task: run every requested method on one system.
+
+    ``payload`` may carry the system's spectral context computed once in the
+    parent; it is seeded into the worker-local cache so every method's
+    spectral queries are hits and the worker performs no pencil
+    factorization of its own.
+    """
+    index, system, methods, tol, method_options, registry, cache_maxsize, context = payload
     cache = DecompositionCache(maxsize=cache_maxsize)
+    if context is not None:
+        cache.seed(system, PENCIL_SPECTRUM, context, tol=tol)
     cells = []
     for method in methods:
         report, seconds, error = _run_cell(
@@ -169,7 +184,9 @@ class BatchRunner:
     cache:
         Shared :class:`DecompositionCache` for the ``"thread"``/``"serial"``
         backends; a fresh one is created when omitted.  The ``"process"``
-        backend uses worker-local caches instead and merges their counters.
+        backend uses worker-local caches instead and merges their counters,
+        but the parent cache still holds the precomputed spectral contexts
+        shipped to the workers (so repeated sweeps reuse them).
         After a timed-out thread cell, the abandoned task keeps running and
         eventually records into this cache, so per-sweep stats deltas of
         *later* ``run()`` calls on the same runner are best-effort; use a
@@ -182,6 +199,22 @@ class BatchRunner:
         ``"auto"``, ``"process"``, ``"thread"`` or ``"serial"``.
     tol:
         Tolerance bundle applied to every test (also the cache key).
+    precompute_spectral:
+        When true (default), spectral contexts are hoisted out of the
+        workers into the runner's persistent cache before the cells fan out:
+        thread/serial workers hit them through the shared cache and process
+        workers receive the serialized ``Q``/``Z``/``alpha``/``beta`` bundle
+        in their task payload and seed their worker-local caches.  The
+        parent only *computes* a context when that is a guaranteed win — the
+        fingerprint is duplicated within the sweep (one factorization
+        replaces several) or the context is already cached from an earlier
+        sweep (shipping is free); a unique cold system keeps its
+        factorization in the worker, where it runs in parallel with the
+        other cells.  Systems are also skipped when they are sparse-backed
+        (materializing the dense pencil would defeat the sparse backend) or
+        when no requested method would consult the spectral cache (e.g. a
+        pure-LMI sweep, or every spectral method refusing on its order
+        limit).
     """
 
     def __init__(
@@ -192,6 +225,7 @@ class BatchRunner:
         task_timeout: Optional[float] = None,
         backend: str = "auto",
         tol: Optional[Tolerances] = None,
+        precompute_spectral: bool = True,
     ) -> None:
         if backend not in ("auto", "process", "thread", "serial"):
             raise ValueError(f"unknown backend {backend!r}")
@@ -201,6 +235,76 @@ class BatchRunner:
         self.task_timeout = task_timeout
         self.backend = backend
         self.tol = tol or DEFAULT_TOLERANCES
+        self.precompute_spectral = precompute_spectral
+
+    # ------------------------------------------------------------------
+    def _wants_spectral_context(
+        self,
+        system: DescriptorSystem,
+        methods: Tuple[str, ...],
+        method_options: Dict[str, Dict[str, Any]],
+    ) -> bool:
+        """True when some requested method would read the system's context.
+
+        ``"auto"`` always profiles (the profile is built from the context);
+        named methods must advertise ``uses_spectral_cache`` and actually run
+        — a cell the engine will refuse on its (possibly overridden) order
+        limit never touches the cache.
+        """
+        for method in methods:
+            if method == "auto":
+                return True
+            spec = self.registry.resolve(method)
+            if not spec.uses_spectral_cache:
+                continue
+            options = method_options.get(method, {})
+            limit = options.get("order_limit", spec.order_limit)
+            if limit is not None and system.order > limit:
+                continue
+            return True
+        return False
+
+    def _spectral_contexts(
+        self,
+        systems: List[DescriptorSystem],
+        methods: Tuple[str, ...],
+        method_options: Dict[str, Dict[str, Any]],
+    ) -> Dict[int, SpectralContext]:
+        """Hoist per-system spectral contexts out of the workers.
+
+        Returns ``system index -> context`` for every system where the hoist
+        is a guaranteed win: some requested method will consult the context,
+        and the factorization is either already cached (shipping is free) or
+        shared by several sweep entries with the same fingerprint (one
+        parent-side factorization replaces several worker-side ones).  A
+        unique cold system is left to its worker so its factorization runs in
+        parallel with the other cells.  Failures are silently skipped — the
+        affected worker simply computes (or gracefully refuses) on its own.
+        """
+        contexts: Dict[int, SpectralContext] = {}
+        if not self.precompute_spectral:
+            return contexts
+        fingerprints: Dict[int, str] = {}
+        occurrences: Dict[str, int] = {}
+        for index, system in enumerate(systems):
+            if system.is_sparse:
+                continue
+            if not self._wants_spectral_context(system, methods, method_options):
+                continue
+            fingerprint = fingerprint_system(system, self.tol)
+            fingerprints[index] = fingerprint
+            occurrences[fingerprint] = occurrences.get(fingerprint, 0) + 1
+        for index, fingerprint in fingerprints.items():
+            system = systems[index]
+            if occurrences[fingerprint] < 2 and not self.cache.contains(
+                system, PENCIL_SPECTRUM, self.tol
+            ):
+                continue
+            try:
+                contexts[index] = self.cache.spectral(system, self.tol)
+            except Exception:  # noqa: BLE001 - precompute is best-effort
+                continue
+        return contexts
 
     # ------------------------------------------------------------------
     def run(
@@ -234,6 +338,12 @@ class BatchRunner:
         method_options = {method: by_canonical.get(canonical(method), {}) for method in methods}
 
         start = time.perf_counter()
+        # The runner's cache (and its counters) outlives individual sweeps;
+        # outcomes report per-sweep deltas.  The baseline is taken *before*
+        # the spectral precompute so the parent-side factorizations show up
+        # in the sweep's telemetry.
+        stats_baseline = self.cache.stats.snapshot()
+        contexts = self._spectral_contexts(systems, methods, method_options)
         backend = self.backend
         if backend in ("auto", "process"):
             # Only pool *creation* triggers the serial fallback; a pool that
@@ -244,11 +354,17 @@ class BatchRunner:
             except (OSError, PermissionError):
                 if backend == "process":
                     raise
-                outcome = self._run_local(systems, methods, method_options, "serial")
+                outcome = self._run_local(
+                    systems, methods, method_options, "serial", stats_baseline
+                )
             else:
-                outcome = self._run_process(pool, systems, methods, method_options)
+                outcome = self._run_process(
+                    pool, systems, methods, method_options, contexts, stats_baseline
+                )
         else:
-            outcome = self._run_local(systems, methods, method_options, backend)
+            outcome = self._run_local(
+                systems, methods, method_options, backend, stats_baseline
+            )
         outcome.total_seconds = time.perf_counter() - start
         return outcome
 
@@ -259,7 +375,11 @@ class BatchRunner:
         methods: Tuple[str, ...],
         method_options: Dict[str, Dict[str, Any]],
         backend: str,
+        stats_baseline: CacheStats,
     ) -> BatchOutcome:
+        # Thread/serial cells share the runner's cache, so the precomputed
+        # spectral contexts are already where every worker will look for
+        # them; no per-cell plumbing is needed.
         registry = self.registry
         cells = [
             (si, mi, system, method)
@@ -267,9 +387,6 @@ class BatchRunner:
             for mi, method in enumerate(methods)
         ]
         results: Dict[Tuple[int, int], BatchResult] = {}
-        # The runner's cache (and its counters) outlives individual sweeps;
-        # the outcome reports per-sweep deltas, matching the process backend.
-        stats_baseline = self.cache.stats.snapshot()
 
         if backend == "serial":
             n_workers = 1
@@ -323,15 +440,21 @@ class BatchRunner:
         systems: List[DescriptorSystem],
         methods: Tuple[str, ...],
         method_options: Dict[str, Dict[str, Any]],
+        contexts: Dict[int, SpectralContext],
+        stats_baseline: CacheStats,
     ) -> BatchOutcome:
         # Group by system so the worker-local cache still shares the
         # per-system intermediates across methods.  The registry is shipped to
         # the workers (specs pickle by reference, so runners must be
         # module-level functions); relying on the worker re-importing
         # DEFAULT_REGISTRY would drop dynamically registered methods under a
-        # spawn start method.
+        # spawn start method.  Each payload also carries the parent-computed
+        # spectral context (serialized Q/Z/alpha/beta) so the worker seeds its
+        # local cache instead of re-factorizing the pencil.
         registry = self.registry
-        merged = CacheStats()
+        # Parent-side precompute counters (the hoisted factorizations) join
+        # the merged worker counters so the sweep telemetry stays complete.
+        merged = self.cache.stats.minus(stats_baseline)
         results: Dict[Tuple[int, int], BatchResult] = {}
         try:
             n_workers = pool._max_workers
@@ -341,7 +464,7 @@ class BatchRunner:
                     pool.submit(
                         _process_worker,
                         (si, system, methods, self.tol, method_options, registry,
-                         self.cache.maxsize),
+                         self.cache.maxsize, contexts.get(si)),
                     ),
                 )
                 for si, system in enumerate(systems)

@@ -74,9 +74,13 @@ from repro.linalg.lyapunov import solve_continuous_lyapunov, solve_sylvester
 from repro.linalg.sylvester import solve_generalized_coupled_sylvester
 from repro.linalg.riccati import solve_care, solve_positive_real_are
 from repro.linalg.pencil import (
+    SpectralContext,
+    classify_alpha_beta,
     classify_generalized_eigenvalues,
+    compute_spectral_context,
     generalized_eigenvalues,
     is_regular_pencil,
+    ordered_qz_finite_first,
     pencil_degree,
 )
 from repro.linalg.sparse import (
@@ -129,9 +133,13 @@ __all__ = [
     "solve_care",
     "solve_positive_real_are",
     "generalized_eigenvalues",
+    "classify_alpha_beta",
     "classify_generalized_eigenvalues",
     "is_regular_pencil",
+    "ordered_qz_finite_first",
     "pencil_degree",
+    "SpectralContext",
+    "compute_spectral_context",
     "SparseDeflation",
     "extreme_symmetric_eigenvalue",
     "is_sparse_nsd",

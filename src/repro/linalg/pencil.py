@@ -26,10 +26,13 @@ from repro.linalg.basics import as_square_array, matrix_scale
 __all__ = [
     "generalized_eigenvalues",
     "GeneralizedSpectrum",
+    "classify_alpha_beta",
     "classify_generalized_eigenvalues",
     "is_regular_pencil",
     "pencil_degree",
     "ordered_qz_finite_first",
+    "SpectralContext",
+    "compute_spectral_context",
 ]
 
 
@@ -87,15 +90,20 @@ class GeneralizedSpectrum:
         return self.n_unstable == 0 and self.n_imaginary == 0
 
 
-def classify_generalized_eigenvalues(
-    e_matrix: np.ndarray,
-    a_matrix: np.ndarray,
+def classify_alpha_beta(
+    alpha: np.ndarray,
+    beta: np.ndarray,
     tol: Optional[Tolerances] = None,
 ) -> GeneralizedSpectrum:
-    """Split the generalized spectrum into finite/infinite and classify stability."""
+    """Classify raw ``(alpha, beta)`` pairs into a :class:`GeneralizedSpectrum`.
+
+    Shared by :func:`classify_generalized_eigenvalues` (which computes the
+    pairs with a fresh QZ) and :class:`SpectralContext` (which reuses the pairs
+    of an already-computed ordered QZ).
+    """
     tol = tol or DEFAULT_TOLERANCES
-    e_arr, a_arr = _check_pencil(e_matrix, a_matrix)
-    alpha, beta = generalized_eigenvalues(e_arr, a_arr)
+    alpha = np.asarray(alpha, dtype=complex)
+    beta = np.asarray(beta, dtype=complex)
     finite_mask = np.abs(beta) > tol.infinite_eig_threshold * np.maximum(1.0, np.abs(alpha))
     finite = alpha[finite_mask] / beta[finite_mask]
     n_infinite = int(np.count_nonzero(~finite_mask))
@@ -110,6 +118,18 @@ def classify_generalized_eigenvalues(
         n_unstable=n_unstable,
         n_imaginary=n_imaginary,
     )
+
+
+def classify_generalized_eigenvalues(
+    e_matrix: np.ndarray,
+    a_matrix: np.ndarray,
+    tol: Optional[Tolerances] = None,
+) -> GeneralizedSpectrum:
+    """Split the generalized spectrum into finite/infinite and classify stability."""
+    tol = tol or DEFAULT_TOLERANCES
+    e_arr, a_arr = _check_pencil(e_matrix, a_matrix)
+    alpha, beta = generalized_eigenvalues(e_arr, a_arr)
+    return classify_alpha_beta(alpha, beta, tol)
 
 
 def is_regular_pencil(
@@ -181,12 +201,25 @@ def ordered_qz_finite_first(
         The transformed pencil matrices (``aa = Q^H A Z``, ``ee = Q^H E Z``),
         the transformation matrices and the number of finite eigenvalues.
     """
+    aa, ee, alpha, beta, q, z, n_finite = _ordered_qz_with_eigenvalues(
+        e_matrix, a_matrix, tol
+    )
+    return aa, ee, q, z, n_finite
+
+
+def _ordered_qz_with_eigenvalues(
+    e_matrix: np.ndarray,
+    a_matrix: np.ndarray,
+    tol: Optional[Tolerances] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, int]:
+    """:func:`ordered_qz_finite_first` plus the raw ``(alpha, beta)`` pairs."""
     tol = tol or DEFAULT_TOLERANCES
     e_arr, a_arr = _check_pencil(e_matrix, a_matrix)
     n = e_arr.shape[0]
     if n == 0:
         empty = np.zeros((0, 0))
-        return empty, empty, empty, empty, 0
+        empty_eigs = np.zeros(0, dtype=complex)
+        return empty, empty, empty_eigs, empty_eigs, empty, empty, 0
 
     threshold = tol.infinite_eig_threshold
 
@@ -197,4 +230,106 @@ def ordered_qz_finite_first(
         a_arr, e_arr, sort=_finite, output="real"
     )
     n_finite = int(np.count_nonzero(_finite(alpha, beta)))
-    return aa, ee, q, z, n_finite
+    return aa, ee, alpha, beta, q, z, n_finite
+
+
+@dataclass(frozen=True)
+class SpectralContext:
+    """One ordered QZ factorization of ``(E, A)`` and everything derived from it.
+
+    This is the compute-once spectral bundle the engine threads through the
+    structural profile, the passivity methods and the finite/infinite
+    reduction: a single O(n^3) decomposition answers regularity, stability,
+    the finite/infinite split *and* seeds the Weierstrass-style separation, so
+    no consumer has to refactor the pencil.
+
+    Attributes
+    ----------
+    is_regular:
+        Regularity verdict of the pencil ``s E - A`` (probe-based, computed
+        before the QZ; for a singular pencil no factorization is stored).
+    n_finite:
+        Number of finite generalized eigenvalues (0 for a singular pencil).
+    aa / ee / q / z:
+        The ordered real generalized Schur factors with the finite
+        eigenvalues leading: ``aa = Q^T A Z`` and ``ee = Q^T E Z`` are upper
+        (quasi-)triangular.  ``None`` when the pencil is singular.
+    alpha / beta:
+        The raw generalized-eigenvalue pairs of the ordered factorization
+        (``None`` when the pencil is singular).
+    spectrum:
+        The classified :class:`GeneralizedSpectrum` (``None`` when the pencil
+        is singular, whose spectrum is undefined).
+    """
+
+    is_regular: bool
+    n_finite: int
+    aa: Optional[np.ndarray] = None
+    ee: Optional[np.ndarray] = None
+    q: Optional[np.ndarray] = None
+    z: Optional[np.ndarray] = None
+    alpha: Optional[np.ndarray] = None
+    beta: Optional[np.ndarray] = None
+    spectrum: Optional[GeneralizedSpectrum] = None
+
+    @property
+    def is_stable(self) -> bool:
+        """Stability of the finite spectrum (``False`` for a singular pencil)."""
+        return bool(self.spectrum is not None and self.spectrum.is_stable)
+
+    def ordered_qz(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, int]:
+        """The cached :func:`ordered_qz_finite_first` result ``(aa, ee, q, z, n_finite)``.
+
+        Raises
+        ------
+        SingularPencilError
+            If the pencil is singular (no factorization was performed).
+        """
+        if self.aa is None:
+            raise SingularPencilError(
+                "the pencil s E - A is singular; no ordered QZ factorization "
+                "is available"
+            )
+        return self.aa, self.ee, self.q, self.z, self.n_finite
+
+    def classified_spectrum(self) -> GeneralizedSpectrum:
+        """The classified spectrum, raising for a singular pencil."""
+        if self.spectrum is None:
+            raise SingularPencilError(
+                "the pencil s E - A is singular; its spectrum is undefined"
+            )
+        return self.spectrum
+
+
+def compute_spectral_context(
+    e_matrix: np.ndarray,
+    a_matrix: np.ndarray,
+    tol: Optional[Tolerances] = None,
+) -> SpectralContext:
+    """Compute the :class:`SpectralContext` of the pencil ``s E - A``.
+
+    Performs the probe-based regularity check followed by exactly **one**
+    ordered QZ factorization (none for a singular pencil).  Every spectral
+    question downstream — regularity, stability, finite/infinite split,
+    Weierstrass-style separation — is answered from the returned bundle
+    without touching the pencil again.
+    """
+    tol = tol or DEFAULT_TOLERANCES
+    e_arr, a_arr = _check_pencil(e_matrix, a_matrix)
+    if not is_regular_pencil(e_arr, a_arr, tol):
+        return SpectralContext(is_regular=False, n_finite=0)
+    aa, ee, alpha, beta, q, z, n_finite = _ordered_qz_with_eigenvalues(
+        e_arr, a_arr, tol
+    )
+    spectrum = classify_alpha_beta(alpha, beta, tol)
+    return SpectralContext(
+        is_regular=True,
+        n_finite=n_finite,
+        aa=aa,
+        ee=ee,
+        q=q,
+        z=z,
+        alpha=np.asarray(alpha, dtype=complex),
+        beta=np.asarray(beta, dtype=complex),
+        spectrum=spectrum,
+    )

@@ -26,14 +26,34 @@ from repro.descriptor.system import DescriptorSystem, StateSpace
 from repro.descriptor.transforms import svd_coordinate_form
 from repro.exceptions import NotAdmissibleError, ReductionError, ReproError
 from repro.linalg.basics import is_positive_definite, is_positive_semidefinite
+from repro.linalg.pencil import SpectralContext
 from repro.linalg.riccati import solve_positive_real_are
 from repro.passivity.result import PassivityReport
 
 __all__ = ["gare_passivity_test", "admissible_to_state_space"]
 
 
+def _is_admissible_from_context(
+    system: DescriptorSystem, context: SpectralContext, tol: Tolerances
+) -> bool:
+    """Admissibility from the cached spectral context (no fresh spectrum QZ).
+
+    Regularity and stability come straight from the context; impulse freedom
+    is the paper's ``rank(E) = q`` criterion — the number of finite
+    generalized eigenvalues already sits in the context, so only the O(n^2)
+    memory / O(n^3)-but-cheap SVD rank of ``E`` is computed here.
+    """
+    if not (context.is_regular and context.is_stable):
+        return False
+    # <= matches count_modes, which clamps a (rank-decision) negative
+    # impulsive count to zero.
+    return system.rank_e(tol) <= context.n_finite
+
+
 def admissible_to_state_space(
-    system: DescriptorSystem, tol: Optional[Tolerances] = None
+    system: DescriptorSystem,
+    tol: Optional[Tolerances] = None,
+    context: Optional[SpectralContext] = None,
 ) -> StateSpace:
     """Reduce an admissible descriptor system to an equivalent regular state space.
 
@@ -41,13 +61,26 @@ def admissible_to_state_space(
     because the system is impulse-free) ``A22`` block; the constant part of
     the eliminated algebraic equations moves into the feedthrough.
 
+    Parameters
+    ----------
+    context:
+        Optional precomputed :class:`~repro.linalg.pencil.SpectralContext`
+        (for example from the engine's decomposition cache); the
+        admissibility pre-check then reads the cached verdicts instead of
+        re-classifying the pencil spectrum.
+
     Raises
     ------
     NotAdmissibleError
         If the system is not admissible.
     """
     tol = tol or DEFAULT_TOLERANCES
-    if not system.is_admissible(tol):
+    admissible = (
+        _is_admissible_from_context(system, context, tol)
+        if context is not None
+        else system.is_admissible(tol)
+    )
+    if not admissible:
         raise NotAdmissibleError(
             "the GARE-style reduction requires an admissible (regular, stable, "
             "impulse-free) descriptor system"
@@ -77,6 +110,7 @@ def gare_passivity_test(
     tol: Optional[Tolerances] = None,
     regularization: Optional[float] = None,
     state_space: Optional[StateSpace] = None,
+    context: Optional[SpectralContext] = None,
 ) -> PassivityReport:
     """Riccati-equation passivity test, valid for admissible systems only.
 
@@ -86,6 +120,11 @@ def gare_passivity_test(
         Optional precomputed result of :func:`admissible_to_state_space` (for
         example from the engine's decomposition cache); supplying it skips the
         admissibility check and the Schur-complement reduction.
+    context:
+        Optional precomputed :class:`~repro.linalg.pencil.SpectralContext`;
+        forwarded to :func:`admissible_to_state_space` so the admissibility
+        check reuses the cached pencil spectrum.  Ignored when
+        ``state_space`` is given.
     """
     tol = tol or DEFAULT_TOLERANCES
     start = time.perf_counter()
@@ -93,7 +132,7 @@ def gare_passivity_test(
 
     if state_space is None:
         try:
-            state_space = admissible_to_state_space(system, tol)
+            state_space = admissible_to_state_space(system, tol, context=context)
         except NotAdmissibleError as error:
             report.failure_reason = str(error)
             report.add_step("admissibility", str(error), passed=False)

@@ -35,6 +35,7 @@ from repro.descriptor.adjoint import build_phi_realization
 from repro.descriptor.system import DescriptorSystem, StateSpace
 from repro.exceptions import ReductionError, ReproError, SingularPencilError
 from repro.linalg.basics import is_positive_semidefinite, is_symmetric
+from repro.linalg.pencil import SpectralContext
 from repro.passivity.hamiltonian_test import proper_positive_real_test
 from repro.passivity.m1 import (
     InfiniteChainData,
@@ -79,6 +80,7 @@ class ShhPassivityTest:
         self,
         system: DescriptorSystem,
         chain_data: Optional["InfiniteChainData"] = None,
+        spectral_context: Optional[SpectralContext] = None,
     ) -> PassivityReport:
         """Execute the full Figure-1 flow on ``system`` and return the report.
 
@@ -89,11 +91,21 @@ class ShhPassivityTest:
             example from the engine's decomposition cache); when omitted it is
             computed from scratch.  Must have been computed with the same
             tolerance bundle.
+        spectral_context:
+            Optional precomputed :class:`~repro.linalg.pencil.SpectralContext`
+            of the pencil; the step-0 regularity and stability classification
+            then reads the cached factorization instead of re-running its
+            own.  Must match the tolerance bundle.
         """
         start = time.perf_counter()
         report = PassivityReport(is_passive=False, method="shh")
         try:
-            self._run_flow(system, report, chain_data=chain_data)
+            self._run_flow(
+                system,
+                report,
+                chain_data=chain_data,
+                spectral_context=spectral_context,
+            )
         except ReproError as error:
             # Any structural failure inside the flow means the reductions
             # could not be completed, which the paper interprets as a
@@ -111,6 +123,7 @@ class ShhPassivityTest:
         system: DescriptorSystem,
         report: PassivityReport,
         chain_data: Optional["InfiniteChainData"] = None,
+        spectral_context: Optional[SpectralContext] = None,
     ) -> None:
         tol = self.tol
 
@@ -119,14 +132,14 @@ class ShhPassivityTest:
             report.failure_reason = "system is not square (inputs != outputs)"
             report.add_step("validate", report.failure_reason, passed=False)
             return
-        if not system.is_regular(tol):
+        if not system.is_regular(tol, context=spectral_context):
             report.failure_reason = "the pencil s E - A is singular"
             report.add_step("validate", report.failure_reason, passed=False)
             return
         report.add_step("validate", "square system with a regular pencil", passed=True)
 
         if self.check_stability:
-            spectrum = system.spectrum(tol)
+            spectrum = system.spectrum(tol, context=spectral_context)
             stable = spectrum.is_stable
             report.add_step(
                 "stability",
@@ -237,7 +250,7 @@ class ShhPassivityTest:
             except ReductionError:
                 from repro.descriptor.markov import first_markov_parameter
 
-                m1 = first_markov_parameter(system, tol)
+                m1 = first_markov_parameter(system, tol, context=spectral_context)
             symmetric = is_symmetric(m1, tol)
             psd = is_positive_semidefinite(m1, tol)
             report.diagnostics["m1"] = m1
@@ -306,13 +319,18 @@ class ShhPassivityTest:
         report.is_passive = True
 
     # ------------------------------------------------------------------
-    def extract_proper_part(self, system: DescriptorSystem) -> StateSpace:
+    def extract_proper_part(
+        self,
+        system: DescriptorSystem,
+        spectral_context: Optional[SpectralContext] = None,
+    ) -> StateSpace:
         """Side-track of the paper: decouple the proper part of ``G``.
 
         Runs the same reduction pipeline and returns ``G_p = G_sp + M0`` as an
         explicit state space, where ``G_sp`` is the stable strictly-proper
         part recovered from ``Phi`` and ``M0`` is the constant term of ``G``
-        at infinity.
+        at infinity (extracted through the cached spectral separation when a
+        ``spectral_context`` is supplied).
         """
         tol = self.tol
         phi = build_phi_realization(system, tol)
@@ -322,7 +340,7 @@ class ShhPassivityTest:
         extraction = extract_stable_proper_part(restoration, tol)
         from repro.descriptor.markov import zeroth_markov_parameter
 
-        m0 = zeroth_markov_parameter(system, tol)
+        m0 = zeroth_markov_parameter(system, tol, context=spectral_context)
         stable = extraction.stable_part
         return StateSpace(stable.a, stable.b, stable.c, m0)
 
@@ -332,17 +350,22 @@ def shh_passivity_test(
     tol: Optional[Tolerances] = None,
     check_stability: bool = True,
     chain_data: Optional["InfiniteChainData"] = None,
+    spectral_context: Optional[SpectralContext] = None,
 ) -> PassivityReport:
     """Run the proposed SHH passivity test on ``system`` (functional interface)."""
     driver = ShhPassivityTest(
         tol=tol or DEFAULT_TOLERANCES, check_stability=check_stability
     )
-    return driver.run(system, chain_data=chain_data)
+    return driver.run(
+        system, chain_data=chain_data, spectral_context=spectral_context
+    )
 
 
 def extract_proper_part(
-    system: DescriptorSystem, tol: Optional[Tolerances] = None
+    system: DescriptorSystem,
+    tol: Optional[Tolerances] = None,
+    spectral_context: Optional[SpectralContext] = None,
 ) -> StateSpace:
     """Decouple the proper part of a descriptor system via the SHH pipeline."""
     driver = ShhPassivityTest(tol=tol or DEFAULT_TOLERANCES)
-    return driver.extract_proper_part(system)
+    return driver.extract_proper_part(system, spectral_context=spectral_context)

@@ -24,6 +24,7 @@ from repro.config import DEFAULT_TOLERANCES, Tolerances
 from repro.descriptor.system import DescriptorSystem, StateSpace
 from repro.descriptor.weierstrass import WeierstrassForm, weierstrass_form
 from repro.linalg.basics import is_positive_semidefinite, is_symmetric
+from repro.linalg.pencil import SpectralContext
 from repro.passivity.hamiltonian_test import proper_positive_real_test
 from repro.passivity.result import PassivityReport
 
@@ -35,6 +36,7 @@ def weierstrass_passivity_test(
     tol: Optional[Tolerances] = None,
     check_stability: bool = True,
     form: Optional[WeierstrassForm] = None,
+    context: Optional[SpectralContext] = None,
 ) -> PassivityReport:
     """Passivity test via explicit proper/impulsive separation (Weierstrass route).
 
@@ -44,6 +46,10 @@ def weierstrass_passivity_test(
         Optional precomputed (quasi-)Weierstrass canonical form of ``system``
         (for example from the engine's decomposition cache); when omitted the
         decomposition — the dominant cost of this test — is computed here.
+    context:
+        Optional precomputed :class:`~repro.linalg.pencil.SpectralContext`;
+        answers the step-0 regularity check and seeds the canonical-form
+        construction so no fresh ordered QZ is run.
     """
     tol = tol or DEFAULT_TOLERANCES
     start = time.perf_counter()
@@ -54,7 +60,7 @@ def weierstrass_passivity_test(
         report.add_step("validate", report.failure_reason, passed=False)
         report.elapsed_seconds = time.perf_counter() - start
         return report
-    if not system.is_regular(tol):
+    if not system.is_regular(tol, context=context):
         report.failure_reason = "the pencil s E - A is singular"
         report.add_step("validate", report.failure_reason, passed=False)
         report.elapsed_seconds = time.perf_counter() - start
@@ -62,7 +68,7 @@ def weierstrass_passivity_test(
     report.add_step("validate", "square system with a regular pencil", passed=True)
 
     if form is None:
-        form = weierstrass_form(system, tol)
+        form = weierstrass_form(system, tol, context=context)
     report.diagnostics["transformation_conditioning"] = form.conditioning
     report.add_step(
         "weierstrass_form",
