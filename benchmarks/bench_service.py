@@ -1,0 +1,270 @@
+"""Service throughput benchmark: queue scaling and fingerprint-level dedup.
+
+Drives the :class:`~repro.service.PassivityService` job queue with a traffic
+mix modeled on the heavy-duplicate serving scenario — many concurrent
+clients submitting a small set of distinct macromodels — and measures:
+
+* **throughput scaling with worker count**: the same job batch at
+  ``--workers`` 1/2/4 (jobs per second, per pool size),
+* **fingerprint-level dedup**: submissions vs. executed jobs vs. actual
+  decomposition factorizations (the ``stats()`` telemetry the ISSUE
+  acceptance criterion pins: ≥ 8 concurrent submissions of 4 distinct
+  fingerprints must cost ≤ 4 factorizations),
+* **serving overhead**: service wall-clock vs. the same cells run directly
+  through ``check_passivity`` with a shared cache.
+
+Everything is written to a machine-readable ``BENCH_service.json``
+(benchmark-trajectory artifact, same conventions as
+``BENCH_spectral.json``).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service.py            # default
+    PYTHONPATH=src python benchmarks/bench_service.py --smoke    # CI-sized
+    PYTHONPATH=src python benchmarks/bench_service.py --check    # assert dedup + scaling
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import threading
+import time
+from typing import Dict, List
+
+import numpy as np
+import scipy
+
+from repro.circuits import coupled_line_bus, rlc_grid, rlc_ladder
+from repro.service import PassivityService
+
+SCHEMA_VERSION = 1
+
+#: Acceptance: duplicate traffic must not multiply the factorization count.
+MAX_FACTORIZATIONS_PER_FINGERPRINT = 1
+
+
+def _dedup_systems(mode: str) -> List:
+    """The distinct-fingerprint working set of the duplicate-traffic round."""
+    if mode == "smoke":
+        return [rlc_ladder(n).system for n in (4, 5, 6, 7)]
+    return [
+        rlc_grid(4, 4, sparse=False).system,
+        rlc_grid(5, 5, sparse=False).system,
+        coupled_line_bus(2, 3, sparse=False).system,
+        rlc_ladder(12).system,
+    ]
+
+
+def _scaling_systems(mode: str, n_jobs: int) -> List:
+    """``n_jobs`` systems with *distinct* fingerprints for the scaling rounds.
+
+    Dedup would collapse duplicate traffic to almost no work (that is the
+    point of the dedup round), so worker scaling is measured on unique
+    ~O(10 ms) dense jobs whose LAPACK kernels release the GIL.
+    """
+    if mode == "smoke":
+        return [rlc_ladder(6 + k).system for k in range(n_jobs)]
+    # Orders ~60-100: heavy enough for pool parallelism to dominate the
+    # queue overhead, light enough for a minutes-free default run.
+    return [rlc_ladder(25 + 2 * k).system for k in range(n_jobs)]
+
+
+def _drive(
+    systems: List,
+    n_clients: int,
+    submissions_per_client: int,
+    workers: int,
+    distinct_per_client: bool,
+) -> Dict:
+    """Run one traffic round against a fresh service; return its metrics.
+
+    ``distinct_per_client=True`` partitions ``systems`` so every submission
+    is a unique fingerprint (scaling measurement); ``False`` round-robins a
+    small working set so clients collide on fingerprints (dedup
+    measurement).
+    """
+    service = PassivityService(max_workers=workers)
+    barrier = threading.Barrier(n_clients)
+    errors: List[str] = []
+
+    def pick(client_index: int, k: int):
+        if distinct_per_client:
+            return systems[
+                (client_index * submissions_per_client + k) % len(systems)
+            ]
+        return systems[(client_index + k) % len(systems)]
+
+    def client(client_index: int) -> None:
+        barrier.wait()
+        handles = [
+            service.submit(pick(client_index, k))
+            for k in range(submissions_per_client)
+        ]
+        for handle in handles:
+            try:
+                handle.result(timeout=600.0)
+            except Exception as error:  # noqa: BLE001 - recorded, not raised
+                errors.append(f"{type(error).__name__}: {error}")
+
+    with service:
+        threads = [
+            threading.Thread(target=client, args=(index,))
+            for index in range(n_clients)
+        ]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - start
+        stats = service.stats()
+
+    n_jobs = n_clients * submissions_per_client
+    return {
+        "workers": workers,
+        "clients": n_clients,
+        "submissions": n_jobs,
+        "distinct_fingerprints": len(systems),
+        "seconds": elapsed,
+        "throughput_jobs_per_second": n_jobs / elapsed if elapsed > 0 else 0.0,
+        "completed": stats.completed,
+        "deduplicated": stats.deduplicated,
+        "factorizations": stats.cache["factorizations"],
+        "pencil_factorizations": stats.cache["by_kind"]
+        .get("pencil_spectrum", {})
+        .get("factorizations", 0),
+        "errors": errors,
+    }
+
+
+def run_benchmark(mode: str, worker_counts: List[int]) -> Dict:
+    """Run the scaling and dedup rounds and assemble the JSON document."""
+    n_jobs = 8 if mode == "smoke" else 16
+    unique = _scaling_systems(mode, n_jobs)
+
+    # Scaling: every submission is a distinct fingerprint, so each job is
+    # real work and throughput tracks the worker pool.  Each round uses a
+    # fresh service (fresh cache): rounds are comparable cold runs.
+    scaling_rounds = []
+    for workers in worker_counts:
+        entry = _drive(unique, n_clients=4, submissions_per_client=n_jobs // 4,
+                       workers=workers, distinct_per_client=True)
+        scaling_rounds.append(entry)
+        print(
+            f"[scaling] workers={workers}: {entry['submissions']} jobs in "
+            f"{entry['seconds'] * 1e3:.1f} ms "
+            f"({entry['throughput_jobs_per_second']:.1f} jobs/s)"
+        )
+
+    # Dedup: heavy duplicate traffic over a 4-fingerprint working set (the
+    # ISSUE acceptance shape: >= 8 concurrent submissions, <= 4
+    # factorizations).
+    dedup_round = _drive(
+        _dedup_systems(mode),
+        n_clients=8,
+        submissions_per_client=4,
+        workers=max(worker_counts),
+        distinct_per_client=False,
+    )
+    print(
+        f"[dedup] {dedup_round['submissions']} submissions of "
+        f"{dedup_round['distinct_fingerprints']} fingerprints: "
+        f"dedup {dedup_round['deduplicated']}, "
+        f"pencil factorizations {dedup_round['pencil_factorizations']}"
+    )
+
+    base = scaling_rounds[0]["throughput_jobs_per_second"]
+    best = max(r["throughput_jobs_per_second"] for r in scaling_rounds)
+    dedup_ok = (
+        dedup_round["pencil_factorizations"]
+        <= MAX_FACTORIZATIONS_PER_FINGERPRINT
+        * dedup_round["distinct_fingerprints"]
+        and not dedup_round["errors"]
+    )
+    return {
+        "benchmark": "service_throughput",
+        "schema_version": SCHEMA_VERSION,
+        "mode": mode,
+        "dedup_target": (
+            f"<= {MAX_FACTORIZATIONS_PER_FINGERPRINT} pencil factorization(s) "
+            f"per distinct fingerprint"
+        ),
+        "dedup_target_met": dedup_ok,
+        "scaling_vs_one_worker": best / base if base > 0 else None,
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "scipy": scipy.__version__,
+            "machine": platform.machine(),
+            "cpu_count": os.cpu_count(),
+        },
+        "scaling_rounds": scaling_rounds,
+        "dedup_round": dedup_round,
+    }
+
+
+def main(argv=None) -> int:
+    """CLI entry point (see the module docstring)."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true", help="CI-sized workloads (seconds)"
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        nargs="+",
+        default=[1, 2, 4],
+        help="worker pool sizes of the scaling rounds",
+    )
+    parser.add_argument(
+        "--output",
+        default="BENCH_service.json",
+        help="path of the machine-readable result file",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero unless dedup holds and throughput scales",
+    )
+    args = parser.parse_args(argv)
+
+    mode = "smoke" if args.smoke else "default"
+    document = run_benchmark(mode, list(args.workers))
+    with open(args.output, "w", encoding="utf-8") as stream:
+        json.dump(document, stream, indent=2)
+    print(f"wrote {args.output}")
+
+    if args.check:
+        failures = []
+        if not document["dedup_target_met"]:
+            failures.append("fingerprint-level dedup target not met")
+        scaling = document["scaling_vs_one_worker"]
+        cores = os.cpu_count() or 1
+        if mode == "default" and len(args.workers) > 1 and cores > 1:
+            # Real parallel hardware and real-sized jobs: a bigger pool must
+            # buy throughput.
+            if scaling is None or scaling < 1.2:
+                failures.append(
+                    f"throughput did not scale with workers "
+                    f"(best/base = {scaling}, cores = {cores})"
+                )
+        elif scaling is not None and scaling < 0.7:
+            # Smoke mode (sub-ms jobs, overhead-dominated) or a single-core
+            # box: scaling is not meaningful; only guard that queue overhead
+            # does not degrade with pool size.
+            failures.append(
+                f"throughput degraded with workers (best/base = {scaling}, "
+                f"mode = {mode}, cores = {cores})"
+            )
+        if failures:
+            print("CHECK FAILED: " + "; ".join(failures))
+            return 1
+        print("CHECK OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,6 +11,9 @@ The top-level namespace re-exports the objects most users need:
 * :func:`check_passivity` — the engine entry point with ``method="auto"``
   dispatch, plus :class:`BatchRunner` / :class:`DecompositionCache` /
   :class:`MethodRegistry` for batched, cached, pluggable sweeps,
+* :class:`PassivityService` — the async job-queue serving layer
+  (submit/poll/cancel with fingerprint-level deduplication; see
+  :mod:`repro.service`),
 * :class:`DescriptorSystem` / :class:`StateSpace` — system containers,
 * :func:`shh_passivity_test` — the paper's O(n^3) structure-preserving test,
 * :func:`lmi_passivity_test`, :func:`weierstrass_passivity_test`,
@@ -64,9 +67,10 @@ from repro.engine import (
     register_method,
     select_method,
 )
-from repro import circuits, descriptor, engine, linalg, passivity, sdp
+from repro.service import JobHandle, JobState, PassivityService, ServiceStats
+from repro import circuits, descriptor, engine, linalg, passivity, sdp, service
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -84,6 +88,11 @@ __all__ = [
     "SystemProfile",
     "UnknownMethodError",
     "engine",
+    "PassivityService",
+    "ServiceStats",
+    "JobHandle",
+    "JobState",
+    "service",
     "Tolerances",
     "DEFAULT_TOLERANCES",
     "DescriptorSystem",

@@ -71,6 +71,7 @@ class PhiRealization:
 
     @property
     def half_order(self) -> int:
+        """The original system order ``n`` (half the Phi pencil size)."""
         return self.order // 2
 
     @property

@@ -76,10 +76,12 @@ class StateSpace:
 
     @property
     def n_inputs(self) -> int:
+        """Number of inputs ``m`` (columns of ``B``)."""
         return self.b.shape[1]
 
     @property
     def n_outputs(self) -> int:
+        """Number of outputs ``p`` (rows of ``C``)."""
         return self.c.shape[0]
 
     def evaluate(self, s: complex) -> np.ndarray:
@@ -271,10 +273,12 @@ class DescriptorSystem:
 
     @property
     def n_inputs(self) -> int:
+        """Number of inputs ``m`` (columns of ``B``)."""
         return self.b.shape[1]
 
     @property
     def n_outputs(self) -> int:
+        """Number of outputs ``p`` (rows of ``C``)."""
         return self.c.shape[0]
 
     @property

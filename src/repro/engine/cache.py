@@ -122,6 +122,7 @@ class CacheStats:
     by_kind: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     def record(self, kind: str, hit: bool) -> None:
+        """Count one lookup of ``kind`` (aggregate and per-kind)."""
         counters = self.by_kind.setdefault(kind, {"hits": 0, "misses": 0})
         if hit:
             self.hits += 1
@@ -137,6 +138,7 @@ class CacheStats:
         self.factorizations += 1
 
     def hits_for(self, kind: str) -> int:
+        """Number of cache hits recorded for ``kind``."""
         return self.by_kind.get(kind, {}).get("hits", 0)
 
     def misses_for(self, kind: str) -> int:
@@ -196,6 +198,7 @@ class CacheStats:
 
     @property
     def hit_rate(self) -> float:
+        """Fraction of lookups answered from the cache (0.0 when none ran)."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
@@ -224,6 +227,7 @@ class DecompositionCache:
             return len(self._entries)
 
     def clear(self) -> None:
+        """Drop every cached entry (the counters keep their history)."""
         with self._lock:
             self._entries.clear()
             self._key_locks.clear()
@@ -472,6 +476,7 @@ class SystemProfile:
 
     @property
     def is_impulse_free(self) -> bool:
+        """True when the pencil has no grade-2 chains (no impulsive modes)."""
         return self.n_impulsive_chains == 0
 
     @property

@@ -55,7 +55,7 @@ from repro.engine.cache import (
     DecompositionCache,
     fingerprint_system,
 )
-from repro.engine.registry import DEFAULT_REGISTRY, MethodRegistry
+from repro.engine.registry import DEFAULT_REGISTRY, MethodRegistry, UnknownMethodError
 from repro.linalg.pencil import SpectralContext
 from repro.passivity.result import PassivityReport
 
@@ -106,6 +106,7 @@ class BatchOutcome:
     n_workers: int
 
     def by_system(self, system_index: int) -> List[BatchResult]:
+        """All cells of one system, in requested-method order."""
         return [r for r in self.results if r.system_index == system_index]
 
     def verdicts(self) -> Dict[Tuple[int, str], Optional[bool]]:
@@ -114,10 +115,12 @@ class BatchOutcome:
 
     @property
     def n_timed_out(self) -> int:
+        """Number of cells abandoned by the per-task timeout."""
         return sum(1 for r in self.results if r.timed_out)
 
     @property
     def n_failed(self) -> int:
+        """Number of cells whose method raised (``result.error`` set)."""
         return sum(1 for r in self.results if r.error is not None)
 
 
@@ -307,6 +310,53 @@ class BatchRunner:
         return contexts
 
     # ------------------------------------------------------------------
+    def run_cell(
+        self,
+        system: DescriptorSystem,
+        method: str = "auto",
+        options: Optional[Dict[str, Any]] = None,
+        system_index: int = 0,
+    ) -> BatchResult:
+        """Run one ``(system, method)`` cell synchronously in this thread.
+
+        The per-cell hook behind the :mod:`repro.service` job queue: each
+        service worker executes exactly one cell through the runner's shared
+        cache, registry and tolerance bundle, so concurrent jobs on the same
+        system share decompositions exactly like the cells of a
+        :meth:`run` sweep (the cache's per-key locks guarantee each
+        intermediate is computed once even when duplicate jobs race).
+
+        Parameters
+        ----------
+        system:
+            The descriptor system under test.
+        method:
+            Registry name/alias or ``"auto"``; validated before any work is
+            spent (:class:`~repro.engine.registry.UnknownMethodError` on a
+            typo, matching :meth:`run`).
+        options:
+            Extra keyword arguments for the method runner.
+        system_index:
+            Index recorded on the returned :class:`BatchResult` (the service
+            does not use sweep positions; callers embedding cells in a larger
+            sweep can label them).
+
+        Returns
+        -------
+        BatchResult
+            The cell outcome; a method that raised is reported through
+            ``result.error`` rather than propagating, exactly like a sweep
+            cell.
+        """
+        if method != "auto":
+            self.registry.resolve(method)
+        report, seconds, error = _run_cell(
+            system, method, self.tol, self.cache, self.registry,
+            dict(options or {}),
+        )
+        return BatchResult(system_index, method, report, seconds, error)
+
+    # ------------------------------------------------------------------
     def run(
         self,
         systems: Sequence[DescriptorSystem],
@@ -324,7 +374,11 @@ class BatchRunner:
         methods = tuple(methods)
         for name in method_options or {}:
             if name != "auto" and name not in self.registry:
-                raise ValueError(f"method_options given for unknown method {name!r}")
+                known = ", ".join(sorted(self.registry.known_names()))
+                raise UnknownMethodError(
+                    f"method_options given for unknown method {name!r}; "
+                    f"registered methods: {known}"
+                )
 
         def canonical(name: str) -> str:
             return name if name == "auto" else self.registry.resolve(name).name

@@ -62,3 +62,56 @@ class ConvergenceError(ReproError, RuntimeError):
 
 class NotImplementedForSystemError(ReproError, NotImplementedError):
     """The requested operation is not defined for this kind of system."""
+
+
+class SerializationError(ReproError, ValueError):
+    """A payload could not be converted to or from its JSON-able form.
+
+    Raised by the :mod:`repro.service.serialization` layer when an incoming
+    document is malformed (unknown ``kind`` tag, missing fields, inconsistent
+    shapes) or when an object contains values that cannot be represented.
+    """
+
+
+class ServiceError(ReproError):
+    """Base class of the :mod:`repro.service` job-queue errors.
+
+    Every error raised by :class:`~repro.service.PassivityService` (unknown
+    job ids, premature result fetches, cancelled or failed jobs) derives from
+    this class, so a transport front-end can map the whole family to error
+    responses with one ``except`` clause.
+    """
+
+
+class UnknownJobError(ServiceError, KeyError):
+    """No job with the requested id exists in the service.
+
+    Subclasses :class:`KeyError` for backward compatibility with callers that
+    treated the job table as a plain mapping, but service code should catch
+    the typed class.
+    """
+
+    def __str__(self) -> str:
+        # KeyError.__str__ shows repr(args[0]); keep the readable message.
+        return self.args[0] if self.args else ""
+
+
+class JobNotReadyError(ServiceError):
+    """The job exists but has not produced a report yet.
+
+    Raised by ``result()`` when the job is still queued or running (and, for
+    the blocking variant, the wait timed out).  Poll ``status()`` or wait on
+    the :class:`~repro.service.JobHandle` instead.
+    """
+
+
+class JobCancelledError(ServiceError):
+    """The job was cancelled before it produced a report."""
+
+
+class JobFailedError(ServiceError):
+    """The job ran but did not produce a report.
+
+    Covers both a method raising inside the worker (the original error
+    message is preserved) and a per-job timeout expiring.
+    """

@@ -86,6 +86,7 @@ class PassivityReport:
 
     @property
     def step_names(self) -> List[str]:
+        """Names of the executed steps, in order (for quick assertions)."""
         return [step.name for step in self.steps]
 
     def summary(self) -> str:

@@ -1,0 +1,50 @@
+"""Serving layer: an async job-queue front-end over the passivity engine.
+
+The package turns the batch-oriented engine into a long-lived service for
+heavy concurrent traffic:
+
+* :mod:`repro.service.service` — :class:`PassivityService`, the asyncio
+  job queue: ``submit(system, method="auto") -> JobHandle``, poll-style
+  ``status()`` / ``result()`` / ``stats()``, priorities, per-job timeouts,
+  cancellation, and fingerprint-level deduplication of identical concurrent
+  submissions through the engine's shared decomposition cache,
+* :mod:`repro.service.jobs` — :class:`JobHandle`, :class:`JobStatus` and
+  the :class:`JobState` lifecycle,
+* :mod:`repro.service.serialization` — lossless JSON-able wire forms of
+  dense and sparse :class:`~repro.DescriptorSystem` objects and
+  :class:`~repro.PassivityReport` results,
+* :mod:`repro.service.http` — the reference stdlib JSON-over-HTTP
+  front-end (``python -m repro.service``).
+
+See ``docs/architecture.md`` for where the service sits in the stack and
+``docs/api.md`` for the frozen public API.
+"""
+
+from repro.service.jobs import JobHandle, JobState, JobStatus
+from repro.service.serialization import (
+    from_jsonable,
+    report_from_jsonable,
+    report_to_jsonable,
+    system_from_jsonable,
+    system_to_jsonable,
+    to_jsonable,
+)
+from repro.service.service import PassivityService, ServiceStats
+from repro.service.http import PassivityHTTPServer, PassivityRequestHandler, serve
+
+__all__ = [
+    "PassivityService",
+    "ServiceStats",
+    "JobHandle",
+    "JobState",
+    "JobStatus",
+    "system_to_jsonable",
+    "system_from_jsonable",
+    "report_to_jsonable",
+    "report_from_jsonable",
+    "to_jsonable",
+    "from_jsonable",
+    "PassivityHTTPServer",
+    "PassivityRequestHandler",
+    "serve",
+]

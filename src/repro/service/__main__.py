@@ -1,0 +1,66 @@
+"""``python -m repro.service`` — run the reference passivity HTTP server.
+
+Starts a :class:`~repro.service.PassivityService` with the requested worker
+pool and serves the JSON-over-HTTP contract of :mod:`repro.service.http`
+until interrupted::
+
+    PYTHONPATH=src python -m repro.service --port 8123 --workers 4
+
+    # elsewhere:
+    curl -s -X POST localhost:8123/jobs -d "$(python - <<'EOF'
+    import json
+    from repro.circuits import rlc_ladder
+    from repro.service import system_to_jsonable
+    print(json.dumps({"system": system_to_jsonable(rlc_ladder(8).system)}))
+    EOF
+    )"
+    curl -s localhost:8123/jobs/<job_id>/result
+    curl -s localhost:8123/stats
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.service.http import serve
+from repro.service.service import PassivityService
+
+
+def main(argv=None) -> int:
+    """Parse arguments, start the service and serve until interrupted."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Reference HTTP front-end of the repro passivity service.",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument("--port", type=int, default=8123, help="bind port")
+    parser.add_argument(
+        "--workers", type=int, default=2, help="worker pool size"
+    )
+    parser.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        help="default per-job timeout in seconds (unset: no timeout)",
+    )
+    args = parser.parse_args(argv)
+
+    service = PassivityService(
+        max_workers=args.workers, default_timeout=args.job_timeout
+    )
+    server = serve(service, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    print(f"repro passivity service listening on http://{host}:{port}")
+    print("endpoints: POST /jobs, GET /jobs/<id>[/result], DELETE /jobs/<id>, GET /stats")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        service.close()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,220 @@
+"""Reference stdlib HTTP front-end for :class:`PassivityService`.
+
+A minimal, dependency-free JSON-over-HTTP transport demonstrating how the
+service sits behind a network boundary.  It is deliberately small — real
+deployments would front the service with their framework of choice; the
+value here is the frozen wire contract:
+
+=========  ======================  ==========================================
+Method     Path                    Meaning
+=========  ======================  ==========================================
+``POST``   ``/jobs``               Submit ``{"system": <system document>,
+                                   "method", "priority", "timeout",
+                                   "options"}``; responds ``202`` with
+                                   ``{"job_id": ...}``.
+``GET``    ``/jobs/<id>``          Status snapshot (``JobStatus`` fields).
+``GET``    ``/jobs/<id>/result``   ``200`` with the report document when
+                                   done; ``202`` with the status while
+                                   pending; ``404`` unknown id; ``410``
+                                   cancelled; ``500`` failed/timed out.
+``DELETE`` ``/jobs/<id>``          Cancel; ``{"cancelled": true|false}``.
+``GET``    ``/stats``              Service telemetry (``ServiceStats``).
+``GET``    ``/healthz``            Liveness probe.
+=========  ======================  ==========================================
+
+System and report documents are the :mod:`repro.service.serialization`
+forms.  Errors map the typed :mod:`repro.exceptions` service hierarchy onto
+status codes, so clients never see a raw traceback for a bad id.
+
+Run the reference server with ``python -m repro.service`` (see
+:mod:`repro.service.__main__`) or embed it::
+
+    from repro.service import PassivityService, serve
+
+    with PassivityService(max_workers=4) as service:
+        server = serve(service, host="127.0.0.1", port=8123)
+        server.serve_forever()
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+from repro.exceptions import (
+    JobCancelledError,
+    JobFailedError,
+    JobNotReadyError,
+    ReproError,
+    SerializationError,
+    UnknownJobError,
+)
+from repro.service.serialization import report_to_jsonable, system_from_jsonable
+from repro.service.service import PassivityService
+
+__all__ = ["PassivityHTTPServer", "PassivityRequestHandler", "serve"]
+
+
+class PassivityHTTPServer(ThreadingHTTPServer):
+    """Threading HTTP server bound to one :class:`PassivityService`.
+
+    Each request runs on its own thread and talks to the (thread-safe)
+    service; the server does not own the service's lifecycle — start and
+    close the service around the server's ``serve_forever`` loop.
+    """
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        service: PassivityService,
+        address: Tuple[str, int] = ("127.0.0.1", 8123),
+    ) -> None:
+        self.service = service
+        super().__init__(address, PassivityRequestHandler)
+
+
+class PassivityRequestHandler(BaseHTTPRequestHandler):
+    """Maps the HTTP wire contract onto the service API (see module docs)."""
+
+    server_version = "repro-passivity-service/1.0"
+    #: Silence per-request stderr logging by default (set True to debug).
+    verbose = False
+
+    @property
+    def service(self) -> PassivityService:
+        """The service owned by the bound :class:`PassivityHTTPServer`."""
+        return self.server.service
+
+    def log_message(self, format: str, *args: Any) -> None:
+        """Suppress default request logging unless :attr:`verbose` is set."""
+        if self.verbose:  # pragma: no cover - debug aid
+            super().log_message(format, *args)
+
+    # ------------------------------------------------------------------
+    def _send_json(self, code: int, payload: Dict[str, Any]) -> None:
+        """Write one JSON response."""
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, code: int, error: Exception) -> None:
+        """Write one JSON error response carrying the typed error name."""
+        self._send_json(
+            code, {"error": type(error).__name__, "message": str(error)}
+        )
+
+    def _read_json(self) -> Dict[str, Any]:
+        """Parse the request body as a JSON object."""
+        length = int(self.headers.get("Content-Length", 0))
+        raw = self.rfile.read(length) if length else b""
+        try:
+            document = json.loads(raw.decode("utf-8") or "null")
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise SerializationError(f"request body is not valid JSON: {error}")
+        if not isinstance(document, dict):
+            raise SerializationError("request body must be a JSON object")
+        return document
+
+    def _job_id(self) -> Optional[Tuple[str, str]]:
+        """Split ``/jobs/<id>[/result]`` into ``(job_id, tail)``."""
+        parts = [part for part in self.path.split("/") if part]
+        if len(parts) >= 2 and parts[0] == "jobs":
+            return parts[1], "/".join(parts[2:])
+        return None
+
+    # ------------------------------------------------------------------
+    def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        """``POST /jobs``: submit a system document for testing."""
+        if self.path.rstrip("/") != "/jobs":
+            self._send_json(404, {"error": "NotFound", "message": self.path})
+            return
+        try:
+            document = self._read_json()
+            system = system_from_jsonable(document.get("system"))
+            options = document.get("options") or {}
+            if not isinstance(options, dict):
+                raise SerializationError("'options' must be a JSON object")
+            handle = self.service.submit(
+                system,
+                method=document.get("method", "auto"),
+                priority=int(document.get("priority", 0)),
+                timeout=document.get("timeout"),
+                **options,
+            )
+        except (SerializationError, ReproError, TypeError, ValueError) as error:
+            self._send_error_json(400, error)
+            return
+        self._send_json(202, {"job_id": handle.job_id})
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        """``GET /jobs/<id>[/result]``, ``GET /stats``, ``GET /healthz``."""
+        path = self.path.rstrip("/")
+        if path == "/healthz":
+            self._send_json(200, {"ok": True})
+            return
+        if path == "/stats":
+            self._send_json(200, self.service.stats().to_jsonable())
+            return
+        located = self._job_id()
+        if located is None:
+            self._send_json(404, {"error": "NotFound", "message": self.path})
+            return
+        job_id, tail = located
+        try:
+            if tail == "":
+                self._send_json(200, self.service.status(job_id).to_jsonable())
+            elif tail == "result":
+                report = self.service.result(job_id, timeout=0.0)
+                self._send_json(200, report_to_jsonable(report))
+            else:
+                self._send_json(404, {"error": "NotFound", "message": self.path})
+        except UnknownJobError as error:
+            self._send_error_json(404, error)
+        except JobNotReadyError:
+            # Poll-style contract: not an error, report progress instead.
+            # The job can be evicted between result() and status() under a
+            # small history bound; degrade to the typed 404 then.
+            try:
+                snapshot = self.service.status(job_id).to_jsonable()
+            except UnknownJobError as error:
+                self._send_error_json(404, error)
+            else:
+                self._send_json(202, snapshot)
+        except JobCancelledError as error:
+            self._send_error_json(410, error)
+        except JobFailedError as error:
+            self._send_error_json(500, error)
+
+    def do_DELETE(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        """``DELETE /jobs/<id>``: cancel a queued job."""
+        located = self._job_id()
+        if located is None or located[1] != "":
+            self._send_json(404, {"error": "NotFound", "message": self.path})
+            return
+        try:
+            cancelled = self.service.cancel(located[0])
+        except UnknownJobError as error:
+            self._send_error_json(404, error)
+            return
+        self._send_json(200, {"job_id": located[0], "cancelled": cancelled})
+
+
+def serve(
+    service: PassivityService,
+    host: str = "127.0.0.1",
+    port: int = 8123,
+) -> PassivityHTTPServer:
+    """Bind a :class:`PassivityHTTPServer` to ``(host, port)`` and return it.
+
+    The caller owns both lifecycles: call ``server.serve_forever()`` (and
+    ``server.shutdown()``), and close the service when done.  Port 0 picks a
+    free ephemeral port (``server.server_address`` reports it), which is how
+    the integration tests run hermetically.
+    """
+    service.start()
+    return PassivityHTTPServer(service, (host, port))

@@ -1,0 +1,667 @@
+"""The asyncio job-queue service over :class:`~repro.engine.BatchRunner`.
+
+:class:`PassivityService` is the serving layer the ROADMAP's heavy-traffic
+north star asks for: clients submit descriptor systems and poll reports,
+while the service schedules the actual passivity tests on a bounded worker
+pool.  The design is two-level parallel — concurrent *jobs* fan out over the
+pool, and within each job the engine's shared :class:`DecompositionCache`
+fans the expensive intermediates across methods — so duplicate traffic
+(many clients posting the same macromodel) degenerates to a single
+factorization.
+
+Architecture
+------------
+* An :mod:`asyncio` event loop runs on a dedicated daemon thread; all
+  scheduling state (job table, priority queue, dedup index) is mutated only
+  on that thread, so the service needs no locks of its own.
+* ``max_workers`` worker coroutines pull jobs off an
+  :class:`asyncio.PriorityQueue` (priority, then submission order) and
+  execute them on a :class:`~concurrent.futures.ThreadPoolExecutor` through
+  :meth:`BatchRunner.run_cell`, the engine's per-cell hook.  NumPy releases
+  the GIL in the O(n^3) kernels, so the pool parallelizes well.
+* **Fingerprint-level deduplication**: a submission whose
+  ``(fingerprint, method, options)`` triple matches an in-flight job is
+  *coalesced* — it never executes; it adopts the primary's report when the
+  primary finishes.  Distinct methods on the same system still share
+  decompositions through the runner's cache (whose per-key locks guarantee
+  each intermediate — in particular the one ordered QZ of the
+  :class:`~repro.linalg.pencil.SpectralContext` — is computed once even when
+  duplicate jobs race on different workers).
+* **Per-job timeouts** are best-effort, exactly like the batch runner's: an
+  expired job is reported ``TIMED_OUT`` and its worker slot freed, but the
+  abandoned thread cannot be killed and keeps running in the background.
+* **Cancellation** affects queued (and coalesced) jobs; a running test
+  cannot be interrupted.  Cancelling a primary promotes its first live
+  follower to a fresh queue entry, so coalesced clients never lose work
+  they are still waiting for.
+
+The service is transport-agnostic: pair it with
+:mod:`repro.service.serialization` to move systems and reports as JSON, and
+see :mod:`repro.service.http` for the reference stdlib HTTP front-end.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import threading
+import time
+import uuid
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.config import Tolerances
+from repro.descriptor.system import DescriptorSystem
+from repro.engine.cache import DecompositionCache, fingerprint_system
+from repro.engine.registry import MethodRegistry
+from repro.engine.runner import BatchRunner
+from repro.exceptions import (
+    JobCancelledError,
+    JobFailedError,
+    JobNotReadyError,
+    ServiceError,
+    UnknownJobError,
+)
+from repro.passivity.result import PassivityReport
+from repro.service.jobs import Job, JobHandle, JobState, JobStatus
+
+__all__ = ["PassivityService", "ServiceStats"]
+
+
+@dataclass
+class ServiceStats:
+    """Telemetry snapshot returned by :meth:`PassivityService.stats`.
+
+    Attributes
+    ----------
+    workers:
+        Size of the worker pool.
+    queue_depth:
+        Jobs currently waiting in the priority queue.
+    running:
+        Jobs currently executing on the pool.
+    submitted / completed / failed / cancelled / timed_out:
+        Lifetime job counters (``completed`` means a report was produced).
+    deduplicated:
+        Submissions coalesced onto an identical in-flight job — the
+        fingerprint-level dedup the service exists for.
+    uptime_seconds:
+        Seconds since the service started.
+    throughput_per_second:
+        ``completed / uptime`` — the sustained job completion rate.
+    cache:
+        Plain-dict snapshot of the shared decomposition cache counters since
+        service start (``hits`` / ``misses`` / ``factorizations`` and the
+        per-kind split); ``factorizations`` is the "how many expensive
+        decompositions did this traffic actually pay for" number the dedup
+        acceptance tests assert on.
+    """
+
+    workers: int
+    queue_depth: int
+    running: int
+    submitted: int
+    completed: int
+    failed: int
+    cancelled: int
+    timed_out: int
+    deduplicated: int
+    uptime_seconds: float
+    throughput_per_second: float
+    cache: Dict[str, Any] = field(default_factory=dict)
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        """Plain-dict form of the snapshot for transport front-ends."""
+        return {
+            "workers": self.workers,
+            "queue_depth": self.queue_depth,
+            "running": self.running,
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "cancelled": self.cancelled,
+            "timed_out": self.timed_out,
+            "deduplicated": self.deduplicated,
+            "uptime_seconds": self.uptime_seconds,
+            "throughput_per_second": self.throughput_per_second,
+            "cache": dict(self.cache),
+        }
+
+
+def _options_key(options: Dict[str, Any]) -> str:
+    """Stable textual key of a method-options dict (dedup identity)."""
+    return repr(sorted((str(k), repr(v)) for k, v in options.items()))
+
+
+class PassivityService:
+    """Async job-queue front-end over the passivity engine.
+
+    Parameters
+    ----------
+    runner:
+        The :class:`~repro.engine.BatchRunner` executing the cells; its
+        registry, tolerance bundle and (crucially) its shared
+        :class:`~repro.engine.DecompositionCache` are what concurrent jobs
+        share.  Built from the remaining parameters when omitted.
+    max_workers:
+        Bound of the worker pool (default 2).
+    default_timeout:
+        Per-job timeout in seconds applied when ``submit`` does not override
+        it (``None`` disables).
+    dedup:
+        When true (default), identical in-flight submissions — same system
+        fingerprint, method and options — are coalesced onto one execution.
+    max_history:
+        Terminal jobs kept for ``status()``/``result()`` polling; the oldest
+        are evicted beyond this bound (evicted ids raise
+        :class:`~repro.exceptions.UnknownJobError`).  ``None`` keeps all.
+    registry / tol / cache:
+        Forwarded to the constructed runner when ``runner`` is omitted
+        (ignored otherwise).
+
+    Examples
+    --------
+    >>> from repro.circuits import rlc_ladder
+    >>> from repro.service import PassivityService
+    >>> with PassivityService(max_workers=2) as service:
+    ...     handle = service.submit(rlc_ladder(4).system)
+    ...     report = handle.result(timeout=60.0)
+    >>> bool(report.is_passive)
+    True
+    """
+
+    def __init__(
+        self,
+        runner: Optional[BatchRunner] = None,
+        *,
+        max_workers: int = 2,
+        default_timeout: Optional[float] = None,
+        dedup: bool = True,
+        max_history: Optional[int] = 1024,
+        registry: Optional[MethodRegistry] = None,
+        tol: Optional[Tolerances] = None,
+        cache: Optional[DecompositionCache] = None,
+    ) -> None:
+        if max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
+        if runner is None:
+            runner = BatchRunner(
+                registry=registry, cache=cache, tol=tol, backend="thread"
+            )
+        self._runner = runner
+        self._max_workers = int(max_workers)
+        self._default_timeout = default_timeout
+        self._dedup = bool(dedup)
+        self._max_history = max_history
+
+        self._jobs: Dict[str, Job] = {}
+        self._inflight: Dict[Tuple[str, str, str], str] = {}
+        self._history: List[str] = []
+        self._seq = itertools.count()
+
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._start_lock = threading.Lock()
+        self._thread: Optional[threading.Thread] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._queue: Optional["asyncio.PriorityQueue"] = None
+        self._worker_tasks: List["asyncio.Task"] = []
+        self._closed = False
+        self._started_at: Optional[float] = None
+        self._cache_baseline = self._runner.cache.stats.snapshot()
+
+        self._n_submitted = 0
+        self._n_completed = 0
+        self._n_failed = 0
+        self._n_cancelled = 0
+        self._n_timed_out = 0
+        self._n_deduplicated = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        """True between :meth:`start` and :meth:`close`."""
+        return self._loop is not None and not self._closed
+
+    @property
+    def runner(self) -> BatchRunner:
+        """The underlying batch runner (shared cache, registry, tolerances)."""
+        return self._runner
+
+    def start(self) -> "PassivityService":
+        """Start the event loop thread and the worker pool.
+
+        Thread-safe and idempotent: ``submit`` auto-starts through it, so
+        concurrent first submissions must not race two loops into existence.
+        """
+        with self._start_lock:
+            if self._closed:
+                raise ServiceError("service has been closed; create a new one")
+            if self._loop is not None:
+                return self
+            loop = asyncio.new_event_loop()
+            thread = threading.Thread(
+                target=loop.run_forever, name="repro-service-loop", daemon=True
+            )
+            thread.start()
+            asyncio.run_coroutine_threadsafe(self._startup(), loop).result()
+            self._thread = thread
+            self._started_at = time.time()
+            # Publish last: other threads treat a non-None loop as "ready".
+            self._loop = loop
+        return self
+
+    async def _startup(self) -> None:
+        """Create the queue, executor and worker tasks (loop thread)."""
+        self._queue = asyncio.PriorityQueue()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self._max_workers, thread_name_prefix="repro-service"
+        )
+        loop = asyncio.get_running_loop()
+        self._worker_tasks = [
+            loop.create_task(self._worker()) for _ in range(self._max_workers)
+        ]
+
+    def close(self, wait: bool = True) -> None:
+        """Stop the workers and the loop; cancel every unfinished job.
+
+        Queued and coalesced jobs become ``CANCELLED``; a job already running
+        on the pool also resolves as ``CANCELLED`` (its worker thread cannot
+        be interrupted and is abandoned, exactly like a batch-runner
+        timeout).  ``wait=True`` joins the loop thread before returning.
+        Idempotent.
+        """
+        with self._start_lock:
+            if self._loop is None or self._closed:
+                self._closed = True
+                return
+            self._closed = True
+            loop = self._loop
+        asyncio.run_coroutine_threadsafe(self._shutdown(), loop).result()
+        loop.call_soon_threadsafe(loop.stop)
+        if wait and self._thread is not None:
+            self._thread.join(timeout=10.0)
+            if not self._thread.is_alive():
+                # Release the loop's selector fd and self-pipe; skipped when
+                # the join timed out (closing a running loop would raise).
+                loop.close()
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+
+    async def _shutdown(self) -> None:
+        """Cancel workers and resolve unfinished jobs (loop thread)."""
+        for task in self._worker_tasks:
+            task.cancel()
+        for job in list(self._jobs.values()):
+            if not job.state.is_terminal:
+                self._finish(job, JobState.CANCELLED, error="service closed")
+
+    def __enter__(self) -> "PassivityService":
+        """Start the service on entry (context-manager form)."""
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        """Close the service on exit."""
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        system: DescriptorSystem,
+        method: str = "auto",
+        *,
+        priority: int = 0,
+        timeout: Optional[float] = None,
+        **options: Any,
+    ) -> JobHandle:
+        """Queue a passivity check and return a :class:`JobHandle`.
+
+        Thread-safe; auto-starts the service on first use.
+
+        Parameters
+        ----------
+        system:
+            The descriptor system to test (dense or sparse-backed).
+        method:
+            Registry name/alias or ``"auto"``; validated here, so a typo
+            raises :class:`~repro.engine.UnknownMethodError` at submission
+            time, not inside a worker.
+        priority:
+            Lower values run first; ties run in submission order.
+        timeout:
+            Per-job timeout in seconds, overriding the service default.
+        **options:
+            Forwarded to the method runner (e.g. ``order_limit=None``).
+
+        Returns
+        -------
+        JobHandle
+            Handle for polling, waiting, fetching and cancelling.
+        """
+        if not isinstance(system, DescriptorSystem):
+            raise TypeError(
+                f"submit() expects a DescriptorSystem, got {type(system).__name__}"
+            )
+        if timeout is not None and (
+            isinstance(timeout, bool) or not isinstance(timeout, (int, float))
+        ):
+            # Validated here, not in the worker: a bad timeout reaching
+            # asyncio.wait would kill the worker coroutine for good.
+            raise TypeError(
+                f"timeout must be a number of seconds or None, "
+                f"got {type(timeout).__name__}"
+            )
+        if method != "auto":
+            # Resolve eagerly so unknown methods fail the submission, and
+            # coalesce aliases onto the canonical name for dedup identity.
+            method = self._runner.registry.resolve(method).name
+        self.start()
+        # Fingerprinting is O(nnz) hashing — done on the caller's thread to
+        # keep the loop thread scheduling-only.
+        fingerprint = fingerprint_system(system, self._runner.tol)
+        job = Job(
+            job_id="job-" + uuid.uuid4().hex[:12],
+            system=system,
+            method=method,
+            options=dict(options),
+            priority=int(priority),
+            timeout=self._default_timeout if timeout is None else timeout,
+            fingerprint=fingerprint,
+            key=(fingerprint, method, _options_key(options)),
+            seq=next(self._seq),
+        )
+        self._call(self._submit(job))
+        return JobHandle(self, job.job_id)
+
+    async def _submit(self, job: Job) -> None:
+        """Insert the job into the table and queue (loop thread)."""
+        self._jobs[job.job_id] = job
+        self._n_submitted += 1
+        if self._dedup:
+            primary_id = self._inflight.get(job.key)
+            if primary_id is not None:
+                primary = self._jobs.get(primary_id)
+                if primary is not None and not primary.state.is_terminal:
+                    job.coalesced_into = primary_id
+                    primary.followers.append(job.job_id)
+                    self._n_deduplicated += 1
+                    return
+            self._inflight[job.key] = job.job_id
+        await self._queue.put((job.priority, job.seq, job.job_id))
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    async def _worker(self) -> None:
+        """One worker coroutine: pull jobs, execute on the pool, resolve."""
+        loop = asyncio.get_running_loop()
+        while True:
+            _, _, job_id = await self._queue.get()
+            try:
+                job = self._jobs.get(job_id)
+                if job is None or job.state is not JobState.QUEUED:
+                    continue  # cancelled (or evicted) while waiting
+                job.state = JobState.RUNNING
+                job.started_at = time.time()
+                try:
+                    future = loop.run_in_executor(
+                        self._executor, self._execute, job
+                    )
+                    done, pending = await asyncio.wait(
+                        {future}, timeout=job.timeout
+                    )
+                except asyncio.CancelledError:
+                    raise  # service shutdown
+                except Exception as error:  # noqa: BLE001 - keep worker alive
+                    # Scheduling-layer failure (not the method itself): the
+                    # job must still resolve and the worker must survive.
+                    self._finish(
+                        job,
+                        JobState.FAILED,
+                        error=f"{type(error).__name__}: {error}",
+                    )
+                    continue
+                if pending:
+                    # Best-effort: free the worker slot; the thread cannot be
+                    # killed and keeps running detached (batch-runner
+                    # semantics).  Swallow its eventual outcome.
+                    future.cancel()
+                    future.add_done_callback(_ignore_outcome)
+                    self._finish(
+                        job,
+                        JobState.TIMED_OUT,
+                        error=f"timed out after {job.timeout:.3g} s",
+                    )
+                    continue
+                try:
+                    cell = future.result()
+                except Exception as error:  # noqa: BLE001 - job must resolve
+                    self._finish(
+                        job,
+                        JobState.FAILED,
+                        error=f"{type(error).__name__}: {error}",
+                    )
+                    continue
+                if cell.error is not None:
+                    self._finish(job, JobState.FAILED, error=cell.error)
+                else:
+                    self._finish(job, JobState.DONE, report=cell.report)
+            finally:
+                self._queue.task_done()
+
+    def _execute(self, job: Job):
+        """Run one job's cell on the executor thread (engine hook)."""
+        return self._runner.run_cell(job.system, job.method, job.options)
+
+    def _finish(
+        self,
+        job: Job,
+        state: JobState,
+        report: Optional[PassivityReport] = None,
+        error: Optional[str] = None,
+    ) -> None:
+        """Resolve a job (and its coalesced followers) — loop thread only."""
+        job.state = state
+        job.finished_at = time.time()
+        job.report = report
+        job.error = error
+        if self._inflight.get(job.key) == job.job_id:
+            del self._inflight[job.key]
+        self._count_terminal(state)
+        job.done_event.set()
+        self._remember(job)
+        for follower_id in job.followers:
+            follower = self._jobs.get(follower_id)
+            if follower is None or follower.state.is_terminal:
+                continue
+            follower.state = state
+            follower.finished_at = job.finished_at
+            follower.report = report
+            follower.error = error
+            self._count_terminal(state)
+            follower.done_event.set()
+            self._remember(follower)
+        job.followers = []
+
+    def _count_terminal(self, state: JobState) -> None:
+        """Bump the lifetime counter matching a terminal state."""
+        if state is JobState.DONE:
+            self._n_completed += 1
+        elif state is JobState.FAILED:
+            self._n_failed += 1
+        elif state is JobState.CANCELLED:
+            self._n_cancelled += 1
+        elif state is JobState.TIMED_OUT:
+            self._n_timed_out += 1
+
+    def _remember(self, job: Job) -> None:
+        """Keep the terminal job pollable, evicting beyond ``max_history``."""
+        self._history.append(job.job_id)
+        if self._max_history is None:
+            return
+        while len(self._history) > self._max_history:
+            evicted = self._history.pop(0)
+            self._jobs.pop(evicted, None)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def _call(self, coroutine) -> Any:
+        """Run a coroutine on the loop thread and return its result."""
+        if self._loop is None or self._closed:
+            raise ServiceError("service is not running (call start() first)")
+        return asyncio.run_coroutine_threadsafe(coroutine, self._loop).result()
+
+    def _get(self, job_id: str) -> Job:
+        """Look up a job record or raise :class:`UnknownJobError`."""
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise UnknownJobError(
+                f"unknown job id {job_id!r} (never submitted, or evicted "
+                f"from the result history)"
+            )
+        return job
+
+    def status(self, job_id: str) -> JobStatus:
+        """Snapshot the job's scheduling state.
+
+        Raises
+        ------
+        UnknownJobError
+            When no job with this id exists (or it was evicted).
+        """
+        if self._loop is not None and not self._closed:
+            return self._call(self._status(job_id))
+        # Closed service: records are frozen, read directly.
+        return self._get(job_id).snapshot()
+
+    async def _status(self, job_id: str) -> JobStatus:
+        return self._get(job_id).snapshot()
+
+    def wait(self, job_id: str, timeout: Optional[float] = None) -> bool:
+        """Block until the job is terminal; True when it finished in time."""
+        return self._get(job_id).done_event.wait(timeout)
+
+    def result(
+        self, job_id: str, timeout: Optional[float] = 0.0
+    ) -> PassivityReport:
+        """Return the job's :class:`~repro.passivity.PassivityReport`.
+
+        The default is poll-style (``timeout=0``: raise immediately when the
+        job is still pending); pass a positive timeout — or ``None`` to wait
+        forever — for blocking fetches (what :meth:`JobHandle.result` does).
+
+        Raises
+        ------
+        UnknownJobError
+            When no job with this id exists (or it was evicted).
+        JobNotReadyError
+            When the job has not finished within ``timeout``.
+        JobCancelledError
+            When the job was cancelled.
+        JobFailedError
+            When the job raised or timed out on the service side.
+        """
+        job = self._get(job_id)
+        if timeout is None or timeout > 0:
+            job.done_event.wait(timeout)
+        if not job.state.is_terminal:
+            raise JobNotReadyError(
+                f"job {job_id} is {job.state.value}; poll again later"
+            )
+        if job.state is JobState.CANCELLED:
+            raise JobCancelledError(f"job {job_id} was cancelled: {job.error}")
+        if job.state in (JobState.FAILED, JobState.TIMED_OUT):
+            raise JobFailedError(f"job {job_id} {job.state.value}: {job.error}")
+        return job.report
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a queued (or coalesced) job.
+
+        Returns True when the job transitioned to ``CANCELLED``; False when
+        it is already running or terminal (a running test cannot be
+        interrupted).  Cancelling a primary with live coalesced followers
+        promotes the first follower to a fresh queue entry so the other
+        waiters still get their report.
+
+        Raises
+        ------
+        UnknownJobError
+            When no job with this id exists (or it was evicted).
+        """
+        return self._call(self._cancel(job_id))
+
+    async def _cancel(self, job_id: str) -> bool:
+        job = self._get(job_id)
+        if job.state is not JobState.QUEUED:
+            return False
+        followers = [
+            fid
+            for fid in job.followers
+            if fid in self._jobs and not self._jobs[fid].state.is_terminal
+        ]
+        job.followers = []
+        self._finish(job, JobState.CANCELLED, error="cancelled by client")
+        if followers:
+            promoted = self._jobs[followers[0]]
+            promoted.coalesced_into = None
+            promoted.followers = followers[1:]
+            for fid in promoted.followers:
+                self._jobs[fid].coalesced_into = promoted.job_id
+            self._inflight[promoted.key] = promoted.job_id
+            await self._queue.put((promoted.priority, promoted.seq, promoted.job_id))
+        return True
+
+    def stats(self) -> ServiceStats:
+        """Snapshot the service telemetry (queue depth, counters, cache)."""
+        if self._loop is not None and not self._closed:
+            return self._call(self._stats())
+        return self._build_stats()
+
+    async def _stats(self) -> ServiceStats:
+        return self._build_stats()
+
+    def _build_stats(self) -> ServiceStats:
+        """Assemble the :class:`ServiceStats` snapshot (loop thread)."""
+        uptime = (
+            time.time() - self._started_at if self._started_at is not None else 0.0
+        )
+        cache_delta = self._runner.cache.stats.minus(self._cache_baseline)
+        cache = {
+            "hits": cache_delta.hits,
+            "misses": cache_delta.misses,
+            "factorizations": cache_delta.factorizations,
+            "hit_rate": cache_delta.hit_rate,
+            "by_kind": {
+                kind: dict(counters)
+                for kind, counters in cache_delta.by_kind.items()
+            },
+        }
+        return ServiceStats(
+            workers=self._max_workers,
+            queue_depth=self._queue.qsize() if self._queue is not None else 0,
+            running=sum(
+                1 for job in self._jobs.values() if job.state is JobState.RUNNING
+            ),
+            submitted=self._n_submitted,
+            completed=self._n_completed,
+            failed=self._n_failed,
+            cancelled=self._n_cancelled,
+            timed_out=self._n_timed_out,
+            deduplicated=self._n_deduplicated,
+            uptime_seconds=uptime,
+            throughput_per_second=self._n_completed / uptime if uptime > 0 else 0.0,
+            cache=cache,
+        )
+
+
+def _ignore_outcome(future) -> None:
+    """Swallow the late result/exception of an abandoned (timed-out) task."""
+    try:
+        future.exception()
+    except BaseException:  # noqa: BLE001 - CancelledError is a BaseException
+        pass

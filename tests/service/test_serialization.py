@@ -1,0 +1,180 @@
+"""Round-trip tests for the service serialization layer.
+
+The wire forms must be (a) pure JSON — ``json.dumps`` must accept every
+payload — and (b) lossless where it matters: matrices, sparsity, cache
+fingerprints (server-side dedup depends on them) and report content.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro import DescriptorSystem, check_passivity
+from repro.circuits import impulsive_rlc_ladder, rc_grid, rlc_ladder
+from repro.engine import DecompositionCache, fingerprint_system
+from repro.exceptions import ReproError, SerializationError
+from repro.passivity.result import PassivityReport
+from repro.service import (
+    from_jsonable,
+    report_from_jsonable,
+    report_to_jsonable,
+    system_from_jsonable,
+    system_to_jsonable,
+    to_jsonable,
+)
+
+
+class TestSystemRoundTrip:
+    def test_dense_system_round_trip(self):
+        system = impulsive_rlc_ladder(n_sections=4, n_impulsive_stubs=1).system
+        payload = json.loads(json.dumps(system_to_jsonable(system)))
+        assert payload["format"] == "dense"
+        rebuilt = system_from_jsonable(payload)
+        assert not rebuilt.is_sparse
+        for original, copy in zip(system.matrices(), rebuilt.matrices()):
+            np.testing.assert_array_equal(original, copy)
+
+    def test_dense_fingerprint_survives(self):
+        system = rlc_ladder(5).system
+        rebuilt = system_from_jsonable(system_to_jsonable(system))
+        assert fingerprint_system(system) == fingerprint_system(rebuilt)
+
+    def test_sparse_system_round_trip_stays_sparse(self):
+        system = rc_grid(8, 8, sparse=True).system
+        assert system.is_sparse
+        payload = json.loads(json.dumps(system_to_jsonable(system)))
+        assert payload["format"] == "csr"
+        rebuilt = system_from_jsonable(payload)
+        assert rebuilt.is_sparse
+        assert rebuilt.nnz == system.nnz
+        np.testing.assert_array_equal(
+            system.sparse_e.toarray(), rebuilt.sparse_e.toarray()
+        )
+        np.testing.assert_array_equal(
+            system.sparse_a.toarray(), rebuilt.sparse_a.toarray()
+        )
+
+    def test_sparse_fingerprint_survives(self):
+        # Dedup across the wire: the canonical-CSR fingerprint must be
+        # identical after a serialize/deserialize hop.
+        system = rc_grid(6, 7, sparse=True).system
+        rebuilt = system_from_jsonable(
+            json.loads(json.dumps(system_to_jsonable(system)))
+        )
+        assert fingerprint_system(system) == fingerprint_system(rebuilt)
+
+    def test_sparse_payload_is_onnz(self):
+        system = rc_grid(10, 10, sparse=True).system
+        payload = system_to_jsonable(system)
+        stored = len(payload["e"]["data"]) + len(payload["a"]["data"])
+        assert stored == system.nnz
+        assert stored < system.order ** 2  # never densified in transit
+
+    def test_report_verdict_agrees_after_round_trip(self):
+        system = rlc_ladder(4).system
+        rebuilt = system_from_jsonable(system_to_jsonable(system))
+        cache = DecompositionCache()
+        original = check_passivity(system, cache=cache)
+        again = check_passivity(rebuilt, cache=cache)
+        assert original.is_passive == again.is_passive
+        # Same fingerprint -> the second call is fully cache-warm.
+        assert again.diagnostics["engine"]["factorizations"] == 0
+
+
+class TestReportRoundTrip:
+    def test_report_round_trip(self):
+        report = check_passivity(
+            impulsive_rlc_ladder(n_sections=3, n_impulsive_stubs=1).system
+        )
+        payload = json.loads(json.dumps(report_to_jsonable(report)))
+        rebuilt = report_from_jsonable(payload)
+        assert rebuilt.is_passive == report.is_passive
+        assert rebuilt.method == report.method
+        assert rebuilt.failure_reason == report.failure_reason
+        assert rebuilt.step_names == report.step_names
+        assert rebuilt.diagnostics["engine"] == report.diagnostics["engine"]
+
+    def test_complex_diagnostics_revive(self):
+        report = PassivityReport(is_passive=False, method="shh")
+        report.diagnostics["m1_eigenvalues"] = np.array([1.0 + 2.0j, 3.0 - 4.0j])
+        report.add_step("probe", "complex detail", passed=False, value=1j)
+        payload = json.loads(json.dumps(report_to_jsonable(report)))
+        rebuilt = report_from_jsonable(payload)
+        assert rebuilt.diagnostics["m1_eigenvalues"] == [1.0 + 2.0j, 3.0 - 4.0j]
+        assert rebuilt.steps[0].details["value"] == 1j
+
+    def test_non_finite_floats_stay_strict_json(self):
+        # json.dumps(allow_nan=False) is the strict-JSON litmus: Infinity/NaN
+        # tokens would break standards-compliant clients.
+        report = PassivityReport(is_passive=True, method="sampling")
+        report.diagnostics["min_eig"] = float("inf")
+        report.diagnostics["gap"] = float("nan")
+        report.diagnostics["limit"] = np.array([-np.inf, 1.0])
+        report.diagnostics["weird"] = complex(float("inf"), 0.0)
+        payload = report_to_jsonable(report)
+        encoded = json.dumps(payload, allow_nan=False)  # must not raise
+        rebuilt = report_from_jsonable(json.loads(encoded))
+        assert rebuilt.diagnostics["min_eig"] == float("inf")
+        assert math.isnan(rebuilt.diagnostics["gap"])
+        assert rebuilt.diagnostics["limit"][0] == float("-inf")
+        assert rebuilt.diagnostics["weird"] == complex(float("inf"), 0.0)
+
+    def test_numpy_scalars_become_plain(self):
+        report = PassivityReport(is_passive=True, method="shh")
+        report.diagnostics["count"] = np.int64(3)
+        report.diagnostics["norm"] = np.float64(0.5)
+        payload = report_to_jsonable(report)
+        assert payload["diagnostics"]["count"] == 3
+        assert isinstance(payload["diagnostics"]["count"], int)
+        assert isinstance(payload["diagnostics"]["norm"], float)
+
+
+class TestDispatchAndErrors:
+    def test_tagged_dispatch(self):
+        system = rlc_ladder(3).system
+        assert isinstance(from_jsonable(to_jsonable(system)), DescriptorSystem)
+        report = PassivityReport(is_passive=True, method="shh")
+        assert isinstance(from_jsonable(to_jsonable(report)), PassivityReport)
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            None,
+            [],
+            {},
+            {"kind": "mystery"},
+            {"kind": "descriptor_system", "format": "hologram"},
+            {"kind": "descriptor_system", "format": "dense"},
+            {
+                "kind": "descriptor_system",
+                "format": "csr",
+                "e": {"shape": [2, 2], "data": [1.0]},
+                "a": {},
+                "b": [[1.0], [0.0]],
+                "c": [[1.0, 0.0]],
+                "d": [[0.0]],
+            },
+        ],
+    )
+    def test_malformed_payloads_raise_typed_error(self, payload):
+        with pytest.raises(SerializationError):
+            from_jsonable(payload)
+
+    def test_dimension_mismatch_is_serialization_error(self):
+        payload = system_to_jsonable(rlc_ladder(3).system)
+        payload["b"] = [[1.0]]  # wrong row count
+        with pytest.raises(SerializationError):
+            system_from_jsonable(payload)
+
+    def test_unsupported_object_raises(self):
+        with pytest.raises(SerializationError):
+            to_jsonable(object())
+
+    def test_serialization_error_is_repro_error(self):
+        # One except clause catches the whole library, service included.
+        assert issubclass(SerializationError, ReproError)
+        assert issubclass(SerializationError, ValueError)

@@ -1,0 +1,130 @@
+"""Docstring-coverage gate for the frozen public API.
+
+Walks the ``__all__`` exports of the public namespaces (``repro``,
+``repro.engine``, ``repro.service``) and fails when any exported symbol —
+or any public method/property a symbol's class defines itself — lacks a
+docstring.  This is the executable form of the documentation contract:
+``docs/api.md`` promises NumPy-style docstrings for every public symbol,
+and CI runs this script so the promise cannot silently rot.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_docstrings.py            # gate (exit 1 on gaps)
+    PYTHONPATH=src python tools/check_docstrings.py --report   # coverage summary
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import inspect
+import sys
+from typing import List, Tuple
+
+#: The namespaces whose ``__all__`` constitutes the frozen public API.
+PUBLIC_MODULES = ("repro", "repro.engine", "repro.service")
+
+
+def _has_doc(obj: object) -> bool:
+    """True when the object carries a non-empty docstring of its own.
+
+    Inherited docstrings count only if the member itself is inherited;
+    a redefined member must restate its contract.
+    """
+    doc = getattr(obj, "__doc__", None)
+    return bool(doc and doc.strip())
+
+
+def _is_local(obj: object) -> bool:
+    """True when the object is defined inside this repository's package."""
+    module = getattr(obj, "__module__", "") or ""
+    return module.startswith("repro")
+
+
+def _class_members(cls: type) -> List[Tuple[str, object]]:
+    """Public methods/properties the class *itself* defines (not inherited).
+
+    Dataclass-generated plumbing (``__init__`` etc.) and dunders are out of
+    scope — the class docstring documents the fields; enum members carry no
+    per-member docstrings either.
+    """
+    members: List[Tuple[str, object]] = []
+    for name, attr in vars(cls).items():
+        if name.startswith("_"):
+            continue
+        if isinstance(attr, property):
+            members.append((name, attr))
+        elif inspect.isfunction(attr):
+            members.append((name, attr))
+        elif isinstance(attr, (classmethod, staticmethod)):
+            members.append((name, attr.__func__))
+    return members
+
+
+def check_module(module_name: str) -> Tuple[List[str], int]:
+    """Return (missing-docstring labels, symbols checked) for one module."""
+    module = importlib.import_module(module_name)
+    missing: List[str] = []
+    checked = 0
+    exported = getattr(module, "__all__", None)
+    if exported is None:
+        missing.append(f"{module_name}: module defines no __all__")
+        return missing, checked
+    for symbol in exported:
+        if not hasattr(module, symbol):
+            missing.append(f"{module_name}.{symbol}: listed in __all__ but absent")
+            continue
+        obj = getattr(module, symbol)
+        checked += 1
+        label = f"{module_name}.{symbol}"
+        if inspect.ismodule(obj):
+            if not _has_doc(obj):
+                missing.append(f"{label}: missing module docstring")
+            continue
+        if not inspect.isclass(obj) and not callable(obj):
+            # Exported constants (cost classes, cache-kind strings, version
+            # numbers) cannot carry runtime docstrings; documented in
+            # docs/api.md and the owning module's docstring instead.
+            continue
+        if not _has_doc(obj):
+            missing.append(f"{label}: missing docstring")
+        if inspect.isclass(obj) and _is_local(obj):
+            for name, member in _class_members(obj):
+                checked += 1
+                if not _has_doc(member):
+                    missing.append(f"{label}.{name}: missing docstring")
+    return missing, checked
+
+
+def main(argv=None) -> int:
+    """Run the gate over :data:`PUBLIC_MODULES`; exit 1 when gaps exist."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--report", action="store_true", help="print per-module coverage"
+    )
+    args = parser.parse_args(argv)
+
+    all_missing: List[str] = []
+    total = 0
+    for module_name in PUBLIC_MODULES:
+        missing, checked = check_module(module_name)
+        total += checked
+        all_missing.extend(missing)
+        if args.report:
+            covered = checked - sum(
+                1 for entry in missing if entry.startswith(module_name)
+            )
+            print(f"{module_name}: {covered}/{checked} documented")
+
+    if all_missing:
+        print(f"docstring coverage FAILED: {len(all_missing)} gap(s) in "
+              f"{total} public symbols")
+        for entry in sorted(set(all_missing)):
+            print(f"  - {entry}")
+        return 1
+    print(f"docstring coverage OK: all {total} public symbols documented")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
