@@ -12,8 +12,11 @@ The top-level namespace re-exports the objects most users need:
   dispatch, plus :class:`BatchRunner` / :class:`DecompositionCache` /
   :class:`MethodRegistry` for batched, cached, pluggable sweeps,
 * :class:`PassivityService` — the async job-queue serving layer
-  (submit/poll/cancel with fingerprint-level deduplication; see
-  :mod:`repro.service`),
+  (submit/poll/cancel with fingerprint-level deduplication, optional
+  process-pool execution and queue backpressure; see :mod:`repro.service`),
+* :class:`DecompositionStore` — the persistent (file-backed) L2 tier behind
+  :class:`DecompositionCache`, sharing decompositions across processes and
+  restarts (see :mod:`repro.store`),
 * :class:`DescriptorSystem` / :class:`StateSpace` — system containers,
 * :func:`shh_passivity_test` — the paper's O(n^3) structure-preserving test,
 * :func:`lmi_passivity_test`, :func:`weierstrass_passivity_test`,
@@ -68,9 +71,10 @@ from repro.engine import (
     select_method,
 )
 from repro.service import JobHandle, JobState, PassivityService, ServiceStats
-from repro import circuits, descriptor, engine, linalg, passivity, sdp, service
+from repro.store import DecompositionStore
+from repro import circuits, descriptor, engine, linalg, passivity, sdp, service, store
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "__version__",
@@ -93,6 +97,8 @@ __all__ = [
     "JobHandle",
     "JobState",
     "service",
+    "DecompositionStore",
+    "store",
     "Tolerances",
     "DEFAULT_TOLERANCES",
     "DescriptorSystem",

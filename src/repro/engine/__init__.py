@@ -22,6 +22,7 @@ from repro.engine.api import (
     select_method,
 )
 from repro.engine.cache import (
+    KNOWN_KINDS,
     PENCIL_SPECTRUM,
     CacheStats,
     DecompositionCache,
@@ -53,6 +54,7 @@ __all__ = [
     "SystemProfile",
     "SpectralContext",
     "PENCIL_SPECTRUM",
+    "KNOWN_KINDS",
     "compute_spectral_context",
     "fingerprint_system",
     "profile_system",

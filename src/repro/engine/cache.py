@@ -30,10 +30,14 @@ from repro.config import DEFAULT_TOLERANCES, Tolerances
 from repro.descriptor.decompose import AdditiveDecomposition, additive_decomposition
 from repro.descriptor.system import DescriptorSystem, StateSpace
 from repro.descriptor.weierstrass import WeierstrassForm, weierstrass_form
-from repro.exceptions import NotAdmissibleError
+from repro.exceptions import NotAdmissibleError, SerializationError
 from repro.linalg.pencil import SpectralContext, compute_spectral_context
 from repro.linalg.sparse import SparseDeflation
-from repro.passivity.gare_test import admissible_to_state_space
+from repro.passivity.gare_test import (
+    GareCertificate,
+    admissible_to_state_space,
+    solve_gare_certificate,
+)
 from repro.passivity.m1 import InfiniteChainData, impulsive_chain_data
 from repro.passivity.sparse_shh import SPARSE_DEFLATION, fetch_sparse_deflation
 
@@ -47,9 +51,11 @@ __all__ = [
     "WEIERSTRASS_FORM",
     "ADDITIVE_DECOMPOSITION",
     "GARE_STATE_SPACE",
+    "GARE_RICCATI",
     "SYSTEM_PROFILE",
     "PENCIL_SPECTRUM",
     "SPARSE_DEFLATION",
+    "KNOWN_KINDS",
 ]
 
 #: Cache-entry kinds used by the built-in convenience accessors
@@ -59,8 +65,26 @@ CHAIN_DATA = "chain_data"
 WEIERSTRASS_FORM = "weierstrass_form"
 ADDITIVE_DECOMPOSITION = "additive_decomposition"
 GARE_STATE_SPACE = "gare_state_space"
+GARE_RICCATI = "gare_riccati"
 SYSTEM_PROFILE = "system_profile"
 PENCIL_SPECTRUM = "pencil_spectrum"
+
+#: Every cache kind the engine knows how to produce and consume.
+#: :meth:`DecompositionCache.seed` validates against this set: seeding an
+#: unknown kind would silently store an entry no accessor ever reads, which
+#: is always a caller bug (typically a typo'd kind string).
+KNOWN_KINDS = frozenset(
+    {
+        CHAIN_DATA,
+        WEIERSTRASS_FORM,
+        ADDITIVE_DECOMPOSITION,
+        GARE_STATE_SPACE,
+        GARE_RICCATI,
+        SYSTEM_PROFILE,
+        PENCIL_SPECTRUM,
+        SPARSE_DEFLATION,
+    }
+)
 
 
 def fingerprint_system(
@@ -113,12 +137,22 @@ class CacheStats:
     refusals).  Hits and seeded entries do not count, so the counter is the
     assertable "how many O(n^3) factorizations did this workload really pay
     for" telemetry the single-factorization regression tests pin down.
+
+    ``l2_hits`` / ``l2_misses`` / ``l2_evictions`` account for the optional
+    persistent store tier (:class:`~repro.store.DecompositionStore`): an L1
+    miss that rehydrates from the store is an ``l2_hit`` (and performs no
+    factorization), one that falls through to compute is an ``l2_miss``, and
+    store-side size-budget evictions triggered by this cache's writes are
+    ``l2_evictions``.  All three stay zero for a store-less cache.
     """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
     factorizations: int = 0
+    l2_hits: int = 0
+    l2_misses: int = 0
+    l2_evictions: int = 0
     by_kind: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     def record(self, kind: str, hit: bool) -> None:
@@ -136,6 +170,16 @@ class CacheStats:
         counters = self.by_kind.setdefault(kind, {"hits": 0, "misses": 0})
         counters["factorizations"] = counters.get("factorizations", 0) + 1
         self.factorizations += 1
+
+    def record_l2(self, kind: str, hit: bool) -> None:
+        """Count one store (L2) consultation for ``kind``."""
+        counters = self.by_kind.setdefault(kind, {"hits": 0, "misses": 0})
+        key = "l2_hits" if hit else "l2_misses"
+        counters[key] = counters.get(key, 0) + 1
+        if hit:
+            self.l2_hits += 1
+        else:
+            self.l2_misses += 1
 
     def hits_for(self, kind: str) -> int:
         """Number of cache hits recorded for ``kind``."""
@@ -155,14 +199,16 @@ class CacheStats:
         self.misses += other.misses
         self.evictions += other.evictions
         self.factorizations += other.factorizations
+        self.l2_hits += other.l2_hits
+        self.l2_misses += other.l2_misses
+        self.l2_evictions += other.l2_evictions
         for kind, counters in other.by_kind.items():
             mine = self.by_kind.setdefault(kind, {"hits": 0, "misses": 0})
             mine["hits"] += counters.get("hits", 0)
             mine["misses"] += counters.get("misses", 0)
-            if counters.get("factorizations", 0):
-                mine["factorizations"] = (
-                    mine.get("factorizations", 0) + counters["factorizations"]
-                )
+            for extra in ("factorizations", "l2_hits", "l2_misses"):
+                if counters.get(extra, 0):
+                    mine[extra] = mine.get(extra, 0) + counters[extra]
 
     def snapshot(self) -> "CacheStats":
         """Independent copy of the current counters."""
@@ -171,6 +217,9 @@ class CacheStats:
             misses=self.misses,
             evictions=self.evictions,
             factorizations=self.factorizations,
+            l2_hits=self.l2_hits,
+            l2_misses=self.l2_misses,
+            l2_evictions=self.l2_evictions,
         )
         copy.by_kind = {kind: dict(counters) for kind, counters in self.by_kind.items()}
         return copy
@@ -182,18 +231,23 @@ class CacheStats:
             misses=self.misses - baseline.misses,
             evictions=self.evictions - baseline.evictions,
             factorizations=self.factorizations - baseline.factorizations,
+            l2_hits=self.l2_hits - baseline.l2_hits,
+            l2_misses=self.l2_misses - baseline.l2_misses,
+            l2_evictions=self.l2_evictions - baseline.l2_evictions,
         )
         for kind, counters in self.by_kind.items():
             base = baseline.by_kind.get(kind, {})
             hits = counters.get("hits", 0) - base.get("hits", 0)
             misses = counters.get("misses", 0) - base.get("misses", 0)
-            factorizations = counters.get("factorizations", 0) - base.get(
-                "factorizations", 0
-            )
-            if hits or misses or factorizations:
+            extras = {
+                extra: counters.get(extra, 0) - base.get(extra, 0)
+                for extra in ("factorizations", "l2_hits", "l2_misses")
+            }
+            if hits or misses or any(extras.values()):
                 delta.by_kind[kind] = {"hits": hits, "misses": misses}
-                if factorizations:
-                    delta.by_kind[kind]["factorizations"] = factorizations
+                for extra, value in extras.items():
+                    if value:
+                        delta.by_kind[kind][extra] = value
         return delta
 
     @property
@@ -211,16 +265,35 @@ class DecompositionCache:
     maxsize:
         Maximum number of cached entries (across all kinds); the least
         recently used entry is evicted first.  ``None`` disables eviction.
+    store:
+        Optional persistent L2 tier (:class:`~repro.store.DecompositionStore`
+        or anything with its ``accepts``/``load``/``put`` surface).  An L1
+        miss of a persistable kind first consults the store — a hit
+        rehydrates the entry with **no** recomputation (``stats.l2_hits``) —
+        and computed entries are written back best-effort, so identical
+        systems share decompositions across processes and restarts.  Store
+        failures never fail a lookup; they degrade to computing.
     """
 
-    def __init__(self, maxsize: Optional[int] = 256) -> None:
+    def __init__(
+        self, maxsize: Optional[int] = 256, store: Optional[Any] = None
+    ) -> None:
         if maxsize is not None and maxsize < 1:
             raise ValueError("maxsize must be at least 1 (or None for unbounded)")
         self.maxsize = maxsize
+        self.store = store
         self.stats = CacheStats()
         self._entries: "OrderedDict[Tuple[str, str], Tuple[str, Any]]" = OrderedDict()
         self._lock = threading.Lock()
         self._key_locks: Dict[Tuple[str, str], threading.Lock] = {}
+
+    def attach_store(self, store: Optional[Any]) -> None:
+        """Attach (or detach, with ``None``) the persistent L2 tier.
+
+        Used by the service to point an already-built runner's cache at a
+        store; entries cached in L1 before the attach stay valid.
+        """
+        self.store = store
 
     def __len__(self) -> int:
         with self._lock:
@@ -248,6 +321,11 @@ class DecompositionCache:
         result is stored.  Exceptions of a type listed in ``cache_errors`` are
         cached as negative entries and re-raised on every subsequent lookup;
         any other exception propagates without polluting the cache.
+
+        With a persistent store attached, an L1 miss of a persistable kind
+        first tries the store (an L2 hit rehydrates without computing and
+        without counting a factorization) and computed entries — including
+        the negative ones — are written back best-effort.
         """
         key = (fingerprint_system(system, tol), kind)
         with self._lock:
@@ -260,10 +338,18 @@ class DecompositionCache:
                 cached = self._entries.get(key)
                 if cached is not None:
                     return self._unwrap(key, kind, cached)
+            rehydrated = self._load_from_store(key, kind)
+            if rehydrated is not None:
+                self._store(key, kind, rehydrated, computed=False)
+                tag, payload = rehydrated
+                if tag == "error":
+                    raise payload
+                return payload
             try:
                 value = compute()
             except cache_errors as error:
                 self._store(key, kind, ("error", error), computed=True)
+                self._persist(key, kind, ("error", error))
                 raise
             except BaseException:
                 # Not cached: drop the per-key lock so repeated failures on
@@ -272,6 +358,7 @@ class DecompositionCache:
                     self._key_locks.pop(key, None)
                 raise
             self._store(key, kind, ("value", value), computed=True)
+            self._persist(key, kind, ("value", value))
             return value
 
     def contains(
@@ -298,9 +385,55 @@ class DecompositionCache:
         runner computes a system's spectral context once in the parent and
         seeds each worker-local cache with it, so the worker's lookups are
         hits and its ``factorizations`` counter stays at zero.
+
+        Raises
+        ------
+        SerializationError
+            When ``kind`` is not one of :data:`KNOWN_KINDS` — no accessor
+            would ever read such an entry, so accepting it would silently
+            drop the seeded decomposition (typically a typo'd kind string).
         """
+        if kind not in KNOWN_KINDS:
+            raise SerializationError(
+                f"cannot seed unknown cache kind {kind!r}; known kinds: "
+                f"{', '.join(sorted(KNOWN_KINDS))}"
+            )
         key = (fingerprint_system(system, tol), kind)
         self._store(key, kind, ("value", value), computed=False, count_miss=False)
+
+    # ------------------------------------------------------------------
+    # Persistent store (L2) plumbing — best-effort by design: the store
+    # accelerates lookups but must never fail them.
+    # ------------------------------------------------------------------
+    def _load_from_store(
+        self, key: Tuple[str, str], kind: str
+    ) -> Optional[Tuple[str, Any]]:
+        """Fetch an entry from the L2 store, recording l2 telemetry."""
+        store = self.store
+        if store is None or not store.accepts(kind):
+            return None
+        fingerprint, _ = key
+        try:
+            entry = store.load(fingerprint, kind)
+        except Exception:  # noqa: BLE001 - L2 is an accelerator, not a dependency
+            entry = None
+        with self._lock:
+            self.stats.record_l2(kind, hit=entry is not None)
+        return entry
+
+    def _persist(self, key: Tuple[str, str], kind: str, entry: Tuple[str, Any]) -> None:
+        """Write a computed entry back to the L2 store (best-effort)."""
+        store = self.store
+        if store is None or not store.accepts(kind):
+            return
+        fingerprint, _ = key
+        try:
+            evicted = store.put(fingerprint, kind, entry)
+        except Exception:  # noqa: BLE001 - persistence failures degrade, not fail
+            return
+        if evicted:
+            with self._lock:
+                self.stats.l2_evictions += evicted
 
     def _unwrap(self, key, kind: str, entry: Tuple[str, Any]) -> Any:
         # Caller holds self._lock.
@@ -420,6 +553,34 @@ class DecompositionCache:
             ),
             tol=effective,
             cache_errors=(NotAdmissibleError,),
+        )
+
+    def gare_certificate(
+        self, system: DescriptorSystem, tol: Optional[Tolerances] = None
+    ) -> GareCertificate:
+        """Riccati certificate of the GARE test (the expensive solve).
+
+        Built on top of :meth:`gare_state_space`, so one cache fetch chain
+        answers the whole GARE pipeline — admissibility, reduction and ARE
+        solve — from prior work; with a persistent store attached this makes
+        a re-check of a known system Riccati-free across processes and
+        restarts.  Solver failures are *values* here (captured inside the
+        certificate), so they are cached and persisted like successes.
+
+        Raises
+        ------
+        NotAdmissibleError
+            If the system is not admissible (propagated from the underlying
+            reduction, whose refusal is negatively cached).
+        """
+        effective = tol or DEFAULT_TOLERANCES
+        return self.get_or_compute(
+            system,
+            GARE_RICCATI,
+            lambda: solve_gare_certificate(
+                self.gare_state_space(system, effective), effective
+            ),
+            tol=effective,
         )
 
     def sparse_deflation(

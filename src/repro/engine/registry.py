@@ -307,6 +307,14 @@ def _run_gare(
             )
             report.add_step("admissibility", str(error), passed=False)
             return report
+        # The Riccati solve is deterministic per (system, tol) under the
+        # default regularization choice, so it is a cache (and store) kind
+        # too; an explicit regularization= or certificate= opts out.
+        if (
+            "certificate" not in options
+            and "regularization" not in options
+        ):
+            options["certificate"] = cache.gare_certificate(system, tol)
     context = options.pop("context", None)
     if context is None and state_space is None:
         context = _fetch_spectral(system, tol, cache)

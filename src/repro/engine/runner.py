@@ -15,7 +15,9 @@ Backends
     worker-local :class:`DecompositionCache` so per-system intermediates are
     still shared; worker cache counters are merged into the outcome.  Method
     runners must be picklable (module-level functions) — the built-in registry
-    qualifies.
+    qualifies.  When the runner's cache has a persistent store attached, the
+    store is shipped along (workers re-open the same root) so worker-local
+    caches share decompositions through the L2 tier as well.
 ``"thread"``
     One task per ``(system, method)`` pair sharing the runner's cache; NumPy
     releases the GIL in the O(n^3) kernels, so threads overlap well.
@@ -154,6 +156,7 @@ def _process_worker(
         Optional[MethodRegistry],
         Optional[int],
         Optional[SpectralContext],
+        Optional[Any],
     ],
 ) -> Tuple[int, List[Tuple[str, Optional[PassivityReport], float, Optional[str]]], CacheStats]:
     """Process-pool task: run every requested method on one system.
@@ -161,10 +164,18 @@ def _process_worker(
     ``payload`` may carry the system's spectral context computed once in the
     parent; it is seeded into the worker-local cache so every method's
     spectral queries are hits and the worker performs no pencil
-    factorization of its own.
+    factorization of its own.  It may also carry the parent cache's
+    persistent store (pickled by reference: the worker re-opens the same
+    root), which backs the worker-local cache as its L2 tier — systems
+    solved by any prior run or any other worker rehydrate without a single
+    factorization, and this worker's results persist for the rest of the
+    fleet.
     """
-    index, system, methods, tol, method_options, registry, cache_maxsize, context = payload
-    cache = DecompositionCache(maxsize=cache_maxsize)
+    (
+        index, system, methods, tol, method_options, registry,
+        cache_maxsize, context, store,
+    ) = payload
+    cache = DecompositionCache(maxsize=cache_maxsize, store=store)
     if context is not None:
         cache.seed(system, PENCIL_SPECTRUM, context, tol=tol)
     cells = []
@@ -518,7 +529,7 @@ class BatchRunner:
                     pool.submit(
                         _process_worker,
                         (si, system, methods, self.tol, method_options, registry,
-                         self.cache.maxsize, contexts.get(si)),
+                         self.cache.maxsize, contexts.get(si), self.cache.store),
                     ),
                 )
                 for si, system in enumerate(systems)

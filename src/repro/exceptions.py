@@ -73,6 +73,18 @@ class SerializationError(ReproError, ValueError):
     """
 
 
+class StoreError(ReproError):
+    """The persistent decomposition store was misconfigured or misused.
+
+    Raised by :class:`~repro.store.DecompositionStore` for *setup* problems —
+    an unusable root directory, a non-positive size budget, an attempt to
+    persist a kind the store has no codec for.  Runtime blob corruption is
+    deliberately **not** an error: corrupt or truncated blobs are treated as
+    cache misses (and removed), so a damaged store degrades to recomputation
+    instead of failing requests.
+    """
+
+
 class ServiceError(ReproError):
     """Base class of the :mod:`repro.service` job-queue errors.
 
@@ -80,6 +92,17 @@ class ServiceError(ReproError):
     job ids, premature result fetches, cancelled or failed jobs) derives from
     this class, so a transport front-end can map the whole family to error
     responses with one ``except`` clause.
+    """
+
+
+class QueueFullError(ServiceError):
+    """The service's bounded submission queue is at capacity.
+
+    Raised by :meth:`~repro.service.PassivityService.submit` when
+    ``max_queue`` is set and the backlog is full — the backpressure signal
+    the HTTP front-end translates to ``429 Too Many Requests``.  Coalesced
+    duplicates of an in-flight job are never rejected (they consume no queue
+    slot).  Clients should retry after a delay.
     """
 
 

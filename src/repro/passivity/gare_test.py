@@ -17,6 +17,7 @@ impulse-free) DSs".  This module provides that restricted baseline:
 from __future__ import annotations
 
 import time
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
@@ -30,7 +31,12 @@ from repro.linalg.pencil import SpectralContext
 from repro.linalg.riccati import solve_positive_real_are
 from repro.passivity.result import PassivityReport
 
-__all__ = ["gare_passivity_test", "admissible_to_state_space"]
+__all__ = [
+    "gare_passivity_test",
+    "admissible_to_state_space",
+    "GareCertificate",
+    "solve_gare_certificate",
+]
 
 
 def _is_admissible_from_context(
@@ -105,12 +111,92 @@ def admissible_to_state_space(
     )
 
 
+@dataclass(frozen=True, eq=False)
+class GareCertificate:
+    """Outcome of the expensive part of the GARE test, in cacheable form.
+
+    Everything after the admissible reduction that is deterministic per
+    ``(system, tolerances)`` — the feedthrough definiteness decision, the
+    regularization choice and the positive-real ARE solve — lives here, so
+    the engine cache (and the persistent store behind it) can make the
+    Riccati solve compute-once across calls, processes and restarts exactly
+    like the reduction itself.
+
+    Attributes
+    ----------
+    feedthrough_psd:
+        Whether ``D + D^T`` was positive semidefinite (when not, no solve
+        was attempted — the test fails at the feedthrough step).
+    epsilon:
+        The regularization added to make ``D + D^T`` positive definite
+        (0.0 when none was needed).
+    x:
+        The stabilizing ARE solution, or ``None`` when no solve happened or
+        the solver failed.
+    residual:
+        Relative Frobenius residual of the ARE at ``x`` (``inf`` when there
+        is no solution).
+    failure:
+        The solver's failure description, ``None`` on success.
+    """
+
+    feedthrough_psd: bool
+    epsilon: float = 0.0
+    x: Optional[np.ndarray] = None
+    residual: float = float("inf")
+    failure: Optional[str] = None
+
+
+def solve_gare_certificate(
+    state_space: StateSpace,
+    tol: Optional[Tolerances] = None,
+    regularization: Optional[float] = None,
+) -> GareCertificate:
+    """Run the GARE test's expensive tail on a reduced state space.
+
+    Checks ``D + D^T`` definiteness, picks the regularization the test would
+    pick, and solves the positive-real ARE; solver failures are captured in
+    the returned :class:`GareCertificate` instead of raised, so the
+    certificate is cacheable either way.
+    """
+    tol = tol or DEFAULT_TOLERANCES
+    r_matrix = state_space.d + state_space.d.T
+    if not is_positive_semidefinite(r_matrix, tol):
+        return GareCertificate(feedthrough_psd=False)
+    eps = regularization
+    if eps is None and not is_positive_definite(r_matrix, tol):
+        scale = max(1.0, float(np.max(np.abs(state_space.d), initial=0.0)))
+        eps = 1e3 * tol.psd_atol * scale
+    if eps:
+        state_space = StateSpace(
+            state_space.a,
+            state_space.b,
+            state_space.c,
+            state_space.d + 0.5 * eps * np.eye(state_space.d.shape[0]),
+        )
+    try:
+        solution = solve_positive_real_are(
+            state_space.a, state_space.b, state_space.c, state_space.d, tol
+        )
+    except ReproError as error:
+        return GareCertificate(
+            feedthrough_psd=True, epsilon=float(eps or 0.0), failure=str(error)
+        )
+    return GareCertificate(
+        feedthrough_psd=True,
+        epsilon=float(eps or 0.0),
+        x=solution.x,
+        residual=float(solution.residual),
+    )
+
+
 def gare_passivity_test(
     system: DescriptorSystem,
     tol: Optional[Tolerances] = None,
     regularization: Optional[float] = None,
     state_space: Optional[StateSpace] = None,
     context: Optional[SpectralContext] = None,
+    certificate: Optional[GareCertificate] = None,
 ) -> PassivityReport:
     """Riccati-equation passivity test, valid for admissible systems only.
 
@@ -125,6 +211,14 @@ def gare_passivity_test(
         forwarded to :func:`admissible_to_state_space` so the admissibility
         check reuses the cached pencil spectrum.  Ignored when
         ``state_space`` is given.
+    certificate:
+        Optional precomputed :class:`GareCertificate` (for example from the
+        engine's decomposition cache); supplying it skips the regularization
+        and the Riccati solve — only the verdict checks on ``X`` remain.
+        A supplied certificate takes precedence over ``regularization``: a
+        certificate is computed under one regularization choice, so pass
+        only certificates obtained with the same choice (the engine's cache
+        path never combines the two).
     """
     tol = tol or DEFAULT_TOLERANCES
     start = time.perf_counter()
@@ -145,56 +239,46 @@ def gare_passivity_test(
         reduced_order=state_space.order,
     )
 
-    r_matrix = state_space.d + state_space.d.T
-    if not is_positive_semidefinite(r_matrix, tol):
+    if certificate is None:
+        certificate = solve_gare_certificate(
+            state_space, tol, regularization=regularization
+        )
+
+    if not certificate.feedthrough_psd:
         report.failure_reason = "D + D^T is indefinite"
         report.add_step("feedthrough", report.failure_reason, passed=False)
         report.elapsed_seconds = time.perf_counter() - start
         return report
 
-    eps = regularization
-    if eps is None and not is_positive_definite(r_matrix, tol):
-        scale = max(1.0, float(np.max(np.abs(state_space.d), initial=0.0)))
-        eps = 1e3 * tol.psd_atol * scale
-    if eps:
-        state_space = StateSpace(
-            state_space.a,
-            state_space.b,
-            state_space.c,
-            state_space.d + 0.5 * eps * np.eye(state_space.d.shape[0]),
-        )
     report.add_step(
         "regularize",
         "regularized the feedthrough to make D + D^T positive definite",
         passed=None,
-        epsilon=float(eps or 0.0),
+        epsilon=certificate.epsilon,
     )
 
-    try:
-        solution = solve_positive_real_are(
-            state_space.a, state_space.b, state_space.c, state_space.d, tol
-        )
-    except ReproError as error:
+    if certificate.failure is not None:
         report.failure_reason = (
-            f"no stabilizing solution of the positive-real ARE exists ({error})"
+            f"no stabilizing solution of the positive-real ARE exists "
+            f"({certificate.failure})"
         )
         report.add_step("riccati", report.failure_reason, passed=False)
         report.elapsed_seconds = time.perf_counter() - start
         return report
 
-    x_psd = is_positive_semidefinite(solution.x, tol)
-    report.diagnostics["riccati_residual"] = solution.residual
+    x_psd = is_positive_semidefinite(certificate.x, tol)
+    report.diagnostics["riccati_residual"] = certificate.residual
     report.diagnostics["x_min_eigenvalue"] = float(
-        np.min(np.linalg.eigvalsh(0.5 * (solution.x + solution.x.T)))
+        np.min(np.linalg.eigvalsh(0.5 * (certificate.x + certificate.x.T)))
     )
     report.add_step(
         "riccati",
         "stabilizing positive-real ARE solution found",
-        passed=bool(x_psd and solution.residual < 1e-6),
-        residual=solution.residual,
+        passed=bool(x_psd and certificate.residual < 1e-6),
+        residual=certificate.residual,
         x_positive_semidefinite=x_psd,
     )
-    report.is_passive = bool(x_psd and solution.residual < 1e-6)
+    report.is_passive = bool(x_psd and certificate.residual < 1e-6)
     if not report.is_passive:
         report.failure_reason = (
             "the stabilizing ARE solution is not positive semidefinite or is "

@@ -16,6 +16,13 @@ heavy concurrent traffic:
 * :mod:`repro.service.http` — the reference stdlib JSON-over-HTTP
   front-end (``python -m repro.service``).
 
+With a :class:`~repro.store.DecompositionStore` attached
+(``PassivityService(store=...)``) the service gains restart persistence of
+completed results and, under ``executor="process"``, a process-pool mode
+whose workers share decompositions fleet-wide through the on-disk L2 tier;
+``max_queue`` bounds the backlog and surfaces overflow as
+:class:`~repro.exceptions.QueueFullError` (HTTP ``429``).
+
 See ``docs/architecture.md`` for where the service sits in the stack and
 ``docs/api.md`` for the frozen public API.
 """
@@ -23,6 +30,8 @@ See ``docs/architecture.md`` for where the service sits in the stack and
 from repro.service.jobs import JobHandle, JobState, JobStatus
 from repro.service.serialization import (
     from_jsonable,
+    job_record_from_jsonable,
+    job_record_to_jsonable,
     report_from_jsonable,
     report_to_jsonable,
     system_from_jsonable,
@@ -42,6 +51,8 @@ __all__ = [
     "system_from_jsonable",
     "report_to_jsonable",
     "report_from_jsonable",
+    "job_record_to_jsonable",
+    "job_record_from_jsonable",
     "to_jsonable",
     "from_jsonable",
     "PassivityHTTPServer",

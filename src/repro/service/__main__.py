@@ -21,6 +21,7 @@ until interrupted::
 from __future__ import annotations
 
 import argparse
+import signal
 
 from repro.service.http import serve
 from repro.service.service import PassivityService
@@ -43,15 +44,64 @@ def main(argv=None) -> int:
         default=None,
         help="default per-job timeout in seconds (unset: no timeout)",
     )
+    parser.add_argument(
+        "--executor",
+        choices=("thread", "process"),
+        default="thread",
+        help="execution mode: in-process thread pool, or a process pool "
+        "whose workers share decompositions through --store",
+    )
+    parser.add_argument(
+        "--max-queue",
+        type=int,
+        default=None,
+        help="bound on queued jobs; beyond it POST /jobs answers 429 "
+        "(unset: unbounded)",
+    )
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="persistent decomposition/job store directory (e.g. "
+        "./.repro-store); decompositions and completed results then "
+        "survive restarts",
+    )
+    parser.add_argument(
+        "--store-budget",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="LRU size budget of --store in bytes (unset: unbounded)",
+    )
     args = parser.parse_args(argv)
 
+    store = None
+    if args.store is not None:
+        from repro.store import DecompositionStore
+
+        store = DecompositionStore(args.store, size_budget=args.store_budget)
     service = PassivityService(
-        max_workers=args.workers, default_timeout=args.job_timeout
+        max_workers=args.workers,
+        default_timeout=args.job_timeout,
+        executor=args.executor,
+        max_queue=args.max_queue,
+        store=store,
     )
     server = serve(service, host=args.host, port=args.port)
     host, port = server.server_address[:2]
     print(f"repro passivity service listening on http://{host}:{port}")
     print("endpoints: POST /jobs, GET /jobs/<id>[/result], DELETE /jobs/<id>, GET /stats")
+    # Clean shutdown on SIGTERM (`kill`, container stop), not just Ctrl-C:
+    # without this, a process-pool service dies leaving its forked workers
+    # orphaned — and since they inherit the listening socket, the port
+    # would stay bound against the next incarnation.  The handler raises on
+    # the serving thread, unwinding into the same cleanup as Ctrl-C
+    # (server.shutdown() must not be called from this thread — it would
+    # wait on the serve_forever loop the handler is interrupting).
+    def _terminate(signum: int, frame: object) -> None:
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _terminate)
     try:
         server.serve_forever()
     except KeyboardInterrupt:

@@ -11,7 +11,9 @@ Method     Path                    Meaning
 ``POST``   ``/jobs``               Submit ``{"system": <system document>,
                                    "method", "priority", "timeout",
                                    "options"}``; responds ``202`` with
-                                   ``{"job_id": ...}``.
+                                   ``{"job_id": ...}``; ``429`` (with
+                                   ``Retry-After``) when the service's
+                                   bounded queue is full.
 ``GET``    ``/jobs/<id>``          Status snapshot (``JobStatus`` fields).
 ``GET``    ``/jobs/<id>/result``   ``200`` with the report document when
                                    done; ``202`` with the status while
@@ -46,6 +48,7 @@ from repro.exceptions import (
     JobCancelledError,
     JobFailedError,
     JobNotReadyError,
+    QueueFullError,
     ReproError,
     SerializationError,
     UnknownJobError,
@@ -93,12 +96,19 @@ class PassivityRequestHandler(BaseHTTPRequestHandler):
             super().log_message(format, *args)
 
     # ------------------------------------------------------------------
-    def _send_json(self, code: int, payload: Dict[str, Any]) -> None:
-        """Write one JSON response."""
+    def _send_json(
+        self,
+        code: int,
+        payload: Dict[str, Any],
+        extra_headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        """Write one JSON response (``extra_headers`` ride along verbatim)."""
         body = json.dumps(payload).encode("utf-8")
         self.send_response(code)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -146,6 +156,15 @@ class PassivityRequestHandler(BaseHTTPRequestHandler):
                 timeout=document.get("timeout"),
                 **options,
             )
+        except QueueFullError as error:
+            # Backpressure, not a client error: the bounded queue is at
+            # capacity.  Clients should honour Retry-After and resubmit.
+            self._send_json(
+                429,
+                {"error": type(error).__name__, "message": str(error)},
+                extra_headers={"Retry-After": "1"},
+            )
+            return
         except (SerializationError, ReproError, TypeError, ValueError) as error:
             self._send_error_json(400, error)
             return

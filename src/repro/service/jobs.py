@@ -114,11 +114,13 @@ class Job:
 
     All mutation happens on the service's event-loop thread; the
     ``done_event`` is the only cross-thread signal (set exactly once, when
-    the job reaches a terminal state).
+    the job reaches a terminal state).  Terminal jobs rehydrated from a
+    persistent store carry ``system=None`` — they exist only to serve
+    ``status()``/``result()`` polling and never run.
     """
 
     job_id: str
-    system: "DescriptorSystem"
+    system: Optional["DescriptorSystem"]
     method: str
     options: Dict[str, Any]
     priority: int

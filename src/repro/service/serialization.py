@@ -26,7 +26,7 @@ it, and malformed documents raise
 from __future__ import annotations
 
 import math
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 import numpy as np
 import scipy.sparse
@@ -40,12 +40,15 @@ __all__ = [
     "system_from_jsonable",
     "report_to_jsonable",
     "report_from_jsonable",
+    "job_record_to_jsonable",
+    "job_record_from_jsonable",
     "to_jsonable",
     "from_jsonable",
 ]
 
 SYSTEM_KIND = "descriptor_system"
 REPORT_KIND = "passivity_report"
+JOB_RECORD_KIND = "service_job_record"
 
 
 def _plain_float(value: float) -> Any:
@@ -283,6 +286,57 @@ def report_from_jsonable(payload: Dict[str, Any]) -> PassivityReport:
             f"malformed report payload: {type(error).__name__}: {error}"
         ) from error
     return report
+
+
+def job_record_to_jsonable(
+    status: Any, report: Optional[PassivityReport]
+) -> Dict[str, Any]:
+    """Serialize a terminal job's status snapshot plus report to a dict.
+
+    The persistence form :class:`~repro.service.PassivityService` writes to
+    its store so completed results survive a restart: the
+    :class:`~repro.service.JobStatus` scheduling fields travel as-is and the
+    report (when the job produced one) as its
+    :func:`report_to_jsonable` document.
+    """
+    record = dict(status.to_jsonable())
+    record["kind"] = JOB_RECORD_KIND
+    record["report"] = report_to_jsonable(report) if report is not None else None
+    return record
+
+
+def job_record_from_jsonable(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Validate and revive a persisted job record.
+
+    Returns the record as a plain dict with the ``"report"`` value replaced
+    by a revived :class:`~repro.passivity.PassivityReport` (or ``None``).
+    The service turns the dict into its internal terminal job records on
+    startup.
+
+    Raises
+    ------
+    SerializationError
+        When the payload is not a well-formed job-record document.
+    """
+    if not isinstance(payload, dict):
+        raise SerializationError(
+            f"expected a job-record document (dict), got {type(payload).__name__}"
+        )
+    if payload.get("kind") != JOB_RECORD_KIND:
+        raise SerializationError(
+            f"expected kind {JOB_RECORD_KIND!r}, got {payload.get('kind')!r}"
+        )
+    record = dict(payload)
+    for field in ("job_id", "state", "method", "fingerprint"):
+        if not isinstance(record.get(field), str) or not record[field]:
+            raise SerializationError(
+                f"job record field {field!r} missing or not a string"
+            )
+    report_payload = record.get("report")
+    record["report"] = (
+        report_from_jsonable(report_payload) if report_payload is not None else None
+    )
+    return record
 
 
 def to_jsonable(obj: Any) -> Dict[str, Any]:

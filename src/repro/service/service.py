@@ -16,9 +16,23 @@ Architecture
   on that thread, so the service needs no locks of its own.
 * ``max_workers`` worker coroutines pull jobs off an
   :class:`asyncio.PriorityQueue` (priority, then submission order) and
-  execute them on a :class:`~concurrent.futures.ThreadPoolExecutor` through
-  :meth:`BatchRunner.run_cell`, the engine's per-cell hook.  NumPy releases
-  the GIL in the O(n^3) kernels, so the pool parallelizes well.
+  execute them on a bounded pool.  With ``executor="thread"`` (default)
+  that is a :class:`~concurrent.futures.ThreadPoolExecutor` driven through
+  :meth:`BatchRunner.run_cell`, the engine's per-cell hook — NumPy releases
+  the GIL in the O(n^3) kernels, so threads overlap well.  With
+  ``executor="process"`` it is a
+  :class:`~concurrent.futures.ProcessPoolExecutor` whose workers boot with
+  a worker-local :class:`~repro.engine.DecompositionCache` backed by the
+  service's persistent store: a system solved by *any* worker — or any
+  prior run sharing the store — rehydrates its decompositions from disk
+  and costs zero factorizations fleet-wide.
+* **Backpressure**: with ``max_queue`` set, submissions beyond the queue
+  bound raise :class:`~repro.exceptions.QueueFullError` (the HTTP
+  front-end answers ``429``); coalesced duplicates are never rejected —
+  they consume no queue slot.
+* **Restart persistence**: with a ``store``, completed jobs are written to
+  it and rehydrated on the next start, so ``result()`` (and
+  ``GET /jobs/<id>/result``) survives a service restart.
 * **Fingerprint-level deduplication**: a submission whose
   ``(fingerprint, method, options)`` triple matches an in-flight job is
   *coalesced* — it never executes; it adopts the primary's report when the
@@ -44,29 +58,78 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+import os
 import threading
 import time
 import uuid
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.config import Tolerances
 from repro.descriptor.system import DescriptorSystem
-from repro.engine.cache import DecompositionCache, fingerprint_system
+from repro.engine.cache import CacheStats, DecompositionCache, fingerprint_system
 from repro.engine.registry import MethodRegistry
-from repro.engine.runner import BatchRunner
+from repro.engine.runner import BatchRunner, _run_cell
 from repro.exceptions import (
     JobCancelledError,
     JobFailedError,
     JobNotReadyError,
+    QueueFullError,
     ServiceError,
     UnknownJobError,
 )
 from repro.passivity.result import PassivityReport
 from repro.service.jobs import Job, JobHandle, JobState, JobStatus
+from repro.service.serialization import (
+    job_record_from_jsonable,
+    job_record_to_jsonable,
+)
+from repro.store import DecompositionStore
 
 __all__ = ["PassivityService", "ServiceStats"]
+
+
+#: Worker-process-global cache, installed by :func:`_process_worker_init`.
+#: One cache per worker process, alive across all the jobs the worker runs,
+#: backed by the shared store when the service has one.
+_WORKER_CACHE: Optional[DecompositionCache] = None
+
+
+def _process_worker_init(
+    store: Optional[DecompositionStore], maxsize: Optional[int]
+) -> None:
+    """Process-pool initializer: boot the worker-local, store-backed cache.
+
+    The store pickles by reference (the worker re-opens the same root), so
+    every worker's L1 misses fall through to the shared on-disk tier — the
+    ``DecompositionCache.seed()``-free way to share decompositions
+    fleet-wide.
+    """
+    global _WORKER_CACHE
+    _WORKER_CACHE = DecompositionCache(maxsize=maxsize, store=store)
+
+
+def _process_cell(
+    payload: Tuple[
+        DescriptorSystem,
+        str,
+        Dict[str, Any],
+        Tolerances,
+        Optional[MethodRegistry],
+    ],
+) -> Tuple[Optional[PassivityReport], float, Optional[str], CacheStats]:
+    """Process-pool task: run one job's cell in the worker process.
+
+    Returns the cell outcome plus the worker cache's counter *delta* for
+    this job, which the service merges into its telemetry so ``stats()``
+    reflects worker-side hits, misses and L2 traffic.
+    """
+    system, method, options, tol, registry = payload
+    cache = _WORKER_CACHE if _WORKER_CACHE is not None else DecompositionCache()
+    baseline = cache.stats.snapshot()
+    report, seconds, error = _run_cell(system, method, tol, cache, registry, options)
+    return report, seconds, error, cache.stats.minus(baseline)
 
 
 @dataclass
@@ -86,16 +149,26 @@ class ServiceStats:
     deduplicated:
         Submissions coalesced onto an identical in-flight job — the
         fingerprint-level dedup the service exists for.
+    rejected:
+        Submissions refused by the bounded queue
+        (:class:`~repro.exceptions.QueueFullError` / HTTP 429) — the
+        backpressure counter; always 0 without a ``max_queue``.
     uptime_seconds:
         Seconds since the service started.
     throughput_per_second:
         ``completed / uptime`` — the sustained job completion rate.
+    executor:
+        The execution mode, ``"thread"`` or ``"process"``.
+    queue_capacity:
+        The configured ``max_queue`` bound (``None`` when unbounded).
     cache:
-        Plain-dict snapshot of the shared decomposition cache counters since
-        service start (``hits`` / ``misses`` / ``factorizations`` and the
-        per-kind split); ``factorizations`` is the "how many expensive
-        decompositions did this traffic actually pay for" number the dedup
-        acceptance tests assert on.
+        Plain-dict snapshot of the decomposition cache counters since
+        service start (``hits`` / ``misses`` / ``factorizations``, the L2
+        store tier's ``l2_hits`` / ``l2_misses`` / ``l2_evictions``, and the
+        per-kind split), aggregated across the shared runner cache and —
+        in process mode — the worker-local caches; ``factorizations`` is
+        the "how many expensive decompositions did this traffic actually
+        pay for" number the dedup acceptance tests assert on.
     """
 
     workers: int
@@ -107,8 +180,11 @@ class ServiceStats:
     cancelled: int
     timed_out: int
     deduplicated: int
+    rejected: int
     uptime_seconds: float
     throughput_per_second: float
+    executor: str = "thread"
+    queue_capacity: Optional[int] = None
     cache: Dict[str, Any] = field(default_factory=dict)
 
     def to_jsonable(self) -> Dict[str, Any]:
@@ -123,8 +199,11 @@ class ServiceStats:
             "cancelled": self.cancelled,
             "timed_out": self.timed_out,
             "deduplicated": self.deduplicated,
+            "rejected": self.rejected,
             "uptime_seconds": self.uptime_seconds,
             "throughput_per_second": self.throughput_per_second,
+            "executor": self.executor,
+            "queue_capacity": self.queue_capacity,
             "cache": dict(self.cache),
         }
 
@@ -156,6 +235,27 @@ class PassivityService:
         Terminal jobs kept for ``status()``/``result()`` polling; the oldest
         are evicted beyond this bound (evicted ids raise
         :class:`~repro.exceptions.UnknownJobError`).  ``None`` keeps all.
+    executor:
+        ``"thread"`` (default) runs jobs on a thread pool through the
+        shared runner cache; ``"process"`` runs them on a
+        :class:`~concurrent.futures.ProcessPoolExecutor` whose workers hold
+        worker-local caches backed by the ``store`` — the mode for
+        CPU-saturating traffic, where the GIL-free workers and the shared
+        on-disk tier keep every decomposition compute-once fleet-wide.
+        Systems, options and (custom) registries must be picklable in this
+        mode, and a crashed worker surfaces as a ``FAILED`` job.
+    max_queue:
+        Bound on the number of *queued* (not yet running) jobs.  A
+        submission beyond it raises
+        :class:`~repro.exceptions.QueueFullError` — the backpressure the
+        HTTP front-end maps to ``429``.  Coalesced duplicates bypass the
+        bound.  ``None`` (default) leaves the queue unbounded.
+    store:
+        Persistent :class:`~repro.store.DecompositionStore` (or a path,
+        which opens one).  Attached as the L2 tier of the runner cache and
+        of every process-mode worker cache, and used to persist completed
+        jobs: on construction the service rehydrates its terminal-job
+        history from the store, so results survive a restart.
     registry / tol / cache:
         Forwarded to the constructed runner when ``runner`` is omitted
         (ignored otherwise).
@@ -179,21 +279,41 @@ class PassivityService:
         default_timeout: Optional[float] = None,
         dedup: bool = True,
         max_history: Optional[int] = 1024,
+        executor: str = "thread",
+        max_queue: Optional[int] = None,
+        store: Optional[Any] = None,
         registry: Optional[MethodRegistry] = None,
         tol: Optional[Tolerances] = None,
         cache: Optional[DecompositionCache] = None,
     ) -> None:
         if max_workers < 1:
             raise ValueError("max_workers must be at least 1")
+        if executor not in ("thread", "process"):
+            raise ValueError(
+                f"executor must be 'thread' or 'process', got {executor!r}"
+            )
+        if max_queue is not None and max_queue < 1:
+            raise ValueError("max_queue must be at least 1 (or None for unbounded)")
+        if isinstance(store, (str, os.PathLike)):
+            store = DecompositionStore(store)
+        self._store = store
         if runner is None:
+            if cache is None:
+                cache = DecompositionCache(store=store)
+            elif store is not None and cache.store is None:
+                cache.attach_store(store)
             runner = BatchRunner(
                 registry=registry, cache=cache, tol=tol, backend="thread"
             )
+        elif store is not None and runner.cache.store is None:
+            runner.cache.attach_store(store)
         self._runner = runner
         self._max_workers = int(max_workers)
         self._default_timeout = default_timeout
         self._dedup = bool(dedup)
         self._max_history = max_history
+        self._executor_kind = executor
+        self._max_queue = max_queue
 
         self._jobs: Dict[str, Job] = {}
         self._inflight: Dict[Tuple[str, str, str], str] = {}
@@ -203,12 +323,14 @@ class PassivityService:
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._start_lock = threading.Lock()
         self._thread: Optional[threading.Thread] = None
-        self._executor: Optional[ThreadPoolExecutor] = None
+        self._executor: Optional[Any] = None
         self._queue: Optional["asyncio.PriorityQueue"] = None
         self._worker_tasks: List["asyncio.Task"] = []
         self._closed = False
         self._started_at: Optional[float] = None
         self._cache_baseline = self._runner.cache.stats.snapshot()
+        #: Worker-side cache counter deltas (process mode), merged per job.
+        self._worker_stats = CacheStats()
 
         self._n_submitted = 0
         self._n_completed = 0
@@ -216,6 +338,81 @@ class PassivityService:
         self._n_cancelled = 0
         self._n_timed_out = 0
         self._n_deduplicated = 0
+        self._n_rejected = 0
+        #: QUEUED, non-coalesced jobs awaiting a worker.  This — not
+        #: ``queue.qsize()`` — is what ``max_queue`` bounds: a cancelled
+        #: job's tuple lingers in the asyncio queue as a ghost until a
+        #: worker pops and skips it, and ghosts must not cause rejections.
+        self._n_queued = 0
+
+        if self._store is not None:
+            self._restore_history()
+
+    # ------------------------------------------------------------------
+    # Restart persistence
+    # ------------------------------------------------------------------
+    def _restore_history(self) -> None:
+        """Rehydrate terminal jobs from the store (construction time only).
+
+        Runs before the event loop exists, so plain mutation is safe.
+        Records that fail to revive are skipped (the store already
+        quarantines unparseable files); restored jobs re-enter the pollable
+        history — and its ``max_history`` bound — but not the lifetime
+        counters, which describe *this* incarnation's traffic.
+        """
+        try:
+            records = self._store.load_job_records()
+        except Exception:  # noqa: BLE001 - persistence is best-effort
+            return
+        for record in records:
+            try:
+                job = self._job_from_record(record)
+            except Exception:  # noqa: BLE001 - skip undecodable records
+                continue
+            if job.job_id in self._jobs:
+                continue
+            self._jobs[job.job_id] = job
+            self._history.append(job.job_id)
+        if self._max_history is not None:
+            while len(self._history) > self._max_history:
+                evicted = self._history.pop(0)
+                self._jobs.pop(evicted, None)
+                self._store.delete_job_record(evicted)
+
+    def _job_from_record(self, record: Dict[str, Any]) -> Job:
+        """Build a terminal in-memory job from a persisted record."""
+        record = job_record_from_jsonable(record)
+        state = JobState(record["state"])
+        if not state.is_terminal:
+            raise ValueError(f"persisted job in non-terminal state {state!r}")
+        job = Job(
+            job_id=record["job_id"],
+            system=None,  # the system itself is not persisted with the job
+            method=record["method"],
+            options={},
+            priority=int(record.get("priority", 0)),
+            timeout=None,
+            fingerprint=record["fingerprint"],
+            key=(record["fingerprint"], record["method"], ""),
+            seq=-1,
+            state=state,
+        )
+        job.submitted_at = record.get("submitted_at") or job.submitted_at
+        job.started_at = record.get("started_at")
+        job.finished_at = record.get("finished_at")
+        job.report = record.get("report")
+        job.error = record.get("error")
+        job.done_event.set()
+        return job
+
+    def _persist_job(self, job: Job) -> None:
+        """Write one completed job's record to the store (best-effort)."""
+        try:
+            self._store.save_job_record(
+                job_record_to_jsonable(job.snapshot(), job.report)
+            )
+        except Exception:  # noqa: BLE001 - a full/broken disk must not fail jobs
+            pass
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -229,6 +426,11 @@ class PassivityService:
     def runner(self) -> BatchRunner:
         """The underlying batch runner (shared cache, registry, tolerances)."""
         return self._runner
+
+    @property
+    def store(self) -> Optional[DecompositionStore]:
+        """The persistent decomposition/job store (``None`` when detached)."""
+        return self._store
 
     def start(self) -> "PassivityService":
         """Start the event loop thread and the worker pool.
@@ -256,9 +458,20 @@ class PassivityService:
     async def _startup(self) -> None:
         """Create the queue, executor and worker tasks (loop thread)."""
         self._queue = asyncio.PriorityQueue()
-        self._executor = ThreadPoolExecutor(
-            max_workers=self._max_workers, thread_name_prefix="repro-service"
-        )
+        if self._executor_kind == "process":
+            # Workers boot with a store-backed cache (see
+            # _process_worker_init); pool creation is lazy, so a broken
+            # multiprocessing environment surfaces as FAILED jobs rather
+            # than a failed start.
+            self._executor = ProcessPoolExecutor(
+                max_workers=self._max_workers,
+                initializer=_process_worker_init,
+                initargs=(self._store, self._runner.cache.maxsize),
+            )
+        else:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self._max_workers, thread_name_prefix="repro-service"
+            )
         loop = asyncio.get_running_loop()
         self._worker_tasks = [
             loop.create_task(self._worker()) for _ in range(self._max_workers)
@@ -341,6 +554,13 @@ class PassivityService:
         -------
         JobHandle
             Handle for polling, waiting, fetching and cancelling.
+
+        Raises
+        ------
+        QueueFullError
+            When ``max_queue`` is set and the submission queue is at
+            capacity (coalesced duplicates of an in-flight job are exempt —
+            they consume no queue slot).
         """
         if not isinstance(system, DescriptorSystem):
             raise TypeError(
@@ -378,19 +598,36 @@ class PassivityService:
         return JobHandle(self, job.job_id)
 
     async def _submit(self, job: Job) -> None:
-        """Insert the job into the table and queue (loop thread)."""
-        self._jobs[job.job_id] = job
-        self._n_submitted += 1
+        """Insert the job into the table and queue (loop thread).
+
+        Coalescing is checked before the queue bound — a duplicate of an
+        in-flight job never occupies a slot, so dedup keeps absorbing
+        traffic even when the queue is full.  A rejected job is never
+        registered (no handle state leaks) and bumps the ``rejected``
+        counter.
+        """
         if self._dedup:
             primary_id = self._inflight.get(job.key)
             if primary_id is not None:
                 primary = self._jobs.get(primary_id)
                 if primary is not None and not primary.state.is_terminal:
+                    self._jobs[job.job_id] = job
+                    self._n_submitted += 1
                     job.coalesced_into = primary_id
                     primary.followers.append(job.job_id)
                     self._n_deduplicated += 1
                     return
+        if self._max_queue is not None and self._n_queued >= self._max_queue:
+            self._n_rejected += 1
+            raise QueueFullError(
+                f"submission queue is full ({self._max_queue} queued job(s)); "
+                f"retry later"
+            )
+        self._jobs[job.job_id] = job
+        self._n_submitted += 1
+        if self._dedup:
             self._inflight[job.key] = job.job_id
+        self._n_queued += 1
         await self._queue.put((job.priority, job.seq, job.job_id))
 
     # ------------------------------------------------------------------
@@ -404,13 +641,30 @@ class PassivityService:
             try:
                 job = self._jobs.get(job_id)
                 if job is None or job.state is not JobState.QUEUED:
-                    continue  # cancelled (or evicted) while waiting
+                    continue  # ghost: cancelled (or evicted) while waiting
+                self._n_queued -= 1
                 job.state = JobState.RUNNING
                 job.started_at = time.time()
                 try:
-                    future = loop.run_in_executor(
-                        self._executor, self._execute, job
-                    )
+                    if self._executor_kind == "process":
+                        # Module-level task + picklable payload: the worker
+                        # process runs the cell through its own store-backed
+                        # cache and returns its counter delta.
+                        future = loop.run_in_executor(
+                            self._executor,
+                            _process_cell,
+                            (
+                                job.system,
+                                job.method,
+                                dict(job.options),
+                                self._runner.tol,
+                                self._runner.registry,
+                            ),
+                        )
+                    else:
+                        future = loop.run_in_executor(
+                            self._executor, self._execute, job
+                        )
                     done, pending = await asyncio.wait(
                         {future}, timeout=job.timeout
                     )
@@ -438,18 +692,26 @@ class PassivityService:
                     )
                     continue
                 try:
-                    cell = future.result()
+                    outcome = future.result()
                 except Exception as error:  # noqa: BLE001 - job must resolve
+                    # In process mode this also covers a crashed worker
+                    # (BrokenProcessPool) and unpicklable payloads.
                     self._finish(
                         job,
                         JobState.FAILED,
                         error=f"{type(error).__name__}: {error}",
                     )
                     continue
-                if cell.error is not None:
-                    self._finish(job, JobState.FAILED, error=cell.error)
+                if self._executor_kind == "process":
+                    report, _seconds, error_message, worker_delta = outcome
+                    if worker_delta is not None:
+                        self._worker_stats.merge(worker_delta)
                 else:
-                    self._finish(job, JobState.DONE, report=cell.report)
+                    report, error_message = outcome.report, outcome.error
+                if error_message is not None:
+                    self._finish(job, JobState.FAILED, error=error_message)
+                else:
+                    self._finish(job, JobState.DONE, report=report)
             finally:
                 self._queue.task_done()
 
@@ -474,6 +736,8 @@ class PassivityService:
         self._count_terminal(state)
         job.done_event.set()
         self._remember(job)
+        if self._store is not None and state is JobState.DONE:
+            self._persist_job(job)
         for follower_id in job.followers:
             follower = self._jobs.get(follower_id)
             if follower is None or follower.state.is_terminal:
@@ -485,6 +749,8 @@ class PassivityService:
             self._count_terminal(state)
             follower.done_event.set()
             self._remember(follower)
+            if self._store is not None and state is JobState.DONE:
+                self._persist_job(follower)
         job.followers = []
 
     def _count_terminal(self, state: JobState) -> None:
@@ -499,13 +765,20 @@ class PassivityService:
             self._n_timed_out += 1
 
     def _remember(self, job: Job) -> None:
-        """Keep the terminal job pollable, evicting beyond ``max_history``."""
+        """Keep the terminal job pollable, evicting beyond ``max_history``.
+
+        Evicted jobs also drop their persisted store record, so the store's
+        ``jobs/`` directory tracks the bounded history instead of growing
+        for the lifetime of the deployment.
+        """
         self._history.append(job.job_id)
         if self._max_history is None:
             return
         while len(self._history) > self._max_history:
             evicted = self._history.pop(0)
             self._jobs.pop(evicted, None)
+            if self._store is not None:
+                self._store.delete_job_record(evicted)
 
     # ------------------------------------------------------------------
     # Queries
@@ -599,6 +872,10 @@ class PassivityService:
         job = self._get(job_id)
         if job.state is not JobState.QUEUED:
             return False
+        if job.coalesced_into is None:
+            # A primary occupied a queue slot (its queue tuple lives on as
+            # a ghost a worker will skip); a coalesced follower never did.
+            self._n_queued -= 1
         followers = [
             fid
             for fid in job.followers
@@ -613,6 +890,7 @@ class PassivityService:
             for fid in promoted.followers:
                 self._jobs[fid].coalesced_into = promoted.job_id
             self._inflight[promoted.key] = promoted.job_id
+            self._n_queued += 1
             await self._queue.put((promoted.priority, promoted.seq, promoted.job_id))
         return True
 
@@ -630,12 +908,18 @@ class PassivityService:
         uptime = (
             time.time() - self._started_at if self._started_at is not None else 0.0
         )
+        # The runner-cache delta plus (process mode) the merged worker-side
+        # deltas: one counter set regardless of execution mode.
         cache_delta = self._runner.cache.stats.minus(self._cache_baseline)
+        cache_delta.merge(self._worker_stats)
         cache = {
             "hits": cache_delta.hits,
             "misses": cache_delta.misses,
             "factorizations": cache_delta.factorizations,
             "hit_rate": cache_delta.hit_rate,
+            "l2_hits": cache_delta.l2_hits,
+            "l2_misses": cache_delta.l2_misses,
+            "l2_evictions": cache_delta.l2_evictions,
             "by_kind": {
                 kind: dict(counters)
                 for kind, counters in cache_delta.by_kind.items()
@@ -643,7 +927,9 @@ class PassivityService:
         }
         return ServiceStats(
             workers=self._max_workers,
-            queue_depth=self._queue.qsize() if self._queue is not None else 0,
+            # The live QUEUED count, not queue.qsize(): the asyncio queue
+            # can hold ghost tuples for already-cancelled jobs.
+            queue_depth=self._n_queued,
             running=sum(
                 1 for job in self._jobs.values() if job.state is JobState.RUNNING
             ),
@@ -653,8 +939,11 @@ class PassivityService:
             cancelled=self._n_cancelled,
             timed_out=self._n_timed_out,
             deduplicated=self._n_deduplicated,
+            rejected=self._n_rejected,
             uptime_seconds=uptime,
             throughput_per_second=self._n_completed / uptime if uptime > 0 else 0.0,
+            executor=self._executor_kind,
+            queue_capacity=self._max_queue,
             cache=cache,
         )
 

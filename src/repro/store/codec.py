@@ -1,0 +1,262 @@
+"""Pickle-free (de)hydration of cache entries for the persistent store.
+
+Every persisted cache kind has a codec pair here that flattens the in-memory
+value into ``(meta, arrays)`` — a small JSON-able dict plus a dict of NumPy
+arrays — and rebuilds it exactly.  The split matches the ``.npz`` blob
+format of :class:`~repro.store.DecompositionStore`: arrays go in as named
+members (mmap-friendly, no decompression, no pickling), the meta dict rides
+along as one UTF-8 JSON member.
+
+Persisted kinds
+---------------
+``pencil_spectrum``
+    :class:`~repro.linalg.pencil.SpectralContext` via its own
+    ``to_arrays``/``from_arrays`` round trip — the big win: a store hit
+    replaces the ordered QZ factorization entirely.
+``chain_data``
+    :class:`~repro.passivity.m1.InfiniteChainData` (the grade-1/2 chain
+    structure the SHH test and the structural profile consume).
+``gare_state_space``
+    :class:`~repro.descriptor.system.StateSpace` — the admissible
+    Schur-complement reduction, *including* negatively cached
+    :class:`~repro.exceptions.NotAdmissibleError` refusals.
+``gare_riccati``
+    :class:`~repro.passivity.gare_test.GareCertificate` — the positive-real
+    ARE solve, the dominant cost of a warm GARE re-check; persisting it is
+    what makes store-warm restarts Riccati-free.
+``system_profile``
+    :class:`~repro.engine.cache.SystemProfile` (scalars only; meta-only blob).
+
+Kinds without a codec (``weierstrass_form``, ``additive_decomposition``,
+``sparse_deflation``) simply bypass the L2 tier: the L1 cache still shares
+them within a process, and the spectral context they are all derived from
+*is* persisted, so recomputing them from a store-warm cache is cheap.
+
+Negative entries — exceptions listed in a cache ``cache_errors`` tuple —
+are encoded as ``{"tag": "error", ...}`` meta with the exception type name
+and message; only the allow-listed types below are revived (anything else
+reads as corruption and falls back to computing).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Tuple
+
+import numpy as np
+
+from repro.descriptor.system import StateSpace
+from repro.engine.cache import (
+    CHAIN_DATA,
+    GARE_RICCATI,
+    GARE_STATE_SPACE,
+    PENCIL_SPECTRUM,
+    SYSTEM_PROFILE,
+    SystemProfile,
+)
+from repro.passivity.gare_test import GareCertificate
+from repro.exceptions import (
+    NotAdmissibleError,
+    ReductionError,
+    SerializationError,
+    StoreError,
+)
+from repro.linalg.pencil import SpectralContext
+from repro.passivity.m1 import InfiniteChainData
+
+__all__ = [
+    "PERSISTED_KINDS",
+    "encode_entry",
+    "decode_entry",
+]
+
+Meta = Dict[str, Any]
+Arrays = Dict[str, np.ndarray]
+
+#: Exception types that may be persisted as negative cache entries and
+#: revived on load.  An error blob naming any other type is treated as
+#: corruption (miss), never blindly instantiated.
+_REVIVABLE_ERRORS = {
+    "NotAdmissibleError": NotAdmissibleError,
+    "ReductionError": ReductionError,
+}
+
+
+def _encode_spectral(value: SpectralContext) -> Tuple[Meta, Arrays]:
+    return {}, value.to_arrays()
+
+
+def _decode_spectral(meta: Meta, arrays: Arrays) -> SpectralContext:
+    return SpectralContext.from_arrays(arrays)
+
+
+def _encode_chain_data(value: InfiniteChainData) -> Tuple[Meta, Arrays]:
+    meta = {
+        "n_chains": int(value.n_chains),
+        "has_higher_grade": bool(value.has_higher_grade),
+    }
+    arrays = {
+        "v1_right": np.asarray(value.v1_right, dtype=float),
+        "v2_right": np.asarray(value.v2_right, dtype=float),
+        "v1_left": np.asarray(value.v1_left, dtype=float),
+        "v2_left": np.asarray(value.v2_left, dtype=float),
+    }
+    return meta, arrays
+
+
+def _decode_chain_data(meta: Meta, arrays: Arrays) -> InfiniteChainData:
+    return InfiniteChainData(
+        v1_right=np.asarray(arrays["v1_right"], dtype=float),
+        v2_right=np.asarray(arrays["v2_right"], dtype=float),
+        v1_left=np.asarray(arrays["v1_left"], dtype=float),
+        v2_left=np.asarray(arrays["v2_left"], dtype=float),
+        n_chains=int(meta["n_chains"]),
+        has_higher_grade=bool(meta["has_higher_grade"]),
+    )
+
+
+def _encode_state_space(value: StateSpace) -> Tuple[Meta, Arrays]:
+    arrays = {
+        "a": np.asarray(value.a, dtype=float),
+        "b": np.asarray(value.b, dtype=float),
+        "c": np.asarray(value.c, dtype=float),
+        "d": np.asarray(value.d, dtype=float),
+    }
+    return {}, arrays
+
+
+def _decode_state_space(meta: Meta, arrays: Arrays) -> StateSpace:
+    return StateSpace(
+        a=np.asarray(arrays["a"], dtype=float),
+        b=np.asarray(arrays["b"], dtype=float),
+        c=np.asarray(arrays["c"], dtype=float),
+        d=np.asarray(arrays["d"], dtype=float),
+    )
+
+
+def _encode_gare_certificate(value: GareCertificate) -> Tuple[Meta, Arrays]:
+    meta = {
+        "feedthrough_psd": bool(value.feedthrough_psd),
+        "epsilon": float(value.epsilon),
+        "residual": None if value.x is None else float(value.residual),
+        "failure": value.failure,
+        "has_x": value.x is not None,
+    }
+    arrays: Arrays = {}
+    if value.x is not None:
+        arrays["x"] = np.asarray(value.x, dtype=float)
+    return meta, arrays
+
+
+def _decode_gare_certificate(meta: Meta, arrays: Arrays) -> GareCertificate:
+    has_x = bool(meta["has_x"])
+    return GareCertificate(
+        feedthrough_psd=bool(meta["feedthrough_psd"]),
+        epsilon=float(meta["epsilon"]),
+        x=np.asarray(arrays["x"], dtype=float) if has_x else None,
+        residual=float(meta["residual"]) if has_x else float("inf"),
+        failure=meta.get("failure"),
+    )
+
+
+def _encode_profile(value: SystemProfile) -> Tuple[Meta, Arrays]:
+    meta = {
+        "fingerprint": value.fingerprint,
+        "order": int(value.order),
+        "n_inputs": int(value.n_inputs),
+        "n_outputs": int(value.n_outputs),
+        "is_square_io": bool(value.is_square_io),
+        "is_regular": bool(value.is_regular),
+        "is_stable": bool(value.is_stable),
+        "n_impulsive_chains": int(value.n_impulsive_chains),
+        "has_higher_grade": bool(value.has_higher_grade),
+    }
+    return meta, {}
+
+
+def _decode_profile(meta: Meta, arrays: Arrays) -> SystemProfile:
+    return SystemProfile(
+        fingerprint=str(meta["fingerprint"]),
+        order=int(meta["order"]),
+        n_inputs=int(meta["n_inputs"]),
+        n_outputs=int(meta["n_outputs"]),
+        is_square_io=bool(meta["is_square_io"]),
+        is_regular=bool(meta["is_regular"]),
+        is_stable=bool(meta["is_stable"]),
+        n_impulsive_chains=int(meta["n_impulsive_chains"]),
+        has_higher_grade=bool(meta["has_higher_grade"]),
+    )
+
+
+_CODECS: Dict[str, Tuple[Callable[[Any], Tuple[Meta, Arrays]], Callable[[Meta, Arrays], Any]]] = {
+    PENCIL_SPECTRUM: (_encode_spectral, _decode_spectral),
+    CHAIN_DATA: (_encode_chain_data, _decode_chain_data),
+    GARE_STATE_SPACE: (_encode_state_space, _decode_state_space),
+    GARE_RICCATI: (_encode_gare_certificate, _decode_gare_certificate),
+    SYSTEM_PROFILE: (_encode_profile, _decode_profile),
+}
+
+#: Cache kinds the store can persist (everything else bypasses the L2 tier).
+PERSISTED_KINDS = frozenset(_CODECS)
+
+
+def encode_entry(kind: str, entry: Tuple[str, Any]) -> Tuple[Meta, Arrays]:
+    """Flatten one cache entry ``(tag, payload)`` to ``(meta, arrays)``.
+
+    ``("value", obj)`` entries dispatch to the kind's codec; ``("error",
+    exc)`` entries (negative caching) become a meta-only error record.
+
+    Raises
+    ------
+    StoreError
+        When ``kind`` has no codec (callers should consult
+        :data:`PERSISTED_KINDS` first) or the entry tag is unknown.
+    SerializationError
+        When the error entry's exception type is not allow-listed for
+        persistence.
+    """
+    if kind not in _CODECS:
+        raise StoreError(
+            f"no persistence codec for cache kind {kind!r}; "
+            f"persisted kinds: {sorted(PERSISTED_KINDS)}"
+        )
+    tag, payload = entry
+    if tag == "error":
+        name = type(payload).__name__
+        if name not in _REVIVABLE_ERRORS:
+            raise SerializationError(
+                f"cannot persist negative {kind!r} entry of type {name!r} "
+                f"(revivable: {sorted(_REVIVABLE_ERRORS)})"
+            )
+        return {"tag": "error", "error_type": name, "message": str(payload)}, {}
+    if tag != "value":
+        raise StoreError(f"unknown cache entry tag {tag!r}")
+    encode, _ = _CODECS[kind]
+    meta, arrays = encode(payload)
+    meta = dict(meta)
+    meta["tag"] = "value"
+    return meta, arrays
+
+
+def decode_entry(kind: str, meta: Meta, arrays: Arrays) -> Tuple[str, Any]:
+    """Rebuild the cache entry ``(tag, payload)`` from a loaded blob.
+
+    Raises
+    ------
+    KeyError, ValueError, TypeError
+        When the blob content does not decode; the store maps all three to
+        "corrupt blob" and falls back to computing.
+    """
+    if kind not in _CODECS:
+        raise KeyError(f"no persistence codec for cache kind {kind!r}")
+    tag = meta.get("tag")
+    if tag == "error":
+        error_type = _REVIVABLE_ERRORS.get(str(meta.get("error_type")))
+        if error_type is None:
+            raise ValueError(
+                f"unknown persisted error type {meta.get('error_type')!r}"
+            )
+        return "error", error_type(str(meta.get("message", "")))
+    if tag != "value":
+        raise ValueError(f"unknown persisted entry tag {tag!r}")
+    _, decode = _CODECS[kind]
+    return "value", decode(meta, arrays)
