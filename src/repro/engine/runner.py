@@ -17,7 +17,12 @@ Backends
     runners must be picklable (module-level functions) — the built-in registry
     qualifies.  When the runner's cache has a persistent store attached, the
     store is shipped along (workers re-open the same root) so worker-local
-    caches share decompositions through the L2 tier as well.
+    caches share decompositions through the L2 tier as well.  Two transport
+    optimizations apply: large array payloads (spectral contexts, chunk
+    inputs) travel through POSIX shared memory instead of the pickle pipe
+    when available (``transport`` knob, :mod:`repro.engine.shm`), and small
+    dense systems are micro-batched several-per-worker-cell
+    (``batch_small_systems`` knob) so dispatch overhead amortizes.
 ``"thread"``
     One task per ``(system, method)`` pair sharing the runner's cache; NumPy
     releases the GIL in the O(n^3) kernels, so threads overlap well.
@@ -58,6 +63,15 @@ from repro.engine.cache import (
     fingerprint_system,
 )
 from repro.engine.registry import DEFAULT_REGISTRY, MethodRegistry, UnknownMethodError
+from repro.engine.shm import (
+    ArrayArena,
+    ArrayShipment,
+    load_context,
+    load_systems,
+    ship_context,
+    ship_systems,
+    shm_available,
+)
 from repro.linalg.pencil import SpectralContext
 from repro.passivity.result import PassivityReport
 
@@ -106,6 +120,23 @@ class BatchOutcome:
     total_seconds: float
     backend: str
     n_workers: int
+    #: Array transport the process backend used: ``"shm"`` (payloads by
+    #: shared-memory segment name), ``"pickle"`` (classic serialization) or
+    #: ``"none"`` (thread/serial backends: nothing crosses a process pipe).
+    transport: str = "none"
+    #: Micro-batch telemetry: number of multi-system worker cells and the
+    #: number of jobs that rode them (0 when the policy stayed off).
+    n_batches: int = 0
+    n_batched_jobs: int = 0
+    #: Bytes that traveled by shared memory instead of the call pipe.
+    shm_bytes: int = 0
+
+    @property
+    def batch_occupancy(self) -> float:
+        """Mean jobs per micro-batch cell (0.0 when nothing was batched)."""
+        if self.n_batches == 0:
+            return 0.0
+        return self.n_batched_jobs / self.n_batches
 
     def by_system(self, system_index: int) -> List[BatchResult]:
         """All cells of one system, in requested-method order."""
@@ -176,6 +207,10 @@ def _process_worker(
         cache_maxsize, context, store,
     ) = payload
     cache = DecompositionCache(maxsize=cache_maxsize, store=store)
+    if isinstance(context, ArrayShipment):
+        # Shared-memory transport: the payload carried only the segment
+        # name; map it and rebuild the context over zero-copy views.
+        context = load_context(context)
     if context is not None:
         cache.seed(system, PENCIL_SPECTRUM, context, tol=tol)
     cells = []
@@ -185,6 +220,58 @@ def _process_worker(
         )
         cells.append((method, report, seconds, error))
     return index, cells, cache.stats
+
+
+def _process_batch_worker(
+    payload: Tuple[
+        Tuple[int, ...],
+        Any,
+        Tuple[str, ...],
+        Tolerances,
+        Dict[str, Dict[str, Any]],
+        Optional[MethodRegistry],
+        Optional[int],
+        Dict[int, Any],
+        Optional[Any],
+    ],
+) -> Tuple[
+    List[Tuple[int, List[Tuple[str, Optional[PassivityReport], float, Optional[str]]]]],
+    CacheStats,
+]:
+    """Process-pool task: run every requested method on a *chunk* of systems.
+
+    The micro-batch counterpart of :func:`_process_worker`: one worker cell
+    amortizes interpreter spin-up, cache construction and payload transport
+    over several small systems.  The chunk's systems arrive either as a list
+    or as one :class:`~repro.engine.shm.ArrayShipment` packing all their
+    dense matrices; precomputed contexts (keyed by chunk position) are
+    seeded into the chunk's **single** worker-local cache.  Exactly one
+    :class:`CacheStats` is returned per chunk — the parent merges it once,
+    so factorization and L2-hit counters stay exact: jobs inside the chunk
+    that share intermediates through the chunk cache are counted as the
+    hits they really are, never double-booked per job.
+    """
+    (
+        indices, fleet, methods, tol, method_options, registry,
+        cache_maxsize, contexts, store,
+    ) = payload
+    systems = load_systems(fleet) if isinstance(fleet, ArrayShipment) else fleet
+    cache = DecompositionCache(maxsize=cache_maxsize, store=store)
+    for position, context in contexts.items():
+        if isinstance(context, ArrayShipment):
+            context = load_context(context)
+        cache.seed(systems[position], PENCIL_SPECTRUM, context, tol=tol)
+    batched = []
+    for position, index in enumerate(indices):
+        cells = []
+        for method in methods:
+            report, seconds, error = _run_cell(
+                systems[position], method, tol, cache, registry,
+                method_options.get(method, {}),
+            )
+            cells.append((method, report, seconds, error))
+        batched.append((index, cells))
+    return batched, cache.stats
 
 
 class BatchRunner:
@@ -229,6 +316,31 @@ class BatchRunner:
         when no requested method would consult the spectral cache (e.g. a
         pure-LMI sweep, or every spectral method refusing on its order
         limit).
+    transport:
+        Array transport of the ``"process"`` backend.  ``"auto"`` (default)
+        ships spectral contexts and micro-batch inputs through POSIX shared
+        memory when available (see :mod:`repro.engine.shm`) and falls back
+        to pickling otherwise; ``"shm"`` / ``"pickle"`` force one choice
+        (``"shm"`` still degrades to pickling when the platform has no
+        usable shared memory — forcing never breaks a sweep).  The outcome's
+        ``transport`` / ``shm_bytes`` fields report what actually happened.
+    batch_small_systems:
+        Micro-batch policy of the ``"process"`` backend.  Small dense
+        systems (order ≤ ``small_system_order``) are grouped several-per
+        worker cell, amortizing process round trips that otherwise dominate
+        small-job sweeps.  ``"auto"`` (default) enables grouping only when
+        the sweep holds enough small systems to matter
+        (``>= max(8, 2 * workers)``); ``True`` / ``False`` force the policy.
+        The per-task timeout covers a whole chunk, and a chunk shares one
+        worker-local cache (its stats merge once per chunk, keeping the
+        counters exact).
+    small_system_order:
+        Largest order still considered "small" for the batching policy
+        (default 100 — where per-job numerical work stops dominating the
+        process round trip).
+    batch_size:
+        Jobs per micro-batch chunk; default sizes chunks to roughly two
+        waves per worker, capped at 32.
     """
 
     def __init__(
@@ -240,9 +352,20 @@ class BatchRunner:
         backend: str = "auto",
         tol: Optional[Tolerances] = None,
         precompute_spectral: bool = True,
+        transport: str = "auto",
+        batch_small_systems: Any = "auto",
+        small_system_order: int = 100,
+        batch_size: Optional[int] = None,
     ) -> None:
         if backend not in ("auto", "process", "thread", "serial"):
             raise ValueError(f"unknown backend {backend!r}")
+        if transport not in ("auto", "shm", "pickle"):
+            raise ValueError(f"unknown transport {transport!r}")
+        if batch_small_systems not in ("auto", True, False):
+            raise ValueError(
+                f"batch_small_systems must be 'auto', True or False, "
+                f"got {batch_small_systems!r}"
+            )
         self.registry = registry or DEFAULT_REGISTRY
         self.cache = cache if cache is not None else DecompositionCache()
         self.max_workers = max_workers
@@ -250,6 +373,10 @@ class BatchRunner:
         self.backend = backend
         self.tol = tol or DEFAULT_TOLERANCES
         self.precompute_spectral = precompute_spectral
+        self.transport = transport
+        self.batch_small_systems = batch_small_systems
+        self.small_system_order = int(small_system_order)
+        self.batch_size = batch_size
 
     # ------------------------------------------------------------------
     def _wants_spectral_context(
@@ -499,6 +626,34 @@ class BatchRunner:
         )
 
     # ------------------------------------------------------------------
+    def _plan_chunks(
+        self, systems: List[DescriptorSystem], n_workers: int
+    ) -> List[List[int]]:
+        """Group small dense systems into micro-batch chunks.
+
+        Returns a list of chunks (system-index lists); empty when the policy
+        is off or the sweep is too small to benefit.  ``"auto"`` demands
+        enough small systems for grouping to beat per-system dispatch
+        (``>= max(8, 2 * workers)``); forced ``True`` batches whatever small
+        systems exist.  Chunk size targets roughly two waves per worker so
+        the pool stays load-balanced, capped at 32 jobs per chunk so one
+        slow chunk cannot serialize the sweep.
+        """
+        policy = self.batch_small_systems
+        if policy is False:
+            return []
+        small = [
+            si for si, system in enumerate(systems)
+            if not system.is_sparse and system.order <= self.small_system_order
+        ]
+        if not small:
+            return []
+        if policy == "auto" and len(small) < max(8, 2 * n_workers):
+            return []
+        size = self.batch_size or max(1, min(32, -(-len(small) // (2 * n_workers))))
+        return [small[k : k + size] for k in range(0, len(small), size)]
+
+    # ------------------------------------------------------------------
     def _run_process(
         self,
         pool: ProcessPoolExecutor,
@@ -516,38 +671,100 @@ class BatchRunner:
         # spawn start method.  Each payload also carries the parent-computed
         # spectral context (serialized Q/Z/alpha/beta) so the worker seeds its
         # local cache instead of re-factorizing the pencil.
+        #
+        # Two hot-path optimizations apply on top:
+        # * shared-memory transport — context bundles and chunk inputs travel
+        #   as segment names, not pickled bytes (see repro.engine.shm);
+        # * micro-batching — small dense systems are grouped several-per
+        #   worker cell (_process_batch_worker), amortizing dispatch.
         registry = self.registry
         # Parent-side precompute counters (the hoisted factorizations) join
         # the merged worker counters so the sweep telemetry stays complete.
         merged = self.cache.stats.minus(stats_baseline)
         results: Dict[Tuple[int, int], BatchResult] = {}
+        use_shm = self.transport != "pickle" and shm_available()
+        arena = ArrayArena() if use_shm else None
+        # One shipment per distinct context object: duplicated fingerprints
+        # reuse the segment instead of re-packing it per consumer.
+        shipped_contexts: Dict[int, ArrayShipment] = {}
+
+        def context_payload(si: int) -> Any:
+            context = contexts.get(si)
+            if context is None or arena is None:
+                return context
+            key = id(context)
+            if key not in shipped_contexts:
+                shipped_contexts[key] = ship_context(arena, context)
+            return shipped_contexts[key]
+
+        chunks: List[List[int]] = []
         try:
             n_workers = pool._max_workers
-            futures = [
-                (
-                    si,
+            chunks = self._plan_chunks(systems, n_workers)
+            in_chunks = {si for chunk in chunks for si in chunk}
+
+            futures: List[Tuple[Tuple[int, ...], bool, Future]] = []
+            for chunk in chunks:
+                fleet: Any = [systems[si] for si in chunk]
+                if arena is not None:
+                    fleet = ship_systems(arena, fleet)
+                chunk_contexts = {
+                    position: context_payload(si)
+                    for position, si in enumerate(chunk)
+                    if contexts.get(si) is not None
+                }
+                futures.append((
+                    tuple(chunk),
+                    True,
+                    pool.submit(
+                        _process_batch_worker,
+                        (tuple(chunk), fleet, methods, self.tol, method_options,
+                         registry, self.cache.maxsize, chunk_contexts,
+                         self.cache.store),
+                    ),
+                ))
+            for si, system in enumerate(systems):
+                if si in in_chunks:
+                    continue
+                futures.append((
+                    (si,),
+                    False,
                     pool.submit(
                         _process_worker,
                         (si, system, methods, self.tol, method_options, registry,
-                         self.cache.maxsize, contexts.get(si), self.cache.store),
+                         self.cache.maxsize, context_payload(si),
+                         self.cache.store),
                     ),
-                )
-                for si, system in enumerate(systems)
-            ]
-            for si, future in futures:
+                ))
+            for indices, is_batch, future in futures:
                 try:
-                    index, cells, stats = future.result(timeout=self.task_timeout)
+                    payload = future.result(timeout=self.task_timeout)
                 except FutureTimeoutError:
-                    for mi, method in enumerate(methods):
-                        results[(si, mi)] = BatchResult(si, method, timed_out=True)
+                    for si in indices:
+                        for mi, method in enumerate(methods):
+                            results[(si, mi)] = BatchResult(si, method, timed_out=True)
                     continue
                 except (BrokenExecutor, PicklingError, OSError) as error:
                     # A broken pool (OOM-killed worker, unpicklable payload)
                     # costs the affected cells, not the whole sweep.
                     message = f"{type(error).__name__}: {error}"
-                    for mi, method in enumerate(methods):
-                        results[(si, mi)] = BatchResult(si, method, error=message)
+                    for si in indices:
+                        for mi, method in enumerate(methods):
+                            results[(si, mi)] = BatchResult(si, method, error=message)
                     continue
+                if is_batch:
+                    batched, stats = payload
+                    # Exactly one stats merge per chunk: the chunk shares one
+                    # worker cache, so merging its delta once keeps the
+                    # factorization / L2 counters exact under batching.
+                    merged.merge(stats)
+                    for index, cells in batched:
+                        for mi, (method, report, seconds, error) in enumerate(cells):
+                            results[(index, mi)] = BatchResult(
+                                index, method, report, seconds, error
+                            )
+                    continue
+                index, cells, stats = payload
                 merged.merge(stats)
                 # The worker emits one cell per entry of ``methods``, in
                 # order, so duplicates in the method list stay distinct.
@@ -555,6 +772,11 @@ class BatchRunner:
                     results[(index, mi)] = BatchResult(index, method, report, seconds, error)
         finally:
             pool.shutdown(wait=False, cancel_futures=True)
+            # Unlink every segment; POSIX keeps the mappings of any
+            # still-running (abandoned) workers valid, and a worker that
+            # attaches after the unlink simply errors in its own cell.
+            if arena is not None:
+                arena.close()
 
         ordered = [results[key] for key in sorted(results)]
         return BatchOutcome(
@@ -563,4 +785,8 @@ class BatchRunner:
             total_seconds=0.0,
             backend="process",
             n_workers=n_workers,
+            transport="shm" if arena is not None else "pickle",
+            n_batches=len(chunks),
+            n_batched_jobs=sum(len(chunk) for chunk in chunks),
+            shm_bytes=arena.shipped_bytes if arena is not None else 0,
         )

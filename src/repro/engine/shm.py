@@ -1,0 +1,440 @@
+"""Zero-copy shared-memory transport for array payloads.
+
+The process-pool paths of the engine ship large NumPy payloads between the
+parent and its workers: precomputed :class:`~repro.linalg.pencil.SpectralContext`
+bundles, seeded cache entries and the dense system matrices themselves.  The
+default transport — pickling into the executor's call pipe — serializes and
+copies every byte twice per task.  This module provides the alternative: the
+parent packs the arrays once into a POSIX shared-memory segment
+(:mod:`multiprocessing.shared_memory`) and sends only a tiny descriptor —
+segment *name*, per-array dtype/shape/offset specs — through the pipe.
+Workers map the segment and reconstruct read-only views without copying.
+
+Design points
+-------------
+* **One segment per shipment.**  All arrays of one logical payload (e.g. a
+  spectral context) are packed back-to-back, 64-byte aligned, into a single
+  segment, so the descriptor stays small and cleanup is one unlink.
+* **Refcounted parent-side lifecycle.**  The :class:`ArrayArena` that created
+  a segment owns it.  ``retain``/``release`` balance multi-worker fan-out of
+  the same shipment; the last release unlinks.  POSIX semantics guarantee
+  that unlinking while workers are still attached keeps their mappings valid,
+  so the parent may release as soon as every consumer holds the descriptor —
+  a crashed worker can never leak the segment.
+* **atexit / crash safety.**  Live arenas are tracked in a module-level weak
+  set and drained by an ``atexit`` hook, so even an arena the caller forgot
+  to close unlinks its segments on interpreter shutdown.  Worker-side
+  attachments never register with the ``resource_tracker`` (guarding
+  against the well-known double-unlink bug, bpo-38119) — only the creating
+  process unlinks.
+* **Graceful fallback.**  When shared memory is unavailable (no ``/dev/shm``,
+  permissions, platform), force-disabled via the ``REPRO_DISABLE_SHM``
+  environment variable, or the payload is too small to be worth a segment,
+  :meth:`ArrayArena.ship` returns an *inline* shipment that simply carries
+  the arrays through pickle — callers never branch on availability.
+
+The kind-aware helpers (:func:`ship_entry` / :func:`load_entry`) reuse the
+persistent store's pickle-free codecs, so everything the L2 store can persist
+can also ride shared memory; the codec import is lazy because
+:mod:`repro.store.codec` imports the engine cache.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import threading
+import weakref
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.linalg.pencil import SpectralContext
+
+try:  # pragma: no cover - import succeeds on every supported platform
+    from multiprocessing import resource_tracker, shared_memory
+except ImportError:  # pragma: no cover - exotic builds without _posixshmem
+    resource_tracker = None  # type: ignore[assignment]
+    shared_memory = None  # type: ignore[assignment]
+
+__all__ = [
+    "ArrayArena",
+    "ArrayShipment",
+    "SHM_PREFIX",
+    "shm_available",
+    "ship_context",
+    "load_context",
+    "ship_entry",
+    "load_entry",
+    "ship_systems",
+    "load_systems",
+]
+
+#: Every segment this module creates carries this name prefix, so tests (and
+#: operators) can sweep ``/dev/shm`` for leaks attributable to the engine.
+SHM_PREFIX = "repro-shm-"
+
+#: Environment variable that force-disables the shared-memory transport.
+DISABLE_ENV = "REPRO_DISABLE_SHM"
+
+_ALIGN = 64
+
+_probe_result: Optional[bool] = None
+
+#: Live arenas, drained at interpreter exit so forgotten segments still
+#: unlink.  Weak references keep the set from pinning closed arenas.
+_LIVE_ARENAS: "weakref.WeakSet[ArrayArena]" = weakref.WeakSet()
+
+#: Worker-side attachments kept alive for the life of zero-copy views; the
+#: atexit hook closes the mappings (never unlinks — that is the owner's job).
+_ATTACHED_SEGMENTS: List[Any] = []
+
+
+def _shm_disabled() -> bool:
+    return bool(os.environ.get(DISABLE_ENV))
+
+
+def shm_available() -> bool:
+    """True when POSIX shared memory works here and is not force-disabled.
+
+    The platform probe (create, map, unlink a one-page segment) runs once per
+    process and is cached; the ``REPRO_DISABLE_SHM`` environment variable is
+    consulted on every call so tests can flip the transport off at runtime.
+    """
+    global _probe_result
+    if _shm_disabled():
+        return False
+    if _probe_result is None:
+        if shared_memory is None:
+            _probe_result = False
+        else:
+            try:
+                probe = shared_memory.SharedMemory(create=True, size=1)
+                probe.close()
+                probe.unlink()
+                _probe_result = True
+            except Exception:  # noqa: BLE001 - any failure means "unavailable"
+                _probe_result = False
+    return _probe_result
+
+
+_attach_lock = threading.Lock()
+
+
+def _attach_segment(name: str) -> Any:
+    """Attach to a borrowed segment without registering it with the tracker.
+
+    Attaching with ``SharedMemory(name=...)`` registers the segment with this
+    process's resource tracker (bpo-38119), which would unlink the *owner's*
+    segment when this process exits.  Worse, forked workers share the parent's
+    tracker process, so an attach-register/unregister pair in a worker would
+    clobber the owner's registration and make the owner's final unlink emit
+    KeyError tracebacks from the tracker.  Suppressing registration during the
+    attach avoids both; only the creating arena ever unlinks.
+    """
+    if resource_tracker is None:
+        return shared_memory.SharedMemory(name=name)
+    with _attach_lock:
+        original = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+@dataclass
+class ArrayShipment:
+    """Picklable descriptor of one array payload, shm-backed or inline.
+
+    A shipment created by :meth:`ArrayArena.ship` either names a shared-memory
+    ``segment`` holding the packed arrays (``specs`` lists each array's key,
+    dtype string, shape and byte offset) or carries the arrays ``inline`` when
+    the transport is unavailable or the payload too small.  Either way the
+    descriptor pickles cheaply — the shm form costs a few hundred bytes on the
+    wire no matter how large the arrays are.  ``meta`` is an arbitrary
+    JSON-able rider for the payload's non-array part (codec meta, kind tags).
+    """
+
+    segment: Optional[str] = None
+    specs: List[Tuple[str, str, Tuple[int, ...], int]] = field(default_factory=list)
+    nbytes: int = 0
+    meta: Dict[str, Any] = field(default_factory=dict)
+    inline: Optional[Dict[str, np.ndarray]] = None
+
+    @property
+    def via_shm(self) -> bool:
+        """True when the arrays travel by segment name, not by pickle."""
+        return self.segment is not None
+
+    @property
+    def wire_bytes(self) -> int:
+        """Array bytes that actually cross the pickle pipe."""
+        if self.via_shm:
+            return 0
+        return int(sum(a.nbytes for a in (self.inline or {}).values()))
+
+    def load(self, copy: bool = False) -> Dict[str, np.ndarray]:
+        """Materialize the arrays in this process.
+
+        With ``copy=False`` (default) an shm-backed shipment returns
+        *read-only views* into the mapped segment — zero copies; the mapping
+        is kept alive for the rest of the process and closed at interpreter
+        exit.  ``copy=True`` copies out and closes the mapping immediately
+        (the copies are writable).  Inline shipments return their arrays
+        (a copy when ``copy=True``).
+        """
+        if not self.via_shm:
+            arrays = dict(self.inline or {})
+            if copy:
+                arrays = {key: np.array(value) for key, value in arrays.items()}
+            return arrays
+        if shared_memory is None:  # pragma: no cover - guarded by ship()
+            raise RuntimeError("shared memory transport is unavailable")
+        shm = _attach_segment(self.segment)
+        arrays: Dict[str, np.ndarray] = {}
+        for key, dtype_str, shape, offset in self.specs:
+            view = np.ndarray(
+                tuple(shape), dtype=np.dtype(dtype_str), buffer=shm.buf, offset=offset
+            )
+            if copy:
+                arrays[key] = view.copy()
+            else:
+                view.flags.writeable = False
+                arrays[key] = view
+        if copy:
+            shm.close()
+        else:
+            # The views borrow the mapping; keep it (and its fd) alive until
+            # process exit.  close() is cheap and never unlinks.
+            _ATTACHED_SEGMENTS.append(shm)
+        return arrays
+
+
+class ArrayArena:
+    """Owner of shared-memory segments shipping array payloads to workers.
+
+    One arena is created per transport scope (a batch sweep, a service
+    instance); every :meth:`ship` packs one payload into one fresh segment
+    named ``repro-shm-<pid>-<seq>``.  The arena refcounts its segments:
+    :meth:`retain` before handing the same shipment to another consumer,
+    :meth:`release` when a consumer is done — the last release unlinks.
+    :meth:`close` force-releases everything (idempotent; also runs from the
+    module ``atexit`` hook for arenas left open).
+
+    Parameters
+    ----------
+    min_bytes:
+        Payloads smaller than this travel inline (pickled) — a segment's
+        fixed cost (syscalls, page rounding) beats pickling only for
+        reasonably large arrays.
+    enabled:
+        Force the transport on/off; default consults :func:`shm_available`
+        (platform probe + ``REPRO_DISABLE_SHM``) at each ship.
+    """
+
+    def __init__(self, min_bytes: int = 1 << 16, enabled: Optional[bool] = None) -> None:
+        self.min_bytes = int(min_bytes)
+        self.enabled = enabled
+        self._segments: Dict[str, Any] = {}
+        self._refcounts: Dict[str, int] = {}
+        self._seq = 0
+        self.shipped_bytes = 0
+        self.inline_bytes = 0
+        _LIVE_ARENAS.add(self)
+
+    # ------------------------------------------------------------------
+    @property
+    def active_segments(self) -> int:
+        """Number of segments currently owned (created, not yet released)."""
+        return len(self._segments)
+
+    def _use_shm(self, nbytes: int) -> bool:
+        if nbytes < self.min_bytes:
+            return False
+        if self.enabled is not None:
+            return self.enabled and not _shm_disabled() and shm_available()
+        return shm_available()
+
+    # ------------------------------------------------------------------
+    def ship(
+        self,
+        arrays: Mapping[str, np.ndarray],
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> ArrayShipment:
+        """Pack ``arrays`` for transport, preferring shared memory.
+
+        Returns an :class:`ArrayShipment`; when shm is unavailable, disabled
+        or the payload is below ``min_bytes`` the shipment carries the arrays
+        inline instead — the caller's code path is identical either way.
+        """
+        packed = {key: np.ascontiguousarray(value) for key, value in arrays.items()}
+        total = 0
+        layout: List[Tuple[str, np.ndarray, int]] = []
+        for key, value in packed.items():
+            offset = (total + _ALIGN - 1) // _ALIGN * _ALIGN
+            layout.append((key, value, offset))
+            total = offset + value.nbytes
+        if not self._use_shm(total):
+            self.inline_bytes += total
+            return ArrayShipment(meta=dict(meta or {}), inline=packed, nbytes=total)
+        self._seq += 1
+        name = f"{SHM_PREFIX}{os.getpid()}-{self._seq}"
+        try:
+            segment = shared_memory.SharedMemory(
+                create=True, size=max(1, total), name=name
+            )
+        except Exception:  # noqa: BLE001 - fall back rather than fail the sweep
+            self.inline_bytes += total
+            return ArrayShipment(meta=dict(meta or {}), inline=packed, nbytes=total)
+        specs: List[Tuple[str, str, Tuple[int, ...], int]] = []
+        for key, value, offset in layout:
+            destination = np.ndarray(
+                value.shape, dtype=value.dtype, buffer=segment.buf, offset=offset
+            )
+            destination[...] = value
+            specs.append((key, value.dtype.str, tuple(value.shape), offset))
+        self._segments[name] = segment
+        self._refcounts[name] = 1
+        self.shipped_bytes += total
+        return ArrayShipment(
+            segment=name, specs=specs, nbytes=total, meta=dict(meta or {})
+        )
+
+    # ------------------------------------------------------------------
+    def retain(self, shipment: ArrayShipment) -> ArrayShipment:
+        """Bump the refcount before fanning one shipment out to another consumer."""
+        if shipment.via_shm and shipment.segment in self._refcounts:
+            self._refcounts[shipment.segment] += 1
+        return shipment
+
+    def release(self, shipment: Optional[ArrayShipment]) -> None:
+        """Drop one reference; the last release closes and unlinks the segment.
+
+        Safe on inline shipments, foreign shipments and double releases (all
+        no-ops) — callers release unconditionally in ``finally`` blocks.
+        """
+        if shipment is None or not shipment.via_shm:
+            return
+        name = shipment.segment
+        if name not in self._segments:
+            return
+        self._refcounts[name] -= 1
+        if self._refcounts[name] > 0:
+            return
+        segment = self._segments.pop(name)
+        del self._refcounts[name]
+        try:
+            segment.close()
+            segment.unlink()
+        except Exception:  # noqa: BLE001 - already unlinked / torn down
+            pass
+
+    def close(self) -> None:
+        """Release every owned segment (idempotent; also runs at exit)."""
+        for name in list(self._segments):
+            segment = self._segments.pop(name)
+            self._refcounts.pop(name, None)
+            try:
+                segment.close()
+                segment.unlink()
+            except Exception:  # noqa: BLE001
+                pass
+
+    def __enter__(self) -> "ArrayArena":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+@atexit.register
+def _drain_at_exit() -> None:  # pragma: no cover - exercised in subprocesses
+    for arena in list(_LIVE_ARENAS):
+        arena.close()
+    for shm in _ATTACHED_SEGMENTS:
+        try:
+            shm.close()
+        except Exception:  # noqa: BLE001
+            pass
+    _ATTACHED_SEGMENTS.clear()
+
+
+# ----------------------------------------------------------------------
+# Kind-aware helpers
+# ----------------------------------------------------------------------
+def ship_context(arena: ArrayArena, context: SpectralContext) -> ArrayShipment:
+    """Ship a :class:`SpectralContext` via its pickle-free array form."""
+    return arena.ship(context.to_arrays(), meta={"payload": "spectral_context"})
+
+
+def load_context(shipment: ArrayShipment, copy: bool = False) -> SpectralContext:
+    """Rebuild the :class:`SpectralContext` a worker received.
+
+    ``copy=False`` reconstructs the context over read-only views into the
+    mapped segment — the QZ factors are never copied; every consumer of the
+    context only reads them.
+    """
+    return SpectralContext.from_arrays(shipment.load(copy=copy))
+
+
+def ship_systems(arena: ArrayArena, systems: "list") -> ArrayShipment:
+    """Pack the dense matrices of a system fleet into one shipment.
+
+    Used by the micro-batch path: one chunk of small dense systems travels
+    to its worker as a single segment instead of one pickled
+    :class:`~repro.descriptor.system.DescriptorSystem` per job.  Sparse
+    systems are not supported (the caller's batching policy excludes them —
+    densifying here would defeat the sparse backend).
+    """
+    arrays: Dict[str, np.ndarray] = {}
+    for position, system in enumerate(systems):
+        for name in ("e", "a", "b", "c", "d"):
+            arrays[f"{position}.{name}"] = getattr(system, name)
+    return arena.ship(arrays, meta={"payload": "systems", "count": len(systems)})
+
+
+def load_systems(shipment: ArrayShipment) -> "list":
+    """Rebuild the :func:`ship_systems` fleet in the worker.
+
+    The constructor's ``astype(float)`` copies out of the mapping, so the
+    rebuilt systems own their matrices and outlive the segment.
+    """
+    from repro.descriptor.system import DescriptorSystem
+
+    arrays = shipment.load()
+    count = int(shipment.meta["count"])
+    return [
+        DescriptorSystem(
+            arrays[f"{position}.e"],
+            arrays[f"{position}.a"],
+            arrays[f"{position}.b"],
+            arrays[f"{position}.c"],
+            arrays[f"{position}.d"],
+        )
+        for position in range(count)
+    ]
+
+
+def ship_entry(arena: ArrayArena, kind: str, entry: Tuple[str, Any]) -> ArrayShipment:
+    """Ship one cache entry ``(tag, payload)`` using the store codecs.
+
+    Only kinds in :data:`repro.store.codec.PERSISTED_KINDS` have codecs;
+    anything else raises :class:`~repro.exceptions.StoreError` exactly like
+    the persistent store would.  The codec import is deferred because the
+    store imports the engine cache.
+    """
+    from repro.store.codec import encode_entry
+
+    meta, arrays = encode_entry(kind, entry)
+    return arena.ship(arrays, meta={"kind": kind, "entry_meta": meta})
+
+
+def load_entry(shipment: ArrayShipment, copy: bool = False) -> Tuple[str, Tuple[str, Any]]:
+    """Rebuild ``(kind, (tag, payload))`` from a :func:`ship_entry` shipment."""
+    from repro.store.codec import decode_entry
+
+    kind = str(shipment.meta["kind"])
+    entry = decode_entry(kind, dict(shipment.meta["entry_meta"]), shipment.load(copy=copy))
+    return kind, entry

@@ -24,11 +24,21 @@ descriptor-system machinery and the passivity tests:
   Hamiltonian Schur method.
 * :mod:`repro.linalg.pencil` — regularity, generalized eigenvalues and
   finite/infinite spectral classification of matrix pencils.
+* :mod:`repro.linalg.batched` — stacked (batched) eigenvalue and response
+  kernels: ``(k, n, n)`` gufunc stacks that run one GIL-releasing LAPACK
+  region per batch instead of one Python call per matrix.
 * :mod:`repro.linalg.sparse` — the sparsity-preserving helpers of the sparse
   MNA backend: canonical CSR forms, sparse LU-backed solves, Gershgorin /
   Lanczos spectral probes and the permutation-based nondynamic deflation.
 """
 
+from repro.linalg.batched import (
+    batched_eigvals,
+    batched_eigvalsh,
+    batched_hermitian_min_eig,
+    group_by_shape,
+    state_space_hermitian_min_eigs,
+)
 from repro.linalg.basics import (
     is_hermitian,
     is_negative_semidefinite,
@@ -98,6 +108,11 @@ from repro.linalg.sparse import (
 )
 
 __all__ = [
+    "batched_eigvals",
+    "batched_eigvalsh",
+    "batched_hermitian_min_eig",
+    "group_by_shape",
+    "state_space_hermitian_min_eigs",
     "is_symmetric",
     "is_skew_symmetric",
     "is_hermitian",

@@ -27,6 +27,7 @@ from repro.config import DEFAULT_TOLERANCES, Tolerances
 from repro.descriptor.system import StateSpace
 from repro.exceptions import NotStableError
 from repro.linalg.basics import is_positive_definite, is_positive_semidefinite
+from repro.linalg.batched import state_space_hermitian_min_eigs
 from repro.linalg.invariant_subspace import imaginary_axis_eigenvalues
 from repro.linalg.riccati import positive_real_hamiltonian
 
@@ -69,6 +70,50 @@ def _hermitian_part_min_eig(system: StateSpace, omega: float) -> float:
     value = system.evaluate(1j * omega)
     hermitian = 0.5 * (value + value.conj().T)
     return float(np.min(np.linalg.eigvalsh(hermitian)))
+
+
+def _genuine_crossings(
+    system: StateSpace, imaginary: np.ndarray, tol: Tolerances
+) -> list:
+    """Screen imaginary-eigenvalue candidates against the actual response.
+
+    Each candidate frequency (and a nearby probe point) is evaluated in one
+    stacked solve + stacked Hermitian eigensolve — the vectorized form of
+    the per-candidate loop.  When any probe pencil is singular (a pole sits
+    on a probe frequency) the stacked solve raises and the per-point
+    fallback classifies the candidates individually, keeping the original
+    "singular probe means crossing" semantics.
+    """
+    candidates = list(imaginary)
+    if not candidates:
+        return []
+    omegas = np.array([float(ev.imag) for ev in candidates])
+    probes = omegas + np.maximum(1.0, np.abs(omegas)) * 1e-3
+    scale = max(1.0, float(np.max(np.abs(system.d), initial=1.0)))
+    threshold = -1e2 * tol.psd_atol * scale
+    try:
+        min_eigs = state_space_hermitian_min_eigs(
+            system.a, system.b, system.c, system.d,
+            np.concatenate([omegas, probes]),
+        )
+    except Exception:  # singular probe somewhere: classify point by point
+        crossings = []
+        for eigenvalue, omega, probe in zip(candidates, omegas, probes):
+            try:
+                min_eig = _hermitian_part_min_eig(system, float(omega))
+                probe_eig = _hermitian_part_min_eig(system, float(probe))
+            except Exception:  # singular at this frequency: genuine crossing
+                crossings.append(eigenvalue)
+                continue
+            if min(min_eig, probe_eig) < threshold:
+                crossings.append(eigenvalue)
+        return crossings
+    at_omega, at_probe = min_eigs[: len(candidates)], min_eigs[len(candidates):]
+    return [
+        eigenvalue
+        for eigenvalue, min_eig, probe_eig in zip(candidates, at_omega, at_probe)
+        if min(min_eig, probe_eig) < threshold
+    ]
 
 
 def proper_positive_real_test(
@@ -132,18 +177,7 @@ def proper_positive_real_test(
     # lossless blocking zeros at w = 0 are tolerated if the Hermitian part is
     # still PSD there.  We therefore double-check any imaginary candidates
     # against the actual frequency response before declaring failure.
-    genuine_crossings = []
-    for eigenvalue in imaginary:
-        omega = float(eigenvalue.imag)
-        try:
-            min_eig = _hermitian_part_min_eig(system, omega)
-        except Exception:  # singular at the probe frequency: treat as crossing
-            genuine_crossings.append(eigenvalue)
-            continue
-        scale = max(1.0, float(np.max(np.abs(system.d), initial=1.0)))
-        probe = _hermitian_part_min_eig(system, omega + max(1.0, abs(omega)) * 1e-3)
-        if min(min_eig, probe) < -1e2 * tol.psd_atol * scale:
-            genuine_crossings.append(eigenvalue)
+    genuine_crossings = _genuine_crossings(system, imaginary, tol)
 
     # Anchor the sign of the Hermitian part at a frequency away from any
     # crossing: with no genuine crossings the sign is constant over frequency.

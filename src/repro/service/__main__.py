@@ -73,6 +73,34 @@ def main(argv=None) -> int:
         metavar="BYTES",
         help="LRU size budget of --store in bytes (unset: unbounded)",
     )
+    parser.add_argument(
+        "--transport",
+        choices=("auto", "shm", "pickle"),
+        default="auto",
+        help="array transport of --executor process: ship payloads through "
+        "POSIX shared memory when available (auto/shm) or always pickle",
+    )
+    parser.add_argument(
+        "--batch-small-systems",
+        choices=("auto", "on", "off"),
+        default="auto",
+        help="micro-batch waiting small dense jobs several-per-worker "
+        "dispatch (process executor only)",
+    )
+    parser.add_argument(
+        "--small-system-order",
+        type=int,
+        default=100,
+        metavar="N",
+        help="largest system order the micro-batch policy treats as small",
+    )
+    parser.add_argument(
+        "--max-batch-size",
+        type=int,
+        default=8,
+        metavar="N",
+        help="most jobs one micro-batch dispatch may carry",
+    )
     args = parser.parse_args(argv)
 
     store = None
@@ -80,12 +108,17 @@ def main(argv=None) -> int:
         from repro.store import DecompositionStore
 
         store = DecompositionStore(args.store, size_budget=args.store_budget)
+    batch_policy = {"auto": "auto", "on": True, "off": False}[args.batch_small_systems]
     service = PassivityService(
         max_workers=args.workers,
         default_timeout=args.job_timeout,
         executor=args.executor,
         max_queue=args.max_queue,
         store=store,
+        transport=args.transport,
+        batch_small_systems=batch_policy,
+        small_system_order=args.small_system_order,
+        max_batch_size=args.max_batch_size,
     )
     server = serve(service, host=args.host, port=args.port)
     host, port = server.server_address[:2]

@@ -71,6 +71,13 @@ from repro.descriptor.system import DescriptorSystem
 from repro.engine.cache import CacheStats, DecompositionCache, fingerprint_system
 from repro.engine.registry import MethodRegistry
 from repro.engine.runner import BatchRunner, _run_cell
+from repro.engine.shm import (
+    ArrayArena,
+    ArrayShipment,
+    load_systems,
+    ship_systems,
+    shm_available,
+)
 from repro.exceptions import (
     JobCancelledError,
     JobFailedError,
@@ -112,7 +119,7 @@ def _process_worker_init(
 
 def _process_cell(
     payload: Tuple[
-        DescriptorSystem,
+        Any,
         str,
         Dict[str, Any],
         Tolerances,
@@ -121,15 +128,48 @@ def _process_cell(
 ) -> Tuple[Optional[PassivityReport], float, Optional[str], CacheStats]:
     """Process-pool task: run one job's cell in the worker process.
 
-    Returns the cell outcome plus the worker cache's counter *delta* for
-    this job, which the service merges into its telemetry so ``stats()``
-    reflects worker-side hits, misses and L2 traffic.
+    The system arrives either pickled or — when the service's shared-memory
+    arena is on — as an :class:`~repro.engine.shm.ArrayShipment` naming the
+    segment that holds its dense matrices.  Returns the cell outcome plus
+    the worker cache's counter *delta* for this job, which the service
+    merges into its telemetry so ``stats()`` reflects worker-side hits,
+    misses and L2 traffic.
     """
     system, method, options, tol, registry = payload
+    if isinstance(system, ArrayShipment):
+        system = load_systems(system)[0]
     cache = _WORKER_CACHE if _WORKER_CACHE is not None else DecompositionCache()
     baseline = cache.stats.snapshot()
     report, seconds, error = _run_cell(system, method, tol, cache, registry, options)
     return report, seconds, error, cache.stats.minus(baseline)
+
+
+def _process_batch_cells(
+    payload: Tuple[
+        Any,
+        List[Tuple[str, Dict[str, Any]]],
+        Tolerances,
+        Optional[MethodRegistry],
+    ],
+) -> Tuple[List[Tuple[Optional[PassivityReport], float, Optional[str]]], CacheStats]:
+    """Process-pool task: run a micro-batch of small jobs in one worker cell.
+
+    The batch's systems travel together (one
+    :class:`~repro.engine.shm.ArrayShipment` or one pickled list); every
+    cell runs through the worker's **single** store-backed cache, and the
+    cache counter delta is computed once for the whole batch — so
+    factorizations shared between the batched jobs are counted exactly,
+    never once per job.
+    """
+    fleet, cells, tol, registry = payload
+    systems = load_systems(fleet) if isinstance(fleet, ArrayShipment) else fleet
+    cache = _WORKER_CACHE if _WORKER_CACHE is not None else DecompositionCache()
+    baseline = cache.stats.snapshot()
+    outcomes = []
+    for system, (method, options) in zip(systems, cells):
+        report, seconds, error = _run_cell(system, method, tol, cache, registry, options)
+        outcomes.append((report, seconds, error))
+    return outcomes, cache.stats.minus(baseline)
 
 
 @dataclass
@@ -161,6 +201,16 @@ class ServiceStats:
         The execution mode, ``"thread"`` or ``"process"``.
     queue_capacity:
         The configured ``max_queue`` bound (``None`` when unbounded).
+    transport:
+        Array transport of process-mode dispatch: ``"shm"`` when payloads
+        ride shared-memory segments, ``"pickle"`` when they ride the call
+        pipe, ``"none"`` for the thread executor.
+    batches / batched_jobs / batch_occupancy:
+        Micro-batch telemetry: multi-job worker dispatches, the jobs that
+        rode them, and the mean jobs per dispatch (0.0 when the policy
+        never engaged).
+    shm_bytes:
+        Bytes shipped through shared memory instead of the pickle pipe.
     cache:
         Plain-dict snapshot of the decomposition cache counters since
         service start (``hits`` / ``misses`` / ``factorizations``, the L2
@@ -185,6 +235,11 @@ class ServiceStats:
     throughput_per_second: float
     executor: str = "thread"
     queue_capacity: Optional[int] = None
+    transport: str = "none"
+    batches: int = 0
+    batched_jobs: int = 0
+    batch_occupancy: float = 0.0
+    shm_bytes: int = 0
     cache: Dict[str, Any] = field(default_factory=dict)
 
     def to_jsonable(self) -> Dict[str, Any]:
@@ -204,6 +259,11 @@ class ServiceStats:
             "throughput_per_second": self.throughput_per_second,
             "executor": self.executor,
             "queue_capacity": self.queue_capacity,
+            "transport": self.transport,
+            "batches": self.batches,
+            "batched_jobs": self.batched_jobs,
+            "batch_occupancy": self.batch_occupancy,
+            "shm_bytes": self.shm_bytes,
             "cache": dict(self.cache),
         }
 
@@ -256,6 +316,29 @@ class PassivityService:
         of every process-mode worker cache, and used to persist completed
         jobs: on construction the service rehydrates its terminal-job
         history from the store, so results survive a restart.
+    transport:
+        Array transport of process-mode dispatch.  ``"auto"`` (default)
+        ships job systems and micro-batch inputs through POSIX shared
+        memory when available (:mod:`repro.engine.shm`) and falls back to
+        pickling otherwise; ``"shm"`` / ``"pickle"`` force one choice
+        (``"shm"`` still degrades cleanly on platforms without usable
+        shared memory).  Ignored by the thread executor, which shares
+        memory by construction.
+    batch_small_systems:
+        Micro-batch policy of the process executor.  When on, a worker
+        draining the queue groups up to ``max_batch_size`` waiting small
+        dense jobs (order ≤ ``small_system_order``, equal timeouts) into
+        one pool dispatch, amortizing process round trips under small-job
+        floods; each batch runs through one worker cache whose counter
+        delta merges once (exact telemetry).  ``"auto"`` (default) and
+        ``True`` enable the policy for the process executor, ``False``
+        disables it.  Batch occupancy is reported by :meth:`stats`.
+    small_system_order:
+        Largest order still considered "small" for the batching policy
+        (default 100).
+    max_batch_size:
+        Most jobs one micro-batch dispatch may carry (default 8; the batch
+        also never exceeds what is actually waiting in the queue).
     registry / tol / cache:
         Forwarded to the constructed runner when ``runner`` is omitted
         (ignored otherwise).
@@ -282,6 +365,10 @@ class PassivityService:
         executor: str = "thread",
         max_queue: Optional[int] = None,
         store: Optional[Any] = None,
+        transport: str = "auto",
+        batch_small_systems: Any = "auto",
+        small_system_order: int = 100,
+        max_batch_size: int = 8,
         registry: Optional[MethodRegistry] = None,
         tol: Optional[Tolerances] = None,
         cache: Optional[DecompositionCache] = None,
@@ -294,6 +381,15 @@ class PassivityService:
             )
         if max_queue is not None and max_queue < 1:
             raise ValueError("max_queue must be at least 1 (or None for unbounded)")
+        if transport not in ("auto", "shm", "pickle"):
+            raise ValueError(f"unknown transport {transport!r}")
+        if batch_small_systems not in ("auto", True, False):
+            raise ValueError(
+                f"batch_small_systems must be 'auto', True or False, "
+                f"got {batch_small_systems!r}"
+            )
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be at least 1")
         if isinstance(store, (str, os.PathLike)):
             store = DecompositionStore(store)
         self._store = store
@@ -314,6 +410,13 @@ class PassivityService:
         self._max_history = max_history
         self._executor_kind = executor
         self._max_queue = max_queue
+        self._transport = transport
+        self._batch_policy = batch_small_systems
+        self._small_system_order = int(small_system_order)
+        self._max_batch_size = int(max_batch_size)
+        #: Shared-memory arena shipping process-mode payloads (created at
+        #: startup when the transport engages; None otherwise).
+        self._arena: Optional[ArrayArena] = None
 
         self._jobs: Dict[str, Job] = {}
         self._inflight: Dict[Tuple[str, str, str], str] = {}
@@ -339,6 +442,8 @@ class PassivityService:
         self._n_timed_out = 0
         self._n_deduplicated = 0
         self._n_rejected = 0
+        self._n_batches = 0
+        self._n_batched_jobs = 0
         #: QUEUED, non-coalesced jobs awaiting a worker.  This — not
         #: ``queue.qsize()`` — is what ``max_queue`` bounds: a cancelled
         #: job's tuple lingers in the asyncio queue as a ghost until a
@@ -468,6 +573,8 @@ class PassivityService:
                 initializer=_process_worker_init,
                 initargs=(self._store, self._runner.cache.maxsize),
             )
+            if self._transport != "pickle" and shm_available():
+                self._arena = ArrayArena()
         else:
             self._executor = ThreadPoolExecutor(
                 max_workers=self._max_workers, thread_name_prefix="repro-service"
@@ -502,6 +609,10 @@ class PassivityService:
                 loop.close()
         if self._executor is not None:
             self._executor.shutdown(wait=False, cancel_futures=True)
+        if self._arena is not None:
+            # Unlink every outstanding segment; mappings held by abandoned
+            # workers stay valid (POSIX), nothing can leak past close().
+            self._arena.close()
 
     async def _shutdown(self) -> None:
         """Cancel workers and resolve unfinished jobs (loop thread)."""
@@ -633,11 +744,118 @@ class PassivityService:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
+    def _batch_eligible(self, job: Job) -> bool:
+        """True when the job may ride a micro-batch dispatch."""
+        if self._executor_kind != "process" or self._batch_policy is False:
+            return False
+        system = job.system
+        return (
+            system is not None
+            and not system.is_sparse
+            and system.order <= self._small_system_order
+        )
+
+    def _drain_batch(self, primary: Job) -> List[Job]:
+        """Opportunistically pull more batchable jobs off the queue.
+
+        Called on the loop thread with ``primary`` already RUNNING.  Only
+        jobs that are themselves batch-eligible *and* share the primary's
+        timeout join (one pool dispatch has one deadline); anything else —
+        including ghost tuples of cancelled jobs — is consumed or requeued
+        without disturbing its priority (the original ``(priority, seq)``
+        tuple is reinserted).  Joined jobs transition to RUNNING here, and
+        their queue bookkeeping (``task_done``) is settled immediately:
+        ownership moves to the batch.
+        """
+        extras: List[Job] = []
+        requeue: List[Tuple[int, int, str]] = []
+        while len(extras) + 1 < self._max_batch_size:
+            try:
+                item = self._queue.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            _, _, other_id = item
+            other = self._jobs.get(other_id)
+            if other is None or other.state is not JobState.QUEUED:
+                self._queue.task_done()  # ghost: consume it here
+                continue
+            if self._batch_eligible(other) and other.timeout == primary.timeout:
+                self._n_queued -= 1
+                other.state = JobState.RUNNING
+                other.started_at = time.time()
+                self._queue.task_done()
+                extras.append(other)
+            else:
+                requeue.append(item)
+        for item in requeue:
+            self._queue.task_done()
+            self._queue.put_nowait(item)
+        return extras
+
+    async def _run_batch(
+        self, loop, jobs: List[Job], shipments: List[ArrayShipment]
+    ) -> None:
+        """Dispatch one micro-batch to the process pool and resolve its jobs.
+
+        The batch's systems travel as one payload (a shared-memory shipment
+        when the arena is on); the worker returns one outcome per job plus a
+        single cache-counter delta that is merged exactly once.  Timeout and
+        failure resolve every member — the members shared one dispatch, so
+        they share its fate, matching batch-runner chunk semantics.
+        """
+        systems = [job.system for job in jobs]
+        fleet: Any = systems
+        if self._arena is not None:
+            fleet = ship_systems(self._arena, systems)
+            shipments.append(fleet)
+        cells = [(job.method, dict(job.options)) for job in jobs]
+        self._n_batches += 1
+        self._n_batched_jobs += len(jobs)
+        try:
+            future = loop.run_in_executor(
+                self._executor,
+                _process_batch_cells,
+                (fleet, cells, self._runner.tol, self._runner.registry),
+            )
+            done, pending = await asyncio.wait({future}, timeout=jobs[0].timeout)
+        except asyncio.CancelledError:
+            raise  # service shutdown
+        except Exception as error:  # noqa: BLE001 - keep worker alive
+            message = f"{type(error).__name__}: {error}"
+            for job in jobs:
+                self._finish(job, JobState.FAILED, error=message)
+            return
+        if pending:
+            future.cancel()
+            future.add_done_callback(_ignore_outcome)
+            for job in jobs:
+                self._finish(
+                    job,
+                    JobState.TIMED_OUT,
+                    error=f"timed out after {jobs[0].timeout:.3g} s",
+                )
+            return
+        try:
+            outcomes, worker_delta = future.result()
+        except Exception as error:  # noqa: BLE001 - jobs must resolve
+            message = f"{type(error).__name__}: {error}"
+            for job in jobs:
+                self._finish(job, JobState.FAILED, error=message)
+            return
+        if worker_delta is not None:
+            self._worker_stats.merge(worker_delta)
+        for job, (report, _seconds, error_message) in zip(jobs, outcomes):
+            if error_message is not None:
+                self._finish(job, JobState.FAILED, error=error_message)
+            else:
+                self._finish(job, JobState.DONE, report=report)
+
     async def _worker(self) -> None:
         """One worker coroutine: pull jobs, execute on the pool, resolve."""
         loop = asyncio.get_running_loop()
         while True:
             _, _, job_id = await self._queue.get()
+            shipments: List[ArrayShipment] = []
             try:
                 job = self._jobs.get(job_id)
                 if job is None or job.state is not JobState.QUEUED:
@@ -645,16 +863,27 @@ class PassivityService:
                 self._n_queued -= 1
                 job.state = JobState.RUNNING
                 job.started_at = time.time()
+                if self._batch_eligible(job):
+                    extras = self._drain_batch(job)
+                    if extras:
+                        await self._run_batch(loop, [job] + extras, shipments)
+                        continue
                 try:
                     if self._executor_kind == "process":
                         # Module-level task + picklable payload: the worker
                         # process runs the cell through its own store-backed
-                        # cache and returns its counter delta.
+                        # cache and returns its counter delta.  With the
+                        # arena on, dense systems travel by segment name.
+                        system_payload: Any = job.system
+                        if self._arena is not None and not job.system.is_sparse:
+                            shipment = ship_systems(self._arena, [job.system])
+                            shipments.append(shipment)
+                            system_payload = shipment
                         future = loop.run_in_executor(
                             self._executor,
                             _process_cell,
                             (
-                                job.system,
+                                system_payload,
                                 job.method,
                                 dict(job.options),
                                 self._runner.tol,
@@ -713,6 +942,11 @@ class PassivityService:
                 else:
                     self._finish(job, JobState.DONE, report=report)
             finally:
+                if self._arena is not None:
+                    # The dispatch is resolved (or abandoned): drop the
+                    # segments; abandoned workers keep their mappings.
+                    for shipment in shipments:
+                        self._arena.release(shipment)
                 self._queue.task_done()
 
     def _execute(self, job: Job):
@@ -944,6 +1178,17 @@ class PassivityService:
             throughput_per_second=self._n_completed / uptime if uptime > 0 else 0.0,
             executor=self._executor_kind,
             queue_capacity=self._max_queue,
+            transport=(
+                "shm"
+                if self._arena is not None
+                else ("pickle" if self._executor_kind == "process" else "none")
+            ),
+            batches=self._n_batches,
+            batched_jobs=self._n_batched_jobs,
+            batch_occupancy=(
+                self._n_batched_jobs / self._n_batches if self._n_batches else 0.0
+            ),
+            shm_bytes=self._arena.shipped_bytes if self._arena is not None else 0,
             cache=cache,
         )
 

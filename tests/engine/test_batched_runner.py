@@ -1,0 +1,182 @@
+"""Micro-batch execution and shared-memory transport of the process backend.
+
+Verdicts must be independent of policy and transport: a batched shm sweep, a
+batched pickle sweep and a serial sweep of the same fleet agree cell for
+cell.  The telemetry (transport label, chunk counts, occupancy, shm bytes)
+and the exactness of the merged cache counters under batching are pinned
+here too.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.circuits import rlc_ladder
+from repro.engine.runner import BatchRunner
+from repro.engine.shm import SHM_PREFIX, shm_available
+
+SHM_DIR = "/dev/shm"
+
+
+def repro_segments():
+    try:
+        entries = os.listdir(SHM_DIR)
+    except OSError:
+        return []
+    return sorted(name for name in entries if name.startswith(SHM_PREFIX))
+
+
+def small_fleet(count=8, orders=(2, 3, 4)):
+    return [rlc_ladder(orders[k % len(orders)]).system for k in range(count)]
+
+
+def assert_same_verdicts(outcome, reference):
+    assert outcome.verdicts() == reference.verdicts()
+    for got, want in zip(outcome.results, reference.results):
+        assert (got.system_index, got.method) == (want.system_index, want.method)
+        assert got.error == want.error
+        assert got.timed_out == want.timed_out
+
+
+class TestMicroBatching:
+    def test_forced_batching_matches_serial(self):
+        systems = small_fleet(6)
+        reference = BatchRunner(backend="serial").run(systems, methods=("gare",))
+        runner = BatchRunner(
+            backend="process", batch_small_systems=True, batch_size=3
+        )
+        outcome = runner.run(systems, methods=("gare",))
+        assert_same_verdicts(outcome, reference)
+        assert outcome.n_batches == 2
+        assert outcome.n_batched_jobs == 6
+        assert outcome.batch_occupancy == 3.0
+
+    def test_auto_policy_stays_off_for_tiny_sweeps(self):
+        systems = small_fleet(3)
+        outcome = BatchRunner(backend="process").run(systems, methods=("gare",))
+        assert outcome.n_batches == 0
+        assert outcome.n_batched_jobs == 0
+        assert outcome.batch_occupancy == 0.0
+
+    def test_auto_policy_engages_on_large_small_system_fleets(self):
+        workers = BatchRunner(backend="process", max_workers=1)
+        threshold = max(8, 2 * 1)
+        systems = small_fleet(threshold)
+        outcome = workers.run(systems, methods=("gare",))
+        assert outcome.n_batches >= 1
+        assert outcome.n_batched_jobs == threshold
+
+    def test_large_systems_stay_on_per_system_path(self):
+        systems = small_fleet(8)
+        runner = BatchRunner(
+            backend="process", batch_small_systems=True, small_system_order=1
+        )
+        reference = BatchRunner(backend="serial").run(systems, methods=("gare",))
+        outcome = runner.run(systems, methods=("gare",))
+        # Every order here exceeds the (artificially tiny) small-system limit.
+        assert outcome.n_batches == 0
+        assert_same_verdicts(outcome, reference)
+
+    def test_chunk_merges_stats_once_keeping_counters_exact(self):
+        # Five copies of one system in a single chunk share the chunk's
+        # worker-local cache: the sweep must account exactly one
+        # factorization chain, not one per job.
+        system = rlc_ladder(3).system
+        runner = BatchRunner(
+            backend="process",
+            batch_small_systems=True,
+            batch_size=5,
+            precompute_spectral=False,
+        )
+        outcome = runner.run([system] * 5, methods=("proposed",))
+        assert outcome.n_batches == 1
+        assert outcome.n_batched_jobs == 5
+        serial = BatchRunner(backend="serial", precompute_spectral=False)
+        reference = serial.run([system] * 5, methods=("proposed",))
+        assert_same_verdicts(outcome, reference)
+        # One shared cache on both paths: identical factorization counts.
+        assert (
+            outcome.cache_stats.factorizations
+            == reference.cache_stats.factorizations
+        )
+        assert outcome.cache_stats.hits == reference.cache_stats.hits
+        assert outcome.cache_stats.misses == reference.cache_stats.misses
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError):
+            BatchRunner(batch_small_systems="yes")
+        with pytest.raises(ValueError):
+            BatchRunner(transport="carrier-pigeon")
+
+
+class TestTransport:
+    @pytest.mark.skipif(
+        not shm_available() or not os.path.isdir(SHM_DIR),
+        reason="POSIX shared memory not usable here",
+    )
+    def test_shm_transport_ships_batches_and_leaves_no_segments(self):
+        # Order-76 systems: big enough that a 3-job chunk clears the arena's
+        # inline threshold and actually rides a segment.
+        before = repro_segments()
+        systems = small_fleet(6, orders=(25,))
+        runner = BatchRunner(
+            backend="process",
+            transport="shm",
+            batch_small_systems=True,
+            batch_size=3,
+        )
+        reference = BatchRunner(backend="serial").run(systems, methods=("gare",))
+        outcome = runner.run(systems, methods=("gare",))
+        assert outcome.transport == "shm"
+        assert outcome.shm_bytes > 0
+        assert_same_verdicts(outcome, reference)
+        assert repro_segments() == before
+
+    def test_pickle_transport_forced(self):
+        systems = small_fleet(6)
+        runner = BatchRunner(
+            backend="process",
+            transport="pickle",
+            batch_small_systems=True,
+            batch_size=3,
+        )
+        outcome = runner.run(systems, methods=("gare",))
+        assert outcome.transport == "pickle"
+        assert outcome.shm_bytes == 0
+
+    def test_disable_env_degrades_shm_to_pickle(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DISABLE_SHM", "1")
+        systems = small_fleet(6)
+        runner = BatchRunner(
+            backend="process",
+            transport="shm",
+            batch_small_systems=True,
+            batch_size=3,
+        )
+        reference = BatchRunner(backend="serial").run(systems, methods=("gare",))
+        outcome = runner.run(systems, methods=("gare",))
+        assert outcome.transport == "pickle"
+        assert outcome.shm_bytes == 0
+        assert_same_verdicts(outcome, reference)
+
+    def test_local_backends_report_no_transport(self):
+        systems = small_fleet(2)
+        outcome = BatchRunner(backend="serial").run(systems, methods=("gare",))
+        assert outcome.transport == "none"
+        assert outcome.shm_bytes == 0
+
+    @pytest.mark.skipif(
+        not shm_available() or not os.path.isdir(SHM_DIR),
+        reason="POSIX shared memory not usable here",
+    )
+    def test_precomputed_contexts_ride_shm(self):
+        # Duplicated systems make the spectral hoist fire; with shm the
+        # context bundle must travel by segment, not down the pipe.
+        system = rlc_ladder(40).system
+        runner = BatchRunner(backend="process", transport="shm")
+        outcome = runner.run([system, system], methods=("proposed",))
+        assert outcome.transport == "shm"
+        assert outcome.shm_bytes > 0
+        verdicts = set(outcome.verdicts().values())
+        assert verdicts == {True}

@@ -1,0 +1,207 @@
+"""Lifecycle tests for the shared-memory array transport.
+
+The critical property is *no leaked segments*: every test that creates
+shm-backed shipments sweeps ``/dev/shm`` for names carrying the engine's
+``repro-shm-`` prefix afterwards — on normal release, on arena close, on
+forgotten arenas cleaned by the atexit hook, and when a worker that mapped a
+segment crashes hard.
+"""
+
+import os
+import pickle
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.config import DEFAULT_TOLERANCES
+from repro.engine.cache import PENCIL_SPECTRUM
+from repro.engine.shm import (
+    SHM_PREFIX,
+    ArrayArena,
+    ArrayShipment,
+    load_context,
+    load_entry,
+    ship_context,
+    ship_entry,
+    shm_available,
+)
+from repro.linalg.pencil import compute_spectral_context
+
+SHM_DIR = "/dev/shm"
+
+needs_shm = pytest.mark.skipif(
+    not shm_available() or not os.path.isdir(SHM_DIR),
+    reason="POSIX shared memory not usable here",
+)
+
+
+def repro_segments():
+    """Names of live engine-owned segments, by /dev/shm sweep."""
+    try:
+        entries = os.listdir(SHM_DIR)
+    except OSError:
+        return []
+    return sorted(name for name in entries if name.startswith(SHM_PREFIX))
+
+
+@pytest.fixture
+def arrays():
+    rng = np.random.default_rng(7)
+    return {
+        "q": rng.standard_normal((40, 40)),
+        "alpha": rng.standard_normal(40) + 1j * rng.standard_normal(40),
+        "header": np.array([1, 2, 3], dtype=np.int64),
+    }
+
+
+@pytest.fixture(autouse=True)
+def no_leaks_after_test():
+    before = repro_segments()
+    yield
+    assert repro_segments() == before, "test leaked shared-memory segments"
+
+
+class TestShipmentRoundTrip:
+    @needs_shm
+    def test_shm_round_trip_is_bitwise(self, arrays):
+        with ArrayArena(min_bytes=0) as arena:
+            shipment = arena.ship(arrays, meta={"tag": "t"})
+            assert shipment.via_shm
+            assert shipment.wire_bytes == 0
+            assert arena.active_segments == 1
+            # The descriptor, not the data, crosses the pipe.
+            assert len(pickle.dumps(shipment)) < 2_000
+            loaded = pickle.loads(pickle.dumps(shipment)).load()
+            for key, value in arrays.items():
+                assert np.array_equal(loaded[key], value)
+                assert not loaded[key].flags.writeable
+            copied = shipment.load(copy=True)
+            assert copied["q"].flags.writeable
+            arena.release(shipment)
+            assert arena.active_segments == 0
+
+    def test_inline_below_min_bytes(self, arrays):
+        with ArrayArena(min_bytes=1 << 30) as arena:
+            shipment = arena.ship(arrays)
+            assert not shipment.via_shm
+            assert shipment.wire_bytes > 0
+            loaded = pickle.loads(pickle.dumps(shipment)).load()
+            for key, value in arrays.items():
+                assert np.array_equal(loaded[key], value)
+            arena.release(shipment)  # no-op, must not raise
+
+    def test_env_kill_switch_forces_inline(self, arrays, monkeypatch):
+        monkeypatch.setenv("REPRO_DISABLE_SHM", "1")
+        with ArrayArena(min_bytes=0) as arena:
+            shipment = arena.ship(arrays)
+            assert not shipment.via_shm
+            assert arena.active_segments == 0
+
+    @needs_shm
+    def test_refcounted_fanout(self, arrays):
+        with ArrayArena(min_bytes=0) as arena:
+            shipment = arena.ship(arrays)
+            arena.retain(shipment)
+            arena.release(shipment)
+            assert arena.active_segments == 1  # one reference still out
+            arena.release(shipment)
+            assert arena.active_segments == 0
+            arena.release(shipment)  # double release is a no-op
+
+
+class TestKindAwareHelpers:
+    @needs_shm
+    def test_spectral_context_ships_zero_copy(self):
+        rng = np.random.default_rng(11)
+        n = 30
+        context = compute_spectral_context(
+            np.eye(n), rng.standard_normal((n, n)), DEFAULT_TOLERANCES
+        )
+        with ArrayArena(min_bytes=0) as arena:
+            shipment = ship_context(arena, context)
+            assert shipment.via_shm
+            rebuilt = load_context(pickle.loads(pickle.dumps(shipment)))
+            reference = context.to_arrays()
+            for key, value in rebuilt.to_arrays().items():
+                assert np.array_equal(value, reference[key])
+            arena.release(shipment)
+
+    @needs_shm
+    def test_cache_entry_ships_via_store_codec(self):
+        rng = np.random.default_rng(13)
+        n = 20
+        context = compute_spectral_context(
+            np.eye(n), rng.standard_normal((n, n)), DEFAULT_TOLERANCES
+        )
+        with ArrayArena(min_bytes=0) as arena:
+            shipment = ship_entry(arena, PENCIL_SPECTRUM, ("value", context))
+            kind, (tag, payload) = load_entry(pickle.loads(pickle.dumps(shipment)))
+            assert kind == PENCIL_SPECTRUM
+            assert tag == "value"
+            assert np.array_equal(payload.alpha, context.alpha)
+            assert np.array_equal(payload.beta, context.beta)
+            arena.release(shipment)
+
+
+class TestCleanup:
+    @needs_shm
+    def test_atexit_unlinks_forgotten_arena(self):
+        # A child process ships and exits *without* closing the arena; the
+        # module atexit hook must unlink its segments.
+        code = (
+            "import numpy as np\n"
+            "from repro.engine.shm import ArrayArena, SHM_PREFIX\n"
+            "arena = ArrayArena(min_bytes=0)\n"
+            "s = arena.ship({'x': np.ones((64, 64))})\n"
+            "assert s.via_shm\n"
+            "print(s.segment)\n"
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True, text=True, check=True,
+            env={**os.environ, "PYTHONPATH": "src"},
+            cwd="/root/repo",
+        )
+        name = result.stdout.strip()
+        assert name.startswith(SHM_PREFIX)
+        assert name not in repro_segments()
+
+    @needs_shm
+    def test_worker_crash_does_not_leak(self):
+        # Parent ships, a worker maps the segment and dies with os._exit
+        # (no atexit, no cleanup); the parent's release must still unlink,
+        # and the crashed attachment must not have unlinked it early.
+        with ArrayArena(min_bytes=0) as arena:
+            shipment = arena.ship({"x": np.arange(65536, dtype=float)})
+            blob = pickle.dumps(shipment).hex()
+            code = (
+                "import os, pickle, numpy as np\n"
+                f"s = pickle.loads(bytes.fromhex('{blob}'))\n"
+                "a = s.load()\n"
+                "assert float(a['x'][-1]) == 65535.0\n"
+                "os._exit(17)\n"
+            )
+            result = subprocess.run(
+                [sys.executable, "-c", code],
+                capture_output=True, text=True,
+                env={**os.environ, "PYTHONPATH": "src"},
+                cwd="/root/repo",
+            )
+            assert result.returncode == 17, result.stderr
+            # Crash must not have torn the segment down under the parent.
+            assert shipment.segment in repro_segments()
+            again = shipment.load(copy=True)
+            assert float(again["x"][0]) == 0.0
+            arena.release(shipment)
+        assert shipment.segment not in repro_segments()
+
+    @needs_shm
+    def test_unlink_while_attached_keeps_mapping_valid(self):
+        with ArrayArena(min_bytes=0) as arena:
+            shipment = arena.ship({"x": np.full((256, 256), 3.5)})
+            view = shipment.load()["x"]
+            arena.release(shipment)  # POSIX: mapping survives the unlink
+            assert shipment.segment not in repro_segments()
+            assert float(view[128, 128]) == 3.5

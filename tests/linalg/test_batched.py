@@ -1,0 +1,85 @@
+"""Stacked kernels must match a per-slice Python loop bit for bit."""
+
+import numpy as np
+import pytest
+
+from repro.linalg.batched import (
+    batched_eigvals,
+    batched_eigvalsh,
+    batched_hermitian_min_eig,
+    group_by_shape,
+    state_space_hermitian_min_eigs,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(20060724)
+
+
+class TestBatchedEig:
+    def test_eigvalsh_matches_loop_bitwise(self, rng):
+        stack = rng.standard_normal((7, 12, 12))
+        stack = 0.5 * (stack + np.swapaxes(stack, -1, -2))
+        batched = batched_eigvalsh(stack)
+        for k in range(stack.shape[0]):
+            loop = np.linalg.eigvalsh(stack[k])
+            assert np.array_equal(batched[k], loop)
+
+    def test_eigvals_matches_loop_bitwise(self, rng):
+        stack = rng.standard_normal((5, 9, 9))
+        batched = batched_eigvals(stack)
+        for k in range(stack.shape[0]):
+            assert np.array_equal(batched[k], np.linalg.eigvals(stack[k]))
+
+    def test_empty_stacks(self):
+        assert batched_eigvalsh(np.zeros((0, 4, 4))).shape == (0, 4)
+        assert batched_eigvals(np.zeros((0, 4, 4))).shape == (0, 4)
+        assert batched_hermitian_min_eig(np.zeros((0, 4, 4))).shape == (0,)
+
+    def test_hermitian_min_eig_matches_scalar(self, rng):
+        stack = rng.standard_normal((6, 4, 4)) + 1j * rng.standard_normal((6, 4, 4))
+        batched = batched_hermitian_min_eig(stack)
+        for k in range(stack.shape[0]):
+            hermitian = 0.5 * (stack[k] + stack[k].conj().T)
+            scalar = float(np.min(np.linalg.eigvalsh(hermitian)))
+            assert batched[k] == scalar
+
+
+class TestStateSpaceGrid:
+    def test_matches_per_point_evaluation(self, rng):
+        n, p = 8, 2
+        a = rng.standard_normal((n, n)) - 3.0 * np.eye(n)
+        b = rng.standard_normal((n, p))
+        c = rng.standard_normal((p, n))
+        d = np.eye(p)
+        omegas = np.logspace(-2, 2, 17)
+        batched = state_space_hermitian_min_eigs(a, b, c, d, omegas)
+        for k, omega in enumerate(omegas):
+            shifted = 1j * omega * np.eye(n) - a
+            value = d + c @ np.linalg.solve(shifted, b.astype(complex))
+            hermitian = 0.5 * (value + value.conj().T)
+            assert batched[k] == float(np.min(np.linalg.eigvalsh(hermitian)))
+
+    def test_order_zero_uses_feedthrough_only(self):
+        d = np.array([[2.0, 0.0], [0.0, 3.0]])
+        result = state_space_hermitian_min_eigs(
+            np.zeros((0, 0)), np.zeros((0, 2)), np.zeros((2, 0)), d, [0.1, 1.0]
+        )
+        assert np.allclose(result, 2.0)
+
+    def test_singular_probe_raises(self):
+        # A pole exactly on the probe frequency: j*1 is an eigenvalue of A.
+        a = np.array([[0.0, 1.0], [-1.0, 0.0]])
+        b = np.eye(2)
+        c = np.eye(2)
+        d = np.zeros((2, 2))
+        with pytest.raises(np.linalg.LinAlgError):
+            state_space_hermitian_min_eigs(a, b, c, d, [1.0])
+
+
+class TestGroupByShape:
+    def test_groups_preserve_first_seen_order(self):
+        arrays = [np.zeros((2, 2)), np.zeros((3, 3)), np.ones((2, 2))]
+        groups = group_by_shape(arrays)
+        assert groups == {(2, 2): [0, 2], (3, 3): [1]}

@@ -1,0 +1,136 @@
+"""The vectorized sampling check must reproduce the scalar loop bit for bit.
+
+The stacked frequency-grid pipeline (``DescriptorSystem.evaluate_grid`` +
+``batched_hermitian_min_eig``) replaced a per-point Python loop; these tests
+pin the replacement by re-running the original per-point algorithm and
+asserting bitwise-equal verdicts and summaries.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits import rlc_ladder
+from repro.config import DEFAULT_TOLERANCES
+from repro.descriptor.system import DescriptorSystem
+from repro.exceptions import SingularPencilError
+from repro.passivity.sampling import sampling_passivity_check
+
+
+def _scalar_reference(system, omegas, tol):
+    """The pre-vectorization per-point sweep, verbatim."""
+    min_eig = np.inf
+    argmin = 0.0
+    evaluated = 0
+    for omega in omegas:
+        try:
+            value = system.evaluate(1j * float(omega), tol)
+        except SingularPencilError:
+            continue
+        evaluated += 1
+        hermitian = 0.5 * (value + value.conj().T)
+        smallest = float(np.min(np.linalg.eigvalsh(hermitian)))
+        if smallest < min_eig:
+            min_eig = smallest
+            argmin = float(omega)
+    return min_eig, argmin, evaluated
+
+
+def _grid(omega_min=1e-4, omega_max=1e4, n_samples=60, include_zero=True):
+    omegas = np.logspace(np.log10(omega_min), np.log10(omega_max), n_samples)
+    if include_zero:
+        omegas = np.concatenate([[0.0], omegas])
+    return omegas
+
+
+@pytest.fixture
+def passive_system():
+    return rlc_ladder(5).system
+
+
+@pytest.fixture
+def nonpassive_system():
+    base = rlc_ladder(4).system
+    return DescriptorSystem(base.e, base.a, base.b, base.c, base.d - 2.0)
+
+
+class TestBitwiseAgreement:
+    def test_passive_summary_bitwise(self, passive_system):
+        tol = DEFAULT_TOLERANCES
+        report = sampling_passivity_check(passive_system, n_samples=60, tol=tol)
+        min_eig, argmin, evaluated = _scalar_reference(
+            passive_system, _grid(), tol
+        )
+        summary = report.diagnostics["summary"]
+        assert report.is_passive
+        assert summary.min_eigenvalue == min_eig
+        assert summary.argmin_omega == argmin
+        assert summary.n_samples == evaluated
+
+    def test_nonpassive_summary_bitwise(self, nonpassive_system):
+        tol = DEFAULT_TOLERANCES
+        report = sampling_passivity_check(nonpassive_system, n_samples=60, tol=tol)
+        min_eig, argmin, evaluated = _scalar_reference(
+            nonpassive_system, _grid(), tol
+        )
+        summary = report.diagnostics["summary"]
+        assert not report.is_passive
+        assert summary.min_eigenvalue == min_eig
+        assert summary.argmin_omega == argmin
+        assert summary.n_samples == evaluated
+
+    def test_evaluate_grid_matches_evaluate_bitwise(self, passive_system):
+        tol = DEFAULT_TOLERANCES
+        omegas = _grid(n_samples=25)
+        values, valid = passive_system.evaluate_grid(1j * omegas, tol)
+        assert valid.all()
+        for k, omega in enumerate(omegas):
+            assert np.array_equal(
+                values[k], passive_system.evaluate(1j * float(omega), tol)
+            )
+
+    def test_chunked_path_matches_unchunked(self, passive_system, monkeypatch):
+        # Force tiny chunks by evaluating a grid larger than one chunk of a
+        # big system would allow; chunk boundaries must not change values.
+        tol = DEFAULT_TOLERANCES
+        omegas = np.logspace(-2, 2, 9)
+        full, valid_full = passive_system.evaluate_grid(1j * omegas, tol)
+        pieces = [
+            passive_system.evaluate_grid(1j * omegas[k : k + 2], tol)[0]
+            for k in range(0, omegas.size, 2)
+        ]
+        assert valid_full.all()
+        assert np.array_equal(full, np.concatenate(pieces))
+
+
+class TestSingularGridPoints:
+    def test_singular_points_skipped_like_scalar_loop(self):
+        # A lossless LC resonator has poles on the imaginary axis: grid
+        # points that hit (numerically) singular pencils must be skipped and
+        # the evaluated count reduced, exactly like the scalar loop did.
+        e = np.eye(2)
+        a = np.array([[0.0, 1.0], [-1.0, 0.0]])
+        b = np.array([[1.0], [0.0]])
+        c = np.array([[1.0, 0.0]])
+        d = np.array([[1.0]])
+        system = DescriptorSystem(e, a, b, c, d)
+        omegas = np.array([0.5, 1.0, 2.0])
+        tol = DEFAULT_TOLERANCES
+        values, valid = system.evaluate_grid(1j * omegas, tol)
+        scalar_valid = []
+        for omega in omegas:
+            try:
+                system.evaluate(1j * float(omega), tol)
+                scalar_valid.append(True)
+            except SingularPencilError:
+                scalar_valid.append(False)
+        assert valid.tolist() == scalar_valid
+
+    def test_frequency_response_raises_on_singular_point(self):
+        e = np.eye(2)
+        a = np.array([[0.0, 1.0], [-1.0, 0.0]])
+        b = np.array([[1.0], [0.0]])
+        c = np.array([[1.0, 0.0]])
+        d = np.array([[1.0]])
+        system = DescriptorSystem(e, a, b, c, d)
+        with pytest.raises(SingularPencilError):
+            system.frequency_response([0.5, 1.0, 2.0])

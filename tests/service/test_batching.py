@@ -1,0 +1,117 @@
+"""Micro-batch dispatch and shared-memory shipping in the service layer."""
+
+import os
+
+import pytest
+
+from repro.circuits import rlc_ladder
+from repro.engine.shm import SHM_PREFIX, shm_available
+from repro.service import PassivityService
+
+SHM_DIR = "/dev/shm"
+
+
+def repro_segments():
+    try:
+        entries = os.listdir(SHM_DIR)
+    except OSError:
+        return []
+    return sorted(name for name in entries if name.startswith(SHM_PREFIX))
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_segments():
+    before = repro_segments()
+    yield
+    assert repro_segments() == before, "service leaked shared-memory segments"
+
+
+class TestServiceMicroBatching:
+    def test_process_service_batches_small_job_floods(self):
+        systems = [rlc_ladder(2 + (k % 3)).system for k in range(8)]
+        with PassivityService(
+            max_workers=1,
+            executor="process",
+            batch_small_systems=True,
+            dedup=False,
+        ) as service:
+            handles = [service.submit(system, method="gare") for system in systems]
+            reports = [handle.result(timeout=120.0) for handle in handles]
+            stats = service.stats()
+        assert all(report.is_passive for report in reports)
+        # One worker, eight near-simultaneous submissions: at least one
+        # dispatch must have carried several jobs.
+        assert stats.batches >= 1
+        assert stats.batched_jobs >= 2
+        assert stats.batch_occupancy > 1.0
+        if shm_available():
+            assert stats.transport == "shm"
+        else:
+            assert stats.transport == "pickle"
+
+    def test_policy_off_never_batches(self):
+        systems = [rlc_ladder(2).system for _ in range(4)]
+        with PassivityService(
+            max_workers=1,
+            executor="process",
+            batch_small_systems=False,
+            dedup=False,
+        ) as service:
+            handles = [service.submit(system, method="gare") for system in systems]
+            for handle in handles:
+                handle.result(timeout=120.0)
+            stats = service.stats()
+        assert stats.batches == 0
+        assert stats.batched_jobs == 0
+        assert stats.batch_occupancy == 0.0
+
+    def test_thread_executor_reports_no_transport_or_batches(self):
+        with PassivityService(max_workers=1, executor="thread") as service:
+            service.submit(rlc_ladder(3).system, method="gare").result(timeout=120.0)
+            stats = service.stats()
+        assert stats.transport == "none"
+        assert stats.batches == 0
+        assert stats.shm_bytes == 0
+
+    def test_forced_pickle_transport(self):
+        with PassivityService(
+            max_workers=1, executor="process", transport="pickle"
+        ) as service:
+            report = service.submit(rlc_ladder(3).system, method="gare").result(
+                timeout=120.0
+            )
+            stats = service.stats()
+        assert report.is_passive
+        assert stats.transport == "pickle"
+        assert stats.shm_bytes == 0
+
+    def test_invalid_knobs_rejected(self):
+        with pytest.raises(ValueError):
+            PassivityService(transport="smoke-signals")
+        with pytest.raises(ValueError):
+            PassivityService(batch_small_systems="sometimes")
+        with pytest.raises(ValueError):
+            PassivityService(max_batch_size=0)
+
+    def test_stats_jsonable_carries_batch_fields(self):
+        with PassivityService(max_workers=1) as service:
+            payload = service.stats().to_jsonable()
+        for key in ("transport", "batches", "batched_jobs", "batch_occupancy", "shm_bytes"):
+            assert key in payload
+
+    @pytest.mark.skipif(
+        not shm_available() or not os.path.isdir(SHM_DIR),
+        reason="POSIX shared memory not usable here",
+    )
+    def test_large_single_jobs_ship_via_shm(self):
+        # Order-121 system: above the small-system limit (no batching), big
+        # enough to clear the arena's inline threshold — the job's matrices
+        # must ride a segment, and close() must sweep everything.
+        system = rlc_ladder(40).system
+        with PassivityService(max_workers=1, executor="process") as service:
+            report = service.submit(system, method="gare").result(timeout=300.0)
+            stats = service.stats()
+        assert report.is_passive
+        assert stats.transport == "shm"
+        assert stats.shm_bytes > 0
+        assert stats.batches == 0
