@@ -120,9 +120,11 @@ class BatchOutcome:
     total_seconds: float
     backend: str
     n_workers: int
-    #: Array transport the process backend used: ``"shm"`` (payloads by
-    #: shared-memory segment name), ``"pickle"`` (classic serialization) or
-    #: ``"none"`` (thread/serial backends: nothing crosses a process pipe).
+    #: Array transport the process backend used: ``"shm"`` (payload bytes
+    #: actually rode shared-memory segments), ``"pickle"`` (classic
+    #: serialization — including sweeps where the arena was on but every
+    #: payload stayed inline) or ``"none"`` (thread/serial backends:
+    #: nothing crosses a process pipe).
     transport: str = "none"
     #: Micro-batch telemetry: number of multi-system worker cells and the
     #: number of jobs that rode them (0 when the policy stayed off).
@@ -295,7 +297,9 @@ class BatchRunner:
     max_workers:
         Pool size (default: executor's choice).
     task_timeout:
-        Best-effort per-task timeout in seconds (``None`` disables).
+        Best-effort per-task timeout in seconds (``None`` disables).  The
+        budget is per *system*: a micro-batched chunk of ``k`` systems is
+        waited on for ``k * task_timeout``.
     backend:
         ``"auto"``, ``"process"``, ``"thread"`` or ``"serial"``.
     tol:
@@ -737,8 +741,15 @@ class BatchRunner:
                     ),
                 ))
             for indices, is_batch, future in futures:
+                # task_timeout budgets *one system's* worth of work; a
+                # micro-batch chunk bundles several systems into one future,
+                # so its wait scales with the chunk size — a caller's tuned
+                # per-system timeout keeps its meaning under batching.
+                timeout = None
+                if self.task_timeout is not None:
+                    timeout = self.task_timeout * len(indices)
                 try:
-                    payload = future.result(timeout=self.task_timeout)
+                    payload = future.result(timeout=timeout)
                 except FutureTimeoutError:
                     for si in indices:
                         for mi, method in enumerate(methods):
@@ -785,7 +796,10 @@ class BatchRunner:
             total_seconds=0.0,
             backend="process",
             n_workers=n_workers,
-            transport="shm" if arena is not None else "pickle",
+            # "shm" only when bytes actually rode a segment: an arena whose
+            # every payload stayed inline (below min_bytes, or after a
+            # segment-creation fallback) really ran the pickle tier.
+            transport="shm" if arena is not None and arena.shipped_bytes > 0 else "pickle",
             n_batches=len(chunks),
             n_batched_jobs=sum(len(chunk) for chunk in chunks),
             shm_bytes=arena.shipped_bytes if arena is not None else 0,

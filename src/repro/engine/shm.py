@@ -26,7 +26,9 @@ Design points
   to close unlinks its segments on interpreter shutdown.  Worker-side
   attachments never register with the ``resource_tracker`` (guarding
   against the well-known double-unlink bug, bpo-38119) — only the creating
-  process unlinks.
+  process unlinks.  A zero-copy attachment lives exactly as long as its
+  views: the mapping (and its fd) closes when the last view is collected,
+  so long-lived pool workers never accumulate mappings across dispatches.
 * **Graceful fallback.**  When shared memory is unavailable (no ``/dev/shm``,
   permissions, platform), force-disabled via the ``REPRO_DISABLE_SHM``
   environment variable, or the payload is too small to be worth a segment,
@@ -43,6 +45,7 @@ from __future__ import annotations
 
 import atexit
 import os
+import secrets
 import threading
 import weakref
 from dataclasses import dataclass, field
@@ -85,10 +88,6 @@ _probe_result: Optional[bool] = None
 #: Live arenas, drained at interpreter exit so forgotten segments still
 #: unlink.  Weak references keep the set from pinning closed arenas.
 _LIVE_ARENAS: "weakref.WeakSet[ArrayArena]" = weakref.WeakSet()
-
-#: Worker-side attachments kept alive for the life of zero-copy views; the
-#: atexit hook closes the mappings (never unlinks — that is the owner's job).
-_ATTACHED_SEGMENTS: List[Any] = []
 
 
 def _shm_disabled() -> bool:
@@ -144,6 +143,28 @@ def _attach_segment(name: str) -> Any:
             resource_tracker.register = original
 
 
+def _close_with_views(shm: Any, views: List[np.ndarray]) -> None:
+    """Close the borrowed mapping when the last zero-copy view dies.
+
+    Each view holds the mapping's buffer, so the pages stay valid while any
+    view (or a slice of one — slices pin their base) is alive; the finalizers
+    close the fd once every view is collected.  ``weakref.finalize`` also
+    fires at interpreter shutdown, covering views that never get collected.
+    """
+    remaining = {"count": len(views)}
+
+    def _drop() -> None:
+        remaining["count"] -= 1
+        if remaining["count"] == 0:
+            try:
+                shm.close()
+            except Exception:  # noqa: BLE001 - shutdown-order races
+                pass
+
+    for view in views:
+        weakref.finalize(view, _drop)
+
+
 @dataclass
 class ArrayShipment:
     """Picklable descriptor of one array payload, shm-backed or inline.
@@ -180,10 +201,11 @@ class ArrayShipment:
 
         With ``copy=False`` (default) an shm-backed shipment returns
         *read-only views* into the mapped segment — zero copies; the mapping
-        is kept alive for the rest of the process and closed at interpreter
-        exit.  ``copy=True`` copies out and closes the mapping immediately
-        (the copies are writable).  Inline shipments return their arrays
-        (a copy when ``copy=True``).
+        (and its fd) stays open exactly as long as the views and closes when
+        the last one is garbage-collected, so persistent pool workers do not
+        accumulate mappings across dispatches.  ``copy=True`` copies out and
+        closes the mapping immediately (the copies are writable).  Inline
+        shipments return their arrays (a copy when ``copy=True``).
         """
         if not self.via_shm:
             arrays = dict(self.inline or {})
@@ -194,6 +216,7 @@ class ArrayShipment:
             raise RuntimeError("shared memory transport is unavailable")
         shm = _attach_segment(self.segment)
         arrays: Dict[str, np.ndarray] = {}
+        views: List[np.ndarray] = []
         for key, dtype_str, shape, offset in self.specs:
             view = np.ndarray(
                 tuple(shape), dtype=np.dtype(dtype_str), buffer=shm.buf, offset=offset
@@ -203,12 +226,11 @@ class ArrayShipment:
             else:
                 view.flags.writeable = False
                 arrays[key] = view
-        if copy:
+                views.append(view)
+        if copy or not views:
             shm.close()
         else:
-            # The views borrow the mapping; keep it (and its fd) alive until
-            # process exit.  close() is cheap and never unlinks.
-            _ATTACHED_SEGMENTS.append(shm)
+            _close_with_views(shm, views)
         return arrays
 
 
@@ -217,7 +239,9 @@ class ArrayArena:
 
     One arena is created per transport scope (a batch sweep, a service
     instance); every :meth:`ship` packs one payload into one fresh segment
-    named ``repro-shm-<pid>-<seq>``.  The arena refcounts its segments:
+    named ``repro-shm-<pid>-<token>-<seq>`` (the random per-arena token keeps
+    concurrent arenas in one process from colliding).  The arena refcounts
+    its segments:
     :meth:`retain` before handing the same shipment to another consumer,
     :meth:`release` when a consumer is done — the last release unlinks.
     :meth:`close` force-releases everything (idempotent; also runs from the
@@ -239,6 +263,10 @@ class ArrayArena:
         self.enabled = enabled
         self._segments: Dict[str, Any] = {}
         self._refcounts: Dict[str, int] = {}
+        # The pid alone cannot name segments uniquely: two arenas alive in
+        # one process (a service arena next to an in-process runner's) would
+        # collide and silently degrade the loser to inline pickle.
+        self._token = secrets.token_hex(4)
         self._seq = 0
         self.shipped_bytes = 0
         self.inline_bytes = 0
@@ -280,7 +308,7 @@ class ArrayArena:
             self.inline_bytes += total
             return ArrayShipment(meta=dict(meta or {}), inline=packed, nbytes=total)
         self._seq += 1
-        name = f"{SHM_PREFIX}{os.getpid()}-{self._seq}"
+        name = f"{SHM_PREFIX}{os.getpid()}-{self._token}-{self._seq}"
         try:
             segment = shared_memory.SharedMemory(
                 create=True, size=max(1, total), name=name
@@ -353,12 +381,6 @@ class ArrayArena:
 def _drain_at_exit() -> None:  # pragma: no cover - exercised in subprocesses
     for arena in list(_LIVE_ARENAS):
         arena.close()
-    for shm in _ATTACHED_SEGMENTS:
-        try:
-            shm.close()
-        except Exception:  # noqa: BLE001
-            pass
-    _ATTACHED_SEGMENTS.clear()
 
 
 # ----------------------------------------------------------------------
@@ -398,12 +420,14 @@ def ship_systems(arena: ArrayArena, systems: "list") -> ArrayShipment:
 def load_systems(shipment: ArrayShipment) -> "list":
     """Rebuild the :func:`ship_systems` fleet in the worker.
 
-    The constructor's ``astype(float)`` copies out of the mapping, so the
-    rebuilt systems own their matrices and outlive the segment.
+    Loads with ``copy=True``: the constructor's ``astype(float)`` would copy
+    out of the mapping anyway, so zero-copy views buy nothing here — copying
+    up front lets the mapping (and its fd) close before this call returns
+    instead of lingering on the views' lifetime.
     """
     from repro.descriptor.system import DescriptorSystem
 
-    arrays = shipment.load()
+    arrays = shipment.load(copy=True)
     count = int(shipment.meta["count"])
     return [
         DescriptorSystem(

@@ -202,9 +202,11 @@ class ServiceStats:
     queue_capacity:
         The configured ``max_queue`` bound (``None`` when unbounded).
     transport:
-        Array transport of process-mode dispatch: ``"shm"`` when payloads
-        ride shared-memory segments, ``"pickle"`` when they ride the call
-        pipe, ``"none"`` for the thread executor.
+        Array transport of process-mode dispatch: ``"shm"`` when payload
+        bytes have actually ridden shared-memory segments, ``"pickle"``
+        when everything rode the call pipe (including an shm-capable arena
+        whose payloads all stayed inline), ``"none"`` for the thread
+        executor.
     batches / batched_jobs / batch_occupancy:
         Micro-batch telemetry: multi-job worker dispatches, the jobs that
         rode them, and the mean jobs per dispatch (0.0 when the policy
@@ -760,15 +762,17 @@ class PassivityService:
 
         Called on the loop thread with ``primary`` already RUNNING.  Only
         jobs that are themselves batch-eligible *and* share the primary's
-        timeout join (one pool dispatch has one deadline); anything else —
-        including ghost tuples of cancelled jobs — is consumed or requeued
-        without disturbing its priority (the original ``(priority, seq)``
-        tuple is reinserted).  Joined jobs transition to RUNNING here, and
+        timeout join (one pool dispatch has one deadline).  The queue yields
+        strictly in ``(priority, seq)`` order, so draining stops at the
+        first live job that cannot join: skipping past it would let
+        lower-priority batchable jobs execute ahead of it (priority
+        inversion under mixed workloads).  The stopper is reinserted with
+        its original tuple, keeping its position; ghost tuples of cancelled
+        jobs are consumed here.  Joined jobs transition to RUNNING, and
         their queue bookkeeping (``task_done``) is settled immediately:
         ownership moves to the batch.
         """
         extras: List[Job] = []
-        requeue: List[Tuple[int, int, str]] = []
         while len(extras) + 1 < self._max_batch_size:
             try:
                 item = self._queue.get_nowait()
@@ -779,17 +783,15 @@ class PassivityService:
             if other is None or other.state is not JobState.QUEUED:
                 self._queue.task_done()  # ghost: consume it here
                 continue
-            if self._batch_eligible(other) and other.timeout == primary.timeout:
-                self._n_queued -= 1
-                other.state = JobState.RUNNING
-                other.started_at = time.time()
+            if not (self._batch_eligible(other) and other.timeout == primary.timeout):
                 self._queue.task_done()
-                extras.append(other)
-            else:
-                requeue.append(item)
-        for item in requeue:
+                self._queue.put_nowait(item)
+                break
+            self._n_queued -= 1
+            other.state = JobState.RUNNING
+            other.started_at = time.time()
             self._queue.task_done()
-            self._queue.put_nowait(item)
+            extras.append(other)
         return extras
 
     async def _run_batch(
@@ -801,7 +803,9 @@ class PassivityService:
         when the arena is on); the worker returns one outcome per job plus a
         single cache-counter delta that is merged exactly once.  Timeout and
         failure resolve every member — the members shared one dispatch, so
-        they share its fate, matching batch-runner chunk semantics.
+        they share its fate, matching batch-runner chunk semantics.  A job's
+        timeout budgets *one* job, so the shared dispatch is waited on for
+        ``len(jobs)`` times that budget.
         """
         systems = [job.system for job in jobs]
         fleet: Any = systems
@@ -811,13 +815,14 @@ class PassivityService:
         cells = [(job.method, dict(job.options)) for job in jobs]
         self._n_batches += 1
         self._n_batched_jobs += len(jobs)
+        budget = None if jobs[0].timeout is None else jobs[0].timeout * len(jobs)
         try:
             future = loop.run_in_executor(
                 self._executor,
                 _process_batch_cells,
                 (fleet, cells, self._runner.tol, self._runner.registry),
             )
-            done, pending = await asyncio.wait({future}, timeout=jobs[0].timeout)
+            done, pending = await asyncio.wait({future}, timeout=budget)
         except asyncio.CancelledError:
             raise  # service shutdown
         except Exception as error:  # noqa: BLE001 - keep worker alive
@@ -832,7 +837,7 @@ class PassivityService:
                 self._finish(
                     job,
                     JobState.TIMED_OUT,
-                    error=f"timed out after {jobs[0].timeout:.3g} s",
+                    error=f"timed out after {budget:.3g} s",
                 )
             return
         try:
@@ -1178,9 +1183,11 @@ class PassivityService:
             throughput_per_second=self._n_completed / uptime if uptime > 0 else 0.0,
             executor=self._executor_kind,
             queue_capacity=self._max_queue,
+            # "shm" only when bytes actually rode a segment: an arena whose
+            # every payload stayed inline really dispatched via pickle.
             transport=(
                 "shm"
-                if self._arena is not None
+                if self._arena is not None and self._arena.shipped_bytes > 0
                 else ("pickle" if self._executor_kind == "process" else "none")
             ),
             batches=self._n_batches,

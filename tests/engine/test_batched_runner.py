@@ -103,6 +103,31 @@ class TestMicroBatching:
         assert outcome.cache_stats.hits == reference.cache_stats.hits
         assert outcome.cache_stats.misses == reference.cache_stats.misses
 
+    def test_chunk_wait_scales_with_chunk_size(self, monkeypatch):
+        # task_timeout budgets one system; a chunk of k systems must be
+        # waited on for k * task_timeout, or callers with per-system
+        # timeouts tuned near real job cost would see whole chunks
+        # spuriously timed out after enabling batching.
+        from concurrent.futures import Future
+
+        captured = []
+        original = Future.result
+
+        def spy(self, timeout=None):
+            captured.append(timeout)
+            return original(self, timeout=timeout)
+
+        monkeypatch.setattr(Future, "result", spy)
+        runner = BatchRunner(
+            backend="process",
+            batch_small_systems=True,
+            batch_size=3,
+            task_timeout=120.0,
+        )
+        outcome = runner.run(small_fleet(6), methods=("gare",))
+        assert outcome.n_timed_out == 0
+        assert captured == [360.0, 360.0]
+
     def test_invalid_policy_rejected(self):
         with pytest.raises(ValueError):
             BatchRunner(batch_small_systems="yes")

@@ -7,6 +7,7 @@ forgotten arenas cleaned by the atexit hook, and when a worker that mapped a
 segment crashes hard.
 """
 
+import gc
 import os
 import pickle
 import subprocess
@@ -98,6 +99,48 @@ class TestShipmentRoundTrip:
             shipment = arena.ship(arrays)
             assert not shipment.via_shm
             assert arena.active_segments == 0
+
+    @needs_shm
+    def test_attachment_closes_when_views_die(self, arrays):
+        # A zero-copy load must not pin the mapping for process lifetime:
+        # in a persistent pool worker that would leak one fd (and keep the
+        # unlinked segment's pages resident) per dispatch.  The fd must
+        # close once the last view is collected.
+        def segment_fds(name):
+            fds = []
+            for fd in os.listdir("/proc/self/fd"):
+                try:
+                    target = os.readlink(f"/proc/self/fd/{fd}")
+                except OSError:
+                    continue
+                if name in target:
+                    fds.append(fd)
+            return fds
+
+        with ArrayArena(min_bytes=0) as arena:
+            shipment = arena.ship(arrays)
+            owner_fds = len(segment_fds(shipment.segment))
+            loaded = pickle.loads(pickle.dumps(shipment)).load()
+            # The attach holds extra fds (SharedMemory's fd + mmap's dup)...
+            assert len(segment_fds(shipment.segment)) > owner_fds
+            del loaded
+            gc.collect()
+            # ...all returned once the views are gone.
+            assert len(segment_fds(shipment.segment)) == owner_fds
+            arena.release(shipment)
+
+    @needs_shm
+    def test_concurrent_arenas_never_collide_on_names(self, arrays):
+        # Two live arenas in one process (service arena + in-process runner)
+        # must not race for the same segment name — a collision silently
+        # degrades the loser to inline pickle.
+        with ArrayArena(min_bytes=0) as first, ArrayArena(min_bytes=0) as second:
+            a = first.ship(arrays)
+            b = second.ship(arrays)
+            assert a.via_shm and b.via_shm
+            assert a.segment != b.segment
+            first.release(a)
+            second.release(b)
 
     @needs_shm
     def test_refcounted_fanout(self, arrays):
