@@ -42,6 +42,7 @@ background until it finishes.
 from __future__ import annotations
 
 import time
+from collections import deque
 from concurrent.futures import (
     BrokenExecutor,
     Future,
@@ -132,6 +133,11 @@ class BatchOutcome:
     n_batched_jobs: int = 0
     #: Bytes that traveled by shared memory instead of the call pipe.
     shm_bytes: int = 0
+    #: Times the process pool was rebuilt mid-sweep after a worker crash
+    #: (:class:`~concurrent.futures.process.BrokenProcessPool`); crashed
+    #: tasks are resubmitted once to the replacement pool before their
+    #: cells are marked failed.
+    pool_restarts: int = 0
 
     @property
     def batch_occupancy(self) -> float:
@@ -702,12 +708,33 @@ class BatchRunner:
             return shipped_contexts[key]
 
         chunks: List[List[int]] = []
+        pool_restarts = 0
+        #: The pool currently accepting work.  A broken pool is replaced
+        #: mid-sweep (the rebuild hook the service's supervisor also relies
+        #: on); ``None`` only when a replacement could not be created.
+        current_pool: Optional[ProcessPoolExecutor] = pool
         try:
             n_workers = pool._max_workers
             chunks = self._plan_chunks(systems, n_workers)
             in_chunks = {si for chunk in chunks for si in chunk}
 
-            futures: List[Tuple[Tuple[int, ...], bool, Future]] = []
+            #: Collection queue: each entry keeps its task function and
+            #: payload so a crash-interrupted task can be resubmitted to a
+            #: rebuilt pool (shm shipments stay valid — the arena unlinks
+            #: its segments only after the sweep).
+            tasks: "deque[Dict[str, Any]]" = deque()
+
+            def enqueue(indices: Tuple[int, ...], is_batch: bool, fn: Any, payload: Any) -> None:
+                tasks.append({
+                    "indices": indices,
+                    "is_batch": is_batch,
+                    "fn": fn,
+                    "payload": payload,
+                    "future": current_pool.submit(fn, payload),
+                    "pool": current_pool,
+                    "retried": False,
+                })
+
             for chunk in chunks:
                 fleet: Any = [systems[si] for si in chunk]
                 if arena is not None:
@@ -717,30 +744,28 @@ class BatchRunner:
                     for position, si in enumerate(chunk)
                     if contexts.get(si) is not None
                 }
-                futures.append((
+                enqueue(
                     tuple(chunk),
                     True,
-                    pool.submit(
-                        _process_batch_worker,
-                        (tuple(chunk), fleet, methods, self.tol, method_options,
-                         registry, self.cache.maxsize, chunk_contexts,
-                         self.cache.store),
-                    ),
-                ))
+                    _process_batch_worker,
+                    (tuple(chunk), fleet, methods, self.tol, method_options,
+                     registry, self.cache.maxsize, chunk_contexts,
+                     self.cache.store),
+                )
             for si, system in enumerate(systems):
                 if si in in_chunks:
                     continue
-                futures.append((
+                enqueue(
                     (si,),
                     False,
-                    pool.submit(
-                        _process_worker,
-                        (si, system, methods, self.tol, method_options, registry,
-                         self.cache.maxsize, context_payload(si),
-                         self.cache.store),
-                    ),
-                ))
-            for indices, is_batch, future in futures:
+                    _process_worker,
+                    (si, system, methods, self.tol, method_options, registry,
+                     self.cache.maxsize, context_payload(si),
+                     self.cache.store),
+                )
+            while tasks:
+                task = tasks.popleft()
+                indices = task["indices"]
                 # task_timeout budgets *one system's* worth of work; a
                 # micro-batch chunk bundles several systems into one future,
                 # so its wait scales with the chunk size — a caller's tuned
@@ -749,21 +774,50 @@ class BatchRunner:
                 if self.task_timeout is not None:
                     timeout = self.task_timeout * len(indices)
                 try:
-                    payload = future.result(timeout=timeout)
+                    payload = task["future"].result(timeout=timeout)
                 except FutureTimeoutError:
                     for si in indices:
                         for mi, method in enumerate(methods):
                             results[(si, mi)] = BatchResult(si, method, timed_out=True)
                     continue
-                except (BrokenExecutor, PicklingError, OSError) as error:
-                    # A broken pool (OOM-killed worker, unpicklable payload)
-                    # costs the affected cells, not the whole sweep.
+                except BrokenExecutor as error:
+                    # A worker crash (OOM kill, segfault) breaks the whole
+                    # pool: every in-flight future of that pool fails.  Heal
+                    # by building a replacement pool and resubmitting each
+                    # affected task once; only a task that crashes the
+                    # *rebuilt* pool too marks its cells failed.
+                    if task["pool"] is current_pool:
+                        current_pool.shutdown(wait=False, cancel_futures=True)
+                        pool_restarts += 1
+                        try:
+                            current_pool = ProcessPoolExecutor(
+                                max_workers=self.max_workers
+                            )
+                        except (OSError, PermissionError):
+                            current_pool = None
+                    if current_pool is not None and not task["retried"]:
+                        task["retried"] = True
+                        task["pool"] = current_pool
+                        task["future"] = current_pool.submit(
+                            task["fn"], task["payload"]
+                        )
+                        tasks.append(task)
+                        continue
                     message = f"{type(error).__name__}: {error}"
                     for si in indices:
                         for mi, method in enumerate(methods):
                             results[(si, mi)] = BatchResult(si, method, error=message)
                     continue
-                if is_batch:
+                except (PicklingError, OSError) as error:
+                    # Unpicklable payloads and transport I/O failures are
+                    # deterministic — a retry cannot help; they cost the
+                    # affected cells, not the whole sweep.
+                    message = f"{type(error).__name__}: {error}"
+                    for si in indices:
+                        for mi, method in enumerate(methods):
+                            results[(si, mi)] = BatchResult(si, method, error=message)
+                    continue
+                if task["is_batch"]:
                     batched, stats = payload
                     # Exactly one stats merge per chunk: the chunk shares one
                     # worker cache, so merging its delta once keeps the
@@ -782,7 +836,8 @@ class BatchRunner:
                 for mi, (method, report, seconds, error) in enumerate(cells):
                     results[(index, mi)] = BatchResult(index, method, report, seconds, error)
         finally:
-            pool.shutdown(wait=False, cancel_futures=True)
+            if current_pool is not None:
+                current_pool.shutdown(wait=False, cancel_futures=True)
             # Unlink every segment; POSIX keeps the mappings of any
             # still-running (abandoned) workers valid, and a worker that
             # attaches after the unlink simply errors in its own cell.
@@ -803,4 +858,5 @@ class BatchRunner:
             n_batches=len(chunks),
             n_batched_jobs=sum(len(chunk) for chunk in chunks),
             shm_bytes=arena.shipped_bytes if arena is not None else 0,
+            pool_restarts=pool_restarts,
         )

@@ -95,6 +95,18 @@ class ServiceError(ReproError):
     """
 
 
+class JournalError(ServiceError):
+    """The write-ahead job journal was misconfigured or misused.
+
+    Raised by :class:`~repro.service.JobJournal` for *setup* problems — an
+    unusable journal path, an invalid compaction threshold, appends after
+    ``close()``.  Runtime damage is deliberately **not** an error: corrupt
+    or truncated journal lines are skipped (and counted) during replay, so
+    a torn journal degrades to replaying fewer jobs instead of failing the
+    service start.
+    """
+
+
 class QueueFullError(ServiceError):
     """The service's bounded submission queue is at capacity.
 

@@ -10,6 +10,9 @@ heavy concurrent traffic:
   submissions through the engine's shared decomposition cache,
 * :mod:`repro.service.jobs` — :class:`JobHandle`, :class:`JobStatus` and
   the :class:`JobState` lifecycle,
+* :mod:`repro.service.journal` — :class:`JobJournal`, the fsynced
+  write-ahead journal that makes accepted-but-unfinished work survive a
+  ``kill -9`` (the service replays it on restart),
 * :mod:`repro.service.serialization` — lossless JSON-able wire forms of
   dense and sparse :class:`~repro.DescriptorSystem` objects and
   :class:`~repro.PassivityReport` results,
@@ -28,6 +31,7 @@ See ``docs/architecture.md`` for where the service sits in the stack and
 """
 
 from repro.service.jobs import JobHandle, JobState, JobStatus
+from repro.service.journal import JobJournal
 from repro.service.serialization import (
     from_jsonable,
     job_record_from_jsonable,
@@ -44,6 +48,7 @@ from repro.service.http import PassivityHTTPServer, PassivityRequestHandler, ser
 __all__ = [
     "PassivityService",
     "ServiceStats",
+    "JobJournal",
     "JobHandle",
     "JobState",
     "JobStatus",

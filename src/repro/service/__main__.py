@@ -101,6 +101,25 @@ def main(argv=None) -> int:
         metavar="N",
         help="most jobs one micro-batch dispatch may carry",
     )
+    parser.add_argument(
+        "--journal",
+        nargs="?",
+        const=True,
+        default=None,
+        metavar="PATH",
+        help="write-ahead job journal: accepted submissions are fsynced "
+        "and replayed on restart, so kill -9 loses no accepted work; "
+        "without PATH the journal lives under --store (which is then "
+        "required)",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=1,
+        metavar="N",
+        help="times a job is re-queued after a process-pool worker crash "
+        "before it fails (the pool itself is always rebuilt)",
+    )
     args = parser.parse_args(argv)
 
     store = None
@@ -119,6 +138,8 @@ def main(argv=None) -> int:
         batch_small_systems=batch_policy,
         small_system_order=args.small_system_order,
         max_batch_size=args.max_batch_size,
+        journal=args.journal,
+        max_retries=args.max_retries,
     )
     server = serve(service, host=args.host, port=args.port)
     host, port = server.server_address[:2]

@@ -21,7 +21,12 @@ Method     Path                    Meaning
                                    cancelled; ``500`` failed/timed out.
 ``DELETE`` ``/jobs/<id>``          Cancel; ``{"cancelled": true|false}``.
 ``GET``    ``/stats``              Service telemetry (``ServiceStats``).
-``GET``    ``/healthz``            Liveness probe.
+``GET``    ``/healthz``            Liveness probe: ``200`` with the
+                                   :meth:`PassivityService.health` snapshot
+                                   (executor heartbeat, queue depth,
+                                   journal lag) while alive, ``503`` when
+                                   the service is dead or its process pool
+                                   stopped answering.
 =========  ======================  ==========================================
 
 System and report documents are the :mod:`repro.service.serialization`
@@ -174,7 +179,12 @@ class PassivityRequestHandler(BaseHTTPRequestHandler):
         """``GET /jobs/<id>[/result]``, ``GET /stats``, ``GET /healthz``."""
         path = self.path.rstrip("/")
         if path == "/healthz":
-            self._send_json(200, {"ok": True})
+            # The lock-free service health snapshot: 200 while alive, 503
+            # once the executor heartbeat is stale (or the service closed),
+            # so orchestrators can restart a wedged instance.  The legacy
+            # "ok" key is preserved inside the snapshot.
+            health = self.service.health()
+            self._send_json(200 if health.get("ok") else 503, health)
             return
         if path == "/stats":
             self._send_json(200, self.service.stats().to_jsonable())

@@ -76,6 +76,10 @@ class JobStatus:
         never executed on its own.
     submitted_at / started_at / finished_at:
         Unix timestamps; ``None`` until the corresponding transition.
+    retries:
+        Times the job was re-queued after its process-pool dispatch died
+        with the pool (0 for the common case; bounded by the service's
+        ``max_retries`` budget).
     error:
         Failure description for ``FAILED`` / ``TIMED_OUT`` / ``CANCELLED``
         jobs, ``None`` otherwise.
@@ -90,6 +94,7 @@ class JobStatus:
     submitted_at: Optional[float] = None
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
+    retries: int = 0
     error: Optional[str] = None
 
     def to_jsonable(self) -> Dict[str, Any]:
@@ -104,6 +109,7 @@ class JobStatus:
             "submitted_at": self.submitted_at,
             "started_at": self.started_at,
             "finished_at": self.finished_at,
+            "retries": self.retries,
             "error": self.error,
         }
 
@@ -136,6 +142,11 @@ class Job:
     error: Optional[str] = None
     coalesced_into: Optional[str] = None
     followers: List[str] = field(default_factory=list)
+    #: Re-queues consumed from the broken-pool retry budget.
+    retries: int = 0
+    #: Set when the job survived a failed batch dispatch: it must be
+    #: re-dispatched as a singleton, never drafted into another batch.
+    no_batch: bool = False
     done_event: threading.Event = field(default_factory=threading.Event)
 
     def snapshot(self) -> JobStatus:
@@ -150,6 +161,7 @@ class Job:
             submitted_at=self.submitted_at,
             started_at=self.started_at,
             finished_at=self.finished_at,
+            retries=self.retries,
             error=self.error,
         )
 

@@ -1,0 +1,363 @@
+"""Durable write-ahead job journal of the passivity service.
+
+:class:`JobJournal` is the crash-safety tier under
+:class:`~repro.service.PassivityService`: every *accepted* submission is
+appended to an fsynced JSONL file **before** it is acknowledged, and every
+terminal transition is appended when it happens.  On construction the
+journal replays the file, so a service that died hard — ``kill -9``, OOM,
+power loss — can requeue exactly the accepted-but-unfinished jobs and lose
+no work.  This upgrades the store's completed-job persistence (results
+survive restarts) to full queue durability (pending work survives too).
+
+File format
+-----------
+One JSON object per line (JSONL), three event shapes::
+
+    {"event": "submitted", "job_id": ..., "system": <system document>,
+     "method": ..., "options": {...}, "priority": 0, "timeout": null,
+     "submitted_at": <unix time>}
+    {"event": "started",  "job_id": ..., "at": <unix time>}
+    {"event": "finished", "job_id": ..., "state": "done", "at": <unix time>}
+
+The ``system`` document is the :func:`~repro.service.serialization.
+system_to_jsonable` wire form (dense or CSR — fingerprints survive the
+round trip), so a replayed job re-executes on byte-identical matrices.
+
+Durability and tolerance
+------------------------
+* **Appends are fsynced** (one ``write`` + ``flush`` + ``os.fsync`` per
+  event, disable with ``fsync=False`` for tests/benchmarks), so an
+  acknowledged submission is on stable storage before the caller's
+  ``submit()`` returns.
+* **A torn tail is tolerated**: a crash mid-append leaves at most one
+  partial final line, which replay silently drops (``n_truncated``).
+  Undecodable *interior* lines are skipped and counted (``n_corrupt``) —
+  a damaged journal degrades to replaying fewer jobs, never to a failed
+  service start.
+* **Terminal records are recorded at most once per job**:
+  :meth:`record_finished` on an unknown or already-finished id is a no-op
+  returning ``False``, so replayed jobs cannot double-append their
+  terminal event.
+
+Compaction
+----------
+Finished jobs leave dead lines behind.  :attr:`lag` counts them; when it
+exceeds ``compact_threshold`` the journal rewrites itself (atomic
+tmp-file + ``os.replace``) keeping only the pending ``submitted`` records.
+``GET /healthz`` surfaces the lag so operators can see a journal that is
+growing faster than it compacts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.exceptions import JournalError
+
+__all__ = ["JobJournal"]
+
+#: Default number of dead (compactable) lines tolerated before the journal
+#: rewrites itself on the next terminal record.
+DEFAULT_COMPACT_THRESHOLD = 256
+
+
+class JobJournal:
+    """Append-only, fsynced JSONL journal of service job lifecycles.
+
+    Parameters
+    ----------
+    path:
+        The journal file.  A directory is accepted and resolves to
+        ``<dir>/journal.jsonl``; missing parents are created.  The file is
+        replayed on construction — :meth:`pending` then lists every
+        submitted-but-unfinished record.
+    fsync:
+        When true (default) every append is flushed and fsynced before
+        returning — the durability the write-ahead contract requires.
+        ``False`` trades the guarantee for speed (tests, benchmarks).
+    compact_threshold:
+        Dead-line budget: once :attr:`lag` exceeds it, the next
+        :meth:`record_finished` triggers :meth:`compact`.  ``None``
+        disables automatic compaction.
+
+    Notes
+    -----
+    Thread-safe (one internal lock).  The journal is an *availability*
+    component: appends after construction are best-effort from the
+    service's point of view (the service swallows journal I/O errors
+    rather than failing jobs), but construction on an unusable path raises
+    :class:`~repro.exceptions.JournalError` so misconfiguration surfaces
+    at startup, not at the first crash.
+    """
+
+    def __init__(
+        self,
+        path: "os.PathLike[str]",
+        *,
+        fsync: bool = True,
+        compact_threshold: Optional[int] = DEFAULT_COMPACT_THRESHOLD,
+    ) -> None:
+        if compact_threshold is not None and compact_threshold < 1:
+            raise JournalError(
+                f"compact_threshold must be a positive count or None, "
+                f"got {compact_threshold!r}"
+            )
+        path = Path(path)
+        if path.is_dir():
+            path = path / "journal.jsonl"
+        self.path = path
+        self.fsync = bool(fsync)
+        self.compact_threshold = compact_threshold
+        self._lock = threading.Lock()
+        #: ``job_id -> submitted record`` for jobs with no terminal event,
+        #: in submission order (dict preserves insertion order).
+        self._pending: Dict[str, Dict[str, Any]] = {}
+        #: Pending jobs that also have a ``started`` line on disk.
+        self._started: set = set()
+        #: Total journal lines currently on disk.
+        self._lines = 0
+        self.n_corrupt = 0
+        self.n_truncated = 0
+        self.n_appends = 0
+        self.n_compactions = 0
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._replay()
+            self._handle = open(self.path, "ab")
+        except OSError as error:
+            raise JournalError(
+                f"cannot open job journal at {self.path}: {error}"
+            ) from error
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Replay
+    # ------------------------------------------------------------------
+    def _replay(self) -> None:
+        """Scan the file into the in-memory pending table (init only).
+
+        Also repairs a torn tail so subsequent appends stay line-aligned:
+        an unparsable final fragment (crash mid-append, never acknowledged)
+        is truncated away, while a parsable final record that merely lost
+        its newline is sealed with one — either way the next append starts
+        on a fresh line instead of concatenating into the fragment.
+        """
+        try:
+            raw = self.path.read_bytes()
+        except FileNotFoundError:
+            return
+        if not raw:
+            return
+        lines = raw.split(b"\n")
+        # A file that does not end in a newline was torn mid-append: the
+        # final fragment is parsed opportunistically (the payload may be
+        # complete, only the newline missing) and dropped when it is not.
+        for position, line in enumerate(lines):
+            stripped = line.strip()
+            if not stripped:
+                continue
+            last = position == len(lines) - 1 and not raw.endswith(b"\n")
+            try:
+                record = json.loads(stripped.decode("utf-8"))
+                if not isinstance(record, dict):
+                    raise ValueError("journal line is not a JSON object")
+            except (ValueError, UnicodeDecodeError):
+                if last:
+                    self.n_truncated += 1
+                    # Drop the fragment from disk: it was never fsynced to
+                    # completion, so no caller was told it is durable.
+                    with open(self.path, "r+b") as handle:
+                        handle.truncate(len(raw) - len(lines[-1]))
+                else:
+                    self.n_corrupt += 1
+                continue
+            self._lines += 1
+            self._apply(record)
+        if not raw.endswith(b"\n") and self.n_truncated == 0:
+            # Complete final record missing only its newline: seal it.
+            with open(self.path, "ab") as handle:
+                handle.write(b"\n")
+
+    def _apply(self, record: Dict[str, Any]) -> None:
+        """Fold one parsed journal record into the pending table."""
+        event = record.get("event")
+        job_id = record.get("job_id")
+        if not isinstance(job_id, str) or not job_id:
+            self.n_corrupt += 1
+            return
+        if event == "submitted":
+            self._pending[job_id] = record
+        elif event == "started":
+            if job_id in self._pending:
+                self._started.add(job_id)
+        elif event == "finished":
+            self._pending.pop(job_id, None)
+            self._started.discard(job_id)
+        else:
+            self.n_corrupt += 1
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def pending(self) -> List[Dict[str, Any]]:
+        """Submitted records with no terminal event, in submission order."""
+        with self._lock:
+            return [dict(record) for record in self._pending.values()]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+    @property
+    def lag(self) -> int:
+        """Dead journal lines a compaction would remove.
+
+        Every line that is neither a pending job's ``submitted`` record nor
+        a pending job's ``started`` marker is dead weight — the quantity
+        ``GET /healthz`` reports as ``journal.lag``.
+        """
+        with self._lock:
+            return self._lag_locked()
+
+    def _lag_locked(self) -> int:
+        live = len(self._pending) + len(self._started)
+        return max(0, self._lines - live)
+
+    # ------------------------------------------------------------------
+    # Appends
+    # ------------------------------------------------------------------
+    def _append(self, record: Dict[str, Any]) -> None:
+        # Caller holds the lock.  One write syscall per event keeps a torn
+        # append confined to the final line.
+        data = json.dumps(record).encode("utf-8") + b"\n"
+        self._handle.write(data)
+        self._handle.flush()
+        if self.fsync:
+            os.fsync(self._handle.fileno())
+        self._lines += 1
+        self.n_appends += 1
+
+    def record_submitted(self, job_id: str, payload: Dict[str, Any]) -> None:
+        """Journal one accepted submission (the write-ahead record).
+
+        ``payload`` carries the replay ingredients — the system wire
+        document, method, options, priority, timeout — and is stored
+        verbatim under the ``submitted`` event.
+        """
+        record = dict(payload)
+        record["event"] = "submitted"
+        record["job_id"] = job_id
+        record.setdefault("submitted_at", time.time())
+        with self._lock:
+            self._check_open()
+            self._append(record)
+            self._pending[job_id] = record
+
+    def record_started(self, job_id: str) -> None:
+        """Journal a job's transition to RUNNING (diagnostic marker)."""
+        with self._lock:
+            self._check_open()
+            if job_id not in self._pending:
+                return
+            self._append({"event": "started", "job_id": job_id, "at": time.time()})
+            self._started.add(job_id)
+
+    def record_finished(self, job_id: str, state: str) -> bool:
+        """Journal a job's terminal state; returns False for duplicates.
+
+        Unknown or already-finished ids are no-ops, so a job can never
+        acquire two terminal records — the invariant the replay acceptance
+        test pins.  May trigger automatic compaction (see ``lag``).
+        """
+        with self._lock:
+            self._check_open()
+            if job_id not in self._pending:
+                return False
+            self._append(
+                {
+                    "event": "finished",
+                    "job_id": job_id,
+                    "state": str(state),
+                    "at": time.time(),
+                }
+            )
+            del self._pending[job_id]
+            self._started.discard(job_id)
+            if (
+                self.compact_threshold is not None
+                and self._lag_locked() >= self.compact_threshold
+            ):
+                self._compact_locked()
+            return True
+
+    # ------------------------------------------------------------------
+    # Compaction / lifecycle
+    # ------------------------------------------------------------------
+    def compact(self) -> None:
+        """Rewrite the journal keeping only pending ``submitted`` records.
+
+        Atomic (tmp file + ``os.replace``), fsynced, and a no-op when the
+        rewrite fails for I/O reasons — the old journal stays valid.
+        """
+        with self._lock:
+            self._check_open()
+            self._compact_locked()
+
+    def _compact_locked(self) -> None:
+        tmp = self.path.with_name(self.path.name + f".{os.getpid()}.tmp")
+        try:
+            with open(tmp, "wb") as handle:
+                for record in self._pending.values():
+                    handle.write(json.dumps(record).encode("utf-8") + b"\n")
+                handle.flush()
+                if self.fsync:
+                    os.fsync(handle.fileno())
+            os.replace(tmp, self.path)
+            new_handle = open(self.path, "ab")
+        except OSError:
+            # Best-effort: keep appending to the (larger but valid) file.
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            return
+        try:
+            self._handle.close()
+        except OSError:
+            pass
+        self._handle = new_handle
+        self._lines = len(self._pending)
+        self._started.clear()
+        self.n_compactions += 1
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise JournalError(f"journal {self.path} has been closed")
+
+    def close(self) -> None:
+        """Close the append handle (idempotent); the file stays on disk."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            try:
+                self._handle.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "JobJournal":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"JobJournal(path={str(self.path)!r}, pending={len(self._pending)}, "
+            f"lag={self._lag_locked()})"
+        )

@@ -62,8 +62,13 @@ import os
 import threading
 import time
 import uuid
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.config import Tolerances
@@ -88,9 +93,14 @@ from repro.exceptions import (
 )
 from repro.passivity.result import PassivityReport
 from repro.service.jobs import Job, JobHandle, JobState, JobStatus
+from repro.service.journal import JobJournal
 from repro.service.serialization import (
+    _plain,
+    _revive,
     job_record_from_jsonable,
     job_record_to_jsonable,
+    system_from_jsonable,
+    system_to_jsonable,
 )
 from repro.store import DecompositionStore
 
@@ -172,6 +182,16 @@ def _process_batch_cells(
     return outcomes, cache.stats.minus(baseline)
 
 
+def _probe_ping() -> int:
+    """Process-pool no-op probe task: answer with the worker's pid.
+
+    Dispatched by the service's supervision loop to prove the pool still
+    has live, responsive workers; the returned pid is the heartbeat the
+    health plane (``GET /healthz``) reports on.
+    """
+    return os.getpid()
+
+
 @dataclass
 class ServiceStats:
     """Telemetry snapshot returned by :meth:`PassivityService.stats`.
@@ -213,6 +233,16 @@ class ServiceStats:
         never engaged).
     shm_bytes:
         Bytes shipped through shared memory instead of the pickle pipe.
+    pool_restarts:
+        Times the supervised process pool was torn down and rebuilt after a
+        worker crash (:class:`~concurrent.futures.process.BrokenProcessPool`);
+        always 0 for the thread executor.
+    retried:
+        Jobs re-queued after their dispatch died with the pool (bounded by
+        the per-job ``max_retries`` budget).
+    replayed:
+        Jobs re-queued from the write-ahead journal at startup — accepted
+        work a previous incarnation never finished.
     cache:
         Plain-dict snapshot of the decomposition cache counters since
         service start (``hits`` / ``misses`` / ``factorizations``, the L2
@@ -242,6 +272,9 @@ class ServiceStats:
     batched_jobs: int = 0
     batch_occupancy: float = 0.0
     shm_bytes: int = 0
+    pool_restarts: int = 0
+    retried: int = 0
+    replayed: int = 0
     cache: Dict[str, Any] = field(default_factory=dict)
 
     def to_jsonable(self) -> Dict[str, Any]:
@@ -266,6 +299,9 @@ class ServiceStats:
             "batched_jobs": self.batched_jobs,
             "batch_occupancy": self.batch_occupancy,
             "shm_bytes": self.shm_bytes,
+            "pool_restarts": self.pool_restarts,
+            "retried": self.retried,
+            "replayed": self.replayed,
             "cache": dict(self.cache),
         }
 
@@ -341,6 +377,28 @@ class PassivityService:
     max_batch_size:
         Most jobs one micro-batch dispatch may carry (default 8; the batch
         also never exceeds what is actually waiting in the queue).
+    journal:
+        Write-ahead job journal (see :class:`~repro.service.JobJournal`).
+        ``True`` places ``journal.jsonl`` under the store root (requires
+        ``store``); a path or :class:`JobJournal` instance uses it as-is;
+        ``None``/``False`` (default) disables journaling.  With a journal,
+        every accepted submission is fsynced to disk before ``submit``
+        returns, and on construction the service replays
+        accepted-but-unfinished entries back into the queue — so a
+        ``kill -9`` loses no accepted work.
+    max_retries:
+        Times one job may be re-queued after its process-pool dispatch died
+        with the pool (default 1).  Beyond the budget the job fails with
+        the broken-pool error.  The pool itself is always rebuilt.
+    probe_interval:
+        Seconds between the supervision loop's no-op probe pings of the
+        process pool (default 5).  Each answered probe — and each completed
+        process dispatch — refreshes the executor heartbeat that
+        :meth:`health` (and ``GET /healthz``) reports.
+    dead_after:
+        Heartbeat staleness, in seconds, past which :meth:`health` reports
+        the service ``dead`` (HTTP 503).  Default
+        ``max(3 * probe_interval, 15.0)``.
     registry / tol / cache:
         Forwarded to the constructed runner when ``runner`` is omitted
         (ignored otherwise).
@@ -371,6 +429,10 @@ class PassivityService:
         batch_small_systems: Any = "auto",
         small_system_order: int = 100,
         max_batch_size: int = 8,
+        journal: Any = None,
+        max_retries: int = 1,
+        probe_interval: float = 5.0,
+        dead_after: Optional[float] = None,
         registry: Optional[MethodRegistry] = None,
         tol: Optional[Tolerances] = None,
         cache: Optional[DecompositionCache] = None,
@@ -392,9 +454,28 @@ class PassivityService:
             )
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be at least 1")
+        if max_retries < 0:
+            raise ValueError("max_retries must be at least 0")
+        if probe_interval <= 0:
+            raise ValueError("probe_interval must be positive")
+        if dead_after is not None and dead_after <= 0:
+            raise ValueError("dead_after must be positive (or None for default)")
         if isinstance(store, (str, os.PathLike)):
             store = DecompositionStore(store)
         self._store = store
+        if isinstance(journal, JobJournal):
+            self._journal: Optional[JobJournal] = journal
+        elif journal is True:
+            if store is None:
+                raise ServiceError(
+                    "journal=True places the journal under the store root; "
+                    "pass a store, or give journal an explicit path"
+                )
+            self._journal = JobJournal(Path(store.root) / "journal.jsonl")
+        elif journal:
+            self._journal = JobJournal(journal)
+        else:
+            self._journal = None
         if runner is None:
             if cache is None:
                 cache = DecompositionCache(store=store)
@@ -416,6 +497,13 @@ class PassivityService:
         self._batch_policy = batch_small_systems
         self._small_system_order = int(small_system_order)
         self._max_batch_size = int(max_batch_size)
+        self._max_retries = int(max_retries)
+        self._probe_interval = float(probe_interval)
+        self._dead_after = (
+            max(3.0 * self._probe_interval, 15.0)
+            if dead_after is None
+            else float(dead_after)
+        )
         #: Shared-memory arena shipping process-mode payloads (created at
         #: startup when the transport engages; None otherwise).
         self._arena: Optional[ArrayArena] = None
@@ -431,6 +519,11 @@ class PassivityService:
         self._executor: Optional[Any] = None
         self._queue: Optional["asyncio.PriorityQueue"] = None
         self._worker_tasks: List["asyncio.Task"] = []
+        self._probe_task: Optional["asyncio.Task"] = None
+        #: Wall-clock of the last proof the executor is alive: pool
+        #: creation, an answered probe ping, or a completed process
+        #: dispatch.  Read lock-free by :meth:`health`.
+        self._last_heartbeat: Optional[float] = None
         self._closed = False
         self._started_at: Optional[float] = None
         self._cache_baseline = self._runner.cache.stats.snapshot()
@@ -446,14 +539,23 @@ class PassivityService:
         self._n_rejected = 0
         self._n_batches = 0
         self._n_batched_jobs = 0
+        self._n_pool_restarts = 0
+        self._n_retried = 0
+        self._n_replayed = 0
         #: QUEUED, non-coalesced jobs awaiting a worker.  This — not
         #: ``queue.qsize()`` — is what ``max_queue`` bounds: a cancelled
         #: job's tuple lingers in the asyncio queue as a ghost until a
         #: worker pops and skips it, and ghosts must not cause rejections.
         self._n_queued = 0
 
+        #: Jobs rebuilt from the journal, waiting for :meth:`_startup` to
+        #: queue them (construction runs before the loop exists).
+        self._replayed_jobs: List[Job] = []
+
         if self._store is not None:
             self._restore_history()
+        if self._journal is not None:
+            self._replay_journal()
 
     # ------------------------------------------------------------------
     # Restart persistence
@@ -522,6 +624,93 @@ class PassivityService:
             pass
 
     # ------------------------------------------------------------------
+    # Write-ahead journal
+    # ------------------------------------------------------------------
+    def _replay_journal(self) -> None:
+        """Rebuild unfinished journaled jobs (construction time only).
+
+        Every pending ``submitted`` record becomes a fresh :class:`Job`
+        carrying its **original** id, so handles persisted by clients keep
+        resolving after the restart.  Records that no longer decode (e.g.
+        a method since unregistered) are marked ``unreplayable`` in the
+        journal so compaction clears them; a job the store already knows as
+        terminal is marked finished instead of re-run.  The rebuilt jobs
+        are queued by :meth:`_startup` once the loop exists.
+        """
+        journal = self._journal
+        for record in journal.pending():
+            job_id = record.get("job_id")
+            existing = self._jobs.get(job_id)
+            if existing is not None and existing.state.is_terminal:
+                # Crashed after persisting the result but before the
+                # journal's finished append: close the journal's book.
+                try:
+                    journal.record_finished(job_id, existing.state.value)
+                except Exception:  # noqa: BLE001 - journal is best-effort
+                    pass
+                continue
+            try:
+                system = system_from_jsonable(record["system"])
+                method = record.get("method", "auto")
+                if method != "auto":
+                    method = self._runner.registry.resolve(method).name
+                options = _revive(record.get("options") or {})
+                if not isinstance(options, dict):
+                    raise ValueError("journaled options are not a dict")
+                timeout = record.get("timeout")
+                fingerprint = fingerprint_system(system, self._runner.tol)
+            except Exception:  # noqa: BLE001 - damaged records must not block start
+                try:
+                    journal.record_finished(job_id, "unreplayable")
+                except Exception:  # noqa: BLE001 - journal is best-effort
+                    pass
+                continue
+            job = Job(
+                job_id=job_id,
+                system=system,
+                method=method,
+                options=options,
+                priority=int(record.get("priority", 0)),
+                timeout=None if timeout is None else float(timeout),
+                fingerprint=fingerprint,
+                key=(fingerprint, method, _options_key(options)),
+                seq=next(self._seq),
+            )
+            job.submitted_at = record.get("submitted_at") or job.submitted_at
+            self._replayed_jobs.append(job)
+        try:
+            journal.compact()
+        except Exception:  # noqa: BLE001 - journal is best-effort
+            pass
+
+    def _journal_submitted(self, job: Job, payload: Optional[Dict[str, Any]]) -> None:
+        """Append the write-ahead record of one accepted submission."""
+        if self._journal is None or payload is None:
+            return
+        try:
+            self._journal.record_submitted(job.job_id, payload)
+        except Exception:  # noqa: BLE001 - journal I/O must not fail jobs
+            pass
+
+    def _journal_started(self, job: Job) -> None:
+        """Append the RUNNING marker of one dispatched job."""
+        if self._journal is None:
+            return
+        try:
+            self._journal.record_started(job.job_id)
+        except Exception:  # noqa: BLE001 - journal I/O must not fail jobs
+            pass
+
+    def _journal_finished(self, job_id: str, state: JobState) -> None:
+        """Append a job's terminal record (idempotent per job)."""
+        if self._journal is None:
+            return
+        try:
+            self._journal.record_finished(job_id, state.value)
+        except Exception:  # noqa: BLE001 - journal I/O must not fail jobs
+            pass
+
+    # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     @property
@@ -565,26 +754,128 @@ class PassivityService:
     async def _startup(self) -> None:
         """Create the queue, executor and worker tasks (loop thread)."""
         self._queue = asyncio.PriorityQueue()
+        self._executor = self._make_executor()
         if self._executor_kind == "process":
-            # Workers boot with a store-backed cache (see
-            # _process_worker_init); pool creation is lazy, so a broken
-            # multiprocessing environment surfaces as FAILED jobs rather
-            # than a failed start.
-            self._executor = ProcessPoolExecutor(
-                max_workers=self._max_workers,
-                initializer=_process_worker_init,
-                initargs=(self._store, self._runner.cache.maxsize),
-            )
             if self._transport != "pickle" and shm_available():
                 self._arena = ArrayArena()
-        else:
-            self._executor = ThreadPoolExecutor(
-                max_workers=self._max_workers, thread_name_prefix="repro-service"
-            )
+        self._last_heartbeat = time.time()
+        # Journal replay: accepted-but-unfinished jobs of the previous
+        # incarnation re-enter the queue (bypassing the max_queue bound —
+        # they were already accepted once) before any new traffic arrives.
+        for job in self._replayed_jobs:
+            try:
+                await self._submit(job, replay=True)
+                self._n_replayed += 1
+            except Exception:  # noqa: BLE001 - replay is best-effort
+                continue
+        self._replayed_jobs = []
         loop = asyncio.get_running_loop()
         self._worker_tasks = [
             loop.create_task(self._worker()) for _ in range(self._max_workers)
         ]
+        if self._executor_kind == "process":
+            self._probe_task = loop.create_task(self._probe_loop())
+
+    def _make_executor(self) -> Any:
+        """Build a fresh executor with the configured worker bootstrap.
+
+        Process pools re-run :func:`_process_worker_init` with the service's
+        store/cache configuration, so a rebuilt pool's workers come back
+        with the same store-backed caches as the original fleet.  Pool
+        creation is lazy about failure: a broken multiprocessing
+        environment surfaces as FAILED jobs rather than a failed start.
+        """
+        if self._executor_kind == "process":
+            return ProcessPoolExecutor(
+                max_workers=self._max_workers,
+                initializer=_process_worker_init,
+                initargs=(self._store, self._runner.cache.maxsize),
+            )
+        return ThreadPoolExecutor(
+            max_workers=self._max_workers, thread_name_prefix="repro-service"
+        )
+
+    def _ensure_executor(self) -> Any:
+        """The live executor, lazily rebuilt after a broken-pool teardown."""
+        if self._executor is None:
+            self._executor = self._make_executor()
+            self._last_heartbeat = time.time()
+        return self._executor
+
+    def _handle_broken_pool(self, executor: Any) -> None:
+        """Tear down a broken process pool (loop thread only).
+
+        Idempotent per pool: when several dispatches observe the same
+        corpse, only the first (the one whose ``executor`` is still the
+        service's current one) counts a restart and shuts it down.  The
+        replacement pool is built lazily by :meth:`_ensure_executor` at the
+        next dispatch, so a crash-looping environment does not spin.
+        """
+        if executor is None or executor is not self._executor:
+            return
+        self._n_pool_restarts += 1
+        self._executor = None
+        try:
+            executor.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # noqa: BLE001 - the pool is already broken
+            pass
+        # The service is healing, not dead: restart the staleness clock.
+        self._last_heartbeat = time.time()
+
+    def _retry_or_fail(self, job: Job, message: str) -> None:
+        """Re-queue a job whose dispatch died with the pool, or fail it.
+
+        The retry budget (``max_retries``) is per job: within it the job
+        returns to the queue (keeping its priority, seq and coalesced
+        followers); beyond it the job fails with the broken-pool error so
+        a poison payload that kills every worker cannot crash-loop the
+        pool forever.
+        """
+        if job.retries < self._max_retries:
+            job.retries += 1
+            self._n_retried += 1
+            job.state = JobState.QUEUED
+            job.started_at = None
+            self._n_queued += 1
+            self._queue.put_nowait((job.priority, job.seq, job.job_id))
+        else:
+            self._finish(
+                job,
+                JobState.FAILED,
+                error=f"worker pool broken: {message}; retry budget exhausted",
+            )
+
+    async def _probe_loop(self) -> None:
+        """Supervision coroutine: ping the process pool, refresh heartbeat.
+
+        A periodic no-op task proves the pool can still answer; a broken
+        pool found here is torn down exactly like one found by a job
+        dispatch, so the service heals even when idle.  An unanswered
+        (but unbroken) probe just leaves the heartbeat stale — sustained
+        staleness is what :meth:`health` reports as ``dead``.
+        """
+        while True:
+            await asyncio.sleep(self._probe_interval)
+            executor = self._ensure_executor()
+            try:
+                future = asyncio.wrap_future(executor.submit(_probe_ping))
+            except BrokenExecutor:
+                self._handle_broken_pool(executor)
+                continue
+            except Exception:  # noqa: BLE001 - probing must not kill supervision
+                continue
+            done, pending = await asyncio.wait({future}, timeout=self._dead_after)
+            if pending:
+                future.add_done_callback(_ignore_outcome)
+                continue
+            try:
+                future.result()
+            except BrokenExecutor:
+                self._handle_broken_pool(executor)
+            except Exception:  # noqa: BLE001 - probing must not kill supervision
+                pass
+            else:
+                self._last_heartbeat = time.time()
 
     def close(self, wait: bool = True) -> None:
         """Stop the workers and the loop; cancel every unfinished job.
@@ -598,6 +889,8 @@ class PassivityService:
         with self._start_lock:
             if self._loop is None or self._closed:
                 self._closed = True
+                if self._journal is not None:
+                    self._journal.close()
                 return
             self._closed = True
             loop = self._loop
@@ -615,9 +908,13 @@ class PassivityService:
             # Unlink every outstanding segment; mappings held by abandoned
             # workers stay valid (POSIX), nothing can leak past close().
             self._arena.close()
+        if self._journal is not None:
+            self._journal.close()
 
     async def _shutdown(self) -> None:
         """Cancel workers and resolve unfinished jobs (loop thread)."""
+        if self._probe_task is not None:
+            self._probe_task.cancel()
         for task in self._worker_tasks:
             task.cancel()
         for job in list(self._jobs.values()):
@@ -707,17 +1004,37 @@ class PassivityService:
             key=(fingerprint, method, _options_key(options)),
             seq=next(self._seq),
         )
-        self._call(self._submit(job))
+        journal_payload: Optional[Dict[str, Any]] = None
+        if self._journal is not None:
+            # Serialization is O(system) work — done on the caller's thread,
+            # like fingerprinting; the loop thread only appends the line.
+            journal_payload = {
+                "system": system_to_jsonable(system),
+                "method": method,
+                "options": _plain(dict(options)),
+                "priority": job.priority,
+                "timeout": job.timeout,
+                "submitted_at": job.submitted_at,
+            }
+        self._call(self._submit(job, journal_payload=journal_payload))
         return JobHandle(self, job.job_id)
 
-    async def _submit(self, job: Job) -> None:
+    async def _submit(
+        self,
+        job: Job,
+        journal_payload: Optional[Dict[str, Any]] = None,
+        replay: bool = False,
+    ) -> None:
         """Insert the job into the table and queue (loop thread).
 
         Coalescing is checked before the queue bound — a duplicate of an
         in-flight job never occupies a slot, so dedup keeps absorbing
         traffic even when the queue is full.  A rejected job is never
-        registered (no handle state leaks) and bumps the ``rejected``
-        counter.
+        registered (no handle state leaks), bumps the ``rejected`` counter,
+        and is never journaled.  Accepted jobs journal their write-ahead
+        record before ``submit`` returns; replayed jobs (``replay=True``)
+        are already journaled and bypass the queue bound — they were
+        accepted once.
         """
         if self._dedup:
             primary_id = self._inflight.get(job.key)
@@ -729,8 +1046,13 @@ class PassivityService:
                     job.coalesced_into = primary_id
                     primary.followers.append(job.job_id)
                     self._n_deduplicated += 1
+                    self._journal_submitted(job, journal_payload)
                     return
-        if self._max_queue is not None and self._n_queued >= self._max_queue:
+        if (
+            not replay
+            and self._max_queue is not None
+            and self._n_queued >= self._max_queue
+        ):
             self._n_rejected += 1
             raise QueueFullError(
                 f"submission queue is full ({self._max_queue} queued job(s)); "
@@ -740,6 +1062,7 @@ class PassivityService:
         self._n_submitted += 1
         if self._dedup:
             self._inflight[job.key] = job.job_id
+        self._journal_submitted(job, journal_payload)
         self._n_queued += 1
         await self._queue.put((job.priority, job.seq, job.job_id))
 
@@ -749,6 +1072,10 @@ class PassivityService:
     def _batch_eligible(self, job: Job) -> bool:
         """True when the job may ride a micro-batch dispatch."""
         if self._executor_kind != "process" or self._batch_policy is False:
+            return False
+        if job.no_batch:
+            # Survivor of a failed batch dispatch: it must run as a
+            # singleton so one poison member cannot re-kill the group.
             return False
         system = job.system
         return (
@@ -794,21 +1121,81 @@ class PassivityService:
             extras.append(other)
         return extras
 
-    async def _run_batch(
-        self, loop, jobs: List[Job], shipments: List[ArrayShipment]
-    ) -> None:
+    def _requeue_individually(self, jobs: List[Job]) -> None:
+        """Return a failed batch's members to the queue as singletons.
+
+        Blast-radius containment: the batch's shared dispatch died (crash,
+        unpicklable payload), so each member is re-dispatched on its own
+        (``no_batch``) — the poison member fails alone with its own error
+        and the innocent members complete normally.
+        """
+        for job in jobs:
+            job.no_batch = True
+            job.state = JobState.QUEUED
+            job.started_at = None
+            self._n_queued += 1
+            self._queue.put_nowait((job.priority, job.seq, job.job_id))
+
+    def _abandon_dispatch(
+        self,
+        future: "asyncio.Future",
+        pool_future: Optional[Any],
+        shipments: List[ArrayShipment],
+    ) -> bool:
+        """Swallow a timed-out dispatch; True when segment release deferred.
+
+        A timed-out *process* dispatch that already started cannot be
+        killed: the abandoned worker may still be mid-``load`` on the
+        job's shared-memory segments, so releasing them now could unlink
+        pages out from under it.  Instead the release rides the pool
+        future's completion callback, hopping back to the loop thread
+        (``ArrayArena.release`` is not thread-safe).  A dispatch that never
+        started (cancel succeeded) — and every thread dispatch — releases
+        immediately.
+        """
+        future.add_done_callback(_ignore_outcome)
+        if pool_future is None:
+            # Thread dispatch: nothing rode shared memory.
+            future.cancel()
+            return False
+        if pool_future.cancel():
+            return False  # never started: segments are safe to drop now
+        if self._arena is None or not shipments:
+            return False
+        arena = self._arena
+        loop = asyncio.get_running_loop()
+
+        def _release_when_done(_finished: Any) -> None:
+            # Executor-management thread: hop to the loop thread.
+            def _drop() -> None:
+                for shipment in shipments:
+                    arena.release(shipment)
+
+            try:
+                loop.call_soon_threadsafe(_drop)
+            except RuntimeError:
+                pass  # loop already closed: arena.close() unlinks everything
+
+        pool_future.add_done_callback(_release_when_done)
+        return True
+
+    async def _run_batch(self, loop, jobs: List[Job]) -> None:
         """Dispatch one micro-batch to the process pool and resolve its jobs.
 
         The batch's systems travel as one payload (a shared-memory shipment
         when the arena is on); the worker returns one outcome per job plus a
-        single cache-counter delta that is merged exactly once.  Timeout and
-        failure resolve every member — the members shared one dispatch, so
-        they share its fate, matching batch-runner chunk semantics.  A job's
-        timeout budgets *one* job, so the shared dispatch is waited on for
-        ``len(jobs)`` times that budget.
+        single cache-counter delta that is merged exactly once.  A timeout
+        resolves every member (they shared one dispatch deadline — a job's
+        timeout budgets *one* job, so the dispatch waits ``len(jobs)``
+        times that budget).  A *failed* dispatch, by contrast, does not
+        fail the members: they are re-queued as singletons
+        (:meth:`_requeue_individually`) so only the actually-poison job
+        carries the error.  A broken pool additionally triggers the
+        supervision teardown.
         """
         systems = [job.system for job in jobs]
         fleet: Any = systems
+        shipments: List[ArrayShipment] = []
         if self._arena is not None:
             fleet = ship_systems(self._arena, systems)
             shipments.append(fleet)
@@ -816,51 +1203,74 @@ class PassivityService:
         self._n_batches += 1
         self._n_batched_jobs += len(jobs)
         budget = None if jobs[0].timeout is None else jobs[0].timeout * len(jobs)
+        deferred = False
+        executor = None
         try:
-            future = loop.run_in_executor(
-                self._executor,
-                _process_batch_cells,
-                (fleet, cells, self._runner.tol, self._runner.registry),
-            )
-            done, pending = await asyncio.wait({future}, timeout=budget)
-        except asyncio.CancelledError:
-            raise  # service shutdown
-        except Exception as error:  # noqa: BLE001 - keep worker alive
-            message = f"{type(error).__name__}: {error}"
-            for job in jobs:
-                self._finish(job, JobState.FAILED, error=message)
-            return
-        if pending:
-            future.cancel()
-            future.add_done_callback(_ignore_outcome)
-            for job in jobs:
-                self._finish(
-                    job,
-                    JobState.TIMED_OUT,
-                    error=f"timed out after {budget:.3g} s",
+            try:
+                executor = self._ensure_executor()
+                pool_future = executor.submit(
+                    _process_batch_cells,
+                    (fleet, cells, self._runner.tol, self._runner.registry),
                 )
-            return
-        try:
-            outcomes, worker_delta = future.result()
-        except Exception as error:  # noqa: BLE001 - jobs must resolve
-            message = f"{type(error).__name__}: {error}"
-            for job in jobs:
-                self._finish(job, JobState.FAILED, error=message)
-            return
-        if worker_delta is not None:
-            self._worker_stats.merge(worker_delta)
-        for job, (report, _seconds, error_message) in zip(jobs, outcomes):
-            if error_message is not None:
-                self._finish(job, JobState.FAILED, error=error_message)
-            else:
-                self._finish(job, JobState.DONE, report=report)
+                future = asyncio.wrap_future(pool_future)
+                done, pending = await asyncio.wait({future}, timeout=budget)
+            except asyncio.CancelledError:
+                raise  # service shutdown
+            except BrokenExecutor:
+                self._handle_broken_pool(executor)
+                self._requeue_individually(jobs)
+                return
+            except Exception:  # noqa: BLE001 - keep worker alive
+                self._requeue_individually(jobs)
+                return
+            if pending:
+                deferred = self._abandon_dispatch(future, pool_future, shipments)
+                for job in jobs:
+                    self._finish(
+                        job,
+                        JobState.TIMED_OUT,
+                        error=f"timed out after {budget:.3g} s",
+                    )
+                return
+            try:
+                outcomes, worker_delta = future.result()
+            except BrokenExecutor:
+                self._handle_broken_pool(executor)
+                self._requeue_individually(jobs)
+                return
+            except Exception:  # noqa: BLE001 - jobs must resolve
+                # Unpicklable member, dead worker mid-batch, ...: isolate
+                # the poison by re-dispatching the members one by one.
+                self._requeue_individually(jobs)
+                return
+            if worker_delta is not None:
+                self._worker_stats.merge(worker_delta)
+            self._last_heartbeat = time.time()
+            for job, (report, _seconds, error_message) in zip(jobs, outcomes):
+                if error_message is not None:
+                    self._finish(job, JobState.FAILED, error=error_message)
+                else:
+                    self._finish(job, JobState.DONE, report=report)
+        finally:
+            if self._arena is not None and not deferred:
+                for shipment in shipments:
+                    self._arena.release(shipment)
 
     async def _worker(self) -> None:
-        """One worker coroutine: pull jobs, execute on the pool, resolve."""
+        """One worker coroutine: pull jobs, execute on the pool, resolve.
+
+        Process-pool supervision lives here: a dispatch that dies with
+        :class:`~concurrent.futures.BrokenExecutor` (a SIGKILLed or crashed
+        pool worker takes the whole pool down) tears the pool down
+        (:meth:`_handle_broken_pool`) and re-queues the in-flight job
+        within its retry budget (:meth:`_retry_or_fail`) — the next
+        dispatch lazily rebuilds the pool with the same worker bootstrap.
+        """
         loop = asyncio.get_running_loop()
         while True:
             _, _, job_id = await self._queue.get()
             shipments: List[ArrayShipment] = []
+            deferred = False
             try:
                 job = self._jobs.get(job_id)
                 if job is None or job.state is not JobState.QUEUED:
@@ -868,12 +1278,16 @@ class PassivityService:
                 self._n_queued -= 1
                 job.state = JobState.RUNNING
                 job.started_at = time.time()
+                self._journal_started(job)
                 if self._batch_eligible(job):
                     extras = self._drain_batch(job)
                     if extras:
-                        await self._run_batch(loop, [job] + extras, shipments)
+                        await self._run_batch(loop, [job] + extras)
                         continue
+                executor = None
+                pool_future: Optional[Any] = None
                 try:
+                    executor = self._ensure_executor()
                     if self._executor_kind == "process":
                         # Module-level task + picklable payload: the worker
                         # process runs the cell through its own store-backed
@@ -884,8 +1298,10 @@ class PassivityService:
                             shipment = ship_systems(self._arena, [job.system])
                             shipments.append(shipment)
                             system_payload = shipment
-                        future = loop.run_in_executor(
-                            self._executor,
+                        # submit() (not run_in_executor) keeps a handle on
+                        # the pool future, whose completion — unlike the
+                        # asyncio wrapper's — tracks the actual worker.
+                        pool_future = executor.submit(
                             _process_cell,
                             (
                                 system_payload,
@@ -895,15 +1311,20 @@ class PassivityService:
                                 self._runner.registry,
                             ),
                         )
+                        future = asyncio.wrap_future(pool_future)
                     else:
-                        future = loop.run_in_executor(
-                            self._executor, self._execute, job
-                        )
+                        future = loop.run_in_executor(executor, self._execute, job)
                     done, pending = await asyncio.wait(
                         {future}, timeout=job.timeout
                     )
                 except asyncio.CancelledError:
                     raise  # service shutdown
+                except BrokenExecutor as error:
+                    # The pool was already a corpse at dispatch: heal it and
+                    # give the job its retry.
+                    self._handle_broken_pool(executor)
+                    self._retry_or_fail(job, f"{type(error).__name__}: {error}")
+                    continue
                 except Exception as error:  # noqa: BLE001 - keep worker alive
                     # Scheduling-layer failure (not the method itself): the
                     # job must still resolve and the worker must survive.
@@ -914,11 +1335,11 @@ class PassivityService:
                     )
                     continue
                 if pending:
-                    # Best-effort: free the worker slot; the thread cannot be
-                    # killed and keeps running detached (batch-runner
-                    # semantics).  Swallow its eventual outcome.
-                    future.cancel()
-                    future.add_done_callback(_ignore_outcome)
+                    # Best-effort: free the worker slot; the abandoned
+                    # dispatch cannot be killed and keeps running detached
+                    # (batch-runner semantics).  Swallow its eventual
+                    # outcome; its segments are released when it resolves.
+                    deferred = self._abandon_dispatch(future, pool_future, shipments)
                     self._finish(
                         job,
                         JobState.TIMED_OUT,
@@ -927,9 +1348,15 @@ class PassivityService:
                     continue
                 try:
                     outcome = future.result()
+                except BrokenExecutor as error:
+                    # A pool worker died mid-job (crash, OOM kill, SIGKILL):
+                    # tear the pool down and retry the job on the rebuilt
+                    # fleet instead of hard-failing it.
+                    self._handle_broken_pool(executor)
+                    self._retry_or_fail(job, f"{type(error).__name__}: {error}")
+                    continue
                 except Exception as error:  # noqa: BLE001 - job must resolve
-                    # In process mode this also covers a crashed worker
-                    # (BrokenProcessPool) and unpicklable payloads.
+                    # In process mode this also covers unpicklable payloads.
                     self._finish(
                         job,
                         JobState.FAILED,
@@ -940,6 +1367,7 @@ class PassivityService:
                     report, _seconds, error_message, worker_delta = outcome
                     if worker_delta is not None:
                         self._worker_stats.merge(worker_delta)
+                    self._last_heartbeat = time.time()
                 else:
                     report, error_message = outcome.report, outcome.error
                 if error_message is not None:
@@ -947,8 +1375,8 @@ class PassivityService:
                 else:
                     self._finish(job, JobState.DONE, report=report)
             finally:
-                if self._arena is not None:
-                    # The dispatch is resolved (or abandoned): drop the
+                if self._arena is not None and not deferred:
+                    # The dispatch is resolved (or never started): drop the
                     # segments; abandoned workers keep their mappings.
                     for shipment in shipments:
                         self._arena.release(shipment)
@@ -975,6 +1403,7 @@ class PassivityService:
         self._count_terminal(state)
         job.done_event.set()
         self._remember(job)
+        self._journal_finished(job.job_id, state)
         if self._store is not None and state is JobState.DONE:
             self._persist_job(job)
         for follower_id in job.followers:
@@ -988,6 +1417,7 @@ class PassivityService:
             self._count_terminal(state)
             follower.done_event.set()
             self._remember(follower)
+            self._journal_finished(follower_id, state)
             if self._store is not None and state is JobState.DONE:
                 self._persist_job(follower)
         job.followers = []
@@ -1133,6 +1563,55 @@ class PassivityService:
             await self._queue.put((promoted.priority, promoted.seq, promoted.job_id))
         return True
 
+    def health(self) -> Dict[str, Any]:
+        """Liveness snapshot for the admin plane (``GET /healthz``).
+
+        Deliberately **lock-free and loop-free**: every field is a plain
+        attribute read, so the probe keeps answering even when the event
+        loop is wedged — exactly when an operator needs it.  The snapshot
+        is therefore mildly racy (counters may be one tick stale), which is
+        fine for a health check.
+
+        Returns a dict with ``state`` (``"alive"`` or ``"dead"`` — the
+        HTTP front-end maps ``dead`` to 503), ``ok``, executor liveness
+        (``last_heartbeat`` / ``heartbeat_age_seconds`` from the
+        supervision probe, process executor only), ``queue_depth``,
+        ``pool_restarts``, and the journal's ``pending``/``lag``.
+        """
+        now = time.time()
+        alive = not self._closed and self._loop is not None
+        heartbeat = self._last_heartbeat
+        age: Optional[float] = None
+        if heartbeat is not None:
+            age = max(0.0, now - heartbeat)
+        if alive and self._executor_kind == "process":
+            # A pool that has not proven itself within the staleness bound
+            # is presumed hung; thread executors share the loop's fate.
+            if age is None or age > self._dead_after:
+                alive = False
+        journal: Dict[str, Any] = {"enabled": self._journal is not None}
+        if self._journal is not None:
+            try:
+                journal["path"] = str(self._journal.path)
+                journal["pending"] = len(self._journal)
+                journal["lag"] = self._journal.lag
+            except Exception:  # noqa: BLE001 - health must never raise
+                pass
+        return {
+            "state": "alive" if alive else "dead",
+            "ok": alive,
+            "executor": self._executor_kind,
+            "uptime_seconds": (
+                now - self._started_at if self._started_at is not None else 0.0
+            ),
+            "queue_depth": self._n_queued,
+            "pool_restarts": self._n_pool_restarts,
+            "last_heartbeat": heartbeat,
+            "heartbeat_age_seconds": age,
+            "dead_after_seconds": self._dead_after,
+            "journal": journal,
+        }
+
     def stats(self) -> ServiceStats:
         """Snapshot the service telemetry (queue depth, counters, cache)."""
         if self._loop is not None and not self._closed:
@@ -1196,6 +1675,9 @@ class PassivityService:
                 self._n_batched_jobs / self._n_batches if self._n_batches else 0.0
             ),
             shm_bytes=self._arena.shipped_bytes if self._arena is not None else 0,
+            pool_restarts=self._n_pool_restarts,
+            retried=self._n_retried,
+            replayed=self._n_replayed,
             cache=cache,
         )
 

@@ -28,7 +28,11 @@ Design (stdlib + NumPy only):
   recently used blobs are deleted.  The index is advisory — loads always go
   to disk, so entries written by *other* processes are found even before
   they appear in this process's index — and is rebuilt from a directory
-  scan when missing or damaged.
+  scan when missing or damaged.  Index flushes *merge* with the on-disk
+  file before publishing (adopting entries concurrent writer processes
+  added, with per-process tombstones keeping locally-evicted keys dead),
+  so two processes sharing a root no longer drop each other's LRU
+  bookkeeping.
 * **Corruption tolerance.**  A truncated, unreadable or undecodable blob is
   treated as a miss: it is quarantined (deleted) and the caller recomputes.
   A damaged store degrades to recomputation, never to failed requests.
@@ -143,6 +147,10 @@ class DecompositionStore:
         self._lock = threading.Lock()
         #: ``"<fp>:<kind>" -> {"size": bytes, "last_used": unix time}``.
         self._index: Dict[str, Dict[str, float]] = {}
+        #: Tombstones: keys this process deleted (evicted or quarantined).
+        #: The merging flush must not re-adopt them from a stale on-disk
+        #: index written by a process that still believed they existed.
+        self._dropped: set = set()
         self._puts_since_flush = 0
         self.n_puts = 0
         self.n_load_hits = 0
@@ -184,27 +192,35 @@ class DecompositionStore:
     # ------------------------------------------------------------------
     # Index (advisory: sizes + recency for eviction)
     # ------------------------------------------------------------------
-    def _load_index(self) -> None:
-        # Caller holds the lock.  A missing or damaged index is rebuilt from
-        # a directory scan (mtime approximates recency).
+    def _read_index_file(self) -> Optional[Dict[str, Dict[str, float]]]:
+        # Caller holds the lock.  Parse the on-disk index; ``None`` when
+        # missing or damaged (damage bumps ``n_corrupt``).
         try:
             with open(self._index_path, "r", encoding="utf-8") as handle:
                 document = json.load(handle)
             entries = document["entries"]
             if not isinstance(entries, dict):
                 raise ValueError("index entries must be an object")
-            self._index = {
+            return {
                 str(key): {
                     "size": int(record["size"]),
                     "last_used": float(record["last_used"]),
                 }
                 for key, record in entries.items()
             }
-            return
         except FileNotFoundError:
-            pass
+            return None
         except _CORRUPTION_ERRORS:
             self.n_corrupt += 1
+            return None
+
+    def _load_index(self) -> None:
+        # Caller holds the lock.  A missing or damaged index is rebuilt from
+        # a directory scan (mtime approximates recency).
+        entries = self._read_index_file()
+        if entries is not None:
+            self._index = entries
+            return
         self._index = {}
         for blob in self._objects.glob("*/*.npz"):
             parsed = self._parse_blob_name(blob.name)
@@ -248,9 +264,26 @@ class DecompositionStore:
         with self._lock:
             self._flush_index()
 
-    def _flush_index(self) -> None:
-        # Caller holds the lock.  Atomic-rename publish; racing processes
-        # last-win, which is fine for an advisory index.
+    def _flush_index(self, merge: bool = True) -> None:
+        # Caller holds the lock.  Atomic-rename publish, *merged* with the
+        # on-disk index first: concurrent writer processes each flush their
+        # own view, and a blind overwrite would drop every entry the other
+        # process added since this one last read the file (losing its LRU
+        # bookkeeping, and with it eviction accuracy).  Merge policy: adopt
+        # disk-only keys unless this process deleted them (tombstones in
+        # ``_dropped``); for shared keys keep the most recent ``last_used``.
+        # ``merge=False`` is for :meth:`clear`, where disk entries are
+        # precisely what must not survive.
+        if merge:
+            disk = self._read_index_file() or {}
+            for key, record in disk.items():
+                if key in self._dropped:
+                    continue
+                mine = self._index.get(key)
+                if mine is None:
+                    self._index[key] = record
+                elif record["last_used"] > mine["last_used"]:
+                    mine["last_used"] = record["last_used"]
         payload = json.dumps({"entries": self._index}).encode("utf-8")
         tmp = self._index_path.with_name(
             f".index-{os.getpid()}-{uuid.uuid4().hex[:8]}.tmp"
@@ -309,7 +342,9 @@ class DecompositionStore:
             ) from error
         with self._lock:
             self.n_puts += 1
-            self._index[self._index_key(fingerprint, kind)] = {
+            index_key = self._index_key(fingerprint, kind)
+            self._dropped.discard(index_key)  # re-created: clear tombstone
+            self._index[index_key] = {
                 "size": int(size),
                 "last_used": time.time(),
             }
@@ -353,6 +388,7 @@ class DecompositionStore:
             return None
         with self._lock:
             self.n_load_hits += 1
+            self._dropped.discard(index_key)  # exists again (other process)
             record = self._index.get(index_key)
             if record is None:
                 try:
@@ -375,6 +411,7 @@ class DecompositionStore:
             path.unlink()
         except OSError:
             pass
+        self._dropped.add(index_key)
         if self._index.pop(index_key, None) is not None:
             self._flush_index()
 
@@ -397,6 +434,7 @@ class DecompositionStore:
             except OSError:
                 pass
             del self._index[victim]
+            self._dropped.add(victim)
             evicted += 1
             self.n_evictions += 1
         return evicted
@@ -439,7 +477,10 @@ class DecompositionStore:
                 except OSError:
                     pass
             self._index = {}
-            self._flush_index()
+            self._dropped = set()
+            # Overwrite, don't merge: the disk entries are exactly what a
+            # clear() must not resurrect.
+            self._flush_index(merge=False)
 
     # ------------------------------------------------------------------
     # Service job records (restart persistence)
