@@ -13,20 +13,28 @@ this framework"; this subpackage provides first versions of both:
 
 from repro.applications.enforcement import (
     EnforcementResult,
+    IterativeEnforcementResult,
     enforce_passivity,
+    enforce_passivity_iterative,
     passivity_violation,
 )
 from repro.applications.model_reduction import (
+    CertifiedReduction,
     ReducedModel,
     balanced_truncation,
     reduce_descriptor_system,
+    reduce_until_passive,
 )
 
 __all__ = [
     "EnforcementResult",
+    "IterativeEnforcementResult",
     "enforce_passivity",
+    "enforce_passivity_iterative",
     "passivity_violation",
+    "CertifiedReduction",
     "ReducedModel",
     "balanced_truncation",
     "reduce_descriptor_system",
+    "reduce_until_passive",
 ]

@@ -33,7 +33,13 @@ from repro.engine.cache import DecompositionCache
 from repro.exceptions import DimensionError, NotImplementedForSystemError, NotStableError
 from repro.linalg.lyapunov import solve_continuous_lyapunov
 
-__all__ = ["balanced_truncation", "ReducedModel", "reduce_descriptor_system"]
+__all__ = [
+    "balanced_truncation",
+    "ReducedModel",
+    "reduce_descriptor_system",
+    "CertifiedReduction",
+    "reduce_until_passive",
+]
 
 
 def _cholesky_factor_psd(matrix: np.ndarray) -> np.ndarray:
@@ -197,3 +203,88 @@ def reduce_descriptor_system(
         hankel_singular_values=hankel,
         error_bound=bound,
     )
+
+
+@dataclass(frozen=True)
+class CertifiedReduction:
+    """A reduced model together with its passivity certification.
+
+    Attributes
+    ----------
+    model:
+        The accepted :class:`ReducedModel`.
+    report:
+        Its passivity report.  ``report.is_passive`` is False only when every
+        candidate order failed — the largest candidate's model and report are
+        then returned so callers can inspect the failure.
+    orders_tried:
+        The candidate proper orders actually reduced and re-checked, in order.
+    """
+
+    model: ReducedModel
+    report: "PassivityReport"
+    orders_tried: Tuple[int, ...]
+
+
+def reduce_until_passive(
+    system: DescriptorSystem,
+    orders: Optional[Tuple[int, ...]] = None,
+    tol: Optional[Tolerances] = None,
+    cache: Optional[DecompositionCache] = None,
+    method: str = "shh",
+) -> CertifiedReduction:
+    """Smallest-order reduction whose re-check certifies passivity.
+
+    Plain balanced truncation does not preserve passivity, so the practical
+    flow is an order sweep: reduce, re-check, and grow the order until the
+    check passes.  Without shared state that sweep rebuilds the additive
+    decomposition of ``system`` for every candidate; here one
+    :class:`DecompositionCache` is threaded through *all* reductions and
+    re-checks, so the split is computed exactly once and each candidate pays
+    only its own balanced truncation plus the certification of its (small)
+    reduced model.
+
+    Parameters
+    ----------
+    orders:
+        Candidate proper orders, tried in the given order; the first whose
+        reduced model certifies passive wins.  Default: doubling from 1 up
+        to the full proper order (finds the smallest passive order within a
+        factor of two at logarithmic cost).
+    method:
+        Passivity method for the re-checks (default ``"shh"``, matching the
+        reduced models' possibly-impulsive structure).
+
+    Raises
+    ------
+    NotImplementedForSystemError
+        Propagated from :func:`reduce_descriptor_system`.
+    """
+    from repro.engine.api import check_passivity
+
+    tol = tol or DEFAULT_TOLERANCES
+    cache = cache if cache is not None else DecompositionCache()
+    decomposition = cache.additive(system, tol)
+    full_order = decomposition.strictly_proper.order
+    if orders is None:
+        doubling = []
+        order = 1
+        while order < full_order:
+            doubling.append(order)
+            order *= 2
+        doubling.append(full_order)
+        orders = tuple(doubling)
+
+    tried = []
+    model = None
+    report = None
+    for order in orders:
+        order = int(min(max(order, 1), full_order))
+        if tried and order <= tried[-1]:
+            continue
+        tried.append(order)
+        model = reduce_descriptor_system(system, order, tol, cache=cache)
+        report = check_passivity(model.system, method=method, tol=tol, cache=cache)
+        if report.is_passive:
+            break
+    return CertifiedReduction(model=model, report=report, orders_tried=tuple(tried))

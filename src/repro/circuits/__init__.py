@@ -9,11 +9,13 @@ from repro.circuits.generators import (
     impulsive_rlc_ladder,
     negative_resistor_perturbation,
     paper_benchmark_model,
+    perturb_system,
     random_coupled_bus,
     random_passive_descriptor,
     rc_grid,
     rc_line,
     rlc_grid,
+    rlc_grid_corners,
     rlc_ladder,
 )
 
@@ -36,4 +38,6 @@ __all__ = [
     "random_passive_descriptor",
     "negative_resistor_perturbation",
     "feedthrough_perturbation",
+    "perturb_system",
+    "rlc_grid_corners",
 ]

@@ -48,6 +48,8 @@ __all__ = [
     "random_passive_descriptor",
     "negative_resistor_perturbation",
     "feedthrough_perturbation",
+    "perturb_system",
+    "rlc_grid_corners",
 ]
 
 
@@ -529,3 +531,99 @@ def feedthrough_perturbation(
     """
     d_matrix = system.d - magnitude * np.eye(system.n_outputs)
     return DescriptorSystem(system.e, system.a, system.b, system.c, d_matrix)
+
+
+def perturb_system(
+    system: DescriptorSystem,
+    scale: float,
+    seed: int = 0,
+    pattern: str = "a",
+) -> DescriptorSystem:
+    """Multiplicative perturbation of a system's nonzero stamps.
+
+    Models process/temperature corners of an extracted netlist: every nonzero
+    entry of the selected matrices is scaled by ``1 + scale * g`` with
+    independent standard-normal ``g``, so the sparsity pattern (and hence the
+    circuit topology) is exactly preserved — the delta fingerprint of the
+    perturbed system against its nominal ancestor has the same support.
+    Element-wise multiplicative noise on passive stamps stays passive for the
+    physically relevant scales (``scale`` well below 1).
+
+    Parameters
+    ----------
+    pattern:
+        Which matrices to perturb, as a string of matrix letters: any
+        subset-string of ``"eabcd"`` (e.g. ``"a"`` for conductance-only
+        sweeps — the fast path of the incremental tier — or ``"ea"`` for
+        full reactive + resistive variation), or ``"all"``.
+    seed:
+        Seeds a dedicated :func:`numpy.random.default_rng`; distinct seeds
+        give independent corners of the same family.
+    """
+    pattern = "eabcd" if pattern == "all" else pattern
+    unknown = set(pattern) - set("eabcd")
+    if not pattern or unknown:
+        raise DimensionError(
+            f"pattern must be 'all' or a non-empty subset-string of 'eabcd', "
+            f"got {pattern!r}"
+        )
+    rng = np.random.default_rng(seed)
+
+    def perturbed(matrix, selected: bool):
+        if not selected:
+            return matrix
+        copy = matrix.copy()
+        if hasattr(copy, "toarray"):  # CSR stamp: the nonzeros live in .data
+            copy.data = copy.data * (1.0 + scale * rng.standard_normal(copy.data.shape))
+            return copy
+        mask = copy != 0
+        count = int(mask.sum())
+        if count:
+            copy[mask] *= 1.0 + scale * rng.standard_normal(count)
+        return copy
+
+    # Sparse systems densify through .e/.a; perturb the CSR stamps instead so
+    # the corner family keeps the nominal model's storage (and the sparse
+    # method dispatch that follows from it).
+    e_stamp = system.sparse_e if system.is_sparse else system.e
+    a_stamp = system.sparse_a if system.is_sparse else system.a
+    return DescriptorSystem(
+        perturbed(e_stamp, "e" in pattern),
+        perturbed(a_stamp, "a" in pattern),
+        perturbed(system.b, "b" in pattern),
+        perturbed(system.c, "c" in pattern),
+        perturbed(system.d, "d" in pattern),
+    )
+
+
+def rlc_grid_corners(
+    rows: int,
+    cols: int,
+    n_corners: int,
+    scale: float = 2e-4,
+    seed: int = 0,
+    pattern: str = "a",
+    **grid_kwargs,
+) -> list:
+    """Swept corner family of one :func:`rlc_grid` power-grid model.
+
+    Returns ``n_corners`` descriptor systems: the nominal grid first, then
+    ``n_corners - 1`` independent multiplicative corners of it (seeds
+    ``seed + 1 ..``) via :func:`perturb_system`.  This is the canonical
+    workload of the incremental re-certification tier: one cold
+    factorization of the nominal system warm-starts every corner.
+
+    ``grid_kwargs`` are forwarded to :func:`rlc_grid` (the family defaults to
+    the dense damped variant used by the sweep benchmark:
+    ``series_resistance=0.8, shunt_conductance=0.1, sparse=False``).
+    """
+    if n_corners < 1:
+        raise DimensionError("the family needs at least one corner")
+    grid_kwargs.setdefault("series_resistance", 0.8)
+    grid_kwargs.setdefault("shunt_conductance", 0.1)
+    grid_kwargs.setdefault("sparse", False)
+    nominal = rlc_grid(rows, cols, **grid_kwargs).system
+    family = [nominal]
+    for corner in range(1, n_corners):
+        family.append(perturb_system(nominal, scale, seed=seed + corner, pattern=pattern))
+    return family

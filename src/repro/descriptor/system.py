@@ -298,10 +298,23 @@ class DescriptorSystem:
     # Pencil-level properties
     # ------------------------------------------------------------------
     def rank_e(self, tol: Optional[Tolerances] = None) -> int:
-        """Numerical rank ``r`` of ``E``."""
+        """Numerical rank ``r`` of ``E``.
+
+        Memoized per rank threshold: the system is immutable, so the rank
+        decision is a pure function of ``rank_rtol`` — sweep warm-start
+        chains re-ask an ancestor's rank once per corner otherwise.
+        """
+        from repro.config import DEFAULT_TOLERANCES
         from repro.linalg.subspaces import numerical_rank
 
-        return numerical_rank(self.e, tol)
+        key = float((tol or DEFAULT_TOLERANCES).rank_rtol)
+        memo = self.__dict__.get("_rank_e_memo")
+        if memo is None:
+            memo = {}
+            object.__setattr__(self, "_rank_e_memo", memo)
+        if key not in memo:
+            memo[key] = numerical_rank(self.e, tol)
+        return memo[key]
 
     def is_regular(
         self,

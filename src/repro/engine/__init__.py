@@ -46,6 +46,16 @@ from repro.engine.registry import (
     get_method,
     register_method,
 )
+from repro.engine.incremental import (
+    DEFAULT_INCREMENTAL_CONFIG,
+    DeltaFingerprint,
+    IncrementalConfig,
+    MatrixDelta,
+    UpdateLineage,
+    attempt_incremental,
+    delta_distance,
+    structured_delta,
+)
 from repro.engine.runner import BatchOutcome, BatchResult, BatchRunner
 from repro.engine.shm import ArrayArena, ArrayShipment, shm_available
 
@@ -78,4 +88,12 @@ __all__ = [
     "BatchOutcome",
     "BatchResult",
     "BatchRunner",
+    "DEFAULT_INCREMENTAL_CONFIG",
+    "DeltaFingerprint",
+    "IncrementalConfig",
+    "MatrixDelta",
+    "UpdateLineage",
+    "attempt_incremental",
+    "delta_distance",
+    "structured_delta",
 ]

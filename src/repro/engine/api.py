@@ -89,6 +89,7 @@ def _attach_engine_diagnostics(
     cached: bool,
     skipped: bool,
     factorizations: int,
+    incremental: bool = False,
 ) -> None:
     """Record the dispatch decision under ``diagnostics["engine"]``.
 
@@ -102,7 +103,9 @@ def _attach_engine_diagnostics(
     * ``skipped`` — True when the engine refused the cell without running it,
     * ``factorizations`` — decomposition computations this call actually
       performed (0 on a warm cache; best-effort when several threads share
-      one cache concurrently).
+      one cache concurrently),
+    * ``incremental`` — True when the verdict was certified by the
+      perturbation-aware update tier instead of the cold pipeline.
     """
     report.diagnostics["engine"] = {
         "method": spec.name,
@@ -110,6 +113,7 @@ def _attach_engine_diagnostics(
         "cached": cached,
         "skipped": skipped,
         "factorizations": factorizations,
+        "incremental": incremental,
     }
 
 
@@ -148,6 +152,7 @@ def check_passivity(
     tol: Optional[Tolerances] = None,
     cache: Optional[DecompositionCache] = None,
     registry: Optional[MethodRegistry] = None,
+    ancestor: Optional[Any] = None,
     **options: Any,
 ) -> PassivityReport:
     """Check passivity of a descriptor system through the engine.
@@ -175,6 +180,17 @@ def check_passivity(
         time the whole ``check_passivity`` call when benchmarking.
     registry:
         Method registry; defaults to the process-wide registry.
+    ancestor:
+        Optional warm-start hint for the perturbation-aware tier: a nearby
+        :class:`~repro.descriptor.system.DescriptorSystem` whose
+        decompositions are already cached, or the string ``"auto"`` to look
+        one up via :meth:`DecompositionCache.nearest`.  When the certified
+        incremental update succeeds the cold pipeline is skipped entirely
+        (``diagnostics["engine"]["incremental"]`` is True); when any
+        validity bound fails, the call falls back to the cold path and
+        counts a ``CacheStats.incremental_fallbacks`` — verdicts are never
+        weaker than cold ones.  Only meaningful for ``method`` ``"auto"``
+        or ``"gare"`` on dense systems.
     **options:
         Forwarded to the method runner (e.g. ``check_stability=False`` for the
         SHH test, ``order_limit=None`` to override an LMI refusal).
@@ -199,6 +215,33 @@ def check_passivity(
         return cache.stats.factorizations - factorizations_baseline
 
     auto = method == "auto"
+
+    if (
+        ancestor is not None
+        and method in ("auto", "gare")
+        and not _auto_prefers_sparse(system, registry)
+    ):
+        from repro.engine.incremental import (
+            DEFAULT_INCREMENTAL_CONFIG,
+            attempt_incremental,
+        )
+
+        config = options.pop("incremental_config", None) or DEFAULT_INCREMENTAL_CONFIG
+        report = attempt_incremental(system, ancestor, cache, tol, config)
+        if report is not None:
+            _attach_engine_diagnostics(
+                report,
+                registry.resolve("gare"),
+                auto,
+                persistent,
+                skipped=False,
+                factorizations=factorizations_delta(),
+                incremental=True,
+            )
+            return report
+    else:
+        options.pop("incremental_config", None)
+
     profile: Optional[SystemProfile] = None
     if auto:
         if _auto_prefers_sparse(system, registry):

@@ -55,7 +55,9 @@ __all__ = [
     "SYSTEM_PROFILE",
     "PENCIL_SPECTRUM",
     "SPARSE_DEFLATION",
+    "UPDATE_LINEAGE",
     "KNOWN_KINDS",
+    "ANCESTOR_KINDS",
 ]
 
 #: Cache-entry kinds used by the built-in convenience accessors
@@ -68,6 +70,7 @@ GARE_STATE_SPACE = "gare_state_space"
 GARE_RICCATI = "gare_riccati"
 SYSTEM_PROFILE = "system_profile"
 PENCIL_SPECTRUM = "pencil_spectrum"
+UPDATE_LINEAGE = "update_lineage"
 
 #: Every cache kind the engine knows how to produce and consume.
 #: :meth:`DecompositionCache.seed` validates against this set: seeding an
@@ -83,8 +86,13 @@ KNOWN_KINDS = frozenset(
         SYSTEM_PROFILE,
         PENCIL_SPECTRUM,
         SPARSE_DEFLATION,
+        UPDATE_LINEAGE,
     }
 )
+
+#: Cache kinds whose presence makes a system a useful warm-start ancestor:
+#: holding any of these means an incremental update can skip real work.
+ANCESTOR_KINDS = frozenset({PENCIL_SPECTRUM, GARE_RICCATI, SYSTEM_PROFILE})
 
 
 def fingerprint_system(
@@ -108,8 +116,16 @@ def fingerprint_system(
 
     The thin matrices ``B``, ``C``, ``D`` are hashed as dense bytes (both
     representations store them dense).
+
+    The digest is memoized on the (immutable) system instance per tolerance
+    bundle: every cache operation re-fingerprints its argument, and on the
+    incremental tier's hot path that adds up to a dozen hashes per corner.
     """
     tol = tol or DEFAULT_TOLERANCES
+    memo_key = astuple(tol)
+    memo = system.__dict__.get("_fingerprint_memo")
+    if memo is not None and memo_key in memo:
+        return memo[memo_key]
     hasher = hashlib.sha256()
     # sparse_e / sparse_a are canonical CSR in every path (__post_init__
     # canonicalizes sparse inputs, the dense view caches a canonicalized
@@ -125,7 +141,12 @@ def fingerprint_system(
         hasher.update(repr(matrix.shape).encode())
         hasher.update(np.ascontiguousarray(matrix).tobytes())
     hasher.update(repr(astuple(tol)).encode())
-    return hasher.hexdigest()
+    digest = hasher.hexdigest()
+    if memo is None:
+        memo = {}
+        object.__setattr__(system, "_fingerprint_memo", memo)
+    memo[memo_key] = digest
+    return digest
 
 
 @dataclass
@@ -144,6 +165,14 @@ class CacheStats:
     factorization), one that falls through to compute is an ``l2_miss``, and
     store-side size-budget evictions triggered by this cache's writes are
     ``l2_evictions``.  All three stay zero for a store-less cache.
+
+    ``incremental_hits`` / ``incremental_fallbacks`` account for the
+    perturbation-aware tier (:mod:`repro.engine.incremental`): a hit is a
+    verdict certified from a nearby ancestor without the cold factorizations,
+    a fallback is an attempted update whose validity bound or residual test
+    failed (the verdict was then recomputed from scratch, so fallbacks are
+    a cost, never a correctness, signal).  ``update_residual_max`` is the
+    high-watermark of the certified update residuals accepted so far.
     """
 
     hits: int = 0
@@ -153,6 +182,9 @@ class CacheStats:
     l2_hits: int = 0
     l2_misses: int = 0
     l2_evictions: int = 0
+    incremental_hits: int = 0
+    incremental_fallbacks: int = 0
+    update_residual_max: float = 0.0
     by_kind: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     def record(self, kind: str, hit: bool) -> None:
@@ -170,6 +202,15 @@ class CacheStats:
         counters = self.by_kind.setdefault(kind, {"hits": 0, "misses": 0})
         counters["factorizations"] = counters.get("factorizations", 0) + 1
         self.factorizations += 1
+
+    def record_incremental(self, hit: bool, residual: float = 0.0) -> None:
+        """Count one incremental-update attempt (hit or certified fallback)."""
+        if hit:
+            self.incremental_hits += 1
+            if residual > self.update_residual_max:
+                self.update_residual_max = float(residual)
+        else:
+            self.incremental_fallbacks += 1
 
     def record_l2(self, kind: str, hit: bool) -> None:
         """Count one store (L2) consultation for ``kind``."""
@@ -202,6 +243,10 @@ class CacheStats:
         self.l2_hits += other.l2_hits
         self.l2_misses += other.l2_misses
         self.l2_evictions += other.l2_evictions
+        self.incremental_hits += other.incremental_hits
+        self.incremental_fallbacks += other.incremental_fallbacks
+        if other.update_residual_max > self.update_residual_max:
+            self.update_residual_max = other.update_residual_max
         for kind, counters in other.by_kind.items():
             mine = self.by_kind.setdefault(kind, {"hits": 0, "misses": 0})
             mine["hits"] += counters.get("hits", 0)
@@ -220,6 +265,9 @@ class CacheStats:
             l2_hits=self.l2_hits,
             l2_misses=self.l2_misses,
             l2_evictions=self.l2_evictions,
+            incremental_hits=self.incremental_hits,
+            incremental_fallbacks=self.incremental_fallbacks,
+            update_residual_max=self.update_residual_max,
         )
         copy.by_kind = {kind: dict(counters) for kind, counters in self.by_kind.items()}
         return copy
@@ -234,6 +282,13 @@ class CacheStats:
             l2_hits=self.l2_hits - baseline.l2_hits,
             l2_misses=self.l2_misses - baseline.l2_misses,
             l2_evictions=self.l2_evictions - baseline.l2_evictions,
+            incremental_hits=self.incremental_hits - baseline.incremental_hits,
+            incremental_fallbacks=(
+                self.incremental_fallbacks - baseline.incremental_fallbacks
+            ),
+            # The residual watermark is a running max, not a rate: the delta
+            # keeps the current value (0.0 only when nothing was certified).
+            update_residual_max=self.update_residual_max,
         )
         for kind, counters in self.by_kind.items():
             base = baseline.by_kind.get(kind, {})
@@ -276,16 +331,24 @@ class DecompositionCache:
     """
 
     def __init__(
-        self, maxsize: Optional[int] = 256, store: Optional[Any] = None
+        self,
+        maxsize: Optional[int] = 256,
+        store: Optional[Any] = None,
+        ancestor_capacity: int = 32,
     ) -> None:
         if maxsize is not None and maxsize < 1:
             raise ValueError("maxsize must be at least 1 (or None for unbounded)")
+        if ancestor_capacity < 0:
+            raise ValueError("ancestor_capacity must be non-negative")
         self.maxsize = maxsize
         self.store = store
         self.stats = CacheStats()
+        self.ancestor_capacity = ancestor_capacity
         self._entries: "OrderedDict[Tuple[str, str], Tuple[str, Any]]" = OrderedDict()
         self._lock = threading.Lock()
         self._key_locks: Dict[Tuple[str, str], threading.Lock] = {}
+        self._ancestors: "OrderedDict[str, DescriptorSystem]" = OrderedDict()
+        self._ancestor_lock = threading.Lock()
 
     def attach_store(self, store: Optional[Any]) -> None:
         """Attach (or detach, with ``None``) the persistent L2 tier.
@@ -304,6 +367,87 @@ class DecompositionCache:
         with self._lock:
             self._entries.clear()
             self._key_locks.clear()
+        with self._ancestor_lock:
+            self._ancestors.clear()
+
+    # ------------------------------------------------------------------
+    # Ancestor registry — the perturbation-aware tier's similarity index.
+    # ------------------------------------------------------------------
+    def register_ancestor(
+        self, system: DescriptorSystem, tol: Optional[Tolerances] = None
+    ) -> None:
+        """Remember ``system`` as a potential warm-start ancestor.
+
+        Systems whose spectral context / Riccati certificate pass through
+        :meth:`get_or_compute` register themselves automatically; sweep
+        drivers may also register explicitly.  The registry is a bounded LRU
+        keyed by fingerprint (capacity ``ancestor_capacity``) holding the
+        *system* objects, because computing a delta against a candidate needs
+        its matrices, not just its hash.
+        """
+        if self.ancestor_capacity == 0:
+            return
+        fingerprint = fingerprint_system(system, tol)
+        with self._ancestor_lock:
+            self._ancestors[fingerprint] = system
+            self._ancestors.move_to_end(fingerprint)
+            while len(self._ancestors) > self.ancestor_capacity:
+                self._ancestors.popitem(last=False)
+
+    def nearest(
+        self,
+        system: DescriptorSystem,
+        tol: Optional[Tolerances] = None,
+        kinds: Tuple[str, ...] = (PENCIL_SPECTRUM,),
+        max_distance: Optional[float] = None,
+    ) -> Optional[Tuple[DescriptorSystem, float]]:
+        """Locate the registered ancestor nearest to ``system``.
+
+        Candidates must have the same matrix shapes, a *different*
+        fingerprint, and currently hold a cached entry for **every** kind in
+        ``kinds`` (an ancestor whose decompositions were evicted cannot seed
+        an update).  Distance is the structured relative delta
+        :func:`~repro.engine.incremental.delta_distance` — the sum over
+        (E, A, B, C, D) of ``||delta||_F / max(1, ||ancestor||_F)``.
+
+        Returns ``(ancestor, distance)`` for the closest candidate within
+        ``max_distance`` (unbounded when ``None``), else ``None``.
+        """
+        from repro.engine.incremental import delta_distance
+
+        fingerprint = fingerprint_system(system, tol)
+        shapes = (
+            system.e.shape,
+            system.a.shape,
+            system.b.shape,
+            system.c.shape,
+            system.d.shape,
+        )
+        with self._ancestor_lock:
+            candidates = list(self._ancestors.items())
+        best: Optional[Tuple[DescriptorSystem, float]] = None
+        for cand_fp, candidate in reversed(candidates):
+            if cand_fp == fingerprint:
+                continue
+            cand_shapes = (
+                candidate.e.shape,
+                candidate.a.shape,
+                candidate.b.shape,
+                candidate.c.shape,
+                candidate.d.shape,
+            )
+            if cand_shapes != shapes:
+                continue
+            with self._lock:
+                held = all((cand_fp, kind) in self._entries for kind in kinds)
+            if not held:
+                continue
+            distance = delta_distance(candidate, system)
+            if max_distance is not None and distance > max_distance:
+                continue
+            if best is None or distance < best[1]:
+                best = (candidate, distance)
+        return best
 
     # ------------------------------------------------------------------
     def get_or_compute(
@@ -328,6 +472,8 @@ class DecompositionCache:
         the negative ones — are written back best-effort.
         """
         key = (fingerprint_system(system, tol), kind)
+        if kind in ANCESTOR_KINDS:
+            self.register_ancestor(system, tol)
         with self._lock:
             cached = self._entries.get(key)
             if cached is not None:
@@ -378,6 +524,7 @@ class DecompositionCache:
         kind: str,
         value: Any,
         tol: Optional[Tolerances] = None,
+        persist: bool = False,
     ) -> None:
         """Store a precomputed intermediate without running (or counting) a compute.
 
@@ -385,6 +532,13 @@ class DecompositionCache:
         runner computes a system's spectral context once in the parent and
         seeds each worker-local cache with it, so the worker's lookups are
         hits and its ``factorizations`` counter stays at zero.
+
+        With ``persist=True`` the entry is also written through to the L2
+        store (best-effort, when one is attached and accepts the kind).
+        Plain seeds skip L2 on purpose — they mirror values the computing
+        process already persisted — but the incremental tier's artifacts
+        (certificates, update lineage) are *born* via seed and would
+        otherwise never survive a restart.
 
         Raises
         ------
@@ -399,7 +553,11 @@ class DecompositionCache:
                 f"{', '.join(sorted(KNOWN_KINDS))}"
             )
         key = (fingerprint_system(system, tol), kind)
+        if kind in ANCESTOR_KINDS:
+            self.register_ancestor(system, tol)
         self._store(key, kind, ("value", value), computed=False, count_miss=False)
+        if persist:
+            self._persist(key, kind, ("value", value))
 
     # ------------------------------------------------------------------
     # Persistent store (L2) plumbing — best-effort by design: the store
@@ -602,6 +760,29 @@ class DecompositionCache:
     ) -> "SystemProfile":
         """Cached :func:`profile_system` of the system."""
         return profile_system(system, tol, cache=self)
+
+    def update_lineage(
+        self, system: DescriptorSystem, tol: Optional[Tolerances] = None
+    ) -> Optional[Any]:
+        """The system's incremental-update provenance record, if any.
+
+        Returns the :class:`~repro.engine.incremental.UpdateLineage` seeded
+        by a successful incremental certification (possibly rehydrated from
+        the L2 store), or ``None`` for a cold-certified system.  A pure
+        peek: no compute, no hit/miss accounting.
+        """
+        key = (fingerprint_system(system, tol), UPDATE_LINEAGE)
+        with self._lock:
+            entry = self._entries.get(key)
+        if entry is None and self.store is not None:
+            entry = self._load_from_store(key, UPDATE_LINEAGE)
+            if entry is not None:
+                self._store(key, UPDATE_LINEAGE, entry, computed=False,
+                            count_miss=False)
+        if entry is None:
+            return None
+        tag, payload = entry
+        return payload if tag == "value" else None
 
 
 @dataclass(frozen=True)

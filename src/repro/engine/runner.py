@@ -133,6 +133,12 @@ class BatchOutcome:
     n_batched_jobs: int = 0
     #: Bytes that traveled by shared memory instead of the call pipe.
     shm_bytes: int = 0
+    #: Sweep-mode warm-start telemetry: number of perturbation-family
+    #: chains planned and the number of jobs riding them (0 with
+    #: ``incremental="off"``); the incremental hit/fallback counters
+    #: themselves live on ``cache_stats``.
+    n_chains: int = 0
+    n_chained_jobs: int = 0
     #: Times the process pool was rebuilt mid-sweep after a worker crash
     #: (:class:`~concurrent.futures.process.BrokenProcessPool`); crashed
     #: tasks are resubmitted once to the replacement pool before their
@@ -172,12 +178,19 @@ def _run_cell(
     cache: Optional[DecompositionCache],
     registry: Optional[MethodRegistry],
     options: Dict[str, Any],
+    ancestor: Optional[Any] = None,
 ) -> Tuple[Optional[PassivityReport], float, Optional[str]]:
-    """Run one method on one system, converting exceptions to error strings."""
+    """Run one method on one system, converting exceptions to error strings.
+
+    ``ancestor`` is forwarded to :func:`check_passivity` for sweep-mode
+    cells (``"auto"`` or an explicit system); the engine ignores it for
+    methods the incremental tier does not serve.
+    """
     start = time.perf_counter()
     try:
         report = check_passivity(
-            system, method=method, tol=tol, cache=cache, registry=registry, **options
+            system, method=method, tol=tol, cache=cache, registry=registry,
+            ancestor=ancestor, **options
         )
         return report, time.perf_counter() - start, None
     except Exception as error:  # noqa: BLE001 - one bad cell must not kill the sweep
@@ -241,6 +254,7 @@ def _process_batch_worker(
         Optional[int],
         Dict[int, Any],
         Optional[Any],
+        Dict[int, Any],
     ],
 ) -> Tuple[
     List[Tuple[int, List[Tuple[str, Optional[PassivityReport], float, Optional[str]]]]],
@@ -258,10 +272,16 @@ def _process_batch_worker(
     so factorization and L2-hit counters stay exact: jobs inside the chunk
     that share intermediates through the chunk cache are counted as the
     hits they really are, never double-booked per job.
+
+    ``ancestors`` (chunk position → ancestor hint) carries the sweep mode's
+    warm-start plan: a chain ships as one chunk in delta order, its root
+    runs cold into the chunk cache and every later position warm-starts
+    through the cache's ancestor registry (hint ``"auto"``), so the whole
+    chain pays one QZ no matter how many corners it holds.
     """
     (
         indices, fleet, methods, tol, method_options, registry,
-        cache_maxsize, contexts, store,
+        cache_maxsize, contexts, store, ancestors,
     ) = payload
     systems = load_systems(fleet) if isinstance(fleet, ArrayShipment) else fleet
     cache = DecompositionCache(maxsize=cache_maxsize, store=store)
@@ -276,6 +296,7 @@ def _process_batch_worker(
             report, seconds, error = _run_cell(
                 systems[position], method, tol, cache, registry,
                 method_options.get(method, {}),
+                ancestor=ancestors.get(position),
             )
             cells.append((method, report, seconds, error))
         batched.append((index, cells))
@@ -351,6 +372,20 @@ class BatchRunner:
     batch_size:
         Jobs per micro-batch chunk; default sizes chunks to roughly two
         waves per worker, capped at 32.
+    incremental:
+        Sweep-mode warm starting (default ``"off"``).  With ``"sweep"``,
+        dense systems of identical shape are grouped into perturbation
+        families and each family is ordered into a chain by structured
+        delta distance (greedy nearest-neighbor walk); every chained job
+        runs with ``ancestor="auto"``, so after the chain's root pays the
+        one cold QZ each successor is certified by the perturbation-aware
+        update tier (falling back to cold, and becoming the new warm-start
+        root, whenever a validity bound fails — verdicts never weaken).
+        Chains run in order: serially inline, one pool task per chain on
+        the thread backend, and one worker chunk per chain on the process
+        backend (the chunk shares one worker-local cache, so the whole
+        chain still pays a single cold factorization).  Systems without a
+        same-shape partner run exactly as with ``"off"``.
     """
 
     def __init__(
@@ -366,11 +401,16 @@ class BatchRunner:
         batch_small_systems: Any = "auto",
         small_system_order: int = 100,
         batch_size: Optional[int] = None,
+        incremental: str = "off",
     ) -> None:
         if backend not in ("auto", "process", "thread", "serial"):
             raise ValueError(f"unknown backend {backend!r}")
         if transport not in ("auto", "shm", "pickle"):
             raise ValueError(f"unknown transport {transport!r}")
+        if incremental not in ("off", "sweep"):
+            raise ValueError(
+                f"incremental must be 'off' or 'sweep', got {incremental!r}"
+            )
         if batch_small_systems not in ("auto", True, False):
             raise ValueError(
                 f"batch_small_systems must be 'auto', True or False, "
@@ -387,6 +427,7 @@ class BatchRunner:
         self.batch_small_systems = batch_small_systems
         self.small_system_order = int(small_system_order)
         self.batch_size = batch_size
+        self.incremental = incremental
 
     # ------------------------------------------------------------------
     def _wants_spectral_context(
@@ -458,12 +499,59 @@ class BatchRunner:
         return contexts
 
     # ------------------------------------------------------------------
+    def _plan_sweep_chains(
+        self, systems: List[DescriptorSystem]
+    ) -> List[List[int]]:
+        """Order perturbation families into warm-start chains (sweep mode).
+
+        Dense systems are grouped by matrix shapes; each group with at
+        least two members becomes a chain ordered by a greedy
+        nearest-neighbor walk on the structured delta distance (the same
+        metric :meth:`DecompositionCache.nearest` ranks ancestors with), so
+        consecutive jobs are the closest available perturbation pairs and
+        the incremental tier's first-order bounds stay tight.  The walk
+        costs ``O(k^2)`` distance evaluations per family — each ``O(n^2)``,
+        negligible next to one ``O(n^3)`` factorization — and is only
+        planned when ``incremental="sweep"``.
+        """
+        if self.incremental != "sweep":
+            return []
+        from repro.engine.incremental import delta_distance
+
+        groups: Dict[Tuple[Tuple[int, ...], ...], List[int]] = {}
+        for si, system in enumerate(systems):
+            if system.is_sparse:
+                continue
+            shapes = (
+                tuple(system.e.shape), tuple(system.a.shape),
+                tuple(system.b.shape), tuple(system.c.shape),
+                tuple(system.d.shape),
+            )
+            groups.setdefault(shapes, []).append(si)
+        chains: List[List[int]] = []
+        for members in groups.values():
+            if len(members) < 2:
+                continue
+            remaining = list(members[1:])
+            chain = [members[0]]
+            while remaining:
+                last = systems[chain[-1]]
+                nearest_pos = min(
+                    range(len(remaining)),
+                    key=lambda pos: delta_distance(last, systems[remaining[pos]]),
+                )
+                chain.append(remaining.pop(nearest_pos))
+            chains.append(chain)
+        return chains
+
+    # ------------------------------------------------------------------
     def run_cell(
         self,
         system: DescriptorSystem,
         method: str = "auto",
         options: Optional[Dict[str, Any]] = None,
         system_index: int = 0,
+        ancestor: Optional[Any] = None,
     ) -> BatchResult:
         """Run one ``(system, method)`` cell synchronously in this thread.
 
@@ -488,6 +576,12 @@ class BatchRunner:
             Index recorded on the returned :class:`BatchResult` (the service
             does not use sweep positions; callers embedding cells in a larger
             sweep can label them).
+        ancestor:
+            Optional warm-start hint forwarded to
+            :func:`~repro.engine.api.check_passivity` — a nearby system
+            whose decompositions sit in the runner's cache, or ``"auto"``
+            (the service's sweep-aware dispatch passes the family root
+            here).
 
         Returns
         -------
@@ -500,7 +594,7 @@ class BatchRunner:
             self.registry.resolve(method)
         report, seconds, error = _run_cell(
             system, method, self.tol, self.cache, self.registry,
-            dict(options or {}),
+            dict(options or {}), ancestor=ancestor,
         )
         return BatchResult(system_index, method, report, seconds, error)
 
@@ -546,6 +640,7 @@ class BatchRunner:
         # in the sweep's telemetry.
         stats_baseline = self.cache.stats.snapshot()
         contexts = self._spectral_contexts(systems, methods, method_options)
+        chains = self._plan_sweep_chains(systems)
         backend = self.backend
         if backend in ("auto", "process"):
             # Only pool *creation* triggers the serial fallback; a pool that
@@ -557,15 +652,17 @@ class BatchRunner:
                 if backend == "process":
                     raise
                 outcome = self._run_local(
-                    systems, methods, method_options, "serial", stats_baseline
+                    systems, methods, method_options, "serial", stats_baseline,
+                    chains,
                 )
             else:
                 outcome = self._run_process(
-                    pool, systems, methods, method_options, contexts, stats_baseline
+                    pool, systems, methods, method_options, contexts,
+                    stats_baseline, chains,
                 )
         else:
             outcome = self._run_local(
-                systems, methods, method_options, backend, stats_baseline
+                systems, methods, method_options, backend, stats_baseline, chains
             )
         outcome.total_seconds = time.perf_counter() - start
         return outcome
@@ -578,30 +675,57 @@ class BatchRunner:
         method_options: Dict[str, Dict[str, Any]],
         backend: str,
         stats_baseline: CacheStats,
+        chains: List[List[int]],
     ) -> BatchOutcome:
         # Thread/serial cells share the runner's cache, so the precomputed
         # spectral contexts are already where every worker will look for
-        # them; no per-cell plumbing is needed.
+        # them; no per-cell plumbing is needed.  Sweep chains run in delta
+        # order against the shared cache (ancestor="auto"): the chain root
+        # factorizes cold and registers itself, every successor warm-starts.
         registry = self.registry
-        cells = [
-            (si, mi, system, method)
-            for si, system in enumerate(systems)
-            for mi, method in enumerate(methods)
-        ]
+        chained = {si for chain in chains for si in chain}
         results: Dict[Tuple[int, int], BatchResult] = {}
+
+        def run_one(si: int, mi: int, method: str) -> None:
+            report, seconds, error = _run_cell(
+                systems[si], method, self.tol, self.cache, registry,
+                method_options.get(method, {}),
+                ancestor="auto" if si in chained else None,
+            )
+            results[(si, mi)] = BatchResult(si, method, report, seconds, error)
 
         if backend == "serial":
             n_workers = 1
-            for si, mi, system, method in cells:
-                report, seconds, error = _run_cell(
-                    system, method, self.tol, self.cache, registry,
-                    method_options.get(method, {}),
-                )
-                results[(si, mi)] = BatchResult(si, method, report, seconds, error)
+            order = [si for chain in chains for si in chain] + [
+                si for si in range(len(systems)) if si not in chained
+            ]
+            for si in order:
+                for mi, method in enumerate(methods):
+                    run_one(si, mi, method)
         else:
             pool = ThreadPoolExecutor(max_workers=self.max_workers)
             try:
                 n_workers = pool._max_workers
+
+                def run_chain(chain: List[int]) -> List[Tuple[int, int, str, Any, Any, Any]]:
+                    # One pool task per chain: the jobs of a chain are
+                    # sequentially dependent (each warm-starts from cache
+                    # state its predecessor created), while distinct chains
+                    # and unchained cells still overlap across threads.
+                    out = []
+                    for si in chain:
+                        for mi, method in enumerate(methods):
+                            report, seconds, error = _run_cell(
+                                systems[si], method, self.tol, self.cache,
+                                registry, method_options.get(method, {}),
+                                ancestor="auto",
+                            )
+                            out.append((si, mi, method, report, seconds, error))
+                    return out
+
+                chain_futures: List[Tuple[List[int], Future]] = [
+                    (chain, pool.submit(run_chain, chain)) for chain in chains
+                ]
                 futures: List[Tuple[int, int, str, Future]] = [
                     (
                         si,
@@ -612,7 +736,9 @@ class BatchRunner:
                             registry, method_options.get(method, {}),
                         ),
                     )
-                    for si, mi, system, method in cells
+                    for si, system in enumerate(systems)
+                    if si not in chained
+                    for mi, method in enumerate(methods)
                 ]
                 for si, mi, method, future in futures:
                     try:
@@ -620,6 +746,25 @@ class BatchRunner:
                         results[(si, mi)] = BatchResult(si, method, report, seconds, error)
                     except FutureTimeoutError:
                         results[(si, mi)] = BatchResult(si, method, timed_out=True)
+                for chain, future in chain_futures:
+                    # The per-system timeout budgets the whole chain, like a
+                    # micro-batch chunk.
+                    timeout = None
+                    if self.task_timeout is not None:
+                        timeout = self.task_timeout * len(chain)
+                    try:
+                        for si, mi, method, report, seconds, error in future.result(
+                            timeout=timeout
+                        ):
+                            results[(si, mi)] = BatchResult(
+                                si, method, report, seconds, error
+                            )
+                    except FutureTimeoutError:
+                        for si in chain:
+                            for mi, method in enumerate(methods):
+                                results.setdefault(
+                                    (si, mi), BatchResult(si, method, timed_out=True)
+                                )
             finally:
                 # Do not join hung workers: cancel anything still queued and
                 # return promptly; a running thread cannot be killed but must
@@ -633,11 +778,16 @@ class BatchRunner:
             total_seconds=0.0,
             backend=backend,
             n_workers=n_workers,
+            n_chains=len(chains),
+            n_chained_jobs=sum(len(chain) for chain in chains),
         )
 
     # ------------------------------------------------------------------
     def _plan_chunks(
-        self, systems: List[DescriptorSystem], n_workers: int
+        self,
+        systems: List[DescriptorSystem],
+        n_workers: int,
+        exclude: frozenset = frozenset(),
     ) -> List[List[int]]:
         """Group small dense systems into micro-batch chunks.
 
@@ -647,14 +797,18 @@ class BatchRunner:
         (``>= max(8, 2 * workers)``); forced ``True`` batches whatever small
         systems exist.  Chunk size targets roughly two waves per worker so
         the pool stays load-balanced, capped at 32 jobs per chunk so one
-        slow chunk cannot serialize the sweep.
+        slow chunk cannot serialize the sweep.  ``exclude`` removes systems
+        already claimed by sweep-mode chains (which ship as their own
+        chunks).
         """
         policy = self.batch_small_systems
         if policy is False:
             return []
         small = [
             si for si, system in enumerate(systems)
-            if not system.is_sparse and system.order <= self.small_system_order
+            if si not in exclude
+            and not system.is_sparse
+            and system.order <= self.small_system_order
         ]
         if not small:
             return []
@@ -672,6 +826,7 @@ class BatchRunner:
         method_options: Dict[str, Dict[str, Any]],
         contexts: Dict[int, SpectralContext],
         stats_baseline: CacheStats,
+        chains: List[List[int]],
     ) -> BatchOutcome:
         # Group by system so the worker-local cache still shares the
         # per-system intermediates across methods.  The registry is shipped to
@@ -715,7 +870,8 @@ class BatchRunner:
         current_pool: Optional[ProcessPoolExecutor] = pool
         try:
             n_workers = pool._max_workers
-            chunks = self._plan_chunks(systems, n_workers)
+            in_chains = frozenset(si for chain in chains for si in chain)
+            chunks = self._plan_chunks(systems, n_workers, exclude=in_chains)
             in_chunks = {si for chunk in chunks for si in chunk}
 
             #: Collection queue: each entry keeps its task function and
@@ -735,25 +891,33 @@ class BatchRunner:
                     "retried": False,
                 })
 
-            for chunk in chunks:
-                fleet: Any = [systems[si] for si in chunk]
+            def enqueue_group(group: List[int], ancestors: Dict[int, Any]) -> None:
+                fleet: Any = [systems[si] for si in group]
                 if arena is not None:
                     fleet = ship_systems(arena, fleet)
-                chunk_contexts = {
+                group_contexts = {
                     position: context_payload(si)
-                    for position, si in enumerate(chunk)
+                    for position, si in enumerate(group)
                     if contexts.get(si) is not None
                 }
                 enqueue(
-                    tuple(chunk),
+                    tuple(group),
                     True,
                     _process_batch_worker,
-                    (tuple(chunk), fleet, methods, self.tol, method_options,
-                     registry, self.cache.maxsize, chunk_contexts,
-                     self.cache.store),
+                    (tuple(group), fleet, methods, self.tol, method_options,
+                     registry, self.cache.maxsize, group_contexts,
+                     self.cache.store, ancestors),
                 )
+
+            for chain in chains:
+                # One worker chunk per chain, in delta order: the chunk's
+                # shared worker-local cache makes position 0 the cold root
+                # and every later position an "auto" warm start against it.
+                enqueue_group(chain, {pos: "auto" for pos in range(len(chain))})
+            for chunk in chunks:
+                enqueue_group(chunk, {})
             for si, system in enumerate(systems):
-                if si in in_chunks:
+                if si in in_chunks or si in in_chains:
                     continue
                 enqueue(
                     (si,),
@@ -857,6 +1021,8 @@ class BatchRunner:
             transport="shm" if arena is not None and arena.shipped_bytes > 0 else "pickle",
             n_batches=len(chunks),
             n_batched_jobs=sum(len(chunk) for chunk in chunks),
+            n_chains=len(chains),
+            n_chained_jobs=sum(len(chain) for chain in chains),
             shm_bytes=arena.shipped_bytes if arena is not None else 0,
             pool_restarts=pool_restarts,
         )

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Optional
+from typing import Any, Optional
 
 import numpy as np
 
@@ -26,7 +26,11 @@ from repro.config import DEFAULT_TOLERANCES, Tolerances
 from repro.descriptor.system import DescriptorSystem, StateSpace
 from repro.descriptor.transforms import svd_coordinate_form
 from repro.exceptions import NotAdmissibleError, ReductionError, ReproError
-from repro.linalg.basics import is_positive_definite, is_positive_semidefinite
+from repro.linalg.basics import (
+    is_positive_definite,
+    is_positive_semidefinite,
+    matrix_scale,
+)
 from repro.linalg.pencil import SpectralContext
 from repro.linalg.riccati import solve_positive_real_are
 from repro.passivity.result import PassivityReport
@@ -60,6 +64,7 @@ def admissible_to_state_space(
     system: DescriptorSystem,
     tol: Optional[Tolerances] = None,
     context: Optional[SpectralContext] = None,
+    form: Optional[Any] = None,
 ) -> StateSpace:
     """Reduce an admissible descriptor system to an equivalent regular state space.
 
@@ -74,6 +79,11 @@ def admissible_to_state_space(
         (for example from the engine's decomposition cache); the
         admissibility pre-check then reads the cached verdicts instead of
         re-classifying the pencil spectrum.
+    form:
+        Optional precomputed SVD coordinate form of ``system`` (the result
+        of :func:`~repro.descriptor.transforms.svd_coordinate_form`); the
+        incremental tier passes the form it already used for its
+        impulse-freedom certification so the SVD is not repeated.
 
     Raises
     ------
@@ -81,17 +91,26 @@ def admissible_to_state_space(
         If the system is not admissible.
     """
     tol = tol or DEFAULT_TOLERANCES
-    admissible = (
-        _is_admissible_from_context(system, context, tol)
-        if context is not None
-        else system.is_admissible(tol)
-    )
+    if context is not None and form is not None:
+        # form.rank applies the same threshold as rank_e, so the supplied
+        # form answers the impulse-freedom rank criterion without another
+        # SVD of E.
+        admissible = (
+            context.is_regular
+            and context.is_stable
+            and form.rank <= context.n_finite
+        )
+    elif context is not None:
+        admissible = _is_admissible_from_context(system, context, tol)
+    else:
+        admissible = system.is_admissible(tol)
     if not admissible:
         raise NotAdmissibleError(
             "the GARE-style reduction requires an admissible (regular, stable, "
             "impulse-free) descriptor system"
         )
-    form = svd_coordinate_form(system, tol)
+    if form is None:
+        form = svd_coordinate_form(system, tol)
     r = form.rank
     a11, a12, a21, a22, b1, b2, c1, c2 = form.blocks
     e11 = form.system.e[:r, :r]
@@ -266,11 +285,17 @@ def gare_passivity_test(
         report.elapsed_seconds = time.perf_counter() - start
         return report
 
-    x_psd = is_positive_semidefinite(certificate.x, tol)
+    # One eigvalsh serves both the PSD verdict and the diagnostic; the
+    # threshold is exactly is_positive_semidefinite's.
+    x_arr = certificate.x
+    if x_arr.size:
+        x_min = float(np.linalg.eigvalsh(0.5 * (x_arr + x_arr.conj().T))[0])
+        x_psd = bool(x_min >= -tol.psd_atol * matrix_scale(x_arr))
+    else:
+        x_min = 0.0
+        x_psd = True
     report.diagnostics["riccati_residual"] = certificate.residual
-    report.diagnostics["x_min_eigenvalue"] = float(
-        np.min(np.linalg.eigvalsh(0.5 * (certificate.x + certificate.x.T)))
-    )
+    report.diagnostics["x_min_eigenvalue"] = x_min
     report.add_step(
         "riccati",
         "stabilizing positive-real ARE solution found",

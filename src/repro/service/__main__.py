@@ -102,6 +102,14 @@ def main(argv=None) -> int:
         help="most jobs one micro-batch dispatch may carry",
     )
     parser.add_argument(
+        "--incremental",
+        action="store_true",
+        help="sweep-aware dispatch: same-family jobs warm-start from the "
+        "family's latest cold-run system through the perturbation-aware "
+        "incremental tier (falling back cold whenever a validity bound "
+        "fails; verdicts never weaken)",
+    )
+    parser.add_argument(
         "--journal",
         nargs="?",
         const=True,
@@ -138,6 +146,7 @@ def main(argv=None) -> int:
         batch_small_systems=batch_policy,
         small_system_order=args.small_system_order,
         max_batch_size=args.max_batch_size,
+        incremental=args.incremental,
         journal=args.journal,
         max_retries=args.max_retries,
     )

@@ -134,23 +134,31 @@ def _process_cell(
         Dict[str, Any],
         Tolerances,
         Optional[MethodRegistry],
+        Any,
     ],
 ) -> Tuple[Optional[PassivityReport], float, Optional[str], CacheStats]:
     """Process-pool task: run one job's cell in the worker process.
 
     The system arrives either pickled or — when the service's shared-memory
     arena is on — as an :class:`~repro.engine.shm.ArrayShipment` naming the
-    segment that holds its dense matrices.  Returns the cell outcome plus
-    the worker cache's counter *delta* for this job, which the service
-    merges into its telemetry so ``stats()`` reflects worker-side hits,
-    misses and L2 traffic.
+    segment that holds its dense matrices.  ``ancestor`` (a system, a
+    shipment of one, or ``None``) is the sweep-aware dispatch's warm-start
+    hint: when this worker's cache holds (or L2-rehydrates) the ancestor's
+    decompositions, the job certifies incrementally instead of cold.
+    Returns the cell outcome plus the worker cache's counter *delta* for
+    this job, which the service merges into its telemetry so ``stats()``
+    reflects worker-side hits, misses and L2 traffic.
     """
-    system, method, options, tol, registry = payload
+    system, method, options, tol, registry, ancestor = payload
     if isinstance(system, ArrayShipment):
         system = load_systems(system)[0]
+    if isinstance(ancestor, ArrayShipment):
+        ancestor = load_systems(ancestor)[0]
     cache = _WORKER_CACHE if _WORKER_CACHE is not None else DecompositionCache()
     baseline = cache.stats.snapshot()
-    report, seconds, error = _run_cell(system, method, tol, cache, registry, options)
+    report, seconds, error = _run_cell(
+        system, method, tol, cache, registry, options, ancestor=ancestor
+    )
     return report, seconds, error, cache.stats.minus(baseline)
 
 
@@ -160,6 +168,7 @@ def _process_batch_cells(
         List[Tuple[str, Dict[str, Any]]],
         Tolerances,
         Optional[MethodRegistry],
+        List[Any],
     ],
 ) -> Tuple[List[Tuple[Optional[PassivityReport], float, Optional[str]]], CacheStats]:
     """Process-pool task: run a micro-batch of small jobs in one worker cell.
@@ -169,15 +178,25 @@ def _process_batch_cells(
     cell runs through the worker's **single** store-backed cache, and the
     cache counter delta is computed once for the whole batch — so
     factorizations shared between the batched jobs are counted exactly,
-    never once per job.
+    never once per job.  ``ancestors`` aligns with ``cells`` and carries
+    each job's optional warm-start hint (sweep-aware dispatch).
     """
-    fleet, cells, tol, registry = payload
+    fleet, cells, tol, registry, ancestors = payload
     systems = load_systems(fleet) if isinstance(fleet, ArrayShipment) else fleet
     cache = _WORKER_CACHE if _WORKER_CACHE is not None else DecompositionCache()
     baseline = cache.stats.snapshot()
+    loaded: Dict[int, Any] = {}
     outcomes = []
-    for system, (method, options) in zip(systems, cells):
-        report, seconds, error = _run_cell(system, method, tol, cache, registry, options)
+    for position, (system, (method, options)) in enumerate(zip(systems, cells)):
+        ancestor = ancestors[position] if position < len(ancestors) else None
+        if isinstance(ancestor, ArrayShipment):
+            # The same family shipment may back several cells; load once.
+            if id(ancestor) not in loaded:
+                loaded[id(ancestor)] = load_systems(ancestor)[0]
+            ancestor = loaded[id(ancestor)]
+        report, seconds, error = _run_cell(
+            system, method, tol, cache, registry, options, ancestor=ancestor
+        )
         outcomes.append((report, seconds, error))
     return outcomes, cache.stats.minus(baseline)
 
@@ -243,6 +262,14 @@ class ServiceStats:
     replayed:
         Jobs re-queued from the write-ahead journal at startup — accepted
         work a previous incarnation never finished.
+    incremental_hits / incremental_fallbacks / update_residual_max:
+        Perturbation-aware tier counters (sweep-aware dispatch): jobs whose
+        verdict was certified by an incremental update of a family
+        ancestor's decompositions, attempted updates whose validity bounds
+        failed (the job then ran the cold path — verdicts never weaken),
+        and the largest certified update residual seen.  Aggregated across
+        the shared runner cache and the process-mode worker caches, exactly
+        like the ``cache`` counters.
     cache:
         Plain-dict snapshot of the decomposition cache counters since
         service start (``hits`` / ``misses`` / ``factorizations``, the L2
@@ -275,6 +302,9 @@ class ServiceStats:
     pool_restarts: int = 0
     retried: int = 0
     replayed: int = 0
+    incremental_hits: int = 0
+    incremental_fallbacks: int = 0
+    update_residual_max: float = 0.0
     cache: Dict[str, Any] = field(default_factory=dict)
 
     def to_jsonable(self) -> Dict[str, Any]:
@@ -302,6 +332,9 @@ class ServiceStats:
             "pool_restarts": self.pool_restarts,
             "retried": self.retried,
             "replayed": self.replayed,
+            "incremental_hits": self.incremental_hits,
+            "incremental_fallbacks": self.incremental_fallbacks,
+            "update_residual_max": self.update_residual_max,
             "cache": dict(self.cache),
         }
 
@@ -309,6 +342,23 @@ class ServiceStats:
 def _options_key(options: Dict[str, Any]) -> str:
     """Stable textual key of a method-options dict (dedup identity)."""
     return repr(sorted((str(k), repr(v)) for k, v in options.items()))
+
+
+def _family_key(system: Any) -> Tuple[Tuple[int, ...], ...]:
+    """Perturbation-family identity: the five matrix shapes.
+
+    Systems sharing all shapes are sweep-family candidates for the
+    incremental tier; the actual nearness check (structured delta distance,
+    validity bounds) happens inside the engine, so a coarse key only costs
+    a doomed attempt, never a wrong verdict.
+    """
+    return (
+        tuple(system.e.shape),
+        tuple(system.a.shape),
+        tuple(system.b.shape),
+        tuple(system.c.shape),
+        tuple(system.d.shape),
+    )
 
 
 class PassivityService:
@@ -377,6 +427,20 @@ class PassivityService:
     max_batch_size:
         Most jobs one micro-batch dispatch may carry (default 8; the batch
         also never exceeds what is actually waiting in the queue).
+    incremental:
+        Sweep-aware dispatch (default False).  When on, the service tracks
+        the most recent *completed* system of each perturbation family
+        (same matrix shapes) and hands it to later same-family jobs as
+        their warm-start ancestor, so sweeps and enforcement loops
+        submitted job-by-job certify through the perturbation-aware
+        incremental tier instead of re-running the cold pipeline.  In
+        thread mode the ancestor's decompositions sit in the shared runner
+        cache; in process mode the ancestor system rides the existing
+        shared-memory arena to the dispatched worker, which warm-starts
+        when its local (or store-backed) cache holds the ancestor's
+        context and falls back cold otherwise — verdicts are never weaker
+        than cold ones.  Hit/fallback counters surface in :meth:`stats`
+        and ``GET /stats``.
     journal:
         Write-ahead job journal (see :class:`~repro.service.JobJournal`).
         ``True`` places ``journal.jsonl`` under the store root (requires
@@ -429,6 +493,7 @@ class PassivityService:
         batch_small_systems: Any = "auto",
         small_system_order: int = 100,
         max_batch_size: int = 8,
+        incremental: bool = False,
         journal: Any = None,
         max_retries: int = 1,
         probe_interval: float = 5.0,
@@ -497,6 +562,14 @@ class PassivityService:
         self._batch_policy = batch_small_systems
         self._small_system_order = int(small_system_order)
         self._max_batch_size = int(max_batch_size)
+        self._incremental = bool(incremental)
+        #: family key -> most recent *completed* system: the warm-start
+        #: ancestor handed to later same-family jobs (loop thread only).
+        self._family_latest: Dict[Tuple[Tuple[int, ...], ...], Any] = {}
+        #: family key -> (ancestor, shipment): the ancestor's dense
+        #: matrices packed once into the shm arena and reused by every
+        #: same-family dispatch until the family's ancestor changes.
+        self._ancestor_ships: Dict[Tuple[Tuple[int, ...], ...], Tuple[Any, ArrayShipment]] = {}
         self._max_retries = int(max_retries)
         self._probe_interval = float(probe_interval)
         self._dead_after = (
@@ -1179,6 +1252,33 @@ class PassivityService:
         pool_future.add_done_callback(_release_when_done)
         return True
 
+    def _ancestor_payload(self, job: Job) -> Any:
+        """Warm-start hint for a process dispatch (loop thread only).
+
+        Returns the job family's latest completed cold-run system — packed
+        once into the shared-memory arena and reused by every same-family
+        dispatch until the family root changes — or ``None`` when the
+        sweep-aware mode is off or the family is new.  Whether the hint
+        actually warm-starts is decided in the worker: its local (or
+        store-backed) cache must hold the ancestor's decompositions, else
+        the attempt is counted as a fallback and the job runs cold.
+        """
+        if not self._incremental:
+            return None
+        key = _family_key(job.system)
+        ancestor = self._family_latest.get(key)
+        if ancestor is None:
+            return None
+        if self._arena is None or ancestor.is_sparse:
+            return ancestor
+        entry = self._ancestor_ships.get(key)
+        if entry is None or entry[0] is not ancestor:
+            if entry is not None:
+                self._arena.release(entry[1])
+            entry = (ancestor, ship_systems(self._arena, [ancestor]))
+            self._ancestor_ships[key] = entry
+        return entry[1]
+
     async def _run_batch(self, loop, jobs: List[Job]) -> None:
         """Dispatch one micro-batch to the process pool and resolve its jobs.
 
@@ -1200,6 +1300,7 @@ class PassivityService:
             fleet = ship_systems(self._arena, systems)
             shipments.append(fleet)
         cells = [(job.method, dict(job.options)) for job in jobs]
+        ancestors = [self._ancestor_payload(job) for job in jobs]
         self._n_batches += 1
         self._n_batched_jobs += len(jobs)
         budget = None if jobs[0].timeout is None else jobs[0].timeout * len(jobs)
@@ -1210,7 +1311,8 @@ class PassivityService:
                 executor = self._ensure_executor()
                 pool_future = executor.submit(
                     _process_batch_cells,
-                    (fleet, cells, self._runner.tol, self._runner.registry),
+                    (fleet, cells, self._runner.tol, self._runner.registry,
+                     ancestors),
                 )
                 future = asyncio.wrap_future(pool_future)
                 done, pending = await asyncio.wait({future}, timeout=budget)
@@ -1309,6 +1411,7 @@ class PassivityService:
                                 dict(job.options),
                                 self._runner.tol,
                                 self._runner.registry,
+                                self._ancestor_payload(job),
                             ),
                         )
                         future = asyncio.wrap_future(pool_future)
@@ -1383,8 +1486,21 @@ class PassivityService:
                 self._queue.task_done()
 
     def _execute(self, job: Job):
-        """Run one job's cell on the executor thread (engine hook)."""
-        return self._runner.run_cell(job.system, job.method, job.options)
+        """Run one job's cell on the executor thread (engine hook).
+
+        With sweep-aware dispatch on, the job family's latest cold-run
+        system rides along as the warm-start ancestor; its decompositions
+        sit in the shared runner cache, so the incremental tier resolves
+        them without any payload shipping in thread mode.
+        """
+        ancestor = (
+            self._family_latest.get(_family_key(job.system))
+            if self._incremental
+            else None
+        )
+        return self._runner.run_cell(
+            job.system, job.method, job.options, ancestor=ancestor
+        )
 
     def _finish(
         self,
@@ -1398,6 +1514,17 @@ class PassivityService:
         job.finished_at = time.time()
         job.report = report
         job.error = error
+        if (
+            self._incremental
+            and state is JobState.DONE
+            and report is not None
+        ):
+            engine = report.diagnostics.get("engine", {})
+            if not engine.get("incremental") and not engine.get("skipped"):
+                # Only a cold-run system may become the family's warm-start
+                # root: an incrementally certified child holds no pencil
+                # factors, so warm-starting from it would always fall back.
+                self._family_latest[_family_key(job.system)] = job.system
         if self._inflight.get(job.key) == job.job_id:
             del self._inflight[job.key]
         self._count_terminal(state)
@@ -1678,6 +1805,9 @@ class PassivityService:
             pool_restarts=self._n_pool_restarts,
             retried=self._n_retried,
             replayed=self._n_replayed,
+            incremental_hits=cache_delta.incremental_hits,
+            incremental_fallbacks=cache_delta.incremental_fallbacks,
+            update_residual_max=cache_delta.update_residual_max,
             cache=cache,
         )
 

@@ -26,6 +26,11 @@ Persisted kinds
     what makes store-warm restarts Riccati-free.
 ``system_profile``
     :class:`~repro.engine.cache.SystemProfile` (scalars only; meta-only blob).
+``update_lineage``
+    :class:`~repro.engine.incremental.UpdateLineage` — provenance of an
+    incrementally certified verdict (ancestor fingerprint, delta norms,
+    update residual, mechanism); meta-only, so sweep lineage survives
+    restarts alongside the certificates it explains.
 
 Kinds without a codec (``weierstrass_form``, ``additive_decomposition``,
 ``sparse_deflation``) simply bypass the L2 tier: the L1 cache still shares
@@ -51,8 +56,10 @@ from repro.engine.cache import (
     GARE_STATE_SPACE,
     PENCIL_SPECTRUM,
     SYSTEM_PROFILE,
+    UPDATE_LINEAGE,
     SystemProfile,
 )
+from repro.engine.incremental import UpdateLineage
 from repro.passivity.gare_test import GareCertificate
 from repro.exceptions import (
     NotAdmissibleError,
@@ -187,12 +194,43 @@ def _decode_profile(meta: Meta, arrays: Arrays) -> SystemProfile:
     )
 
 
+def _encode_lineage(value: "UpdateLineage") -> Tuple[Meta, Arrays]:
+    meta = {
+        "child_fingerprint": value.child_fingerprint,
+        "ancestor_fingerprint": value.ancestor_fingerprint,
+        "distance": float(value.distance),
+        "delta_norms": {name: float(norm) for name, norm in value.delta_norms.items()},
+        "residual": float(value.residual),
+        "newton_steps": int(value.newton_steps),
+        "mechanism": value.mechanism,
+        "certified": bool(value.certified),
+    }
+    return meta, {}
+
+
+def _decode_lineage(meta: Meta, arrays: Arrays) -> "UpdateLineage":
+    return UpdateLineage(
+        child_fingerprint=str(meta["child_fingerprint"]),
+        ancestor_fingerprint=str(meta["ancestor_fingerprint"]),
+        distance=float(meta["distance"]),
+        delta_norms={
+            str(name): float(norm)
+            for name, norm in dict(meta["delta_norms"]).items()
+        },
+        residual=float(meta["residual"]),
+        newton_steps=int(meta["newton_steps"]),
+        mechanism=str(meta["mechanism"]),
+        certified=bool(meta["certified"]),
+    )
+
+
 _CODECS: Dict[str, Tuple[Callable[[Any], Tuple[Meta, Arrays]], Callable[[Meta, Arrays], Any]]] = {
     PENCIL_SPECTRUM: (_encode_spectral, _decode_spectral),
     CHAIN_DATA: (_encode_chain_data, _decode_chain_data),
     GARE_STATE_SPACE: (_encode_state_space, _decode_state_space),
     GARE_RICCATI: (_encode_gare_certificate, _decode_gare_certificate),
     SYSTEM_PROFILE: (_encode_profile, _decode_profile),
+    UPDATE_LINEAGE: (_encode_lineage, _decode_lineage),
 }
 
 #: Cache kinds the store can persist (everything else bypasses the L2 tier).

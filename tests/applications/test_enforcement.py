@@ -3,7 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.applications import enforce_passivity, passivity_violation
+from repro.applications import (
+    enforce_passivity,
+    enforce_passivity_iterative,
+    passivity_violation,
+)
+from repro.engine import DecompositionCache
 from repro.circuits import (
     feedthrough_perturbation,
     impulsive_rlc_ladder,
@@ -93,3 +98,82 @@ class TestEnforcement:
     def test_s_squared_cannot_be_repaired(self, s_squared_system):
         with pytest.raises(NotImplementedForSystemError):
             enforce_passivity(s_squared_system)
+
+
+class TestIterativeEnforcement:
+    def _violating_ladder(self, n_sections=6):
+        base = rlc_ladder(n_sections).system
+        response = base.frequency_response(np.logspace(-3, 3, 200))
+        margin = min(
+            float(np.min(np.linalg.eigvalsh(0.5 * (v + v.conj().T))))
+            for v in response
+        )
+        return feedthrough_perturbation(base, margin + 0.3)
+
+    def test_repairs_to_certified_passivity(self):
+        bad = self._violating_ladder()
+        result = enforce_passivity_iterative(bad)
+        assert result.report.is_passive, result.report.failure_reason
+        assert shh_passivity_test(result.system).is_passive
+        assert result.iterations >= 1
+        assert len(result.shifts) == result.iterations
+        assert result.remaining_violation == pytest.approx(0.0, abs=1e-9)
+
+    def test_escalation_reuses_the_incremental_tier(self):
+        # A deliberately understated first shift forces several escalation
+        # iterations; all re-certs after the cold root must be incremental.
+        bad = self._violating_ladder()
+        cache = DecompositionCache()
+        result = enforce_passivity_iterative(
+            bad, margin_fraction=-0.5, growth=2.0, max_iterations=8, cache=cache
+        )
+        assert result.report.is_passive
+        assert result.iterations > 1
+        assert result.incremental_recerts >= 1
+        assert cache.stats.incremental_hits == result.incremental_recerts
+        # Escalation doubles the shift each round.
+        for earlier, later in zip(result.shifts, result.shifts[1:]):
+            assert later == pytest.approx(2.0 * earlier)
+
+    def test_impulsive_candidates_recert_cold_via_shh(self, small_impulsive_ladder):
+        bad = feedthrough_perturbation(small_impulsive_ladder, 0.6)
+        cache = DecompositionCache()
+        result = enforce_passivity_iterative(bad, cache=cache)
+        assert result.report.is_passive
+        assert result.incremental_recerts == 0
+
+    def test_passive_model_passes_first_iteration(self, small_rlc_ladder):
+        result = enforce_passivity_iterative(small_rlc_ladder)
+        assert result.report.is_passive
+        assert result.iterations == 1
+        assert result.feedthrough_shift == pytest.approx(0.0, abs=1e-9)
+
+    def test_exhausted_iterations_return_the_last_report(self):
+        bad = self._violating_ladder()
+        result = enforce_passivity_iterative(
+            bad, margin_fraction=-0.999, growth=1.01, max_iterations=2
+        )
+        assert result.iterations == 2
+        assert result.report is not None
+        assert not result.report.is_passive
+
+    def test_unstable_model_rejected(self):
+        unstable = DescriptorSystem(
+            np.eye(1), np.array([[0.5]]), np.ones((1, 1)), np.ones((1, 1))
+        )
+        with pytest.raises(NotImplementedForSystemError):
+            enforce_passivity_iterative(unstable)
+
+    def test_nonsquare_model_rejected(self, rng):
+        sys = DescriptorSystem(
+            np.eye(3),
+            -np.eye(3),
+            rng.standard_normal((3, 2)),
+            rng.standard_normal((1, 3)),
+        )
+        with pytest.raises(NotImplementedForSystemError):
+            enforce_passivity_iterative(sys)
+
+    def test_s_squared_cannot_be_repaired(self, s_squared_system):
+        with pytest.raises(NotImplementedForSystemError):
+            enforce_passivity_iterative(s_squared_system)

@@ -3,7 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.applications import balanced_truncation, reduce_descriptor_system
+from repro.applications import (
+    balanced_truncation,
+    reduce_descriptor_system,
+    reduce_until_passive,
+)
+from repro.engine import DecompositionCache
 from repro.circuits import impulsive_rlc_ladder, rc_line, rlc_ladder
 from repro.descriptor import StateSpace, count_modes, first_markov_parameter
 from repro.exceptions import DimensionError, NotImplementedForSystemError, NotStableError
@@ -91,3 +96,30 @@ class TestDescriptorReduction:
         modes = count_modes(reduced.system)
         assert modes.n_impulsive == 0
         assert reduced.system.order == 3
+
+
+class TestReduceUntilPassive:
+    def test_finds_a_small_passive_order(self):
+        system = rlc_ladder(10).system
+        result = reduce_until_passive(system)
+        assert result.report.is_passive, result.report.failure_reason
+        assert shh_passivity_test(result.model.system).is_passive
+        assert result.orders_tried[0] == 1
+        assert result.model.proper_order == result.orders_tried[-1]
+
+    def test_orders_are_deduped_and_clamped(self):
+        system = rc_line(6).system
+        result = reduce_until_passive(system, orders=(3, 3, 2, 50))
+        # Duplicate and non-increasing candidates are skipped; oversized
+        # requests clamp to the full proper order.
+        assert list(result.orders_tried) == sorted(set(result.orders_tried))
+        assert all(o <= system.order for o in result.orders_tried)
+        assert result.report.is_passive
+
+    def test_shared_cache_splits_the_system_once(self):
+        system = rlc_ladder(8).system
+        cache = DecompositionCache()
+        result = reduce_until_passive(system, cache=cache)
+        assert result.report.is_passive
+        # One additive decomposition serves every candidate re-check.
+        assert cache.stats.factorizations_for("additive_decomposition") <= 1

@@ -9,11 +9,13 @@ from repro.circuits import (
     impulsive_rlc_ladder,
     negative_resistor_perturbation,
     paper_benchmark_model,
+    perturb_system,
     random_coupled_bus,
     random_passive_descriptor,
     rc_grid,
     rc_line,
     rlc_grid,
+    rlc_grid_corners,
     rlc_ladder,
 )
 from repro.descriptor import count_modes, first_markov_parameter
@@ -186,3 +188,63 @@ class TestRandomCoupledBus:
             random_coupled_bus(1)
         with pytest.raises(DimensionError):
             random_coupled_bus(5, n_ports=9)
+
+
+class TestPerturbedFamilies:
+    def test_pattern_selects_which_matrices_move(self):
+        base = rlc_grid(3, 3, sparse=False).system
+        p = perturb_system(base, 1e-3, seed=4, pattern="a")
+        assert not np.array_equal(p.a, base.a)
+        for name in ("e", "b", "c", "d"):
+            np.testing.assert_array_equal(getattr(p, name), getattr(base, name))
+        everything = perturb_system(base, 1e-3, seed=4, pattern="all")
+        assert not np.array_equal(everything.e, base.e)
+        assert not np.array_equal(everything.b, base.b)
+
+    def test_perturbation_preserves_the_sparsity_pattern(self):
+        base = rlc_grid(3, 3, sparse=False).system
+        p = perturb_system(base, 1e-2, seed=1, pattern="ea")
+        np.testing.assert_array_equal(p.e != 0, base.e != 0)
+        np.testing.assert_array_equal(p.a != 0, base.a != 0)
+
+    def test_sparse_systems_stay_sparse(self):
+        base = rlc_grid(3, 3, sparse=True).system
+        assert base.is_sparse
+        p = perturb_system(base, 1e-3, seed=2, pattern="ea")
+        assert p.is_sparse
+        # CSR structure untouched: only the stored values move.
+        np.testing.assert_array_equal(p.sparse_a.indices, base.sparse_a.indices)
+        np.testing.assert_array_equal(p.sparse_a.indptr, base.sparse_a.indptr)
+        assert not np.array_equal(p.sparse_a.data, base.sparse_a.data)
+
+    def test_distinct_seeds_give_distinct_corners(self):
+        base = rlc_grid(3, 3, sparse=False).system
+        one = perturb_system(base, 1e-3, seed=1)
+        two = perturb_system(base, 1e-3, seed=2)
+        assert not np.array_equal(one.a, two.a)
+
+    def test_bad_pattern_rejected(self):
+        base = rlc_grid(3, 3, sparse=False).system
+        with pytest.raises(DimensionError):
+            perturb_system(base, 1e-3, pattern="xyz")
+        with pytest.raises(DimensionError):
+            perturb_system(base, 1e-3, pattern="")
+
+    def test_corner_family_shape_and_nominal(self):
+        family = rlc_grid_corners(3, 4, n_corners=5, scale=2e-4, seed=0)
+        assert len(family) == 5
+        nominal = family[0]
+        # The damped sweep defaults give the family its passivity headroom.
+        reference = rlc_grid(
+            3, 4, series_resistance=0.8, shunt_conductance=0.1, sparse=False
+        ).system
+        np.testing.assert_array_equal(nominal.a, reference.a)
+        for corner in family[1:]:
+            assert corner.order == nominal.order
+            assert not np.array_equal(corner.a, nominal.a)
+
+    def test_corner_family_is_reproducible(self):
+        one = rlc_grid_corners(3, 3, n_corners=4, scale=1e-3, seed=42)
+        two = rlc_grid_corners(3, 3, n_corners=4, scale=1e-3, seed=42)
+        for left, right in zip(one, two):
+            np.testing.assert_array_equal(left.a, right.a)

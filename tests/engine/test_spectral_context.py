@@ -168,7 +168,7 @@ class TestCachePlumbing:
 class TestEngineDiagnosticsSchema:
     """All three check_passivity exits emit the same engine payload."""
 
-    SCHEMA = {"method", "auto", "cached", "skipped", "factorizations"}
+    SCHEMA = {"method", "auto", "cached", "skipped", "factorizations", "incremental"}
 
     def test_success_exit(self, small_rc_line):
         report = check_passivity(small_rc_line, method="auto")

@@ -1,0 +1,118 @@
+"""Property-based tests: incremental verdicts never diverge from cold ones.
+
+The incremental tier's contract is *decision equivalence*: whatever
+perturbation scale, pattern or seed a sweep throws at it, the warm-started
+verdict must be bitwise-decision-identical to the from-scratch verdict —
+either because the certified update succeeded, or because the certification
+gates rejected it and the engine fell back to the cold pipeline.  These
+properties drive random perturbation families (including scales chosen to
+force the fallback boundary) through both paths and compare.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits import perturb_system, rlc_grid
+from repro.engine import (
+    DEFAULT_INCREMENTAL_CONFIG,
+    DecompositionCache,
+    check_passivity,
+    delta_distance,
+)
+
+pytestmark = pytest.mark.property
+
+
+def _nominal(rows=3, cols=4):
+    """Small dense admissible grid (order 20): fast enough for hypothesis."""
+    return rlc_grid(
+        rows, cols, series_resistance=0.8, shunt_conductance=0.1, sparse=False
+    ).system
+
+
+NOMINAL = _nominal()
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    scale=st.floats(min_value=1e-6, max_value=5e-2),
+    seed=st.integers(min_value=0, max_value=10_000),
+    pattern=st.sampled_from(["a", "b", "c", "ab", "abcd"]),
+)
+def test_incremental_verdict_equals_cold_verdict(scale, seed, pattern):
+    """Across random scales/patterns, warm and cold decisions are identical."""
+    corner = perturb_system(NOMINAL, scale, seed=seed, pattern=pattern)
+    cache = DecompositionCache()
+    check_passivity(NOMINAL, method="gare", cache=cache)
+    warm = check_passivity(corner, method="gare", cache=cache, ancestor=NOMINAL)
+    cold = check_passivity(corner, method="gare")
+    assert warm.is_passive == cold.is_passive
+    # Every attempt is accounted for, one way or the other.
+    stats = cache.stats
+    assert stats.incremental_hits + stats.incremental_fallbacks <= 1
+    if warm.diagnostics["engine"]["incremental"]:
+        assert stats.incremental_hits == 1
+    elif delta_distance(NOMINAL, corner) <= DEFAULT_INCREMENTAL_CONFIG.max_distance:
+        assert stats.incremental_fallbacks == 1
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    scale=st.floats(min_value=0.3, max_value=3.0),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_large_perturbations_fall_back_without_flipping(scale, seed):
+    """Boundary case: scales past the gates must go cold, verdicts intact."""
+    corner = perturb_system(NOMINAL, scale, seed=seed, pattern="a")
+    cache = DecompositionCache()
+    check_passivity(NOMINAL, method="gare", cache=cache)
+    warm = check_passivity(corner, method="gare", cache=cache, ancestor=NOMINAL)
+    cold = check_passivity(corner, method="gare")
+    assert warm.is_passive == cold.is_passive
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    scale=st.floats(min_value=1e-5, max_value=1e-3),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_forced_fallback_is_counted_and_cold(scale, seed):
+    """A vanishing distance gate rejects every update; the verdict holds."""
+    corner = perturb_system(NOMINAL, scale, seed=seed, pattern="a")
+    cache = DecompositionCache()
+    check_passivity(NOMINAL, method="gare", cache=cache)
+    tight = dataclasses.replace(DEFAULT_INCREMENTAL_CONFIG, max_distance=1e-15)
+    warm = check_passivity(
+        corner,
+        method="gare",
+        cache=cache,
+        ancestor=NOMINAL,
+        incremental_config=tight,
+    )
+    cold = check_passivity(corner, method="gare")
+    assert warm.is_passive == cold.is_passive
+    assert warm.diagnostics["engine"]["incremental"] is False
+    assert cache.stats.incremental_fallbacks == 1
+    assert cache.stats.incremental_hits == 0
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    n_corners=st.integers(min_value=3, max_value=6),
+)
+def test_chained_auto_ancestors_agree_with_cold(seed, n_corners):
+    """A whole chain of ancestor='auto' updates preserves every decision."""
+    cache = DecompositionCache()
+    check_passivity(NOMINAL, method="gare", cache=cache)
+    for corner_index in range(n_corners):
+        corner = perturb_system(
+            NOMINAL, 2e-4, seed=seed + corner_index, pattern="a"
+        )
+        warm = check_passivity(corner, method="gare", cache=cache, ancestor="auto")
+        cold = check_passivity(corner, method="gare")
+        assert warm.is_passive == cold.is_passive

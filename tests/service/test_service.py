@@ -333,3 +333,36 @@ class TestStatsTelemetry:
             with pytest.raises(UnknownJobError):
                 service.status(handles[0].job_id)
             assert handles[-1].status().state is JobState.DONE
+
+
+class TestIncrementalDispatch:
+    """Sweep-aware dispatch: same-family jobs warm-start off the last root."""
+
+    def test_family_sweep_certifies_incrementally(self):
+        from repro.circuits import rlc_grid_corners
+
+        family = rlc_grid_corners(4, 4, n_corners=5, scale=2e-4, seed=0)
+        with PassivityService(max_workers=1, incremental=True) as service:
+            reports = [
+                service.submit(system, method="gare").result(timeout=60.0)
+                for system in family
+            ]
+            stats = service.stats()
+        assert all(r.is_passive for r in reports)
+        assert stats.incremental_hits >= 1
+        payload = stats.to_jsonable()
+        assert "incremental_hits" in payload
+        assert "incremental_fallbacks" in payload
+        assert "update_residual_max" in payload
+        assert payload["incremental_hits"] == stats.incremental_hits
+
+    def test_incremental_off_never_engages_the_tier(self):
+        from repro.circuits import rlc_grid_corners
+
+        family = rlc_grid_corners(4, 4, n_corners=3, scale=2e-4, seed=1)
+        with PassivityService(max_workers=1) as service:
+            for system in family:
+                service.submit(system, method="gare").result(timeout=60.0)
+            stats = service.stats()
+        assert stats.incremental_hits == 0
+        assert stats.incremental_fallbacks == 0

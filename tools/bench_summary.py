@@ -1,0 +1,174 @@
+"""Aggregate all ``BENCH_*.json`` artifacts into one trajectory table.
+
+Every benchmark in ``benchmarks/`` writes a machine-readable
+``BENCH_<name>.json`` document (``benchmark``, ``schema_version``, ``mode``,
+an ``environment`` block, and benchmark-specific rounds).  This tool walks a
+set of those files and prints one aligned table — benchmark, mode, and the
+headline figures (speedups, throughputs, target verdicts) — so a CI run or a
+local sweep of benchmarks condenses into something a human can scan.
+
+The extraction is schema-tolerant: headline metrics are found by key-name
+convention anywhere in the document (``*speedup*``, ``*_per_second``,
+``*ratio``, ``*_met``, ``verdicts_agree``, ``verdict_flips``), so new
+benchmarks join the table without touching this file as long as they follow
+the naming conventions.
+
+Usage::
+
+    python tools/bench_summary.py                 # all BENCH_*.json in cwd
+    python tools/bench_summary.py BENCH_sweep.json path/to/BENCH_service.json
+    python tools/bench_summary.py --markdown      # pipe-table output
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+from typing import Any, Dict, List, Tuple
+
+#: Key-name suffixes/patterns promoted to the headline column, in the order
+#: they appear in the table cell.
+_METRIC_PATTERNS = (
+    "speedup",
+    "_per_second",
+    "ratio",
+    "verdict_flips",
+    "_met",
+    "verdicts_agree",
+)
+
+#: Keys that are noise even when their name matches a pattern.
+_SKIP_KEYS = frozenset({"schema_version"})
+
+
+def _walk(node: Any, prefix: str = "") -> List[Tuple[str, Any]]:
+    """Flatten a JSON document to (dotted.path, leaf) pairs, lists indexed."""
+    items: List[Tuple[str, Any]] = []
+    if isinstance(node, dict):
+        for key, value in node.items():
+            path = f"{prefix}.{key}" if prefix else key
+            items.extend(_walk(value, path))
+    elif isinstance(node, list):
+        for index, value in enumerate(node):
+            items.extend(_walk(value, f"{prefix}[{index}]"))
+    else:
+        items.append((prefix, node))
+    return items
+
+
+def _headline(document: Dict[str, Any]) -> List[str]:
+    """The headline metric strings of one benchmark document."""
+    metrics: List[str] = []
+    for path, value in _walk(document):
+        leaf = path.rsplit(".", 1)[-1]
+        if leaf in _SKIP_KEYS or "environment" in path:
+            continue
+        if not any(pattern in leaf for pattern in _METRIC_PATTERNS):
+            continue
+        if isinstance(value, bool):
+            rendered = "yes" if value else "NO"
+        elif isinstance(value, float):
+            rendered = f"{value:.2f}"
+        elif isinstance(value, int):
+            rendered = str(value)
+        else:
+            # Free-text targets and the like: context, not a metric.
+            continue
+        # Compress the path: keep at most the enclosing round + key.
+        parts = path.split(".")
+        label = ".".join(parts[-2:]) if len(parts) > 1 else path
+        metrics.append(f"{label}={rendered}")
+    return metrics
+
+
+def summarize(paths: List[str]) -> List[Dict[str, Any]]:
+    """Load each artifact; return table rows (unreadable files become notes)."""
+    rows = []
+    for path in paths:
+        try:
+            with open(path, "r", encoding="utf-8") as stream:
+                document = json.load(stream)
+        except (OSError, ValueError) as error:
+            rows.append(
+                {
+                    "file": os.path.basename(path),
+                    "benchmark": "(unreadable)",
+                    "mode": "-",
+                    "metrics": [f"{type(error).__name__}: {error}"],
+                }
+            )
+            continue
+        rows.append(
+            {
+                "file": os.path.basename(path),
+                "benchmark": str(document.get("benchmark", "?")),
+                "mode": str(document.get("mode", "?")),
+                "metrics": _headline(document),
+            }
+        )
+    return rows
+
+
+def render(rows: List[Dict[str, Any]], markdown: bool = False) -> str:
+    """Render the rows as an aligned text table or a Markdown pipe table."""
+    header = ("file", "benchmark", "mode", "headline metrics")
+    table = [
+        (
+            row["file"],
+            row["benchmark"],
+            row["mode"],
+            "; ".join(row["metrics"]) or "-",
+        )
+        for row in rows
+    ]
+    if markdown:
+        lines = [
+            "| " + " | ".join(header) + " |",
+            "| " + " | ".join("---" for _ in header) + " |",
+        ]
+        lines += ["| " + " | ".join(row) + " |" for row in table]
+        return "\n".join(lines)
+    widths = [
+        max(len(header[col]), *(len(row[col]) for row in table)) if table else len(header[col])
+        for col in range(3)
+    ]
+    lines = [
+        "  ".join(header[col].ljust(widths[col]) for col in range(3))
+        + "  "
+        + header[3]
+    ]
+    lines.append("-" * (sum(widths) + 6 + len(header[3])))
+    for row in table:
+        lines.append(
+            "  ".join(row[col].ljust(widths[col]) for col in range(3))
+            + "  "
+            + row[3]
+        )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    """CLI entry point (see the module docstring)."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="artifact files (default: BENCH_*.json in the current directory)",
+    )
+    parser.add_argument(
+        "--markdown", action="store_true", help="emit a Markdown pipe table"
+    )
+    args = parser.parse_args(argv)
+
+    paths = args.paths or sorted(glob.glob("BENCH_*.json"))
+    if not paths:
+        print("no BENCH_*.json artifacts found")
+        return 1
+    print(render(summarize(paths), markdown=args.markdown))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
