@@ -1,0 +1,252 @@
+"""Streaming-scenario benchmark: SSE push vs the status-quo poll loop.
+
+Certifies one N-corner sweep of a power-grid macromodel two ways and
+measures the *client's time-to-all-verdicts*:
+
+* **streamed**: one ``submit_scenario`` call — the service expands the
+  corners server-side, chains each to the family root through the
+  perturbation-aware incremental tier, and pushes every verdict to an
+  in-process subscriber the moment it lands (the ``GET
+  /scenarios/<id>/events`` data path without socket noise),
+* **polled**: the pre-scenario workflow — every corner submitted as its
+  own independent job and a client loop polling each status at a fixed
+  interval until all verdicts are known (no server-side expansion, no
+  ancestor chaining, poll-quantized latency).
+
+Gates (``--check``): streamed >= 3x faster to the last verdict, zero
+verdict flips between the two passes (and vs a direct cold
+``check_passivity`` of every corner), and the incremental tier actually
+engaged (``incremental_hits > 0``).
+
+Everything is written to a machine-readable ``BENCH_scenario.json``
+(benchmark-trajectory artifact, same conventions as ``BENCH_sweep.json``).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_scenario.py            # full (32 corners, order 204)
+    PYTHONPATH=src python benchmarks/bench_scenario.py --smoke    # CI-sized
+    PYTHONPATH=src python benchmarks/bench_scenario.py --check    # assert the gates
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import time
+from typing import Dict, List
+
+import numpy as np
+import scipy
+
+from repro.circuits import rlc_grid_corners
+from repro.engine import check_passivity
+from repro.service import PassivityService, ScenarioSpec
+
+SCHEMA_VERSION = 1
+
+#: Acceptance gate: streamed time-to-all-verdicts >= 3x faster than polling.
+MIN_SPEEDUP = 3.0
+#: The status-quo client's poll cadence (the latency the push path removes).
+POLL_INTERVAL = 0.05
+
+
+def _family(mode: str) -> List:
+    """The swept corner family (nominal system first)."""
+    if mode == "smoke":
+        # Order 54: seconds-sized for CI, still exercises the full path.
+        return rlc_grid_corners(5, 6, n_corners=16, scale=2e-4, seed=0, pattern="a")
+    # Order 204, 32 corners — the e2e acceptance shape.
+    return rlc_grid_corners(9, 12, n_corners=32, scale=2e-4, seed=0, pattern="a")
+
+
+def _spec(family: List) -> ScenarioSpec:
+    # `n_corners` counts the nominal cell (corner_family semantics), so the
+    # scenario's cell i is exactly family[i] of the polled/truth passes.
+    return ScenarioSpec(
+        family="corners",
+        system=family[0],
+        n_corners=len(family),
+        scale=2e-4,
+        seed=0,
+        pattern="a",
+        method="gare",
+    )
+
+
+def _streamed_round(family: List) -> Dict:
+    """One scenario submission, verdicts consumed off the event stream."""
+    with PassivityService(max_workers=2) as service:
+        start = time.perf_counter()
+        handle = service.submit_scenario(_spec(family))
+        subscription = handle.subscribe()
+        verdicts: Dict[int, bool] = {}
+        first_verdict = None
+        n_events = 0
+        while True:
+            event = subscription.get(timeout=600.0)
+            if event is None:
+                break
+            n_events += 1
+            if event.event == "corner":
+                verdicts[event.data["index"]] = event.data["is_passive"]
+                if first_verdict is None:
+                    first_verdict = time.perf_counter() - start
+            if event.terminal:
+                break
+        seconds = time.perf_counter() - start
+        stats = service.stats()
+        return {
+            "corners": len(family),
+            "order": int(family[0].order),
+            "seconds": seconds,
+            "seconds_to_first_verdict": first_verdict,
+            "events": n_events,
+            "streamed_events": stats.streamed_events,
+            "dropped_events": stats.dropped_events,
+            "incremental_hits": stats.incremental_hits,
+            "incremental_fallbacks": stats.incremental_fallbacks,
+            "verdicts": verdicts,
+        }
+
+
+def _polled_round(family: List) -> Dict:
+    """Independent per-corner jobs, verdicts gathered by a poll loop."""
+    with PassivityService(max_workers=2) as service:
+        start = time.perf_counter()
+        handles = [
+            service.submit(system, method="gare") for system in family
+        ]
+        verdicts: Dict[int, bool] = {}
+        polls = 0
+        while len(verdicts) < len(handles):
+            time.sleep(POLL_INTERVAL)
+            for index, handle in enumerate(handles):
+                if index in verdicts:
+                    continue
+                polls += 1
+                status = handle.status()
+                if status.state.is_terminal:
+                    verdicts[index] = handle.result().is_passive
+        seconds = time.perf_counter() - start
+        return {
+            "corners": len(family),
+            "seconds": seconds,
+            "polls": polls,
+            "poll_interval": POLL_INTERVAL,
+            "verdicts": verdicts,
+        }
+
+
+def run_benchmark(mode: str) -> Dict:
+    """Run both rounds, cross-check verdicts, assemble the JSON document."""
+    family = _family(mode)
+    # Ground truth: a direct cold check of every corner (shared nothing).
+    truth = [check_passivity(system, method="gare") for system in family]
+
+    streamed = _streamed_round(family)
+    print(
+        f"[streamed] {streamed['corners']} corners of order {streamed['order']}: "
+        f"{streamed['seconds']:.2f}s to the summary "
+        f"(first verdict {streamed['seconds_to_first_verdict'] * 1e3:.0f} ms), "
+        f"{streamed['events']} events, "
+        f"hits {streamed['incremental_hits']}, "
+        f"fallbacks {streamed['incremental_fallbacks']}"
+    )
+    polled = _polled_round(family)
+    print(
+        f"[polled] {polled['corners']} corners: {polled['seconds']:.2f}s "
+        f"to all verdicts ({polled['polls']} status polls at "
+        f"{POLL_INTERVAL * 1e3:.0f} ms)"
+    )
+
+    # Corner i of the scenario is family[i] of the polled/truth passes
+    # (the expansion regenerates the same seeded corners, nominal first).
+    flips = 0
+    for index in range(len(family)):
+        streamed_verdict = streamed["verdicts"].get(index)
+        polled_verdict = polled["verdicts"].get(index)
+        truth_verdict = truth[index].is_passive
+        if streamed_verdict is None or polled_verdict is None:
+            flips += 1
+        elif not streamed_verdict == polled_verdict == truth_verdict:
+            flips += 1
+
+    speedup = (
+        polled["seconds"] / streamed["seconds"]
+        if streamed["seconds"] > 0
+        else None
+    )
+    print(
+        f"[scenario] streamed vs polled speedup {speedup:.2f}x, "
+        f"verdict flips {flips}"
+    )
+    streamed = dict(streamed, verdicts=None)
+    polled = dict(polled, verdicts=None)
+    return {
+        "benchmark": "streaming_scenario",
+        "schema_version": SCHEMA_VERSION,
+        "mode": mode,
+        "speedup": speedup,
+        "speedup_target": f">= {MIN_SPEEDUP}x time-to-all-verdicts vs poll loop",
+        "speedup_target_met": bool(speedup is not None and speedup >= MIN_SPEEDUP),
+        "verdicts_agree": flips == 0,
+        "verdict_flips": flips,
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "scipy": scipy.__version__,
+            "machine": platform.machine(),
+            "cpu_count": os.cpu_count(),
+        },
+        "streamed_round": streamed,
+        "polled_round": polled,
+    }
+
+
+def main(argv=None) -> int:
+    """CLI entry point (see the module docstring)."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true", help="CI-sized workloads (seconds)"
+    )
+    parser.add_argument(
+        "--output",
+        default="BENCH_scenario.json",
+        help="path of the machine-readable result file",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero unless streamed is >= 3x faster with zero "
+        "verdict flips and incremental_hits > 0",
+    )
+    args = parser.parse_args(argv)
+
+    mode = "smoke" if args.smoke else "default"
+    document = run_benchmark(mode)
+    with open(args.output, "w", encoding="utf-8") as stream:
+        json.dump(document, stream, indent=2)
+    print(f"wrote {args.output}")
+
+    if args.check:
+        failures = []
+        if not document["speedup_target_met"]:
+            failures.append(
+                f"streamed speedup below target ({document['speedup']:.2f}x, "
+                f"target {document['speedup_target']})"
+            )
+        if not document["verdicts_agree"]:
+            failures.append("streamed/polled/cold verdicts disagree")
+        if document["streamed_round"]["incremental_hits"] == 0:
+            failures.append("incremental tier never engaged")
+        if failures:
+            print("CHECK FAILED: " + "; ".join(failures))
+            return 1
+        print("CHECK OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -4,6 +4,7 @@ from repro.circuits.elements import Capacitor, Inductor, Port, Resistor
 from repro.circuits.netlist import Netlist
 from repro.circuits.mna import MnaModel, assemble_mna
 from repro.circuits.generators import (
+    corner_family,
     coupled_line_bus,
     feedthrough_perturbation,
     impulsive_rlc_ladder,
@@ -39,5 +40,6 @@ __all__ = [
     "negative_resistor_perturbation",
     "feedthrough_perturbation",
     "perturb_system",
+    "corner_family",
     "rlc_grid_corners",
 ]

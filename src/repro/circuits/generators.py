@@ -596,6 +596,30 @@ def perturb_system(
     )
 
 
+def corner_family(
+    system: DescriptorSystem,
+    n_corners: int,
+    scale: float = 2e-4,
+    seed: int = 0,
+    pattern: str = "a",
+) -> list:
+    """Multiplicative corner family of an arbitrary base system.
+
+    Returns ``n_corners`` descriptor systems: the given ``system`` first
+    (the nominal family root), then ``n_corners - 1`` independent
+    multiplicative corners of it via :func:`perturb_system` with seeds
+    ``seed + 1 ..``.  This is the expansion behind ``"corners"`` scenarios
+    (:class:`~repro.service.ScenarioSpec`) and generalizes
+    :func:`rlc_grid_corners` to any base model.
+    """
+    if n_corners < 1:
+        raise DimensionError("the family needs at least one corner")
+    family = [system]
+    for corner in range(1, n_corners):
+        family.append(perturb_system(system, scale, seed=seed + corner, pattern=pattern))
+    return family
+
+
 def rlc_grid_corners(
     rows: int,
     cols: int,
@@ -623,7 +647,4 @@ def rlc_grid_corners(
     grid_kwargs.setdefault("shunt_conductance", 0.1)
     grid_kwargs.setdefault("sparse", False)
     nominal = rlc_grid(rows, cols, **grid_kwargs).system
-    family = [nominal]
-    for corner in range(1, n_corners):
-        family.append(perturb_system(nominal, scale, seed=seed + corner, pattern=pattern))
-    return family
+    return corner_family(nominal, n_corners, scale=scale, seed=seed, pattern=pattern)

@@ -94,6 +94,7 @@ __all__ = [
     "DeltaFingerprint",
     "structured_delta",
     "delta_distance",
+    "choose_family_root",
     "UpdateLineage",
     "IncrementalConfig",
     "DEFAULT_INCREMENTAL_CONFIG",
@@ -255,6 +256,35 @@ def delta_distance(ancestor: DescriptorSystem, child: DescriptorSystem) -> float
             1.0, float(np.linalg.norm(anc_arr))
         )
     return total
+
+
+def choose_family_root(systems) -> int:
+    """Pick the medoid of a shape-uniform family as its warm-start root.
+
+    Returns the index of the member minimizing the total
+    :func:`delta_distance` to every other member — the system whose cold
+    decompositions give the cheapest certified updates for the rest of the
+    family.  Used by portfolio scenarios
+    (:class:`~repro.service.ScenarioSpec`) to decide which cell runs cold.
+
+    Raises
+    ------
+    DimensionError
+        On an empty family.  Members must share matrix shapes (callers
+        guard this; the pairwise deltas are undefined otherwise).
+    """
+    members = list(systems)
+    if not members:
+        from repro.exceptions import DimensionError
+
+        raise DimensionError("choose_family_root needs at least one system")
+    if len(members) == 1:
+        return 0
+    totals = [
+        sum(delta_distance(member, other) for other in members if other is not member)
+        for member in members
+    ]
+    return int(np.argmin(totals))
 
 
 # ----------------------------------------------------------------------

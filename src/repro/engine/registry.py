@@ -280,6 +280,17 @@ def _run_shh_sparse(
     return sparse_shh_passivity_test(system, tol=tol, cache=cache, **options)
 
 
+def _run_sampling(
+    system: DescriptorSystem,
+    tol: Optional[Tolerances],
+    cache: Optional["DecompositionCache"],
+    **options: Any,
+) -> PassivityReport:
+    from repro.passivity.sampling import sampling_passivity_check
+
+    return sampling_passivity_check(system, tol=tol, **options)
+
+
 def _run_lmi(
     system: DescriptorSystem,
     tol: Optional[Tolerances],
@@ -381,6 +392,20 @@ DEFAULT_REGISTRY.register(
         order_limit=None,
         uses_spectral_cache=False,
         aliases=("sparse",),
+    )
+)
+
+
+DEFAULT_REGISTRY.register(
+    MethodSpec(
+        name="sampling",
+        runner=_run_sampling,
+        description=(
+            "frequency-grid sampling heuristic (band-limited scans for "
+            "frequency_sweep scenarios; never auto-selected)"
+        ),
+        cost=COST_CUBIC,
+        uses_spectral_cache=False,
     )
 )
 

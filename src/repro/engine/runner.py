@@ -52,7 +52,7 @@ from concurrent.futures import (
 )
 from pickle import PicklingError
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.config import DEFAULT_TOLERANCES, Tolerances
 from repro.descriptor.system import DescriptorSystem
@@ -169,6 +169,20 @@ class BatchOutcome:
     def n_failed(self) -> int:
         """Number of cells whose method raised (``result.error`` set)."""
         return sum(1 for r in self.results if r.error is not None)
+
+
+def _notify_progress(progress, result) -> None:
+    """Invoke a per-cell progress callback, swallowing its exceptions.
+
+    The callback is observability plumbing (streaming push, progress bars);
+    a faulty observer must never fail the sweep it watches.
+    """
+    if progress is None:
+        return
+    try:
+        progress(result)
+    except Exception:  # noqa: BLE001 - observer faults never fail the sweep
+        pass
 
 
 def _run_cell(
@@ -604,6 +618,7 @@ class BatchRunner:
         systems: Sequence[DescriptorSystem],
         methods: Sequence[str] = ("auto",),
         method_options: Optional[Dict[str, Dict[str, Any]]] = None,
+        progress: Optional[Callable[[BatchResult], None]] = None,
     ) -> BatchOutcome:
         """Run every method on every system and collect ordered results.
 
@@ -611,6 +626,12 @@ class BatchRunner:
         validated up front so a typo fails before any work is spent.
         ``method_options`` maps a requested method name to extra keyword
         arguments for its runner.
+
+        ``progress`` is invoked once per completed cell (with its
+        :class:`BatchResult`) as results land, *before* the sweep finishes —
+        the hook streaming front-ends use to push incremental verdicts.  It
+        runs on the collecting thread, completion order is not the sweep
+        order, and exceptions it raises are swallowed.
         """
         systems = list(systems)
         methods = tuple(methods)
@@ -653,16 +674,17 @@ class BatchRunner:
                     raise
                 outcome = self._run_local(
                     systems, methods, method_options, "serial", stats_baseline,
-                    chains,
+                    chains, progress,
                 )
             else:
                 outcome = self._run_process(
                     pool, systems, methods, method_options, contexts,
-                    stats_baseline, chains,
+                    stats_baseline, chains, progress,
                 )
         else:
             outcome = self._run_local(
-                systems, methods, method_options, backend, stats_baseline, chains
+                systems, methods, method_options, backend, stats_baseline,
+                chains, progress,
             )
         outcome.total_seconds = time.perf_counter() - start
         return outcome
@@ -676,6 +698,7 @@ class BatchRunner:
         backend: str,
         stats_baseline: CacheStats,
         chains: List[List[int]],
+        progress: Optional[Callable[[BatchResult], None]] = None,
     ) -> BatchOutcome:
         # Thread/serial cells share the runner's cache, so the precomputed
         # spectral contexts are already where every worker will look for
@@ -686,13 +709,17 @@ class BatchRunner:
         chained = {si for chain in chains for si in chain}
         results: Dict[Tuple[int, int], BatchResult] = {}
 
+        def record(key: Tuple[int, int], result: BatchResult) -> None:
+            results[key] = result
+            _notify_progress(progress, result)
+
         def run_one(si: int, mi: int, method: str) -> None:
             report, seconds, error = _run_cell(
                 systems[si], method, self.tol, self.cache, registry,
                 method_options.get(method, {}),
                 ancestor="auto" if si in chained else None,
             )
-            results[(si, mi)] = BatchResult(si, method, report, seconds, error)
+            record((si, mi), BatchResult(si, method, report, seconds, error))
 
         if backend == "serial":
             n_workers = 1
@@ -743,9 +770,9 @@ class BatchRunner:
                 for si, mi, method, future in futures:
                     try:
                         report, seconds, error = future.result(timeout=self.task_timeout)
-                        results[(si, mi)] = BatchResult(si, method, report, seconds, error)
+                        record((si, mi), BatchResult(si, method, report, seconds, error))
                     except FutureTimeoutError:
-                        results[(si, mi)] = BatchResult(si, method, timed_out=True)
+                        record((si, mi), BatchResult(si, method, timed_out=True))
                 for chain, future in chain_futures:
                     # The per-system timeout budgets the whole chain, like a
                     # micro-batch chunk.
@@ -756,15 +783,18 @@ class BatchRunner:
                         for si, mi, method, report, seconds, error in future.result(
                             timeout=timeout
                         ):
-                            results[(si, mi)] = BatchResult(
-                                si, method, report, seconds, error
+                            record(
+                                (si, mi),
+                                BatchResult(si, method, report, seconds, error),
                             )
                     except FutureTimeoutError:
                         for si in chain:
                             for mi, method in enumerate(methods):
-                                results.setdefault(
-                                    (si, mi), BatchResult(si, method, timed_out=True)
-                                )
+                                if (si, mi) not in results:
+                                    record(
+                                        (si, mi),
+                                        BatchResult(si, method, timed_out=True),
+                                    )
             finally:
                 # Do not join hung workers: cancel anything still queued and
                 # return promptly; a running thread cannot be killed but must
@@ -827,6 +857,7 @@ class BatchRunner:
         contexts: Dict[int, SpectralContext],
         stats_baseline: CacheStats,
         chains: List[List[int]],
+        progress: Optional[Callable[[BatchResult], None]] = None,
     ) -> BatchOutcome:
         # Group by system so the worker-local cache still shares the
         # per-system intermediates across methods.  The registry is shipped to
@@ -847,6 +878,11 @@ class BatchRunner:
         # the merged worker counters so the sweep telemetry stays complete.
         merged = self.cache.stats.minus(stats_baseline)
         results: Dict[Tuple[int, int], BatchResult] = {}
+
+        def record(key: Tuple[int, int], result: BatchResult) -> None:
+            results[key] = result
+            _notify_progress(progress, result)
+
         use_shm = self.transport != "pickle" and shm_available()
         arena = ArrayArena() if use_shm else None
         # One shipment per distinct context object: duplicated fingerprints
@@ -942,7 +978,7 @@ class BatchRunner:
                 except FutureTimeoutError:
                     for si in indices:
                         for mi, method in enumerate(methods):
-                            results[(si, mi)] = BatchResult(si, method, timed_out=True)
+                            record((si, mi), BatchResult(si, method, timed_out=True))
                     continue
                 except BrokenExecutor as error:
                     # A worker crash (OOM kill, segfault) breaks the whole
@@ -970,7 +1006,7 @@ class BatchRunner:
                     message = f"{type(error).__name__}: {error}"
                     for si in indices:
                         for mi, method in enumerate(methods):
-                            results[(si, mi)] = BatchResult(si, method, error=message)
+                            record((si, mi), BatchResult(si, method, error=message))
                     continue
                 except (PicklingError, OSError) as error:
                     # Unpicklable payloads and transport I/O failures are
@@ -979,7 +1015,7 @@ class BatchRunner:
                     message = f"{type(error).__name__}: {error}"
                     for si in indices:
                         for mi, method in enumerate(methods):
-                            results[(si, mi)] = BatchResult(si, method, error=message)
+                            record((si, mi), BatchResult(si, method, error=message))
                     continue
                 if task["is_batch"]:
                     batched, stats = payload
@@ -989,8 +1025,9 @@ class BatchRunner:
                     merged.merge(stats)
                     for index, cells in batched:
                         for mi, (method, report, seconds, error) in enumerate(cells):
-                            results[(index, mi)] = BatchResult(
-                                index, method, report, seconds, error
+                            record(
+                                (index, mi),
+                                BatchResult(index, method, report, seconds, error),
                             )
                     continue
                 index, cells, stats = payload
@@ -998,7 +1035,7 @@ class BatchRunner:
                 # The worker emits one cell per entry of ``methods``, in
                 # order, so duplicates in the method list stay distinct.
                 for mi, (method, report, seconds, error) in enumerate(cells):
-                    results[(index, mi)] = BatchResult(index, method, report, seconds, error)
+                    record((index, mi), BatchResult(index, method, report, seconds, error))
         finally:
             if current_pool is not None:
                 current_pool.shutdown(wait=False, cancel_futures=True)

@@ -131,6 +131,19 @@ class UnknownJobError(ServiceError, KeyError):
         return self.args[0] if self.args else ""
 
 
+class UnknownScenarioError(ServiceError, KeyError):
+    """No scenario with the requested id exists in the service.
+
+    The scenario sibling of :class:`UnknownJobError` — raised by the
+    streaming endpoints (``GET /scenarios/<id>``, the SSE feed) and mapped
+    to ``404``.
+    """
+
+    def __str__(self) -> str:
+        # KeyError.__str__ shows repr(args[0]); keep the readable message.
+        return self.args[0] if self.args else ""
+
+
 class JobNotReadyError(ServiceError):
     """The job exists but has not produced a report yet.
 

@@ -10,6 +10,14 @@ heavy concurrent traffic:
   submissions through the engine's shared decomposition cache,
 * :mod:`repro.service.jobs` — :class:`JobHandle`, :class:`JobStatus` and
   the :class:`JobState` lifecycle,
+* :mod:`repro.service.scenario` — first-class streaming sweep jobs:
+  ``submit_scenario(ScenarioSpec(...)) -> ScenarioHandle`` expands a
+  corner family, portfolio or frequency sweep server-side, chains the
+  corners to their family root through the incremental tier, and *pushes*
+  per-corner verdicts, progress/ETA and the terminal summary to
+  subscribers (in-process :class:`ScenarioSubscription` queues, or the
+  ``GET /scenarios/<id>/events`` Server-Sent-Events feed) with bounded
+  buffers, drop-to-snapshot backpressure and ``Last-Event-ID`` resume,
 * :mod:`repro.service.journal` — :class:`JobJournal`, the fsynced
   write-ahead journal that makes accepted-but-unfinished work survive a
   ``kill -9`` (the service replays it on restart),
@@ -32,6 +40,17 @@ See ``docs/architecture.md`` for where the service sits in the stack and
 
 from repro.service.jobs import JobHandle, JobState, JobStatus
 from repro.service.journal import JobJournal
+from repro.service.scenario import (
+    ScenarioEvent,
+    ScenarioHandle,
+    ScenarioSpec,
+    ScenarioState,
+    ScenarioStatus,
+    ScenarioSubscription,
+    format_sse_event,
+    scenario_from_jsonable,
+    scenario_to_jsonable,
+)
 from repro.service.serialization import (
     from_jsonable,
     job_record_from_jsonable,
@@ -52,6 +71,15 @@ __all__ = [
     "JobHandle",
     "JobState",
     "JobStatus",
+    "ScenarioSpec",
+    "ScenarioHandle",
+    "ScenarioState",
+    "ScenarioStatus",
+    "ScenarioSubscription",
+    "ScenarioEvent",
+    "scenario_to_jsonable",
+    "scenario_from_jsonable",
+    "format_sse_event",
     "system_to_jsonable",
     "system_from_jsonable",
     "report_to_jsonable",

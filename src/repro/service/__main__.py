@@ -128,6 +128,21 @@ def main(argv=None) -> int:
         help="times a job is re-queued after a process-pool worker crash "
         "before it fails (the pool itself is always rebuilt)",
     )
+    parser.add_argument(
+        "--sse",
+        dest="sse",
+        action="store_true",
+        default=True,
+        help="serve the GET /scenarios/<id>/events Server-Sent-Events "
+        "stream (the default; see --no-sse)",
+    )
+    parser.add_argument(
+        "--no-sse",
+        dest="sse",
+        action="store_false",
+        help="disable event streaming; scenario clients poll "
+        "GET /scenarios/<id> instead",
+    )
     args = parser.parse_args(argv)
 
     store = None
@@ -150,10 +165,15 @@ def main(argv=None) -> int:
         journal=args.journal,
         max_retries=args.max_retries,
     )
-    server = serve(service, host=args.host, port=args.port)
+    server = serve(service, host=args.host, port=args.port, sse=args.sse)
     host, port = server.server_address[:2]
     print(f"repro passivity service listening on http://{host}:{port}")
     print("endpoints: POST /jobs, GET /jobs/<id>[/result], DELETE /jobs/<id>, GET /stats")
+    print(
+        "scenarios: POST /scenarios, GET /scenarios/<id>"
+        + ("[/events]" if args.sse else "")
+        + ", DELETE /scenarios/<id>"
+    )
     # Clean shutdown on SIGTERM (`kill`, container stop), not just Ctrl-C:
     # without this, a process-pool service dies leaving its forked workers
     # orphaned — and since they inherit the listening socket, the port

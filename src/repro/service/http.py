@@ -20,6 +20,23 @@ Method     Path                    Meaning
                                    pending; ``404`` unknown id; ``410``
                                    cancelled; ``500`` failed/timed out.
 ``DELETE`` ``/jobs/<id>``          Cancel; ``{"cancelled": true|false}``.
+``POST``   ``/scenarios``          Submit a scenario document (a
+                                   :func:`scenario_to_jsonable` spec, bare
+                                   or wrapped as ``{"scenario": ...}``);
+                                   responds ``202`` with
+                                   ``{"scenario_id", "n_cells"}``; ``429``
+                                   when the expansion does not fit the
+                                   bounded queue.
+``GET``    ``/scenarios/<id>``     Progress snapshot (``ScenarioStatus``).
+``GET``    ``/scenarios/<id>/events``  Server-Sent Events stream of the
+                                   scenario's ``corner`` / ``progress`` /
+                                   ``snapshot`` / ``summary`` events
+                                   (chunked ``text/event-stream``; resumes
+                                   from ``Last-Event-ID`` header or
+                                   ``?last_event_id=``; ``503`` with
+                                   ``Retry-After`` at the subscriber
+                                   limit; ``404`` when streaming is off).
+``DELETE`` ``/scenarios/<id>``     Cancel; ``{"cancelled": true|false}``.
 ``GET``    ``/stats``              Service telemetry (``ServiceStats``).
 ``GET``    ``/healthz``            Liveness probe: ``200`` with the
                                    :meth:`PassivityService.health` snapshot
@@ -48,6 +65,7 @@ from __future__ import annotations
 import json
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
 
 from repro.exceptions import (
     JobCancelledError,
@@ -56,8 +74,11 @@ from repro.exceptions import (
     QueueFullError,
     ReproError,
     SerializationError,
+    ServiceError,
     UnknownJobError,
+    UnknownScenarioError,
 )
+from repro.service.scenario import format_sse_event
 from repro.service.serialization import report_to_jsonable, system_from_jsonable
 from repro.service.service import PassivityService
 
@@ -78,8 +99,12 @@ class PassivityHTTPServer(ThreadingHTTPServer):
         self,
         service: PassivityService,
         address: Tuple[str, int] = ("127.0.0.1", 8123),
+        sse: bool = True,
     ) -> None:
         self.service = service
+        #: Streaming switch: with it off, ``GET /scenarios/<id>/events``
+        #: answers 404 and clients fall back to polling the snapshot.
+        self.sse_enabled = bool(sse)
         super().__init__(address, PassivityRequestHandler)
 
 
@@ -87,6 +112,13 @@ class PassivityRequestHandler(BaseHTTPRequestHandler):
     """Maps the HTTP wire contract onto the service API (see module docs)."""
 
     server_version = "repro-passivity-service/1.0"
+    #: HTTP/1.1 so the SSE feed can use chunked transfer encoding (the
+    #: stream's length is unknowable); plain endpoints still send
+    #: Content-Length, so keep-alive semantics are unchanged.
+    protocol_version = "HTTP/1.1"
+    #: Seconds of event silence before the SSE feed writes a heartbeat
+    #: comment (keeps NATs and proxies from reaping an idle stream).
+    sse_heartbeat = 15.0
     #: Silence per-request stderr logging by default (set True to debug).
     verbose = False
 
@@ -135,17 +167,40 @@ class PassivityRequestHandler(BaseHTTPRequestHandler):
             raise SerializationError("request body must be a JSON object")
         return document
 
-    def _job_id(self) -> Optional[Tuple[str, str]]:
-        """Split ``/jobs/<id>[/result]`` into ``(job_id, tail)``."""
-        parts = [part for part in self.path.split("/") if part]
-        if len(parts) >= 2 and parts[0] == "jobs":
+    def _route(self, collection: str) -> Optional[Tuple[str, str]]:
+        """Split ``/<collection>/<id>[/tail]`` into ``(id, tail)``."""
+        parts = [
+            part for part in urlsplit(self.path).path.split("/") if part
+        ]
+        if len(parts) >= 2 and parts[0] == collection:
             return parts[1], "/".join(parts[2:])
         return None
 
+    def _job_id(self) -> Optional[Tuple[str, str]]:
+        """Split ``/jobs/<id>[/result]`` into ``(job_id, tail)``."""
+        return self._route("jobs")
+
+    def _last_event_id(self) -> Optional[int]:
+        """SSE resume point: ``Last-Event-ID`` header or query parameter."""
+        raw = self.headers.get("Last-Event-ID")
+        if raw is None:
+            values = parse_qs(urlsplit(self.path).query).get("last_event_id")
+            raw = values[0] if values else None
+        if raw is None:
+            return None
+        try:
+            return int(raw)
+        except ValueError:
+            return None
+
     # ------------------------------------------------------------------
     def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
-        """``POST /jobs``: submit a system document for testing."""
-        if self.path.rstrip("/") != "/jobs":
+        """``POST /jobs`` or ``POST /scenarios``: submit work."""
+        path = urlsplit(self.path).path.rstrip("/")
+        if path == "/scenarios":
+            self._submit_scenario()
+            return
+        if path != "/jobs":
             self._send_json(404, {"error": "NotFound", "message": self.path})
             return
         try:
@@ -175,9 +230,38 @@ class PassivityRequestHandler(BaseHTTPRequestHandler):
             return
         self._send_json(202, {"job_id": handle.job_id})
 
+    def _submit_scenario(self) -> None:
+        """``POST /scenarios``: expand and queue a scenario document."""
+        try:
+            document = self._read_json()
+            # Accept the spec document bare or under a "scenario" wrapper.
+            spec = document.get("scenario", document)
+            if not isinstance(spec, dict):
+                raise SerializationError("'scenario' must be a JSON object")
+            handle = self.service.submit_scenario(spec)
+            status = handle.status()
+        except QueueFullError as error:
+            self._send_json(
+                429,
+                {"error": type(error).__name__, "message": str(error)},
+                extra_headers={"Retry-After": "1"},
+            )
+            return
+        except (SerializationError, ReproError, TypeError, ValueError) as error:
+            self._send_error_json(400, error)
+            return
+        self._send_json(
+            202,
+            {
+                "scenario_id": handle.scenario_id,
+                "n_cells": status.n_cells,
+                "events": f"/scenarios/{handle.scenario_id}/events",
+            },
+        )
+
     def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
-        """``GET /jobs/<id>[/result]``, ``GET /stats``, ``GET /healthz``."""
-        path = self.path.rstrip("/")
+        """``GET /jobs/<id>[/result]``, scenarios, ``/stats``, ``/healthz``."""
+        path = urlsplit(self.path).path.rstrip("/")
         if path == "/healthz":
             # The lock-free service health snapshot: 200 while alive, 503
             # once the executor heartbeat is stale (or the service closed),
@@ -188,6 +272,23 @@ class PassivityRequestHandler(BaseHTTPRequestHandler):
             return
         if path == "/stats":
             self._send_json(200, self.service.stats().to_jsonable())
+            return
+        scenario = self._route("scenarios")
+        if scenario is not None:
+            scenario_id, tail = scenario
+            if tail == "events":
+                self._stream_scenario_events(scenario_id)
+            elif tail == "":
+                try:
+                    status = self.service.scenario_status(scenario_id)
+                except UnknownScenarioError as error:
+                    self._send_error_json(404, error)
+                else:
+                    self._send_json(200, status.to_jsonable())
+            else:
+                self._send_json(
+                    404, {"error": "NotFound", "message": self.path}
+                )
             return
         located = self._job_id()
         if located is None:
@@ -220,7 +321,18 @@ class PassivityRequestHandler(BaseHTTPRequestHandler):
             self._send_error_json(500, error)
 
     def do_DELETE(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
-        """``DELETE /jobs/<id>``: cancel a queued job."""
+        """``DELETE /jobs/<id>`` or ``/scenarios/<id>``: cancel."""
+        scenario = self._route("scenarios")
+        if scenario is not None and scenario[1] == "":
+            try:
+                cancelled = self.service.cancel_scenario(scenario[0])
+            except UnknownScenarioError as error:
+                self._send_error_json(404, error)
+                return
+            self._send_json(
+                200, {"scenario_id": scenario[0], "cancelled": cancelled}
+            )
+            return
         located = self._job_id()
         if located is None or located[1] != "":
             self._send_json(404, {"error": "NotFound", "message": self.path})
@@ -232,18 +344,95 @@ class PassivityRequestHandler(BaseHTTPRequestHandler):
             return
         self._send_json(200, {"job_id": located[0], "cancelled": cancelled})
 
+    # ------------------------------------------------------------------
+    # Server-Sent Events
+    # ------------------------------------------------------------------
+    def _write_chunk(self, data: bytes) -> None:
+        """Write one HTTP/1.1 chunk (empty ``data`` terminates the body)."""
+        self.wfile.write(f"{len(data):X}\r\n".encode("ascii"))
+        self.wfile.write(data)
+        self.wfile.write(b"\r\n")
+        self.wfile.flush()
+
+    def _stream_scenario_events(self, scenario_id: str) -> None:
+        """``GET /scenarios/<id>/events``: push the scenario's SSE feed.
+
+        The subscription is opened *before* the response status goes out,
+        so a bad id is still a clean 404 and a saturated scenario a 503
+        with ``Retry-After``.  The stream then writes one SSE frame per
+        event (chunked — its length is unknowable), heartbeat comments
+        across quiet stretches, and ends with the terminal event
+        (``summary`` or ``cancelled``) followed by the closing chunk.  A
+        consumer that reconnects with the last id it saw resumes without
+        gaps or duplicates while the event ring still holds the window.
+        """
+        if not getattr(self.server, "sse_enabled", True):
+            self._send_json(
+                404,
+                {
+                    "error": "NotFound",
+                    "message": "event streaming is disabled (--sse)",
+                },
+            )
+            return
+        try:
+            subscription = self.service.subscribe_scenario(
+                scenario_id, last_event_id=self._last_event_id()
+            )
+        except UnknownScenarioError as error:
+            self._send_error_json(404, error)
+            return
+        except QueueFullError as error:
+            self._send_json(
+                503,
+                {"error": type(error).__name__, "message": str(error)},
+                extra_headers={"Retry-After": "1"},
+            )
+            return
+        except ServiceError as error:
+            self._send_error_json(503, error)
+            return
+        try:
+            self.send_response(200)
+            self.send_header("Content-Type", "text/event-stream")
+            self.send_header("Cache-Control", "no-cache")
+            self.send_header("Transfer-Encoding", "chunked")
+            self.end_headers()
+            # Client reconnect delay hint (standard SSE control line).
+            self._write_chunk(b"retry: 1000\n\n")
+            while True:
+                event = subscription.get(timeout=self.sse_heartbeat)
+                if event is None:
+                    if subscription.closed:
+                        break  # end of stream (terminal event delivered)
+                    self._write_chunk(b": heartbeat\n\n")
+                    continue
+                self._write_chunk(format_sse_event(event))
+                if event.terminal:
+                    break
+            self._write_chunk(b"")
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            pass  # consumer went away mid-stream; unsubscribe below
+        finally:
+            # A finished stream must not be reused for a next request: the
+            # consumer-side SSE contract is one stream per connection.
+            self.close_connection = True
+            self.service.unsubscribe_scenario(scenario_id, subscription)
+
 
 def serve(
     service: PassivityService,
     host: str = "127.0.0.1",
     port: int = 8123,
+    sse: bool = True,
 ) -> PassivityHTTPServer:
     """Bind a :class:`PassivityHTTPServer` to ``(host, port)`` and return it.
 
     The caller owns both lifecycles: call ``server.serve_forever()`` (and
     ``server.shutdown()``), and close the service when done.  Port 0 picks a
     free ephemeral port (``server.server_address`` reports it), which is how
-    the integration tests run hermetically.
+    the integration tests run hermetically.  ``sse=False`` turns the
+    ``GET /scenarios/<id>/events`` stream off (clients poll instead).
     """
     service.start()
-    return PassivityHTTPServer(service, (host, port))
+    return PassivityHTTPServer(service, (host, port), sse=sse)

@@ -147,6 +147,17 @@ class Job:
     #: Set when the job survived a failed batch dispatch: it must be
     #: re-dispatched as a singleton, never drafted into another batch.
     no_batch: bool = False
+    #: Owning scenario id and cell index for scenario-expanded cells
+    #: (``None`` for plain submissions).  Scenario cells bypass dedup
+    #: coalescing so every cell resolves through the scenario hooks.
+    scenario_id: Optional[str] = None
+    cell_index: Optional[int] = None
+    #: Explicit warm-start ancestor (the scenario family root's system),
+    #: taking precedence over the service's family-latest tracking.
+    ancestor_system: Optional["DescriptorSystem"] = None
+    #: True while the cell is registered but deliberately *not* queued —
+    #: deferred corners waiting for their family root to complete.
+    held: bool = False
     done_event: threading.Event = field(default_factory=threading.Event)
 
     def snapshot(self) -> JobStatus:

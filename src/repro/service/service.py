@@ -62,6 +62,7 @@ import os
 import threading
 import time
 import uuid
+from collections import deque
 from concurrent.futures import (
     BrokenExecutor,
     ProcessPoolExecutor,
@@ -69,7 +70,7 @@ from concurrent.futures import (
 )
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from repro.config import Tolerances
 from repro.descriptor.system import DescriptorSystem
@@ -90,15 +91,35 @@ from repro.exceptions import (
     QueueFullError,
     ServiceError,
     UnknownJobError,
+    UnknownScenarioError,
 )
 from repro.passivity.result import PassivityReport
 from repro.service.jobs import Job, JobHandle, JobState, JobStatus
 from repro.service.journal import JobJournal
+from repro.service.scenario import (
+    DEFAULT_EVENT_HISTORY,
+    DEFAULT_MAX_SUBSCRIBERS,
+    DEFAULT_SUBSCRIBER_BUFFER,
+    Scenario,
+    ScenarioEvent,
+    ScenarioHandle,
+    ScenarioSpec,
+    ScenarioState,
+    ScenarioStatus,
+    ScenarioSubscription,
+    cell_event_data,
+    progress_event_data,
+    scenario_from_jsonable,
+    scenario_to_jsonable,
+    snapshot_event_data,
+    summary_event_data,
+)
 from repro.service.serialization import (
     _plain,
     _revive,
     job_record_from_jsonable,
     job_record_to_jsonable,
+    looks_like_shm_payload,
     system_from_jsonable,
     system_to_jsonable,
 )
@@ -270,6 +291,16 @@ class ServiceStats:
         and the largest certified update residual seen.  Aggregated across
         the shared runner cache and the process-mode worker caches, exactly
         like the ``cache`` counters.
+    scenarios:
+        Scenario jobs accepted (``submit_scenario`` / ``POST /scenarios``),
+        each expanding into many cells.
+    streamed_events:
+        Numbered scenario events appended to ring buffers (and offered to
+        every live subscriber) — the SSE feed volume.
+    dropped_events:
+        Events a slow subscriber lost to the bounded-buffer backpressure
+        policy; every drop burst is covered by a ``snapshot`` event, so
+        consumers lose granularity, never the final truth.
     cache:
         Plain-dict snapshot of the decomposition cache counters since
         service start (``hits`` / ``misses`` / ``factorizations``, the L2
@@ -305,6 +336,9 @@ class ServiceStats:
     incremental_hits: int = 0
     incremental_fallbacks: int = 0
     update_residual_max: float = 0.0
+    scenarios: int = 0
+    streamed_events: int = 0
+    dropped_events: int = 0
     cache: Dict[str, Any] = field(default_factory=dict)
 
     def to_jsonable(self) -> Dict[str, Any]:
@@ -335,6 +369,9 @@ class ServiceStats:
             "incremental_hits": self.incremental_hits,
             "incremental_fallbacks": self.incremental_fallbacks,
             "update_residual_max": self.update_residual_max,
+            "scenarios": self.scenarios,
+            "streamed_events": self.streamed_events,
+            "dropped_events": self.dropped_events,
             "cache": dict(self.cache),
         }
 
@@ -463,6 +500,20 @@ class PassivityService:
         Heartbeat staleness, in seconds, past which :meth:`health` reports
         the service ``dead`` (HTTP 503).  Default
         ``max(3 * probe_interval, 15.0)``.
+    clock:
+        Time source (``() -> float``) stamping scenario events, progress
+        and ETA figures (default :func:`time.time`).  Injectable so the
+        streaming test harness can drive scenarios on a fake clock; job
+        scheduling itself always uses wall time.
+    scenario_event_history:
+        Ring-buffer length of each scenario's numbered event history — the
+        replay window of ``Last-Event-ID`` resumption (default 1024).  A
+        resume pointing before the window gets a ``snapshot`` instead.
+    max_subscribers:
+        Most concurrent event subscribers one scenario may have (default
+        64); beyond it ``subscribe_scenario`` raises
+        :class:`~repro.exceptions.QueueFullError` (HTTP 503 + Retry-After
+        on the SSE endpoint).
     registry / tol / cache:
         Forwarded to the constructed runner when ``runner`` is omitted
         (ignored otherwise).
@@ -498,6 +549,9 @@ class PassivityService:
         max_retries: int = 1,
         probe_interval: float = 5.0,
         dead_after: Optional[float] = None,
+        clock: Optional[Callable[[], float]] = None,
+        scenario_event_history: int = DEFAULT_EVENT_HISTORY,
+        max_subscribers: int = DEFAULT_MAX_SUBSCRIBERS,
         registry: Optional[MethodRegistry] = None,
         tol: Optional[Tolerances] = None,
         cache: Optional[DecompositionCache] = None,
@@ -525,6 +579,10 @@ class PassivityService:
             raise ValueError("probe_interval must be positive")
         if dead_after is not None and dead_after <= 0:
             raise ValueError("dead_after must be positive (or None for default)")
+        if scenario_event_history < 1:
+            raise ValueError("scenario_event_history must be at least 1")
+        if max_subscribers < 1:
+            raise ValueError("max_subscribers must be at least 1")
         if isinstance(store, (str, os.PathLike)):
             store = DecompositionStore(store)
         self._store = store
@@ -581,9 +639,15 @@ class PassivityService:
         #: startup when the transport engages; None otherwise).
         self._arena: Optional[ArrayArena] = None
 
+        self._clock: Callable[[], float] = clock if clock is not None else time.time
+        self._scenario_event_history = int(scenario_event_history)
+        self._max_subscribers = int(max_subscribers)
+
         self._jobs: Dict[str, Job] = {}
         self._inflight: Dict[Tuple[str, str, str], str] = {}
         self._history: List[str] = []
+        self._scenarios: Dict[str, Scenario] = {}
+        self._scenario_history: List[str] = []
         self._seq = itertools.count()
 
         self._loop: Optional[asyncio.AbstractEventLoop] = None
@@ -615,6 +679,9 @@ class PassivityService:
         self._n_pool_restarts = 0
         self._n_retried = 0
         self._n_replayed = 0
+        self._n_scenarios = 0
+        self._n_streamed_events = 0
+        self._n_dropped_events = 0
         #: QUEUED, non-coalesced jobs awaiting a worker.  This — not
         #: ``queue.qsize()`` — is what ``max_queue`` bounds: a cancelled
         #: job's tuple lingers in the asyncio queue as a ghost until a
@@ -624,6 +691,11 @@ class PassivityService:
         #: Jobs rebuilt from the journal, waiting for :meth:`_startup` to
         #: queue them (construction runs before the loop exists).
         self._replayed_jobs: List[Job] = []
+        #: Scenario specs rebuilt from the journal: (scenario_id, spec),
+        #: re-expanded and resubmitted by :meth:`_startup`.  Expansion is
+        #: deterministic (seeded perturbations), so a crashed scenario's
+        #: cells come back identical to the originals.
+        self._replayed_scenarios: List[Tuple[str, ScenarioSpec]] = []
 
         if self._store is not None:
             self._restore_history()
@@ -722,8 +794,35 @@ class PassivityService:
                 except Exception:  # noqa: BLE001 - journal is best-effort
                     pass
                 continue
+            if "scenario" in record:
+                # A scenario parent: replay the *spec*, not the cells — the
+                # seeded expansion regenerates them (same ids, same corners)
+                # once the loop exists.
+                try:
+                    spec = scenario_from_jsonable(record["scenario"])
+                    spec.validate()
+                except Exception:  # noqa: BLE001 - damaged records skip
+                    try:
+                        journal.record_finished(job_id, "unreplayable")
+                    except Exception:  # noqa: BLE001 - journal is best-effort
+                        pass
+                else:
+                    self._replayed_scenarios.append((job_id, spec))
+                continue
             try:
-                system = system_from_jsonable(record["system"])
+                system_doc = record["system"]
+                if looks_like_shm_payload(system_doc):
+                    # The submission journaled a shared-memory descriptor
+                    # (segment name + array specs).  The segment died with
+                    # the previous incarnation, so the descriptor can never
+                    # revive — fall back to the wire-form copy journaled
+                    # alongside it.
+                    system_doc = record.get("system_wire")
+                    if system_doc is None:
+                        raise ValueError(
+                            "journaled shm descriptor without a wire fallback"
+                        )
+                system = system_from_jsonable(system_doc)
                 method = record.get("method", "auto")
                 if method != "auto":
                     method = self._runner.registry.resolve(method).name
@@ -774,8 +873,10 @@ class PassivityService:
         except Exception:  # noqa: BLE001 - journal I/O must not fail jobs
             pass
 
-    def _journal_finished(self, job_id: str, state: JobState) -> None:
-        """Append a job's terminal record (idempotent per job)."""
+    def _journal_finished(
+        self, job_id: str, state: Union[JobState, ScenarioState]
+    ) -> None:
+        """Append a job's (or scenario's) terminal record (idempotent)."""
         if self._journal is None:
             return
         try:
@@ -842,6 +943,14 @@ class PassivityService:
             except Exception:  # noqa: BLE001 - replay is best-effort
                 continue
         self._replayed_jobs = []
+        for scenario_id, spec in self._replayed_scenarios:
+            try:
+                scenario, jobs = self._build_scenario(spec, scenario_id=scenario_id)
+                await self._submit_scenario(scenario, jobs, replay=True)
+                self._n_replayed += 1
+            except Exception:  # noqa: BLE001 - replay is best-effort
+                continue
+        self._replayed_scenarios = []
         loop = asyncio.get_running_loop()
         self._worker_tasks = [
             loop.create_task(self._worker()) for _ in range(self._max_workers)
@@ -990,8 +1099,17 @@ class PassivityService:
             self._probe_task.cancel()
         for task in self._worker_tasks:
             task.cancel()
+        # Finalize open scenarios *first*: once a scenario is terminal, the
+        # cell cancellations below resolve silently (no post-terminal
+        # events — the stream contract) and its subscribers drain cleanly.
+        for scenario in list(self._scenarios.values()):
+            if not scenario.state.is_terminal:
+                scenario.deferred = []
+                self._finalize_scenario(scenario, ScenarioState.CANCELLED)
         for job in list(self._jobs.values()):
             if not job.state.is_terminal:
+                if job.state is JobState.QUEUED and job.held:
+                    job.held = False  # held cells never counted in _n_queued
                 self._finish(job, JobState.CANCELLED, error="service closed")
 
     def __enter__(self) -> "PassivityService":
@@ -1140,6 +1258,501 @@ class PassivityService:
         await self._queue.put((job.priority, job.seq, job.job_id))
 
     # ------------------------------------------------------------------
+    # Scenarios (streaming sweep jobs)
+    # ------------------------------------------------------------------
+    def submit_scenario(
+        self, spec: Union[ScenarioSpec, Dict[str, Any]]
+    ) -> ScenarioHandle:
+        """Queue a multi-corner scenario and return a :class:`ScenarioHandle`.
+
+        The spec (a :class:`~repro.service.ScenarioSpec` or its wire-form
+        dict, as posted to ``POST /scenarios``) is expanded **server-side**
+        into per-corner cells that ride the ordinary job queue: the family
+        root (nominal corner / portfolio medoid) dispatches first, and the
+        perturbed corners are *held* until it completes so every corner
+        warm-starts from the root's decompositions through the incremental
+        tier.  Per-corner verdicts, progress and the terminal summary are
+        pushed to subscribers (:meth:`subscribe_scenario`, or the SSE feed
+        ``GET /scenarios/<id>/events``) as they land.
+
+        Thread-safe; auto-starts the service.  Scenario cells deliberately
+        bypass dedup coalescing — every cell resolves through the scenario
+        event hooks.
+
+        Raises
+        ------
+        SerializationError
+            When a wire-form spec is malformed.
+        DimensionError
+            When the spec's parameters are out of range.
+        QueueFullError
+            When ``max_queue`` is set and the whole expansion does not fit
+            the submission queue (scenarios are admitted atomically —
+            all cells or none).
+        """
+        if isinstance(spec, dict):
+            spec = scenario_from_jsonable(spec)
+        if not isinstance(spec, ScenarioSpec):
+            raise TypeError(
+                f"submit_scenario() expects a ScenarioSpec or its wire dict, "
+                f"got {type(spec).__name__}"
+            )
+        self.start()
+        # Expansion (seeded perturbations) and fingerprinting are O(cells)
+        # numeric work — done on the caller's thread, like submit().
+        scenario, jobs = self._build_scenario(spec)
+        journal_payload: Optional[Dict[str, Any]] = None
+        if self._journal is not None:
+            journal_payload = {
+                "scenario": scenario_to_jsonable(spec),
+                "submitted_at": scenario.created_at,
+            }
+        self._call(self._submit_scenario(scenario, jobs, journal_payload))
+        return ScenarioHandle(self, scenario.scenario_id)
+
+    def _build_scenario(
+        self, spec: ScenarioSpec, scenario_id: Optional[str] = None
+    ) -> Tuple[Scenario, List[Job]]:
+        """Expand a spec into the scenario record and its cell jobs.
+
+        Pure construction (no service state touched): safe on the caller's
+        thread.  Cell job ids are derived from the scenario id
+        (``<scenario>-c<index>``), so a journal replay under the original
+        id regenerates the original handles.
+        """
+        spec.validate()
+        cells = spec.expand()
+        scenario_id = scenario_id or ("scn-" + uuid.uuid4().hex[:12])
+        now = self._clock()
+        scenario = Scenario(
+            scenario_id=scenario_id,
+            family=spec.family,
+            n_cells=len(cells),
+            priority=int(spec.priority),
+            created_at=now,
+            events=deque(maxlen=self._scenario_event_history),
+        )
+        scenario.cells = [{} for _ in cells]
+        jobs: List[Job] = []
+        for cell in cells:
+            method = cell.method
+            if method != "auto":
+                method = self._runner.registry.resolve(method).name
+            fingerprint = fingerprint_system(cell.system, self._runner.tol)
+            timeout = (
+                self._default_timeout if spec.timeout is None else spec.timeout
+            )
+            job = Job(
+                job_id=f"{scenario_id}-c{cell.index}",
+                system=cell.system,
+                method=method,
+                options=dict(cell.options),
+                priority=int(spec.priority),
+                timeout=timeout,
+                fingerprint=fingerprint,
+                key=(fingerprint, method, _options_key(cell.options)),
+                seq=next(self._seq),
+                scenario_id=scenario_id,
+                cell_index=cell.index,
+                held=bool(cell.defer),
+            )
+            jobs.append(job)
+            scenario.cells[cell.index] = {
+                "index": cell.index,
+                "label": cell.label,
+                "job_id": job.job_id,
+                "state": JobState.QUEUED.value,
+                "is_passive": None,
+            }
+            if cell.ancestor is not None:
+                scenario.root_index = cell.ancestor
+        return scenario, jobs
+
+    async def _submit_scenario(
+        self,
+        scenario: Scenario,
+        jobs: List[Job],
+        journal_payload: Optional[Dict[str, Any]] = None,
+        replay: bool = False,
+    ) -> None:
+        """Register a scenario and queue its cells (loop thread).
+
+        Admission is atomic against the queue bound: either every cell fits
+        (held corners count — they *will* occupy slots once released) or
+        the whole scenario is rejected with nothing registered.  Cells skip
+        the dedup table so each resolves through the scenario hooks.
+        """
+        if (
+            not replay
+            and self._max_queue is not None
+            and self._n_queued + len(jobs) > self._max_queue
+        ):
+            self._n_rejected += 1
+            raise QueueFullError(
+                f"scenario of {len(jobs)} cell(s) does not fit the "
+                f"submission queue ({self._max_queue} slot(s)); retry later"
+            )
+        self._scenarios[scenario.scenario_id] = scenario
+        self._n_scenarios += 1
+        if journal_payload is not None and self._journal is not None:
+            try:
+                self._journal.record_submitted(
+                    scenario.scenario_id, journal_payload
+                )
+            except Exception:  # noqa: BLE001 - journal I/O must not fail jobs
+                pass
+        for job in jobs:
+            self._jobs[job.job_id] = job
+            self._n_submitted += 1
+            if job.held:
+                # Deferred corner: registered (pollable, cancellable) but
+                # not queued until the family root completes.
+                scenario.deferred.append(job)
+                continue
+            self._n_queued += 1
+            await self._queue.put((job.priority, job.seq, job.job_id))
+        self._emit_scenario_event(
+            scenario, "progress", progress_event_data(scenario, 0.0)
+        )
+
+    def _emit_scenario_event(
+        self,
+        scenario: Scenario,
+        name: str,
+        data: Dict[str, Any],
+        force: bool = False,
+    ) -> None:
+        """Number an event, ring-buffer it, push to subscribers (loop thread).
+
+        Every emitted event gets the next gapless monotonic id and enters
+        the bounded replay history.  ``force`` (terminal events) evicts a
+        full subscriber's backlog rather than dropping the event — a
+        consumer may lose intermediate corners, never the terminal truth.
+        """
+        event = ScenarioEvent(
+            event_id=next(scenario.next_event_id),
+            event=name,
+            data=data,
+            at=self._clock(),
+        )
+        scenario.last_event_id = event.event_id
+        scenario.events.append(event)
+        self._n_streamed_events += 1
+        for subscription in list(scenario.subscribers):
+            self._deliver_event(scenario, subscription, event, force=force)
+
+    def _deliver_event(
+        self,
+        scenario: Scenario,
+        subscription: ScenarioSubscription,
+        event: ScenarioEvent,
+        force: bool = False,
+    ) -> None:
+        """Offer one event to one subscriber, applying backpressure.
+
+        A full buffer marks the consumer slow: its backlog is dropped
+        (counted) and replaced by a single **transient** ``snapshot`` event
+        carrying the scenario's current truth through the just-emitted id.
+        The snapshot has no event id, so it never advances the consumer's
+        ``Last-Event-ID`` — a later resume replays the numbered events the
+        snapshot papered over (while the ring still holds them).
+        """
+        if subscription.closed:
+            return
+        if force:
+            self._n_dropped_events += subscription._force(event)
+            return
+        if subscription._offer(event):
+            return
+        dropped = subscription._drop_backlog()
+        self._n_dropped_events += dropped
+        snapshot = ScenarioEvent(
+            event_id=None,
+            event="snapshot",
+            data=snapshot_event_data(scenario, dropped),
+            at=self._clock(),
+        )
+        subscription._offer(snapshot)
+
+    def _scenario_on_finish(
+        self,
+        job: Job,
+        state: JobState,
+        report: Optional[PassivityReport],
+        error: Optional[str],
+    ) -> None:
+        """Scenario hook of :meth:`_finish` (loop thread only).
+
+        Updates the owning scenario's cell table and counters, streams the
+        per-corner verdict and a progress/ETA tick, releases the held
+        corners when the family root resolves (chaining them to its system
+        as their warm-start ancestor), and finalizes the scenario when the
+        last cell lands.  A terminal scenario emits nothing — cells still
+        resolving after a cancellation do so silently.
+        """
+        scenario = self._scenarios.get(job.scenario_id)
+        if scenario is None or job.cell_index is None:
+            return
+        cell = scenario.cells[job.cell_index]
+        cell["state"] = state.value
+        cell["is_passive"] = (
+            None if report is None else bool(report.is_passive)
+        )
+        if error is not None:
+            cell["error"] = error
+        scenario.n_terminal += 1
+        if state is JobState.DONE:
+            scenario.n_done += 1
+            if report is not None and report.is_passive:
+                scenario.n_passive += 1
+        elif state is JobState.FAILED:
+            scenario.n_failed += 1
+        elif state is JobState.CANCELLED:
+            scenario.n_cancelled += 1
+        elif state is JobState.TIMED_OUT:
+            scenario.n_timed_out += 1
+        if not scenario.state.is_terminal:
+            self._emit_scenario_event(
+                scenario,
+                "corner",
+                cell_event_data(scenario, cell, state, report, error),
+            )
+            elapsed = max(0.0, self._clock() - scenario.created_at)
+            self._emit_scenario_event(
+                scenario, "progress", progress_event_data(scenario, elapsed)
+            )
+        if job.cell_index == scenario.root_index and scenario.deferred:
+            # The family root resolved: release the held corners, chained
+            # to the root's system when it certified (ancestor=None — cold
+            # dispatch — when the root failed; verdicts never weaken).
+            ancestor = job.system if state is JobState.DONE else None
+            deferred, scenario.deferred = scenario.deferred, []
+            if not scenario.state.is_terminal:
+                scenario.root_system = ancestor
+                for held in deferred:
+                    held.held = False
+                    held.ancestor_system = ancestor
+                    self._n_queued += 1
+                    self._queue.put_nowait(
+                        (held.priority, held.seq, held.job_id)
+                    )
+        if scenario.n_terminal >= scenario.n_cells:
+            self._release_scenario_shipment(scenario)
+            if not scenario.state.is_terminal:
+                self._finalize_scenario(scenario, ScenarioState.DONE)
+
+    def _finalize_scenario(
+        self, scenario: Scenario, state: ScenarioState
+    ) -> None:
+        """Transition a scenario to its terminal state (loop thread only).
+
+        Emits the forced terminal event (``summary`` or ``cancelled``),
+        closes the journal's book on the scenario, drains and closes every
+        subscriber, releases the cross-thread waiters and moves the record
+        into the bounded pollable history.
+        """
+        scenario.state = state
+        scenario.finished_at = self._clock()
+        elapsed = max(0.0, scenario.finished_at - scenario.created_at)
+        name = (
+            "cancelled" if state is ScenarioState.CANCELLED else "summary"
+        )
+        self._emit_scenario_event(
+            scenario, name, summary_event_data(scenario, elapsed), force=True
+        )
+        self._journal_finished(scenario.scenario_id, state)
+        for subscription in scenario.subscribers:
+            subscription._close()
+        scenario.subscribers = []
+        scenario.done_event.set()
+        self._remember_scenario(scenario)
+
+    def _release_scenario_shipment(self, scenario: Scenario) -> None:
+        """Drop the family root's shm shipment once no cell can touch it.
+
+        Deferred past any timed-out cell: its abandoned worker may still be
+        mid-``load`` on the segment, so the arena's ``close()`` reaps it
+        instead (POSIX keeps existing mappings valid either way).
+        """
+        if scenario.root_shipment is None or self._arena is None:
+            return
+        if scenario.n_timed_out:
+            return
+        self._arena.release(scenario.root_shipment)
+        scenario.root_shipment = None
+
+    def _remember_scenario(self, scenario: Scenario) -> None:
+        """Keep the terminal scenario pollable, evicting beyond the bound."""
+        self._scenario_history.append(scenario.scenario_id)
+        if self._max_history is None:
+            return
+        while len(self._scenario_history) > self._max_history:
+            evicted = self._scenario_history.pop(0)
+            self._scenarios.pop(evicted, None)
+
+    def _get_scenario(self, scenario_id: str) -> Scenario:
+        """Look up a scenario or raise :class:`UnknownScenarioError`."""
+        scenario = self._scenarios.get(scenario_id)
+        if scenario is None:
+            raise UnknownScenarioError(
+                f"unknown scenario id {scenario_id!r} (never submitted, or "
+                f"evicted from the history)"
+            )
+        return scenario
+
+    def scenario_status(self, scenario_id: str) -> ScenarioStatus:
+        """Snapshot a scenario's progress (``GET /scenarios/<id>``).
+
+        Raises
+        ------
+        UnknownScenarioError
+            When no scenario with this id exists (or it was evicted).
+        """
+        if self._loop is not None and not self._closed:
+            return self._call(self._scenario_status(scenario_id))
+        # Closed service: records are frozen, read directly.
+        return self._get_scenario(scenario_id).snapshot()
+
+    async def _scenario_status(self, scenario_id: str) -> ScenarioStatus:
+        return self._get_scenario(scenario_id).snapshot()
+
+    def wait_scenario(
+        self, scenario_id: str, timeout: Optional[float] = None
+    ) -> bool:
+        """Block until the scenario is terminal; True when it made it."""
+        return self._get_scenario(scenario_id).done_event.wait(timeout)
+
+    def subscribe_scenario(
+        self,
+        scenario_id: str,
+        last_event_id: Optional[int] = None,
+        buffer: int = DEFAULT_SUBSCRIBER_BUFFER,
+    ) -> ScenarioSubscription:
+        """Attach an event subscription to a scenario (the SSE backend).
+
+        ``last_event_id`` resumes a dropped stream: numbered events after
+        it still held by the ring buffer are replayed in order (no gaps,
+        no duplicates); a resume pointing before the ring's window gets one
+        transient ``snapshot`` carrying the current truth instead.
+        Subscribing to an already-terminal scenario replays and closes
+        immediately.
+
+        Raises
+        ------
+        UnknownScenarioError
+            When no scenario with this id exists (or it was evicted).
+        QueueFullError
+            When the scenario already has ``max_subscribers`` live
+            subscribers (HTTP 503 + Retry-After on the SSE endpoint).
+        """
+        return self._call(
+            self._subscribe_scenario(scenario_id, last_event_id, buffer)
+        )
+
+    async def _subscribe_scenario(
+        self,
+        scenario_id: str,
+        last_event_id: Optional[int],
+        buffer: int,
+    ) -> ScenarioSubscription:
+        scenario = self._get_scenario(scenario_id)
+        if (
+            not scenario.state.is_terminal
+            and len(scenario.subscribers) >= self._max_subscribers
+        ):
+            raise QueueFullError(
+                f"scenario {scenario_id} already has "
+                f"{self._max_subscribers} subscriber(s); retry later"
+            )
+        subscription = ScenarioSubscription(scenario_id, buffer=buffer)
+        since = int(last_event_id) if last_event_id else 0
+        history = list(scenario.events)
+        oldest = history[0].event_id if history else None
+        if since and oldest is not None and oldest > since + 1:
+            # The resume point fell off the bounded ring: replaying would
+            # leave a gap, so hand over one snapshot of the current truth.
+            subscription._offer(
+                ScenarioEvent(
+                    event_id=None,
+                    event="snapshot",
+                    data=snapshot_event_data(scenario, 0),
+                    at=self._clock(),
+                )
+            )
+        else:
+            for event in history:
+                if event.event_id is not None and event.event_id > since:
+                    self._deliver_event(scenario, subscription, event)
+        if scenario.state.is_terminal:
+            subscription._close()
+        else:
+            scenario.subscribers.append(subscription)
+        return subscription
+
+    def unsubscribe_scenario(
+        self, scenario_id: str, subscription: ScenarioSubscription
+    ) -> None:
+        """Detach a subscription (idempotent; safe on a closed service)."""
+        try:
+            self._call(
+                self._unsubscribe_scenario(scenario_id, subscription)
+            )
+        except ServiceError:
+            # Service already closed: nothing to detach from.
+            subscription._close()
+
+    async def _unsubscribe_scenario(
+        self, scenario_id: str, subscription: ScenarioSubscription
+    ) -> None:
+        scenario = self._scenarios.get(scenario_id)
+        if scenario is not None:
+            try:
+                scenario.subscribers.remove(subscription)
+            except ValueError:
+                pass
+        subscription._close()
+
+    def cancel_scenario(self, scenario_id: str) -> bool:
+        """Cancel a scenario, reaping its queued and held cells.
+
+        Queued and deferred cells become ``CANCELLED`` immediately; cells
+        already running on the pool cannot be interrupted and resolve
+        silently (no events escape past the terminal ``cancelled`` event).
+        Returns True when this call performed the cancellation, False when
+        the scenario was already terminal.
+
+        Raises
+        ------
+        UnknownScenarioError
+            When no scenario with this id exists (or it was evicted).
+        """
+        return self._call(self._cancel_scenario(scenario_id))
+
+    async def _cancel_scenario(self, scenario_id: str) -> bool:
+        scenario = self._get_scenario(scenario_id)
+        if scenario.state.is_terminal:
+            return False
+        # Mark terminal *before* finishing cells: _scenario_on_finish emits
+        # nothing for a terminal scenario, so the stream stays silent
+        # between here and the forced `cancelled` event below.
+        scenario.state = ScenarioState.CANCELLED
+        scenario.deferred = []
+        for cell in scenario.cells:
+            job = self._jobs.get(cell.get("job_id"))
+            if job is None or job.state is not JobState.QUEUED:
+                continue  # running cells resolve silently; terminal stay put
+            if not job.held:
+                # A queued cell occupied a slot (its queue tuple lives on
+                # as a ghost a worker will skip); a held cell never did.
+                self._n_queued -= 1
+            job.held = False
+            self._finish(job, JobState.CANCELLED, error="scenario cancelled")
+        if scenario.n_terminal >= scenario.n_cells:
+            self._release_scenario_shipment(scenario)
+        self._finalize_scenario(scenario, ScenarioState.CANCELLED)
+        return True
+
+    # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def _batch_eligible(self, job: Job) -> bool:
@@ -1263,6 +1876,10 @@ class PassivityService:
         store-backed) cache must hold the ancestor's decompositions, else
         the attempt is counted as a fallback and the job runs cold.
         """
+        if job.ancestor_system is not None:
+            # Scenario corner: chained explicitly to its family root, which
+            # ships once per scenario and is shared by every corner.
+            return self._scenario_ancestor_payload(job)
         if not self._incremental:
             return None
         key = _family_key(job.system)
@@ -1278,6 +1895,18 @@ class PassivityService:
             entry = (ancestor, ship_systems(self._arena, [ancestor]))
             self._ancestor_ships[key] = entry
         return entry[1]
+
+    def _scenario_ancestor_payload(self, job: Job) -> Any:
+        """Ship a scenario cell's explicit root ancestor (loop thread only)."""
+        ancestor = job.ancestor_system
+        if self._arena is None or ancestor.is_sparse:
+            return ancestor
+        scenario = self._scenarios.get(job.scenario_id)
+        if scenario is None:
+            return ancestor
+        if scenario.root_shipment is None:
+            scenario.root_shipment = ship_systems(self._arena, [ancestor])
+        return scenario.root_shipment
 
     async def _run_batch(self, loop, jobs: List[Job]) -> None:
         """Dispatch one micro-batch to the process pool and resolve its jobs.
@@ -1493,11 +2122,9 @@ class PassivityService:
         sit in the shared runner cache, so the incremental tier resolves
         them without any payload shipping in thread mode.
         """
-        ancestor = (
-            self._family_latest.get(_family_key(job.system))
-            if self._incremental
-            else None
-        )
+        ancestor = job.ancestor_system
+        if ancestor is None and self._incremental:
+            ancestor = self._family_latest.get(_family_key(job.system))
         return self._runner.run_cell(
             job.system, job.method, job.options, ancestor=ancestor
         )
@@ -1548,6 +2175,8 @@ class PassivityService:
             if self._store is not None and state is JobState.DONE:
                 self._persist_job(follower)
         job.followers = []
+        if job.scenario_id is not None:
+            self._scenario_on_finish(job, state, report, error)
 
     def _count_terminal(self, state: JobState) -> None:
         """Bump the lifetime counter matching a terminal state."""
@@ -1772,9 +2401,18 @@ class PassivityService:
         }
         return ServiceStats(
             workers=self._max_workers,
-            # The live QUEUED count, not queue.qsize(): the asyncio queue
-            # can hold ghost tuples for already-cancelled jobs.
-            queue_depth=self._n_queued,
+            # Recomputed from the job table at snapshot time, not read from
+            # the running _n_queued tally: the tally tracks only jobs that
+            # occupy asyncio-queue slots (the max_queue currency), so it
+            # goes stale mid batch-drain handoffs and never counts held
+            # scenario corners — both of which *are* waiting work.  (It is
+            # also not queue.qsize(): the asyncio queue can hold ghost
+            # tuples for already-cancelled jobs.)
+            queue_depth=sum(
+                1
+                for job in self._jobs.values()
+                if job.state is JobState.QUEUED and job.coalesced_into is None
+            ),
             running=sum(
                 1 for job in self._jobs.values() if job.state is JobState.RUNNING
             ),
@@ -1808,6 +2446,9 @@ class PassivityService:
             incremental_hits=cache_delta.incremental_hits,
             incremental_fallbacks=cache_delta.incremental_fallbacks,
             update_residual_max=cache_delta.update_residual_max,
+            scenarios=self._n_scenarios,
+            streamed_events=self._n_streamed_events,
+            dropped_events=self._n_dropped_events,
             cache=cache,
         )
 

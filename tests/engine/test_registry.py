@@ -121,7 +121,7 @@ class TestRegistryRoundTrip:
 class TestDefaultRegistry:
     def test_builtin_methods_present(self):
         assert set(DEFAULT_REGISTRY.names()) == {
-            "shh", "lmi", "weierstrass", "gare", "shh-sparse",
+            "shh", "lmi", "weierstrass", "gare", "shh-sparse", "sampling",
         }
 
     def test_proposed_alias_maps_to_shh(self):

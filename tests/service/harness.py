@@ -1,0 +1,224 @@
+"""Deterministic async/streaming test harness for the scenario engine.
+
+Everything here is built for *event-driven* determinism: tests block on the
+service's own synchronization primitives (subscription queues, gate events,
+``done_event``) instead of sleeping, so they are fast when the service is
+fast and only slow when it is genuinely stuck.
+
+* :class:`FakeClock` — injectable time source for
+  ``PassivityService(clock=...)``: scenario timestamps, elapsed and ETA
+  figures become exact, assertable numbers.
+* :class:`GateRegistry` / ``gated`` method — a registry whose runner blocks
+  on a :class:`threading.Event` per fingerprint, so tests decide exactly
+  when each cell completes (the tool for cancellation races and
+  slow-consumer scheduling).
+* :func:`drain` — collect a subscription's events until the stream closes
+  (no sockets, no sleeps: the in-process SSE client).
+* :func:`parse_sse` — decode a raw SSE byte stream (as read off the HTTP
+  feed) into ``(id, event, data)`` frames.
+* ``assert_*`` helpers — the golden-transcript invariants: gapless
+  monotonic ids, terminal-event-last, resume without gaps or duplicates.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.engine import MethodRegistry, MethodSpec
+from repro.passivity.result import PassivityReport
+from repro.service import ScenarioEvent, ScenarioSubscription
+
+__all__ = [
+    "FakeClock",
+    "GateRegistry",
+    "drain",
+    "parse_sse",
+    "numbered_ids",
+    "assert_gapless_monotonic",
+    "assert_terminal_last",
+    "assert_resume_contract",
+]
+
+
+class FakeClock:
+    """Manually advanced time source (inject via ``PassivityService(clock=)``).
+
+    Thread-safe: the service reads it from the loop thread while the test
+    advances it from the main thread.
+    """
+
+    def __init__(self, start: float = 1_000.0) -> None:
+        self._now = float(start)
+        self._lock = threading.Lock()
+
+    def __call__(self) -> float:
+        with self._lock:
+            return self._now
+
+    @property
+    def now(self) -> float:
+        """Current fake time."""
+        return self()
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward by ``seconds``; returns the new time."""
+        with self._lock:
+            self._now += float(seconds)
+            return self._now
+
+
+class GateRegistry:
+    """Method registry whose ``gated`` runner blocks until the test says go.
+
+    Each cell running the ``gated`` method waits on a gate keyed by the
+    system's order (distinct corners of a perturbed family share an order,
+    so tests key gates by scenario via per-instance defaults).  ``open_all``
+    releases everything — including cells that arrive later.
+    """
+
+    def __init__(self, default_open: bool = False) -> None:
+        self._open_all = threading.Event()
+        if default_open:
+            self._open_all.set()
+        self._go = threading.Semaphore(0)
+        self._started = threading.Semaphore(0)
+        self.registry = MethodRegistry()
+        self.registry.register(
+            MethodSpec(
+                name="gated",
+                runner=self._run,
+                description="blocks until the test opens the gate",
+                uses_spectral_cache=False,
+            )
+        )
+
+    def _run(self, system, tol, cache, **options) -> PassivityReport:
+        self._started.release()
+        # Bounded wait: a deadlocked test fails in seconds, not forever.
+        deadline = time.time() + 30.0
+        opened = False
+        while time.time() < deadline:
+            if self._open_all.is_set():
+                opened = True
+                break
+            if self._go.acquire(timeout=0.05):
+                opened = True
+                break
+        return PassivityReport(is_passive=opened, method="gated")
+
+    def wait_started(self, n: int = 1, timeout: float = 10.0) -> bool:
+        """Block until ``n`` gated cells have *started* running."""
+        for _ in range(n):
+            if not self._started.acquire(timeout=timeout):
+                return False
+        return True
+
+    def release(self, n: int = 1) -> None:
+        """Let exactly ``n`` gated cells complete (stepwise scheduling)."""
+        for _ in range(n):
+            self._go.release()
+
+    def open_all(self) -> None:
+        """Release every waiting (and future) gated cell."""
+        self._open_all.set()
+
+
+def drain(
+    subscription: ScenarioSubscription,
+    timeout: float = 30.0,
+    max_events: int = 10_000,
+) -> List[ScenarioEvent]:
+    """Collect events until the stream ends (in-process SSE client).
+
+    Blocks on the subscription queue only — returns as soon as the
+    producer closes the stream (terminal event delivered) or ``timeout``
+    passes with no traffic at all.
+    """
+    events: List[ScenarioEvent] = []
+    while len(events) < max_events:
+        event = subscription.get(timeout=timeout)
+        if event is None:
+            if subscription.closed:
+                break
+            break  # silent timeout: let the caller's assertions report it
+        events.append(event)
+        if event.terminal:
+            break
+    return events
+
+
+def parse_sse(raw: bytes) -> List[Tuple[Optional[int], str, Dict[str, Any]]]:
+    """Decode an SSE byte stream into ``(id, event, data)`` frames.
+
+    Comment lines (heartbeats) and control lines (``retry:``) are skipped;
+    frames without an ``id:`` line (transient snapshots) decode with
+    ``id=None``.
+    """
+    frames: List[Tuple[Optional[int], str, Dict[str, Any]]] = []
+    for block in raw.decode("utf-8").split("\n\n"):
+        event_id: Optional[int] = None
+        name: Optional[str] = None
+        data: Optional[str] = None
+        for line in block.splitlines():
+            if line.startswith(":") or line.startswith("retry:"):
+                continue
+            if line.startswith("id: "):
+                event_id = int(line[4:])
+            elif line.startswith("event: "):
+                name = line[7:]
+            elif line.startswith("data: "):
+                data = line[6:]
+        if name is not None and data is not None:
+            frames.append((event_id, name, json.loads(data)))
+    return frames
+
+
+def numbered_ids(events: List[Any]) -> List[int]:
+    """The non-transient event ids, in arrival order.
+
+    Accepts both :class:`ScenarioEvent` lists and :func:`parse_sse` frames.
+    """
+    ids: List[int] = []
+    for event in events:
+        event_id = (
+            event[0] if isinstance(event, tuple) else event.event_id
+        )
+        if event_id is not None:
+            ids.append(event_id)
+    return ids
+
+
+def assert_gapless_monotonic(events: List[Any]) -> None:
+    """Every numbered id is exactly one more than its predecessor."""
+    ids = numbered_ids(events)
+    assert ids, "stream delivered no numbered events"
+    expected = list(range(ids[0], ids[0] + len(ids)))
+    assert ids == expected, f"ids not gapless/monotonic: {ids}"
+
+
+def assert_terminal_last(events: List[Any]) -> None:
+    """The stream ends with exactly one terminal event and none after it."""
+    assert events, "stream delivered no events"
+    names = [
+        event[1] if isinstance(event, tuple) else event.event
+        for event in events
+    ]
+    terminal = [n for n in names if n in ("summary", "cancelled")]
+    assert len(terminal) == 1, f"expected one terminal event, saw {terminal}"
+    assert names[-1] in ("summary", "cancelled"), (
+        f"events after terminal: {names}"
+    )
+
+
+def assert_resume_contract(
+    first: List[Any], resumed: List[Any], since: int
+) -> None:
+    """A resume from id ``since`` replays exactly the events after it."""
+    original = [i for i in numbered_ids(first) if i > since]
+    replayed = numbered_ids(resumed)
+    assert replayed == original, (
+        f"resume from {since}: expected {original}, got {replayed}"
+    )
