@@ -1,0 +1,223 @@
+"""Observability-overhead benchmark: the tracer + metrics plane must be cheap.
+
+PR 10's unified observability plane leaves spans (:func:`repro.obs.trace_span`)
+and stage-histogram observations on the engine's hottest seams — cache
+``get_or_compute``, ordered QZ, Riccati refinement, the incremental update
+tier.  This benchmark prices exactly that instrumentation: it runs the
+order-204 incremental corner sweep from ``bench_sweep.py`` twice — once with
+the plane disabled (:func:`repro.obs.set_enabled`\\ ``(False)``: every
+``trace_span`` degenerates to a shared no-op context) and once enabled with a
+live :class:`~repro.obs.JobTrace` collecting every span — and gates the
+enabled/disabled wall-clock ratio below :data:`MAX_OVERHEAD_RATIO` (< 3%
+overhead) with zero verdict flips between the two passes.
+
+The two configurations alternate within every round and the **order inside
+the pair flips round to round** (off-on, on-off, ...); the minimum
+wall-clock per configuration is then compared.  Grouping all disabled
+rounds before all enabled ones — or even always running one configuration
+second in its pair — lets machine drift (thermal throttling, a neighbour
+landing on the box) masquerade as tracer overhead, which dwarfs the real
+sub-percent cost being measured.
+
+Everything is written to a machine-readable ``BENCH_obs.json`` (same artifact
+conventions as ``BENCH_sweep.json``; ``tools/bench_summary.py`` picks up the
+``overhead_ratio`` / ``overhead_target_met`` headline).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_obs.py            # full (order 204)
+    PYTHONPATH=src python benchmarks/bench_obs.py --smoke    # CI-sized
+    PYTHONPATH=src python benchmarks/bench_obs.py --check    # gate < 3%
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import time
+from typing import Dict, List
+
+import numpy as np
+import scipy
+
+from repro.circuits import rlc_grid_corners
+from repro.engine import check_passivity
+from repro.engine.cache import DecompositionCache
+from repro.obs import METRICS, JobTrace, set_enabled, use_trace
+
+SCHEMA_VERSION = 1
+
+#: Acceptance gate: enabled/disabled wall-clock ratio must stay below this
+#: (1.03 == less than 3% overhead for the full tracer + metrics plane).
+MAX_OVERHEAD_RATIO = 1.03
+
+#: Smoke-mode gate: the CI workload finishes in tens of milliseconds where
+#: scheduler noise alone exceeds 3%, so the gate loosens to 10% there (the
+#: real < 3% acceptance number comes from the full order-204 run).
+SMOKE_MAX_OVERHEAD_RATIO = 1.10
+
+
+def _family(mode: str) -> List:
+    """The swept corner family (same workload as ``bench_sweep.py``)."""
+    if mode == "smoke":
+        return rlc_grid_corners(5, 6, n_corners=16, scale=2e-4, seed=0, pattern="a")
+    return rlc_grid_corners(9, 12, n_corners=64, scale=2e-4, seed=0, pattern="a")
+
+
+def _sweep_once(family: List, traced: bool):
+    """One incremental sweep pass; returns (wall_seconds, verdicts, spans)."""
+    nominal, corners = family[0], family[1:]
+    cache = DecompositionCache()
+    trace = JobTrace()
+    start = time.perf_counter()
+    if traced:
+        with use_trace(trace):
+            reports = [check_passivity(nominal, method="gare", cache=cache)]
+            reports += [
+                check_passivity(
+                    system, method="gare", cache=cache, ancestor=nominal
+                )
+                for system in corners
+            ]
+    else:
+        reports = [check_passivity(nominal, method="gare", cache=cache)]
+        reports += [
+            check_passivity(system, method="gare", cache=cache, ancestor=nominal)
+            for system in corners
+        ]
+    seconds = time.perf_counter() - start
+    return seconds, [bool(r.is_passive) for r in reports], len(trace)
+
+
+def _timed_round(family: List, enabled: bool):
+    """One sweep with the plane forced to ``enabled``; restores the state."""
+    previous = set_enabled(enabled)
+    try:
+        return _sweep_once(family, traced=enabled)
+    finally:
+        set_enabled(previous)
+
+
+def run_benchmark(mode: str, rounds: int) -> Dict:
+    """Price the plane on the sweep workload and assemble the JSON document."""
+    family = _family(mode)
+    order = int(family[0].order)
+    max_ratio = SMOKE_MAX_OVERHEAD_RATIO if mode == "smoke" else MAX_OVERHEAD_RATIO
+
+    # Warm-up: JIT-free Python, but first-touch costs (BLAS thread pools,
+    # import side effects) should not land inside either timed pass.
+    _sweep_once(family, traced=False)
+
+    off_walls: List[float] = []
+    on_walls: List[float] = []
+    off_verdicts: List[bool] = []
+    on_verdicts: List[bool] = []
+    spans = 0
+    for index in range(rounds):
+        for enabled in ((False, True) if index % 2 == 0 else (True, False)):
+            seconds, verdicts, tree_size = _timed_round(family, enabled)
+            if enabled:
+                on_walls.append(seconds)
+                on_verdicts, spans = verdicts, tree_size
+            else:
+                off_walls.append(seconds)
+                off_verdicts = verdicts
+    off_wall, on_wall = min(off_walls), min(on_walls)
+
+    flips = sum(1 for a, b in zip(off_verdicts, on_verdicts) if a != b)
+    ratio = on_wall / off_wall if off_wall > 0 else None
+    stage_count = int(
+        METRICS.stage_quantiles().get("engine.dispatch", {}).get("count", 0)
+    )
+    print(
+        f"[obs] {len(family)} corners of order {order}, {rounds} round(s): "
+        f"plane off {off_wall:.3f}s, on {on_wall:.3f}s, "
+        f"overhead {100.0 * (ratio - 1.0):.2f}% "
+        f"({spans} spans/sweep), flips {flips}"
+    )
+    return {
+        "benchmark": "observability_overhead",
+        "schema_version": SCHEMA_VERSION,
+        "mode": mode,
+        "overhead_target": f"< {100.0 * (max_ratio - 1.0):.0f}% "
+        f"tracer+metrics overhead on the incremental corner sweep",
+        "overhead_ratio": ratio,
+        "overhead_target_met": bool(ratio is not None and ratio < max_ratio),
+        "verdict_flips": flips,
+        "verdicts_agree": flips == 0,
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "scipy": scipy.__version__,
+            "machine": platform.machine(),
+            "cpu_count": os.cpu_count(),
+        },
+        "sweep_round": {
+            "corners": len(family),
+            "order": order,
+            "rounds": rounds,
+            "disabled_seconds": off_wall,
+            "enabled_seconds": on_wall,
+            "disabled_walls": off_walls,
+            "enabled_walls": on_walls,
+            "spans_per_sweep": spans,
+            "dispatch_observations": stage_count,
+        },
+    }
+
+
+def main(argv=None) -> int:
+    """CLI entry point (see the module docstring)."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true", help="CI-sized workload (seconds)"
+    )
+    parser.add_argument(
+        "--rounds",
+        type=int,
+        default=5,
+        help="interleaved timed repetitions per configuration "
+        "(min-of-rounds compared)",
+    )
+    parser.add_argument(
+        "--output",
+        default="BENCH_obs.json",
+        help="path of the machine-readable result file",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero unless the overhead gate holds with zero "
+        "verdict flips",
+    )
+    args = parser.parse_args(argv)
+
+    mode = "smoke" if args.smoke else "default"
+    document = run_benchmark(mode, max(1, args.rounds))
+    with open(args.output, "w", encoding="utf-8") as stream:
+        json.dump(document, stream, indent=2)
+    print(f"wrote {args.output}")
+
+    if args.check:
+        failures = []
+        if not document["overhead_target_met"]:
+            failures.append(
+                f"observability overhead above target "
+                f"(ratio {document['overhead_ratio']:.4f}, "
+                f"target {document['overhead_target']})"
+            )
+        if not document["verdicts_agree"]:
+            failures.append("verdicts flipped between plane-off and plane-on")
+        if document["sweep_round"]["spans_per_sweep"] == 0:
+            failures.append("the enabled pass recorded no spans")
+        if failures:
+            print("CHECK FAILED: " + "; ".join(failures))
+            return 1
+        print("CHECK OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

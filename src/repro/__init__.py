@@ -74,7 +74,7 @@ from repro.service import JobHandle, JobState, PassivityService, ServiceStats
 from repro.store import DecompositionStore
 from repro import circuits, descriptor, engine, linalg, passivity, sdp, service, store
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "__version__",

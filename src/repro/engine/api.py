@@ -29,6 +29,7 @@ from repro.config import DEFAULT_TOLERANCES, Tolerances
 from repro.descriptor.system import DescriptorSystem
 from repro.engine.cache import DecompositionCache, SystemProfile, profile_system
 from repro.engine.registry import DEFAULT_REGISTRY, MethodRegistry, MethodSpec
+from repro.obs.trace import trace_span
 from repro.passivity.result import PassivityReport
 
 __all__ = [
@@ -286,7 +287,10 @@ def check_passivity(
             )
             return report
 
-    report = spec.run(system, tol=tol, cache=cache, **options)
+    with trace_span(
+        "engine.dispatch", method=spec.name, auto=auto, order=system.order
+    ):
+        report = spec.run(system, tol=tol, cache=cache, **options)
     _attach_engine_diagnostics(
         report, spec, auto, persistent, skipped=False,
         factorizations=factorizations_delta(),

@@ -33,6 +33,7 @@ from repro.descriptor.weierstrass import WeierstrassForm, weierstrass_form
 from repro.exceptions import NotAdmissibleError, SerializationError
 from repro.linalg.pencil import SpectralContext, compute_spectral_context
 from repro.linalg.sparse import SparseDeflation
+from repro.obs.trace import trace_span
 from repro.passivity.gare_test import (
     GareCertificate,
     admissible_to_state_space,
@@ -474,38 +475,44 @@ class DecompositionCache:
         key = (fingerprint_system(system, tol), kind)
         if kind in ANCESTOR_KINDS:
             self.register_ancestor(system, tol)
-        with self._lock:
-            cached = self._entries.get(key)
-            if cached is not None:
-                return self._unwrap(key, kind, cached)
-            key_lock = self._key_locks.setdefault(key, threading.Lock())
-        with key_lock:
+        with trace_span(f"cache.{kind}", order=system.order) as span:
             with self._lock:
                 cached = self._entries.get(key)
                 if cached is not None:
+                    span.set(outcome="l1_hit")
                     return self._unwrap(key, kind, cached)
-            rehydrated = self._load_from_store(key, kind)
-            if rehydrated is not None:
-                self._store(key, kind, rehydrated, computed=False)
-                tag, payload = rehydrated
-                if tag == "error":
-                    raise payload
-                return payload
-            try:
-                value = compute()
-            except cache_errors as error:
-                self._store(key, kind, ("error", error), computed=True)
-                self._persist(key, kind, ("error", error))
-                raise
-            except BaseException:
-                # Not cached: drop the per-key lock so repeated failures on
-                # distinct systems cannot grow _key_locks without bound.
+                key_lock = self._key_locks.setdefault(key, threading.Lock())
+            with key_lock:
                 with self._lock:
-                    self._key_locks.pop(key, None)
-                raise
-            self._store(key, kind, ("value", value), computed=True)
-            self._persist(key, kind, ("value", value))
-            return value
+                    cached = self._entries.get(key)
+                    if cached is not None:
+                        span.set(outcome="l1_hit")
+                        return self._unwrap(key, kind, cached)
+                rehydrated = self._load_from_store(key, kind)
+                if rehydrated is not None:
+                    span.set(outcome="l2_hit")
+                    self._store(key, kind, rehydrated, computed=False)
+                    tag, payload = rehydrated
+                    if tag == "error":
+                        raise payload
+                    return payload
+                span.set(outcome="computed")
+                try:
+                    value = compute()
+                except cache_errors as error:
+                    self._store(key, kind, ("error", error), computed=True)
+                    self._persist(key, kind, ("error", error))
+                    raise
+                except BaseException:
+                    # Not cached: drop the per-key lock so repeated failures
+                    # on distinct systems cannot grow _key_locks without
+                    # bound.
+                    with self._lock:
+                        self._key_locks.pop(key, None)
+                    raise
+                self._store(key, kind, ("value", value), computed=True)
+                self._persist(key, kind, ("value", value))
+                return value
 
     def contains(
         self,

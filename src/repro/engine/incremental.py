@@ -80,6 +80,7 @@ from repro.engine.cache import (
 )
 from repro.linalg.basics import matrix_scale
 from repro.linalg.pencil import GeneralizedSpectrum, SpectralContext
+from repro.obs.trace import trace_span
 from repro.linalg.subspaces import numerical_rank
 from repro.passivity.gare_test import (
     GareCertificate,
@@ -967,9 +968,11 @@ def attempt_incremental(
             form = _reuse_form(system, anc_form, tol)
         else:
             form = _instance_form(system, tol)
-        updated = update_spectral_context(
-            system, ancestor, ancestor_context, tol, config, form=form
-        )
+        with trace_span("incremental.update", order=system.order) as span:
+            updated = update_spectral_context(
+                system, ancestor, ancestor_context, tol, config, form=form
+            )
+            span.set(certified=updated is not None)
         if updated is None:
             fallback()
             return None
@@ -1017,13 +1020,17 @@ def attempt_incremental(
                             alignment @ reference[0] @ alignment.T,
                             reference[1],
                         )
-                    warm = warm_start_gare(
-                        state_space,
-                        aligned,
-                        tol,
-                        config,
-                        stability_reference=reference,
-                    )
+                    with trace_span(
+                        "riccati.newton", order=state_space.a.shape[0]
+                    ) as span:
+                        warm = warm_start_gare(
+                            state_space,
+                            aligned,
+                            tol,
+                            config,
+                            stability_reference=reference,
+                        )
+                        span.set(converged=warm is not None)
             if warm is not None:
                 certificate, newton_steps = warm
                 mechanism = "spectral+riccati"

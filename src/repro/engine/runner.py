@@ -74,6 +74,8 @@ from repro.engine.shm import (
     shm_available,
 )
 from repro.linalg.pencil import SpectralContext
+from repro.obs.metrics import METRICS, observe_span_tree
+from repro.obs.trace import JobTrace, use_trace
 from repro.passivity.result import PassivityReport
 
 __all__ = ["BatchResult", "BatchOutcome", "BatchRunner"]
@@ -224,7 +226,12 @@ def _process_worker(
         Optional[SpectralContext],
         Optional[Any],
     ],
-) -> Tuple[int, List[Tuple[str, Optional[PassivityReport], float, Optional[str]]], CacheStats]:
+) -> Tuple[
+    int,
+    List[Tuple[str, Optional[PassivityReport], float, Optional[str]]],
+    CacheStats,
+    List[Dict[str, Any]],
+]:
     """Process-pool task: run every requested method on one system.
 
     ``payload`` may carry the system's spectral context computed once in the
@@ -242,19 +249,22 @@ def _process_worker(
         cache_maxsize, context, store,
     ) = payload
     cache = DecompositionCache(maxsize=cache_maxsize, store=store)
-    if isinstance(context, ArrayShipment):
-        # Shared-memory transport: the payload carried only the segment
-        # name; map it and rebuild the context over zero-copy views.
-        context = load_context(context)
-    if context is not None:
-        cache.seed(system, PENCIL_SPECTRUM, context, tol=tol)
-    cells = []
-    for method in methods:
-        report, seconds, error = _run_cell(
-            system, method, tol, cache, registry, method_options.get(method, {})
-        )
-        cells.append((method, report, seconds, error))
-    return index, cells, cache.stats
+    trace = JobTrace()
+    with use_trace(trace):
+        if isinstance(context, ArrayShipment):
+            # Shared-memory transport: the payload carried only the segment
+            # name; map it and rebuild the context over zero-copy views.
+            context = load_context(context)
+        if context is not None:
+            cache.seed(system, PENCIL_SPECTRUM, context, tol=tol)
+        cells = []
+        for method in methods:
+            report, seconds, error = _run_cell(
+                system, method, tol, cache, registry,
+                method_options.get(method, {})
+            )
+            cells.append((method, report, seconds, error))
+    return index, cells, cache.stats, trace.to_jsonable()
 
 
 def _process_batch_worker(
@@ -273,6 +283,7 @@ def _process_batch_worker(
 ) -> Tuple[
     List[Tuple[int, List[Tuple[str, Optional[PassivityReport], float, Optional[str]]]]],
     CacheStats,
+    List[Dict[str, Any]],
 ]:
     """Process-pool task: run every requested method on a *chunk* of systems.
 
@@ -297,24 +308,28 @@ def _process_batch_worker(
         indices, fleet, methods, tol, method_options, registry,
         cache_maxsize, contexts, store, ancestors,
     ) = payload
-    systems = load_systems(fleet) if isinstance(fleet, ArrayShipment) else fleet
     cache = DecompositionCache(maxsize=cache_maxsize, store=store)
-    for position, context in contexts.items():
-        if isinstance(context, ArrayShipment):
-            context = load_context(context)
-        cache.seed(systems[position], PENCIL_SPECTRUM, context, tol=tol)
-    batched = []
-    for position, index in enumerate(indices):
-        cells = []
-        for method in methods:
-            report, seconds, error = _run_cell(
-                systems[position], method, tol, cache, registry,
-                method_options.get(method, {}),
-                ancestor=ancestors.get(position),
-            )
-            cells.append((method, report, seconds, error))
-        batched.append((index, cells))
-    return batched, cache.stats
+    trace = JobTrace()
+    with use_trace(trace):
+        systems = (
+            load_systems(fleet) if isinstance(fleet, ArrayShipment) else fleet
+        )
+        for position, context in contexts.items():
+            if isinstance(context, ArrayShipment):
+                context = load_context(context)
+            cache.seed(systems[position], PENCIL_SPECTRUM, context, tol=tol)
+        batched = []
+        for position, index in enumerate(indices):
+            cells = []
+            for method in methods:
+                report, seconds, error = _run_cell(
+                    systems[position], method, tol, cache, registry,
+                    method_options.get(method, {}),
+                    ancestor=ancestors.get(position),
+                )
+                cells.append((method, report, seconds, error))
+            batched.append((index, cells))
+    return batched, cache.stats, trace.to_jsonable()
 
 
 class BatchRunner:
@@ -1018,11 +1033,14 @@ class BatchRunner:
                             record((si, mi), BatchResult(si, method, error=message))
                     continue
                 if task["is_batch"]:
-                    batched, stats = payload
+                    batched, stats, spans = payload
                     # Exactly one stats merge per chunk: the chunk shares one
                     # worker cache, so merging its delta once keeps the
                     # factorization / L2 counters exact under batching.
                     merged.merge(stats)
+                    # Same rule for the chunk's span tree: the worker-side
+                    # stage timings replay into the parent registry once.
+                    observe_span_tree(METRICS, JobTrace.from_jsonable(spans))
                     for index, cells in batched:
                         for mi, (method, report, seconds, error) in enumerate(cells):
                             record(
@@ -1030,8 +1048,9 @@ class BatchRunner:
                                 BatchResult(index, method, report, seconds, error),
                             )
                     continue
-                index, cells, stats = payload
+                index, cells, stats, spans = payload
                 merged.merge(stats)
+                observe_span_tree(METRICS, JobTrace.from_jsonable(spans))
                 # The worker emits one cell per entry of ``methods``, in
                 # order, so duplicates in the method list stay distinct.
                 for mi, (method, report, seconds, error) in enumerate(cells):

@@ -54,6 +54,7 @@ from typing import Any, Dict, List, Mapping, Optional, Tuple
 import numpy as np
 
 from repro.linalg.pencil import SpectralContext
+from repro.obs.trace import trace_span
 
 try:  # pragma: no cover - import succeeds on every supported platform
     from multiprocessing import resource_tracker, shared_memory
@@ -207,31 +208,41 @@ class ArrayShipment:
         closes the mapping immediately (the copies are writable).  Inline
         shipments return their arrays (a copy when ``copy=True``).
         """
-        if not self.via_shm:
-            arrays = dict(self.inline or {})
-            if copy:
-                arrays = {key: np.array(value) for key, value in arrays.items()}
-            return arrays
-        if shared_memory is None:  # pragma: no cover - guarded by ship()
-            raise RuntimeError("shared memory transport is unavailable")
-        shm = _attach_segment(self.segment)
-        arrays: Dict[str, np.ndarray] = {}
-        views: List[np.ndarray] = []
-        for key, dtype_str, shape, offset in self.specs:
-            view = np.ndarray(
-                tuple(shape), dtype=np.dtype(dtype_str), buffer=shm.buf, offset=offset
-            )
-            if copy:
-                arrays[key] = view.copy()
+        with trace_span(
+            "shm.load",
+            bytes=self.nbytes,
+            via="shm" if self.via_shm else "inline",
+        ):
+            if not self.via_shm:
+                arrays = dict(self.inline or {})
+                if copy:
+                    arrays = {
+                        key: np.array(value) for key, value in arrays.items()
+                    }
+                return arrays
+            if shared_memory is None:  # pragma: no cover - guarded by ship()
+                raise RuntimeError("shared memory transport is unavailable")
+            shm = _attach_segment(self.segment)
+            arrays: Dict[str, np.ndarray] = {}
+            views: List[np.ndarray] = []
+            for key, dtype_str, shape, offset in self.specs:
+                view = np.ndarray(
+                    tuple(shape),
+                    dtype=np.dtype(dtype_str),
+                    buffer=shm.buf,
+                    offset=offset,
+                )
+                if copy:
+                    arrays[key] = view.copy()
+                else:
+                    view.flags.writeable = False
+                    arrays[key] = view
+                    views.append(view)
+            if copy or not views:
+                shm.close()
             else:
-                view.flags.writeable = False
-                arrays[key] = view
-                views.append(view)
-        if copy or not views:
-            shm.close()
-        else:
-            _close_with_views(shm, views)
-        return arrays
+                _close_with_views(shm, views)
+            return arrays
 
 
 class ArrayArena:
@@ -297,38 +308,49 @@ class ArrayArena:
         or the payload is below ``min_bytes`` the shipment carries the arrays
         inline instead — the caller's code path is identical either way.
         """
-        packed = {key: np.ascontiguousarray(value) for key, value in arrays.items()}
-        total = 0
-        layout: List[Tuple[str, np.ndarray, int]] = []
-        for key, value in packed.items():
-            offset = (total + _ALIGN - 1) // _ALIGN * _ALIGN
-            layout.append((key, value, offset))
-            total = offset + value.nbytes
-        if not self._use_shm(total):
-            self.inline_bytes += total
-            return ArrayShipment(meta=dict(meta or {}), inline=packed, nbytes=total)
-        self._seq += 1
-        name = f"{SHM_PREFIX}{os.getpid()}-{self._token}-{self._seq}"
-        try:
-            segment = shared_memory.SharedMemory(
-                create=True, size=max(1, total), name=name
+        with trace_span("shm.ship") as span:
+            packed = {
+                key: np.ascontiguousarray(value) for key, value in arrays.items()
+            }
+            total = 0
+            layout: List[Tuple[str, np.ndarray, int]] = []
+            for key, value in packed.items():
+                offset = (total + _ALIGN - 1) // _ALIGN * _ALIGN
+                layout.append((key, value, offset))
+                total = offset + value.nbytes
+            span.set(bytes=total)
+            if not self._use_shm(total):
+                span.set(via="inline")
+                self.inline_bytes += total
+                return ArrayShipment(
+                    meta=dict(meta or {}), inline=packed, nbytes=total
+                )
+            self._seq += 1
+            name = f"{SHM_PREFIX}{os.getpid()}-{self._token}-{self._seq}"
+            try:
+                segment = shared_memory.SharedMemory(
+                    create=True, size=max(1, total), name=name
+                )
+            except Exception:  # noqa: BLE001 - fall back, don't fail the sweep
+                span.set(via="inline")
+                self.inline_bytes += total
+                return ArrayShipment(
+                    meta=dict(meta or {}), inline=packed, nbytes=total
+                )
+            span.set(via="shm")
+            specs: List[Tuple[str, str, Tuple[int, ...], int]] = []
+            for key, value, offset in layout:
+                destination = np.ndarray(
+                    value.shape, dtype=value.dtype, buffer=segment.buf, offset=offset
+                )
+                destination[...] = value
+                specs.append((key, value.dtype.str, tuple(value.shape), offset))
+            self._segments[name] = segment
+            self._refcounts[name] = 1
+            self.shipped_bytes += total
+            return ArrayShipment(
+                segment=name, specs=specs, nbytes=total, meta=dict(meta or {})
             )
-        except Exception:  # noqa: BLE001 - fall back rather than fail the sweep
-            self.inline_bytes += total
-            return ArrayShipment(meta=dict(meta or {}), inline=packed, nbytes=total)
-        specs: List[Tuple[str, str, Tuple[int, ...], int]] = []
-        for key, value, offset in layout:
-            destination = np.ndarray(
-                value.shape, dtype=value.dtype, buffer=segment.buf, offset=offset
-            )
-            destination[...] = value
-            specs.append((key, value.dtype.str, tuple(value.shape), offset))
-        self._segments[name] = segment
-        self._refcounts[name] = 1
-        self.shipped_bytes += total
-        return ArrayShipment(
-            segment=name, specs=specs, nbytes=total, meta=dict(meta or {})
-        )
 
     # ------------------------------------------------------------------
     def retain(self, shipment: ArrayShipment) -> ArrayShipment:

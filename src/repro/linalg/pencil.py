@@ -22,6 +22,7 @@ import scipy.linalg
 from repro.config import DEFAULT_TOLERANCES, Tolerances
 from repro.exceptions import DimensionError, SingularPencilError
 from repro.linalg.basics import as_square_array, matrix_scale
+from repro.obs.trace import trace_span
 
 __all__ = [
     "generalized_eigenvalues",
@@ -226,9 +227,10 @@ def _ordered_qz_with_eigenvalues(
     def _finite(alpha: np.ndarray, beta: np.ndarray) -> np.ndarray:
         return np.abs(beta) > threshold * np.maximum(1.0, np.abs(alpha))
 
-    aa, ee, alpha, beta, q, z = scipy.linalg.ordqz(
-        a_arr, e_arr, sort=_finite, output="real"
-    )
+    with trace_span("qz.ordered", order=n):
+        aa, ee, alpha, beta, q, z = scipy.linalg.ordqz(
+            a_arr, e_arr, sort=_finite, output="real"
+        )
     n_finite = int(np.count_nonzero(_finite(alpha, beta)))
     return aa, ee, alpha, beta, q, z, n_finite
 

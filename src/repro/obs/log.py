@@ -1,0 +1,168 @@
+"""Structured JSON logging for the service and engine hot paths.
+
+Replaces ad-hoc ``print(..., file=sys.stderr)`` diagnostics with one-line
+JSON records on stderr, built on the stdlib :mod:`logging` machinery so
+deployments can re-route or silence streams with ordinary logging
+configuration::
+
+    from repro.obs.log import get_logger
+
+    log = get_logger("repro.service")
+    log.info("job_finished", job_id=job_id, state="done", wall=1.2e-3)
+    # -> {"ts": ..., "level": "info", "logger": "repro.service",
+    #     "event": "job_finished", "job_id": "...", "state": "done",
+    #     "wall": 0.0012}
+
+Records carry a timestamp, level, logger name, the ``event`` verb and any
+keyword fields (non-JSON-able values degrade to ``repr``).  The default
+level is ``INFO`` (override with ``REPRO_LOG_LEVEL``), so the HTTP
+front-end's per-request ``debug`` records stay silent unless requested —
+the structured replacement for the old ``verbose`` stderr flag.
+
+The slow-operation logger rides this module: any span outliving the
+``REPRO_SLOW_OP_SECONDS`` threshold (default 1 s) is logged as a
+``slow_op`` warning by :mod:`repro.obs.trace`.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import sys
+import time
+from typing import Any, Dict, Optional
+
+__all__ = ["StructuredLogger", "get_logger", "configure", "LOG_LEVEL_ENV"]
+
+#: Environment variable selecting the root level of the ``repro`` loggers.
+LOG_LEVEL_ENV = "REPRO_LOG_LEVEL"
+
+_configured = False
+
+
+class _JsonFormatter(logging.Formatter):
+    """Render one record as a single JSON line (non-JSON fields via repr)."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: Dict[str, Any] = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "event": record.getMessage(),
+        }
+        payload.update(getattr(record, "fields", {}))
+        try:
+            return json.dumps(payload, default=repr)
+        except (TypeError, ValueError):  # pragma: no cover - repr fallback
+            return json.dumps({k: repr(v) for k, v in payload.items()})
+
+
+class _LiveStderrHandler(logging.StreamHandler):
+    """Stream handler resolving ``sys.stderr`` at emit time.
+
+    Binding ``sys.stderr`` once at configure time breaks under harnesses
+    that swap and close the stream mid-process (pytest's capture does) —
+    a later record would hit a closed file.  Resolving per emit always
+    writes to whatever ``sys.stderr`` currently is.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(sys.stderr)
+
+    @property
+    def stream(self) -> Any:
+        return sys.stderr
+
+    @stream.setter
+    def stream(self, value: Any) -> None:
+        # StreamHandler.__init__ assigns here; the live property wins.
+        pass
+
+
+def configure(
+    stream: Optional[Any] = None, level: Optional[int] = None
+) -> logging.Logger:
+    """Install the JSON handler on the ``repro`` root logger (idempotent).
+
+    Called lazily by :func:`get_logger`; call it directly to re-point the
+    stream (tests capture records this way).  The level defaults to
+    ``REPRO_LOG_LEVEL`` (name or number) or ``INFO``.  The logger does not
+    propagate, so embedding applications keep their own root handlers
+    clean.
+    """
+    global _configured
+    root = logging.getLogger("repro")
+    if level is None:
+        raw = os.environ.get(LOG_LEVEL_ENV, "INFO")
+        level = getattr(logging, raw.upper(), None) if isinstance(raw, str) else raw
+        if not isinstance(level, int):
+            try:
+                level = int(raw)
+            except (TypeError, ValueError):
+                level = logging.INFO
+    if stream is not None or not _configured:
+        for handler in list(root.handlers):
+            root.removeHandler(handler)
+        handler = (
+            logging.StreamHandler(stream)
+            if stream is not None
+            else _LiveStderrHandler()
+        )
+        handler.setFormatter(_JsonFormatter())
+        root.addHandler(handler)
+        root.propagate = False
+        _configured = True
+    root.setLevel(level)
+    return root
+
+
+class StructuredLogger:
+    """Keyword-field logger front-end over one stdlib logger.
+
+    Every method takes an ``event`` verb plus free-form keyword fields;
+    the JSON formatter renders them as one flat object.  Cheap to hold —
+    construction does not configure anything until the first record.
+    """
+
+    __slots__ = ("_logger",)
+
+    def __init__(self, logger: logging.Logger) -> None:
+        self._logger = logger
+
+    def _log(self, level: int, event: str, fields: Dict[str, Any]) -> None:
+        if self._logger.isEnabledFor(level):
+            self._logger.log(level, event, extra={"fields": fields})
+
+    def debug(self, event: str, **fields: Any) -> None:
+        """Emit a debug-level record (silent at the default level)."""
+        self._log(logging.DEBUG, event, fields)
+
+    def info(self, event: str, **fields: Any) -> None:
+        """Emit an info-level record."""
+        self._log(logging.INFO, event, fields)
+
+    def warning(self, event: str, **fields: Any) -> None:
+        """Emit a warning-level record (slow ops, degraded transports)."""
+        self._log(logging.WARNING, event, fields)
+
+    def error(self, event: str, **fields: Any) -> None:
+        """Emit an error-level record."""
+        self._log(logging.ERROR, event, fields)
+
+    @property
+    def raw(self) -> logging.Logger:
+        """The underlying stdlib logger (for level/handler surgery)."""
+        return self._logger
+
+
+def get_logger(name: str = "repro") -> StructuredLogger:
+    """Return the :class:`StructuredLogger` for ``name``, configuring lazily.
+
+    Names should live under the ``repro`` hierarchy (``repro.service``,
+    ``repro.http``, ``repro.obs``) so one :func:`configure` call governs
+    them all.
+    """
+    if not _configured:
+        configure()
+    return StructuredLogger(logging.getLogger(name))

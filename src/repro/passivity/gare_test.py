@@ -33,6 +33,7 @@ from repro.linalg.basics import (
 )
 from repro.linalg.pencil import SpectralContext
 from repro.linalg.riccati import solve_positive_real_are
+from repro.obs.trace import trace_span
 from repro.passivity.result import PassivityReport
 
 __all__ = [
@@ -194,9 +195,10 @@ def solve_gare_certificate(
             state_space.d + 0.5 * eps * np.eye(state_space.d.shape[0]),
         )
     try:
-        solution = solve_positive_real_are(
-            state_space.a, state_space.b, state_space.c, state_space.d, tol
-        )
+        with trace_span("riccati.solve", order=state_space.a.shape[0]):
+            solution = solve_positive_real_are(
+                state_space.a, state_space.b, state_space.c, state_space.d, tol
+            )
     except ReproError as error:
         return GareCertificate(
             feedthrough_psd=True, epsilon=float(eps or 0.0), failure=str(error)

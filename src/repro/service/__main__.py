@@ -143,6 +143,21 @@ def main(argv=None) -> int:
         help="disable event streaming; scenario clients poll "
         "GET /scenarios/<id> instead",
     )
+    parser.add_argument(
+        "--metrics",
+        dest="metrics",
+        action="store_true",
+        default=True,
+        help="serve the GET /metrics Prometheus exposition (per-stage "
+        "latency histograms and service gauges; the default, see "
+        "--no-metrics)",
+    )
+    parser.add_argument(
+        "--no-metrics",
+        dest="metrics",
+        action="store_false",
+        help="disable the GET /metrics exposition (404)",
+    )
     args = parser.parse_args(argv)
 
     store = None
@@ -165,10 +180,20 @@ def main(argv=None) -> int:
         journal=args.journal,
         max_retries=args.max_retries,
     )
-    server = serve(service, host=args.host, port=args.port, sse=args.sse)
+    server = serve(
+        service,
+        host=args.host,
+        port=args.port,
+        sse=args.sse,
+        metrics=args.metrics,
+    )
     host, port = server.server_address[:2]
     print(f"repro passivity service listening on http://{host}:{port}")
-    print("endpoints: POST /jobs, GET /jobs/<id>[/result], DELETE /jobs/<id>, GET /stats")
+    print(
+        "endpoints: POST /jobs, GET /jobs/<id>[/result|/trace], "
+        "DELETE /jobs/<id>, GET /stats"
+        + (", GET /metrics" if args.metrics else "")
+    )
     print(
         "scenarios: POST /scenarios, GET /scenarios/<id>"
         + ("[/events]" if args.sse else "")

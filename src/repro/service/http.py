@@ -19,6 +19,12 @@ Method     Path                    Meaning
                                    done; ``202`` with the status while
                                    pending; ``404`` unknown id; ``410``
                                    cancelled; ``500`` failed/timed out.
+``GET``    ``/jobs/<id>/trace``    ``200`` with the job's pipeline trace
+                                   (``{"job_id", "state", "spans"}`` — the
+                                   span tree of queue wait, transport and
+                                   worker-side stages) once terminal;
+                                   ``202`` with the status while pending;
+                                   ``404`` unknown id.
 ``DELETE`` ``/jobs/<id>``          Cancel; ``{"cancelled": true|false}``.
 ``POST``   ``/scenarios``          Submit a scenario document (a
                                    :func:`scenario_to_jsonable` spec, bare
@@ -37,7 +43,15 @@ Method     Path                    Meaning
                                    ``Retry-After`` at the subscriber
                                    limit; ``404`` when streaming is off).
 ``DELETE`` ``/scenarios/<id>``     Cancel; ``{"cancelled": true|false}``.
-``GET``    ``/stats``              Service telemetry (``ServiceStats``).
+``GET``    ``/stats``              Service telemetry (``ServiceStats``),
+                                   including per-stage latency quantiles
+                                   under ``stages``.
+``GET``    ``/metrics``            Prometheus text exposition (format
+                                   0.0.4) of the process-wide metrics
+                                   registry: per-stage latency histograms
+                                   (``repro_stage_seconds``) plus service
+                                   gauges; ``404`` when disabled
+                                   (``metrics=False`` / ``--no-metrics``).
 ``GET``    ``/healthz``            Liveness probe: ``200`` with the
                                    :meth:`PassivityService.health` snapshot
                                    (executor heartbeat, queue depth,
@@ -78,6 +92,7 @@ from repro.exceptions import (
     UnknownJobError,
     UnknownScenarioError,
 )
+from repro.obs.log import get_logger
 from repro.service.scenario import format_sse_event
 from repro.service.serialization import report_to_jsonable, system_from_jsonable
 from repro.service.service import PassivityService
@@ -100,11 +115,14 @@ class PassivityHTTPServer(ThreadingHTTPServer):
         service: PassivityService,
         address: Tuple[str, int] = ("127.0.0.1", 8123),
         sse: bool = True,
+        metrics: bool = True,
     ) -> None:
         self.service = service
         #: Streaming switch: with it off, ``GET /scenarios/<id>/events``
         #: answers 404 and clients fall back to polling the snapshot.
         self.sse_enabled = bool(sse)
+        #: Metrics switch: with it off, ``GET /metrics`` answers 404.
+        self.metrics_enabled = bool(metrics)
         super().__init__(address, PassivityRequestHandler)
 
 
@@ -119,7 +137,9 @@ class PassivityRequestHandler(BaseHTTPRequestHandler):
     #: Seconds of event silence before the SSE feed writes a heartbeat
     #: comment (keeps NATs and proxies from reaping an idle stream).
     sse_heartbeat = 15.0
-    #: Silence per-request stderr logging by default (set True to debug).
+    #: Request-log verbosity alias (historical name): ``False`` (default)
+    #: logs requests at DEBUG — invisible under the default INFO level —
+    #: and ``True`` lifts them to INFO.
     verbose = False
 
     @property
@@ -128,9 +148,21 @@ class PassivityRequestHandler(BaseHTTPRequestHandler):
         return self.server.service
 
     def log_message(self, format: str, *args: Any) -> None:
-        """Suppress default request logging unless :attr:`verbose` is set."""
-        if self.verbose:  # pragma: no cover - debug aid
-            super().log_message(format, *args)
+        """Route per-request logging through the structured JSON logger.
+
+        Replaces the stdlib handler's ad-hoc stderr lines with one
+        ``http_request`` event on the ``repro.http`` logger.  The
+        :attr:`verbose` class attribute keeps its historical meaning as an
+        alias: ``True`` emits at INFO (visible by default), ``False``
+        at DEBUG (visible under ``REPRO_LOG_LEVEL=DEBUG``).
+        """
+        logger = get_logger("repro.http")
+        emit = logger.info if self.verbose else logger.debug
+        emit(
+            "http_request",
+            client=self.address_string(),
+            request=format % args,
+        )
 
     # ------------------------------------------------------------------
     def _send_json(
@@ -273,6 +305,9 @@ class PassivityRequestHandler(BaseHTTPRequestHandler):
         if path == "/stats":
             self._send_json(200, self.service.stats().to_jsonable())
             return
+        if path == "/metrics":
+            self._send_metrics()
+            return
         scenario = self._route("scenarios")
         if scenario is not None:
             scenario_id, tail = scenario
@@ -301,6 +336,8 @@ class PassivityRequestHandler(BaseHTTPRequestHandler):
             elif tail == "result":
                 report = self.service.result(job_id, timeout=0.0)
                 self._send_json(200, report_to_jsonable(report))
+            elif tail == "trace":
+                self._send_json(200, self.service.trace(job_id))
             else:
                 self._send_json(404, {"error": "NotFound", "message": self.path})
         except UnknownJobError as error:
@@ -343,6 +380,29 @@ class PassivityRequestHandler(BaseHTTPRequestHandler):
             self._send_error_json(404, error)
             return
         self._send_json(200, {"job_id": located[0], "cancelled": cancelled})
+
+    # ------------------------------------------------------------------
+    # Metrics exposition
+    # ------------------------------------------------------------------
+    def _send_metrics(self) -> None:
+        """``GET /metrics``: Prometheus text exposition (format 0.0.4)."""
+        if not getattr(self.server, "metrics_enabled", True):
+            self._send_json(
+                404,
+                {
+                    "error": "NotFound",
+                    "message": "metrics exposition is disabled (--metrics)",
+                },
+            )
+            return
+        body = self.service.metrics_text().encode("utf-8")
+        self.send_response(200)
+        self.send_header(
+            "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+        )
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
 
     # ------------------------------------------------------------------
     # Server-Sent Events
@@ -425,6 +485,7 @@ def serve(
     host: str = "127.0.0.1",
     port: int = 8123,
     sse: bool = True,
+    metrics: bool = True,
 ) -> PassivityHTTPServer:
     """Bind a :class:`PassivityHTTPServer` to ``(host, port)`` and return it.
 
@@ -432,7 +493,8 @@ def serve(
     ``server.shutdown()``), and close the service when done.  Port 0 picks a
     free ephemeral port (``server.server_address`` reports it), which is how
     the integration tests run hermetically.  ``sse=False`` turns the
-    ``GET /scenarios/<id>/events`` stream off (clients poll instead).
+    ``GET /scenarios/<id>/events`` stream off (clients poll instead);
+    ``metrics=False`` turns the ``GET /metrics`` exposition off.
     """
     service.start()
-    return PassivityHTTPServer(service, (host, port), sse=sse)
+    return PassivityHTTPServer(service, (host, port), sse=sse, metrics=metrics)

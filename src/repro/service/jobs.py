@@ -158,6 +158,10 @@ class Job:
     #: True while the cell is registered but deliberately *not* queued —
     #: deferred corners waiting for their family root to complete.
     held: bool = False
+    #: The job's pipeline trace: the :meth:`~repro.obs.JobTrace.to_jsonable`
+    #: span forest (queue wait, transport, worker-side stages), assembled by
+    #: the dispatching worker and served by ``GET /jobs/<id>/trace``.
+    trace: Optional[List[Dict[str, Any]]] = None
     done_event: threading.Event = field(default_factory=threading.Event)
 
     def snapshot(self) -> JobStatus:

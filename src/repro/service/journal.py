@@ -58,6 +58,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional
 
 from repro.exceptions import JournalError
+from repro.obs.trace import trace_span
 
 __all__ = ["JobJournal"]
 
@@ -235,10 +236,11 @@ class JobJournal:
         # Caller holds the lock.  One write syscall per event keeps a torn
         # append confined to the final line.
         data = json.dumps(record).encode("utf-8") + b"\n"
-        self._handle.write(data)
-        self._handle.flush()
-        if self.fsync:
-            os.fsync(self._handle.fileno())
+        with trace_span("journal.fsync", fsync=self.fsync, bytes=len(data)):
+            self._handle.write(data)
+            self._handle.flush()
+            if self.fsync:
+                os.fsync(self._handle.fileno())
         self._lines += 1
         self.n_appends += 1
 

@@ -168,6 +168,10 @@ class ScenarioSpec:
     options: Dict[str, Any] = field(default_factory=dict)
     priority: int = 0
     timeout: Optional[float] = None
+    #: Opt-in: emit a per-cell ``trace`` event (the job's span tree) right
+    #: after each ``corner`` event.  Off by default so existing consumers'
+    #: pinned event sequences are unchanged.
+    trace: bool = False
 
     def validate(self) -> None:
         """Raise :class:`~repro.exceptions.DimensionError` on a bad spec."""
@@ -333,6 +337,7 @@ def scenario_to_jsonable(spec: ScenarioSpec) -> Dict[str, Any]:
         "options": _plain(dict(spec.options)),
         "priority": spec.priority,
         "timeout": spec.timeout,
+        "trace": bool(spec.trace),
     }
     if spec.family == "portfolio":
         document["systems"] = [system_to_jsonable(s) for s in spec.systems]
@@ -391,6 +396,7 @@ def scenario_from_jsonable(payload: Dict[str, Any]) -> ScenarioSpec:
                 if payload.get("timeout") is None
                 else float(payload["timeout"])
             ),
+            trace=bool(payload.get("trace", False)),
         )
         if family == "portfolio":
             members = payload.get("systems")
@@ -665,6 +671,8 @@ class Scenario:
     n_passive: int = 0
     #: Cells whose job reached a terminal state (counts suppressed ones).
     n_terminal: int = 0
+    #: Opt-in per-cell ``trace`` events (mirrors ``ScenarioSpec.trace``).
+    trace: bool = False
     events: deque = field(default_factory=lambda: deque(maxlen=DEFAULT_EVENT_HISTORY))
     next_event_id: Any = None
     last_event_id: int = 0
@@ -805,6 +813,24 @@ def cell_event_data(
         data["seconds"] = float(report.elapsed_seconds)
         data["incremental"] = bool(engine.get("incremental"))
     return data
+
+
+def trace_event_data(
+    scenario: Scenario, cell: Dict[str, Any], spans: List[Dict[str, Any]]
+) -> Dict[str, Any]:
+    """Assemble the opt-in ``trace`` event payload for one terminal cell.
+
+    ``spans`` is the job's span forest in the
+    :meth:`~repro.obs.JobTrace.to_jsonable` wire shape — the same tree
+    ``GET /jobs/<id>/trace`` serves.
+    """
+    return {
+        "scenario_id": scenario.scenario_id,
+        "index": cell["index"],
+        "label": cell["label"],
+        "job_id": cell["job_id"],
+        "spans": spans,
+    }
 
 
 def progress_event_data(scenario: Scenario, elapsed: float) -> Dict[str, Any]:

@@ -93,6 +93,9 @@ from repro.exceptions import (
     UnknownJobError,
     UnknownScenarioError,
 )
+from repro.obs.log import get_logger
+from repro.obs.metrics import METRICS, observe_span_tree
+from repro.obs.trace import JobTrace, record_span, trace_span, use_trace
 from repro.passivity.result import PassivityReport
 from repro.service.jobs import Job, JobHandle, JobState, JobStatus
 from repro.service.journal import JobJournal
@@ -113,6 +116,7 @@ from repro.service.scenario import (
     scenario_to_jsonable,
     snapshot_event_data,
     summary_event_data,
+    trace_event_data,
 )
 from repro.service.serialization import (
     _plain,
@@ -157,7 +161,13 @@ def _process_cell(
         Optional[MethodRegistry],
         Any,
     ],
-) -> Tuple[Optional[PassivityReport], float, Optional[str], CacheStats]:
+) -> Tuple[
+    Optional[PassivityReport],
+    float,
+    Optional[str],
+    CacheStats,
+    List[Dict[str, Any]],
+]:
     """Process-pool task: run one job's cell in the worker process.
 
     The system arrives either pickled or — when the service's shared-memory
@@ -168,19 +178,32 @@ def _process_cell(
     decompositions, the job certifies incrementally instead of cold.
     Returns the cell outcome plus the worker cache's counter *delta* for
     this job, which the service merges into its telemetry so ``stats()``
-    reflects worker-side hits, misses and L2 traffic.
+    reflects worker-side hits, misses and L2 traffic — and the worker-side
+    span tree (shm loads, cache outcomes, factorizations) in wire form,
+    which the parent grafts onto the job's trace and replays into its own
+    stage histograms exactly once.
     """
     system, method, options, tol, registry, ancestor = payload
-    if isinstance(system, ArrayShipment):
-        system = load_systems(system)[0]
-    if isinstance(ancestor, ArrayShipment):
-        ancestor = load_systems(ancestor)[0]
-    cache = _WORKER_CACHE if _WORKER_CACHE is not None else DecompositionCache()
-    baseline = cache.stats.snapshot()
-    report, seconds, error = _run_cell(
-        system, method, tol, cache, registry, options, ancestor=ancestor
+    job_trace = JobTrace()
+    with use_trace(job_trace):
+        if isinstance(system, ArrayShipment):
+            system = load_systems(system)[0]
+        if isinstance(ancestor, ArrayShipment):
+            ancestor = load_systems(ancestor)[0]
+        cache = (
+            _WORKER_CACHE if _WORKER_CACHE is not None else DecompositionCache()
+        )
+        baseline = cache.stats.snapshot()
+        report, seconds, error = _run_cell(
+            system, method, tol, cache, registry, options, ancestor=ancestor
+        )
+    return (
+        report,
+        seconds,
+        error,
+        cache.stats.minus(baseline),
+        job_trace.to_jsonable(),
     )
-    return report, seconds, error, cache.stats.minus(baseline)
 
 
 def _process_batch_cells(
@@ -191,7 +214,18 @@ def _process_batch_cells(
         Optional[MethodRegistry],
         List[Any],
     ],
-) -> Tuple[List[Tuple[Optional[PassivityReport], float, Optional[str]]], CacheStats]:
+) -> Tuple[
+    List[
+        Tuple[
+            Optional[PassivityReport],
+            float,
+            Optional[str],
+            List[Dict[str, Any]],
+        ]
+    ],
+    CacheStats,
+    List[Dict[str, Any]],
+]:
     """Process-pool task: run a micro-batch of small jobs in one worker cell.
 
     The batch's systems travel together (one
@@ -200,26 +234,34 @@ def _process_batch_cells(
     cache counter delta is computed once for the whole batch — so
     factorizations shared between the batched jobs are counted exactly,
     never once per job.  ``ancestors`` aligns with ``cells`` and carries
-    each job's optional warm-start hint (sweep-aware dispatch).
+    each job's optional warm-start hint (sweep-aware dispatch).  Each
+    outcome carries its cell's own span tree; batch-shared stages (the
+    fleet shipment load) come back once, in the third element.
     """
     fleet, cells, tol, registry, ancestors = payload
-    systems = load_systems(fleet) if isinstance(fleet, ArrayShipment) else fleet
+    batch_trace = JobTrace()
+    with use_trace(batch_trace):
+        systems = (
+            load_systems(fleet) if isinstance(fleet, ArrayShipment) else fleet
+        )
     cache = _WORKER_CACHE if _WORKER_CACHE is not None else DecompositionCache()
     baseline = cache.stats.snapshot()
     loaded: Dict[int, Any] = {}
     outcomes = []
     for position, (system, (method, options)) in enumerate(zip(systems, cells)):
-        ancestor = ancestors[position] if position < len(ancestors) else None
-        if isinstance(ancestor, ArrayShipment):
-            # The same family shipment may back several cells; load once.
-            if id(ancestor) not in loaded:
-                loaded[id(ancestor)] = load_systems(ancestor)[0]
-            ancestor = loaded[id(ancestor)]
-        report, seconds, error = _run_cell(
-            system, method, tol, cache, registry, options, ancestor=ancestor
-        )
-        outcomes.append((report, seconds, error))
-    return outcomes, cache.stats.minus(baseline)
+        cell_trace = JobTrace()
+        with use_trace(cell_trace):
+            ancestor = ancestors[position] if position < len(ancestors) else None
+            if isinstance(ancestor, ArrayShipment):
+                # The same family shipment may back several cells; load once.
+                if id(ancestor) not in loaded:
+                    loaded[id(ancestor)] = load_systems(ancestor)[0]
+                ancestor = loaded[id(ancestor)]
+            report, seconds, error = _run_cell(
+                system, method, tol, cache, registry, options, ancestor=ancestor
+            )
+        outcomes.append((report, seconds, error, cell_trace.to_jsonable()))
+    return outcomes, cache.stats.minus(baseline), batch_trace.to_jsonable()
 
 
 def _probe_ping() -> int:
@@ -301,6 +343,21 @@ class ServiceStats:
         Events a slow subscriber lost to the bounded-buffer backpressure
         policy; every drop burst is covered by a ``snapshot`` event, so
         consumers lose granularity, never the final truth.
+    queue_wait_max:
+        Seconds the oldest currently-queued job has been waiting, 0.0 with
+        an empty queue.  Recomputed from the job table at snapshot time
+        (like ``queue_depth`` — it is a property of the queue *now*, not a
+        running tally), so it reflects held scenario corners too.
+    journal_lag:
+        Dead (compactable) lines in the write-ahead journal at snapshot
+        time — the same quantity ``GET /healthz`` reports under
+        ``journal.lag``; always 0 without a journal.
+    stages:
+        Per-stage latency quantiles from the process-wide observability
+        plane: ``{stage: {"count", "p50", "p95", "p99"}}`` over every span
+        the tracer recorded (``queue.wait``, ``cache.*``, ``qz.ordered``,
+        ``journal.fsync``, ...), estimated from the fixed-bucket stage
+        histograms that also back ``GET /metrics``.
     cache:
         Plain-dict snapshot of the decomposition cache counters since
         service start (``hits`` / ``misses`` / ``factorizations``, the L2
@@ -339,6 +396,9 @@ class ServiceStats:
     scenarios: int = 0
     streamed_events: int = 0
     dropped_events: int = 0
+    queue_wait_max: float = 0.0
+    journal_lag: int = 0
+    stages: Dict[str, Dict[str, float]] = field(default_factory=dict)
     cache: Dict[str, Any] = field(default_factory=dict)
 
     def to_jsonable(self) -> Dict[str, Any]:
@@ -372,6 +432,12 @@ class ServiceStats:
             "scenarios": self.scenarios,
             "streamed_events": self.streamed_events,
             "dropped_events": self.dropped_events,
+            "queue_wait_max": self.queue_wait_max,
+            "journal_lag": self.journal_lag,
+            "stages": {
+                stage: dict(quantiles)
+                for stage, quantiles in self.stages.items()
+            },
             "cache": dict(self.cache),
         }
 
@@ -850,6 +916,13 @@ class PassivityService:
             )
             job.submitted_at = record.get("submitted_at") or job.submitted_at
             self._replayed_jobs.append(job)
+        if self._replayed_jobs or self._replayed_scenarios:
+            get_logger("repro.service").info(
+                "journal_replay",
+                jobs=len(self._replayed_jobs),
+                scenarios=len(self._replayed_scenarios),
+                path=str(journal.path),
+            )
         try:
             journal.compact()
         except Exception:  # noqa: BLE001 - journal is best-effort
@@ -996,6 +1069,11 @@ class PassivityService:
         if executor is None or executor is not self._executor:
             return
         self._n_pool_restarts += 1
+        get_logger("repro.service").warning(
+            "pool_restart",
+            restarts=self._n_pool_restarts,
+            executor=self._executor_kind,
+        )
         self._executor = None
         try:
             executor.shutdown(wait=False, cancel_futures=True)
@@ -1331,6 +1409,7 @@ class PassivityService:
             priority=int(spec.priority),
             created_at=now,
             events=deque(maxlen=self._scenario_event_history),
+            trace=bool(spec.trace),
         )
         scenario.cells = [{} for _ in cells]
         jobs: List[Job] = []
@@ -1438,8 +1517,12 @@ class PassivityService:
         scenario.last_event_id = event.event_id
         scenario.events.append(event)
         self._n_streamed_events += 1
-        for subscription in list(scenario.subscribers):
-            self._deliver_event(scenario, subscription, event, force=force)
+        subscribers = list(scenario.subscribers)
+        if not subscribers:
+            return
+        with trace_span("sse.push", event=name, subscribers=len(subscribers)):
+            for subscription in subscribers:
+                self._deliver_event(scenario, subscription, event, force=force)
 
     def _deliver_event(
         self,
@@ -1517,6 +1600,14 @@ class PassivityService:
                 "corner",
                 cell_event_data(scenario, cell, state, report, error),
             )
+            if scenario.trace and job.trace:
+                # Opt-in (spec trace=True): the cell's span forest follows
+                # its corner verdict on the stream.
+                self._emit_scenario_event(
+                    scenario,
+                    "trace",
+                    trace_event_data(scenario, cell, job.trace),
+                )
             elapsed = max(0.0, self._clock() - scenario.created_at)
             self._emit_scenario_event(
                 scenario, "progress", progress_event_data(scenario, elapsed)
@@ -1819,6 +1910,7 @@ class PassivityService:
             job.no_batch = True
             job.state = JobState.QUEUED
             job.started_at = None
+            job.trace = None  # the next dispatch rebuilds it from scratch
             self._n_queued += 1
             self._queue.put_nowait((job.priority, job.seq, job.job_id))
 
@@ -1925,13 +2017,31 @@ class PassivityService:
         systems = [job.system for job in jobs]
         fleet: Any = systems
         shipments: List[ArrayShipment] = []
+        transport_trace = JobTrace()
         if self._arena is not None:
-            fleet = ship_systems(self._arena, systems)
+            with use_trace(transport_trace):
+                fleet = ship_systems(self._arena, systems)
             shipments.append(fleet)
         cells = [(job.method, dict(job.options)) for job in jobs]
         ancestors = [self._ancestor_payload(job) for job in jobs]
         self._n_batches += 1
         self._n_batched_jobs += len(jobs)
+        # Parent-side trace per member: queue wait plus the batch-shared
+        # transport spans.  Assigned before the dispatch so the timeout
+        # path still serves a (partial) trace.
+        job_traces: List[JobTrace] = []
+        for job in jobs:
+            parent_trace = JobTrace()
+            if job.started_at is not None:
+                record_span(
+                    "queue.wait",
+                    max(0.0, job.started_at - job.submitted_at),
+                    started_at=job.submitted_at,
+                    trace=parent_trace,
+                )
+            parent_trace.merge(transport_trace)
+            job.trace = parent_trace.to_jsonable()
+            job_traces.append(parent_trace)
         budget = None if jobs[0].timeout is None else jobs[0].timeout * len(jobs)
         deferred = False
         executor = None
@@ -1964,7 +2074,7 @@ class PassivityService:
                     )
                 return
             try:
-                outcomes, worker_delta = future.result()
+                outcomes, worker_delta, batch_spans = future.result()
             except BrokenExecutor:
                 self._handle_broken_pool(executor)
                 self._requeue_individually(jobs)
@@ -1977,7 +2087,17 @@ class PassivityService:
             if worker_delta is not None:
                 self._worker_stats.merge(worker_delta)
             self._last_heartbeat = time.time()
-            for job, (report, _seconds, error_message) in zip(jobs, outcomes):
+            # Replay the worker-side spans into the parent's histograms —
+            # batch-shared spans once, each cell's spans once (the same
+            # merge-exactly-once rule as the cache-counter delta).
+            batch_tree = JobTrace.from_jsonable(batch_spans)
+            observe_span_tree(METRICS, batch_tree)
+            for position, (job, outcome) in enumerate(zip(jobs, outcomes)):
+                report, _seconds, error_message, cell_spans = outcome
+                cell_tree = JobTrace.from_jsonable(cell_spans)
+                observe_span_tree(METRICS, cell_tree)
+                job_traces[position].merge(batch_tree).merge(cell_tree)
+                job.trace = job_traces[position].to_jsonable()
                 if error_message is not None:
                     self._finish(job, JobState.FAILED, error=error_message)
                 else:
@@ -2015,6 +2135,18 @@ class PassivityService:
                     if extras:
                         await self._run_batch(loop, [job] + extras)
                         continue
+                # Parent-side trace: queue wait now, transport below, the
+                # executor-side tree merged in after the dispatch resolves.
+                # Assigned to the job before dispatch so the timeout and
+                # failure paths still serve the partial trace.
+                parent_trace = JobTrace()
+                record_span(
+                    "queue.wait",
+                    max(0.0, job.started_at - job.submitted_at),
+                    started_at=job.submitted_at,
+                    trace=parent_trace,
+                )
+                job.trace = parent_trace.to_jsonable()
                 executor = None
                 pool_future: Optional[Any] = None
                 try:
@@ -2026,9 +2158,13 @@ class PassivityService:
                         # arena on, dense systems travel by segment name.
                         system_payload: Any = job.system
                         if self._arena is not None and not job.system.is_sparse:
-                            shipment = ship_systems(self._arena, [job.system])
+                            with use_trace(parent_trace):
+                                shipment = ship_systems(
+                                    self._arena, [job.system]
+                                )
                             shipments.append(shipment)
                             system_payload = shipment
+                            job.trace = parent_trace.to_jsonable()
                         # submit() (not run_in_executor) keeps a handle on
                         # the pool future, whose completion — unlike the
                         # asyncio wrapper's — tracks the actual worker.
@@ -2096,12 +2232,30 @@ class PassivityService:
                     )
                     continue
                 if self._executor_kind == "process":
-                    report, _seconds, error_message, worker_delta = outcome
+                    (
+                        report,
+                        _seconds,
+                        error_message,
+                        worker_delta,
+                        worker_spans,
+                    ) = outcome
                     if worker_delta is not None:
                         self._worker_stats.merge(worker_delta)
                     self._last_heartbeat = time.time()
+                    # Replay the worker process's spans into the parent's
+                    # histograms exactly once, then graft them onto the
+                    # job's parent-side trace.
+                    worker_tree = JobTrace.from_jsonable(worker_spans)
+                    observe_span_tree(METRICS, worker_tree)
+                    parent_trace.merge(worker_tree)
                 else:
-                    report, error_message = outcome.report, outcome.error
+                    # Thread dispatch: spans were already observed at close
+                    # (same process) — graft, don't replay.
+                    cell_outcome, exec_trace = outcome
+                    parent_trace.merge(exec_trace)
+                    report = cell_outcome.report
+                    error_message = cell_outcome.error
+                job.trace = parent_trace.to_jsonable()
                 if error_message is not None:
                     self._finish(job, JobState.FAILED, error=error_message)
                 else:
@@ -2120,14 +2274,19 @@ class PassivityService:
         With sweep-aware dispatch on, the job family's latest cold-run
         system rides along as the warm-start ancestor; its decompositions
         sit in the shared runner cache, so the incremental tier resolves
-        them without any payload shipping in thread mode.
+        them without any payload shipping in thread mode.  Returns the
+        cell outcome together with the execution-side span tree, which the
+        dispatching worker grafts onto the job's parent-side trace.
         """
         ancestor = job.ancestor_system
         if ancestor is None and self._incremental:
             ancestor = self._family_latest.get(_family_key(job.system))
-        return self._runner.run_cell(
-            job.system, job.method, job.options, ancestor=ancestor
-        )
+        exec_trace = JobTrace()
+        with use_trace(exec_trace):
+            outcome = self._runner.run_cell(
+                job.system, job.method, job.options, ancestor=ancestor
+            )
+        return outcome, exec_trace
 
     def _finish(
         self,
@@ -2277,6 +2436,136 @@ class PassivityService:
             raise JobFailedError(f"job {job_id} {job.state.value}: {job.error}")
         return job.report
 
+    def trace(self, job_id: str) -> Dict[str, Any]:
+        """Return the job's pipeline trace (``GET /jobs/<id>/trace``).
+
+        The trace is the span forest the dispatching worker assembled —
+        queue wait, shared-memory transport, and the executor-side stages
+        (cache outcomes, ordered QZ, Riccati refinement) recorded *inside*
+        the worker thread or process — as a plain JSON-able dict:
+        ``{"job_id", "state", "spans"}`` with ``spans`` in the
+        :meth:`~repro.obs.JobTrace.to_jsonable` wire shape.  ``spans`` is
+        empty for jobs that resolved without dispatching (cancelled while
+        queued, coalesced duplicates adopt their primary's verdict but not
+        its trace) and for jobs run with the plane disabled.
+
+        Raises
+        ------
+        UnknownJobError
+            When no job with this id exists (or it was evicted).
+        JobNotReadyError
+            While the job is still queued or running (the HTTP front-end
+            answers 202) — a partial trace is never served.
+        """
+        if self._loop is not None and not self._closed:
+            return self._call(self._trace(job_id))
+        return self._trace_snapshot(self._get(job_id))
+
+    async def _trace(self, job_id: str) -> Dict[str, Any]:
+        return self._trace_snapshot(self._get(job_id))
+
+    @staticmethod
+    def _trace_snapshot(job: Job) -> Dict[str, Any]:
+        """JSON-able trace view of a terminal job (raises when pending)."""
+        if not job.state.is_terminal:
+            raise JobNotReadyError(
+                f"job {job.job_id} is {job.state.value}; "
+                f"its trace is served once the job is terminal"
+            )
+        return {
+            "job_id": job.job_id,
+            "state": job.state.value,
+            "spans": list(job.trace or []),
+        }
+
+    def metrics_text(self) -> str:
+        """Render the observability plane as Prometheus exposition text.
+
+        Backs ``GET /metrics``.  Refreshes the service-level gauges
+        (queue depth and wait, running jobs, lifetime counters, cache
+        counters, journal lag) from a fresh :meth:`stats` snapshot, then
+        renders the process-wide :data:`~repro.obs.metrics.METRICS`
+        registry — which also carries the per-stage latency histograms
+        every :func:`~repro.obs.trace_span` feeds — in text format 0.0.4.
+        """
+        stats = self.stats()
+        gauge = METRICS.gauge
+        gauge(
+            "repro_queue_depth",
+            stats.queue_depth,
+            help="Jobs waiting in the priority queue (held corners included).",
+        )
+        gauge(
+            "repro_jobs_running",
+            stats.running,
+            help="Jobs currently executing on the worker pool.",
+        )
+        gauge(
+            "repro_queue_wait_max_seconds",
+            stats.queue_wait_max,
+            help="Seconds the oldest currently-queued job has been waiting.",
+        )
+        gauge(
+            "repro_journal_lag",
+            stats.journal_lag,
+            help="Dead (compactable) lines in the write-ahead job journal.",
+        )
+        gauge(
+            "repro_uptime_seconds",
+            stats.uptime_seconds,
+            help="Seconds since the service started.",
+        )
+        lifetime = {
+            "submitted": stats.submitted,
+            "completed": stats.completed,
+            "failed": stats.failed,
+            "cancelled": stats.cancelled,
+            "timed_out": stats.timed_out,
+            "deduplicated": stats.deduplicated,
+            "rejected": stats.rejected,
+            "retried": stats.retried,
+            "replayed": stats.replayed,
+        }
+        for name, value in lifetime.items():
+            gauge(
+                f"repro_jobs_{name}",
+                value,
+                help=f"Lifetime count of {name.replace('_', ' ')} jobs.",
+            )
+        gauge(
+            "repro_scenarios",
+            stats.scenarios,
+            help="Scenario sweeps accepted since service start.",
+        )
+        gauge(
+            "repro_streamed_events",
+            stats.streamed_events,
+            help="Numbered scenario events pushed to subscribers.",
+        )
+        gauge(
+            "repro_dropped_events",
+            stats.dropped_events,
+            help="Events lost to slow-subscriber backpressure.",
+        )
+        gauge(
+            "repro_pool_restarts",
+            stats.pool_restarts,
+            help="Process-pool teardown/rebuild cycles after worker crashes.",
+        )
+        gauge(
+            "repro_shm_bytes",
+            stats.shm_bytes,
+            help="Bytes shipped through shared memory instead of the pipe.",
+        )
+        for counter in ("hits", "misses", "factorizations", "l2_hits", "l2_misses"):
+            gauge(
+                f"repro_cache_{counter}",
+                stats.cache.get(counter, 0),
+                help=f"Decomposition cache {counter.replace('_', ' ')} "
+                f"since service start (workers included).",
+            )
+        return METRICS.render_prometheus()
+
     def cancel(self, job_id: str) -> bool:
         """Cancel a queued (or coalesced) job.
 
@@ -2379,9 +2668,25 @@ class PassivityService:
 
     def _build_stats(self) -> ServiceStats:
         """Assemble the :class:`ServiceStats` snapshot (loop thread)."""
-        uptime = (
-            time.time() - self._started_at if self._started_at is not None else 0.0
+        now = time.time()
+        uptime = now - self._started_at if self._started_at is not None else 0.0
+        # Like queue_depth below: a property of the queue *now*, recomputed
+        # from the job table so held scenario corners count and cancelled
+        # ghosts do not.
+        queue_wait_max = max(
+            (
+                now - job.submitted_at
+                for job in self._jobs.values()
+                if job.state is JobState.QUEUED and job.coalesced_into is None
+            ),
+            default=0.0,
         )
+        journal_lag = 0
+        if self._journal is not None:
+            try:
+                journal_lag = self._journal.lag
+            except Exception:  # noqa: BLE001 - telemetry must never raise
+                journal_lag = 0
         # The runner-cache delta plus (process mode) the merged worker-side
         # deltas: one counter set regardless of execution mode.
         cache_delta = self._runner.cache.stats.minus(self._cache_baseline)
@@ -2449,6 +2754,9 @@ class PassivityService:
             scenarios=self._n_scenarios,
             streamed_events=self._n_streamed_events,
             dropped_events=self._n_dropped_events,
+            queue_wait_max=max(0.0, queue_wait_max),
+            journal_lag=journal_lag,
+            stages=METRICS.stage_quantiles(),
             cache=cache,
         )
 

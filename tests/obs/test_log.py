@@ -1,0 +1,104 @@
+"""Unit tests of the structured JSON logger and the slow-op threshold."""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+import time
+
+import pytest
+
+from repro.obs import (
+    JobTrace,
+    METRICS,
+    set_enabled,
+    set_slow_op_threshold,
+    slow_op_threshold,
+    trace_span,
+    use_trace,
+)
+from repro.obs.log import configure, get_logger
+
+
+@pytest.fixture()
+def captured():
+    """Re-point the repro logger at a buffer; restore defaults after."""
+    stream = io.StringIO()
+    configure(stream=stream, level=logging.DEBUG)
+    yield stream
+    configure(level=logging.INFO)
+
+
+def _records(stream: io.StringIO):
+    return [json.loads(line) for line in stream.getvalue().splitlines()]
+
+
+class TestStructuredLogger:
+    def test_one_json_object_per_line(self, captured):
+        log = get_logger("repro.test")
+        log.info("job_finished", job_id="j-1", wall=0.25)
+        log.warning("pool_restart", restarts=2)
+        records = _records(captured)
+        assert [r["event"] for r in records] == ["job_finished", "pool_restart"]
+        first = records[0]
+        assert first["level"] == "info"
+        assert first["logger"] == "repro.test"
+        assert first["job_id"] == "j-1"
+        assert first["wall"] == 0.25
+        assert isinstance(first["ts"], float)
+
+    def test_non_jsonable_fields_degrade_to_repr(self, captured):
+        get_logger("repro.test").info("weird", payload=object())
+        (record,) = _records(captured)
+        assert "object object" in record["payload"]
+
+    def test_debug_is_silent_at_info_level(self, captured):
+        configure(stream=captured, level=logging.INFO)
+        log = get_logger("repro.test")
+        log.debug("hidden")
+        log.error("shown")
+        assert [r["event"] for r in _records(captured)] == ["shown"]
+        assert _records(captured)[0]["level"] == "error"
+
+
+class TestSlowOpLogging:
+    def test_threshold_env_and_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SLOW_OP_SECONDS", "0.125")
+        set_slow_op_threshold(None)  # drop the cache, re-read the env
+        assert slow_op_threshold() == 0.125
+        set_slow_op_threshold(2.5)
+        assert slow_op_threshold() == 2.5
+        set_slow_op_threshold(None)
+        monkeypatch.setenv("REPRO_SLOW_OP_SECONDS", "not-a-number")
+        assert slow_op_threshold() == 1.0  # malformed falls back
+        set_slow_op_threshold(None)
+
+    def test_slow_span_emits_a_slow_op_warning(self, captured):
+        previous = set_enabled(True)
+        set_slow_op_threshold(0.01)
+        try:
+            with use_trace(JobTrace()):
+                with trace_span("slow.stage", order=7):
+                    time.sleep(0.02)
+            records = [r for r in _records(captured) if r["event"] == "slow_op"]
+            assert len(records) == 1
+            record = records[0]
+            assert record["level"] == "warning"
+            assert record["stage"] == "slow.stage"
+            assert record["order"] == 7
+            assert record["wall"] >= 0.01
+        finally:
+            set_slow_op_threshold(None)
+            set_enabled(previous)
+            METRICS.reset()
+
+    def test_fast_span_stays_quiet(self, captured):
+        previous = set_enabled(True)
+        try:
+            with trace_span("fast.stage"):
+                pass
+            assert all(r["event"] != "slow_op" for r in _records(captured))
+        finally:
+            set_enabled(previous)
+            METRICS.reset()

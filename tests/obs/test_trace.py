@@ -1,0 +1,163 @@
+"""Unit tests of the span tracer: nesting, serialization, disabled mode."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    JobTrace,
+    METRICS,
+    Span,
+    current_trace,
+    obs_enabled,
+    record_span,
+    set_enabled,
+    trace_span,
+    use_trace,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_plane():
+    """Each test starts with the plane on and a fresh registry."""
+    previous = set_enabled(True)
+    METRICS.reset()
+    yield
+    set_enabled(previous)
+    METRICS.reset()
+
+
+class TestSpanTree:
+    def test_spans_nest_under_the_enclosing_span(self):
+        trace = JobTrace()
+        with use_trace(trace):
+            with trace_span("outer"):
+                with trace_span("inner.a"):
+                    pass
+                with trace_span("inner.b"):
+                    pass
+        assert len(trace.spans) == 1
+        outer = trace.spans[0]
+        assert outer.name == "outer"
+        assert [child.name for child in outer.children] == ["inner.a", "inner.b"]
+        assert trace.span_names() == ["outer", "inner.a", "inner.b"]
+
+    def test_span_records_wall_cpu_and_attrs(self):
+        trace = JobTrace()
+        with use_trace(trace):
+            with trace_span("stage", order=12) as span:
+                span.set(outcome="computed")
+        span = trace.spans[0]
+        assert span.wall >= 0.0
+        assert span.cpu >= 0.0
+        assert span.started_at > 0.0
+        assert span.attrs == {"order": 12, "outcome": "computed"}
+
+    def test_exception_sets_the_error_attribute(self):
+        trace = JobTrace()
+        with use_trace(trace):
+            with pytest.raises(RuntimeError):
+                with trace_span("doomed"):
+                    raise RuntimeError("boom")
+        assert trace.spans[0].attrs["error"] == "RuntimeError"
+
+    def test_no_active_trace_still_feeds_the_stage_histogram(self):
+        with trace_span("orphan.stage"):
+            pass
+        assert current_trace() is None
+        quantiles = METRICS.stage_quantiles()
+        assert quantiles["orphan.stage"]["count"] == 1.0
+
+    def test_use_trace_restores_the_previous_trace(self):
+        outer_trace, inner_trace = JobTrace(), JobTrace()
+        with use_trace(outer_trace):
+            with trace_span("outer.stage"):
+                with use_trace(inner_trace):
+                    assert current_trace() is inner_trace
+                    with trace_span("inner.stage"):
+                        pass
+                assert current_trace() is outer_trace
+        assert outer_trace.span_names() == ["outer.stage"]
+        assert inner_trace.span_names() == ["inner.stage"]
+
+    def test_traces_are_thread_local(self):
+        trace = JobTrace()
+        seen_on_thread = []
+
+        def worker():
+            seen_on_thread.append(current_trace())
+            with trace_span("thread.stage"):
+                pass
+
+        with use_trace(trace):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert seen_on_thread == [None]
+        assert trace.span_names() == []
+
+
+class TestSerialization:
+    def test_jsonable_round_trip_preserves_the_tree(self):
+        trace = JobTrace()
+        with use_trace(trace):
+            with trace_span("root", order=5) as span:
+                span.set(outcome="computed")
+                with trace_span("child"):
+                    pass
+        documents = trace.to_jsonable()
+        rebuilt = JobTrace.from_jsonable(documents)
+        assert rebuilt.span_names() == trace.span_names()
+        root = rebuilt.spans[0]
+        assert root.attrs == {"order": 5, "outcome": "computed"}
+        assert root.wall == pytest.approx(trace.spans[0].wall)
+        assert root.children[0].name == "child"
+
+    def test_from_jsonable_tolerates_none_and_empty(self):
+        assert JobTrace.from_jsonable(None).span_names() == []
+        assert JobTrace.from_jsonable([]).span_names() == []
+
+    def test_merge_grafts_roots(self):
+        parent = JobTrace([Span("queue.wait", wall=0.5)])
+        worker = JobTrace([Span("engine.dispatch", wall=0.1)])
+        parent.merge(worker)
+        assert parent.span_names() == ["queue.wait", "engine.dispatch"]
+        assert len(parent) == 2
+        parent.merge(None)  # tolerated no-op
+        assert len(parent) == 2
+
+
+class TestRecordSpan:
+    def test_record_span_lands_in_the_given_trace_and_histogram(self):
+        trace = JobTrace()
+        span = record_span("queue.wait", 0.25, trace=trace, position=3)
+        assert span is not None
+        assert trace.span_names() == ["queue.wait"]
+        assert trace.spans[0].wall == 0.25
+        assert trace.spans[0].attrs == {"position": 3}
+        assert METRICS.stage_quantiles()["queue.wait"]["count"] == 1.0
+
+    def test_record_span_uses_the_active_trace_by_default(self):
+        trace = JobTrace()
+        with use_trace(trace):
+            record_span("queue.wait", 0.1)
+        assert trace.span_names() == ["queue.wait"]
+
+
+class TestDisabledMode:
+    def test_disabled_plane_records_nothing(self):
+        set_enabled(False)
+        assert not obs_enabled()
+        trace = JobTrace()
+        with use_trace(trace):
+            with trace_span("stage") as span:
+                span.set(outcome="ignored")  # null span swallows attrs
+            assert record_span("queue.wait", 0.1, trace=trace) is None
+        assert trace.span_names() == []
+        assert METRICS.stage_quantiles() == {}
+
+    def test_set_enabled_returns_the_prior_state(self):
+        assert set_enabled(False) is True
+        assert set_enabled(True) is False

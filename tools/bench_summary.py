@@ -9,9 +9,10 @@ local sweep of benchmarks condenses into something a human can scan.
 
 The extraction is schema-tolerant: headline metrics are found by key-name
 convention anywhere in the document (``*speedup*``, ``*_per_second``,
-``*ratio``, ``*_met``, ``verdicts_agree``, ``verdict_flips``), so new
-benchmarks join the table without touching this file as long as they follow
-the naming conventions.
+``*ratio``, ``*overhead*``, ``*_met``, ``verdicts_agree``,
+``verdict_flips``), so new benchmarks — e.g. ``BENCH_obs.json`` from the
+observability-overhead gate — join the table without touching this file as
+long as they follow the naming conventions.
 
 Usage::
 
@@ -34,6 +35,7 @@ _METRIC_PATTERNS = (
     "speedup",
     "_per_second",
     "ratio",
+    "overhead",
     "verdict_flips",
     "_met",
     "verdicts_agree",

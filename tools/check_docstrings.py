@@ -1,7 +1,8 @@
 """Docstring-coverage gate for the frozen public API.
 
 Walks the ``__all__`` exports of the public namespaces (``repro``,
-``repro.engine``, ``repro.service``) and fails when any exported symbol —
+``repro.engine``, ``repro.service``, ``repro.obs``) and fails when any
+exported symbol —
 or any public method/property a symbol's class defines itself — lacks a
 docstring.  This is the executable form of the documentation contract:
 ``docs/api.md`` promises NumPy-style docstrings for every public symbol,
@@ -22,7 +23,7 @@ import sys
 from typing import List, Tuple
 
 #: The namespaces whose ``__all__`` constitutes the frozen public API.
-PUBLIC_MODULES = ("repro", "repro.engine", "repro.service")
+PUBLIC_MODULES = ("repro", "repro.engine", "repro.service", "repro.obs")
 
 
 def _has_doc(obj: object) -> bool:

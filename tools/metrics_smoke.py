@@ -1,0 +1,206 @@
+"""End-to-end observability smoke: boot the service, sweep, scrape /metrics.
+
+CI's answer to "does the whole observability plane actually light up?":
+
+1. start ``python -m repro.service --metrics`` as a subprocess on a free
+   port,
+2. submit an 8-corner scenario sweep over HTTP and wait for it to finish,
+3. fetch one finished job's ``/jobs/<id>/trace`` and require the pipeline
+   spans,
+4. scrape ``GET /metrics`` and assert the required metric families are
+   present in valid Prometheus text,
+5. write the scrape to ``--output`` so CI can upload it as an artifact.
+
+Exits non-zero (with a reason on stderr) when any step fails.  Usage::
+
+    PYTHONPATH=src python tools/metrics_smoke.py --output metrics-scrape.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import socket
+import subprocess
+import sys
+import time
+from typing import Any, Dict, List
+from urllib.error import URLError
+from urllib.request import Request, urlopen
+
+#: Metric families whose absence fails the smoke.
+REQUIRED_FAMILIES = (
+    "repro_stage_seconds",
+    "repro_jobs_submitted",
+    "repro_jobs_completed",
+    "repro_queue_depth",
+    "repro_queue_wait_max_seconds",
+    "repro_journal_lag",
+    "repro_cache_factorizations",
+    "repro_uptime_seconds",
+)
+
+#: Span names one finished job's trace must contain.
+REQUIRED_SPANS = ("queue.wait", "engine.dispatch")
+
+
+def _free_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def _http(method: str, url: str, payload: Any = None, timeout: float = 10.0) -> Any:
+    data = None if payload is None else json.dumps(payload).encode("utf-8")
+    request = Request(url, data=data, method=method)
+    if data is not None:
+        request.add_header("Content-Type", "application/json")
+    with urlopen(request, timeout=timeout) as response:
+        body = response.read().decode("utf-8")
+        content_type = response.headers.get("Content-Type", "")
+    if content_type.startswith("application/json"):
+        return json.loads(body)
+    return body
+
+
+def _wait_ready(base: str, deadline: float) -> None:
+    while True:
+        try:
+            _http("GET", f"{base}/stats", timeout=2.0)
+            return
+        except (URLError, OSError):
+            if time.monotonic() > deadline:
+                raise RuntimeError("service did not become ready in time")
+            time.sleep(0.2)
+
+
+def _scenario_spec() -> Dict[str, Any]:
+    # An 8-corner sweep of a small RLC grid — the scenario document shape
+    # of repro.service.scenario.scenario_from_jsonable.
+    from repro.circuits import rlc_grid
+    from repro.service import system_to_jsonable
+
+    return {
+        "kind": "scenario",
+        "family": "corners",
+        "system": system_to_jsonable(rlc_grid(4, 5).system),
+        "n_corners": 8,
+        "scale": 2e-4,
+        "seed": 0,
+        "pattern": "a",
+        "method": "gare",
+    }
+
+
+def _span_names(spans: List[Dict[str, Any]]) -> List[str]:
+    names: List[str] = []
+    stack = list(spans)
+    while stack:
+        span = stack.pop()
+        names.append(str(span.get("name", "?")))
+        stack.extend(span.get("children") or [])
+    return names
+
+
+def run_smoke(output: str, executor: str, startup_timeout: float) -> int:
+    """Run the full boot→sweep→trace→scrape smoke; returns an exit code."""
+    port = _free_port()
+    base = f"http://127.0.0.1:{port}"
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.service",
+            "--port",
+            str(port),
+            "--workers",
+            "2",
+            "--executor",
+            executor,
+            "--metrics",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+    )
+    try:
+        _wait_ready(base, time.monotonic() + startup_timeout)
+        print(f"service up on {base} (executor={executor})")
+
+        scenario = _http("POST", f"{base}/scenarios", _scenario_spec())
+        scenario_id = scenario["scenario_id"]
+        deadline = time.monotonic() + 120.0
+        while True:
+            status = _http("GET", f"{base}/scenarios/{scenario_id}")
+            if status["state"] in ("done", "failed", "cancelled"):
+                break
+            if time.monotonic() > deadline:
+                raise RuntimeError("scenario did not finish in time")
+            time.sleep(0.25)
+        if status["state"] != "done":
+            raise RuntimeError(f"scenario ended {status['state']!r}")
+        cells = status.get("cells") or []
+        print(f"scenario {scenario_id} done: {len(cells)} cells")
+
+        job_id = cells[0]["job_id"]
+        trace = _http("GET", f"{base}/jobs/{job_id}/trace")
+        names = _span_names(trace.get("spans") or [])
+        missing_spans = [name for name in REQUIRED_SPANS if name not in names]
+        if missing_spans:
+            raise RuntimeError(
+                f"trace of job {job_id} lacks spans {missing_spans}; got {sorted(set(names))}"
+            )
+        print(f"trace of job {job_id}: {len(names)} spans")
+
+        scrape = _http("GET", f"{base}/metrics")
+        if not isinstance(scrape, str) or "# TYPE" not in scrape:
+            raise RuntimeError("GET /metrics did not return Prometheus text")
+        missing = [
+            family
+            for family in REQUIRED_FAMILIES
+            if f"# TYPE {family} " not in scrape
+        ]
+        if missing:
+            raise RuntimeError(f"/metrics lacks families {missing}")
+        with open(output, "w", encoding="utf-8") as stream:
+            stream.write(scrape)
+        lines = scrape.count("\n")
+        print(f"scrape OK: {lines} lines, {len(REQUIRED_FAMILIES)} required families -> {output}")
+        return 0
+    except Exception as error:
+        print(f"SMOKE FAILED: {error}", file=sys.stderr)
+        return 1
+    finally:
+        process.terminate()
+        try:
+            process.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            process.kill()
+            process.wait()
+
+
+def main(argv=None) -> int:
+    """CLI entry point (see the module docstring)."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output",
+        default="metrics-scrape.txt",
+        help="file receiving the /metrics scrape (CI artifact)",
+    )
+    parser.add_argument(
+        "--executor",
+        choices=("thread", "process"),
+        default="thread",
+        help="service executor mode to boot",
+    )
+    parser.add_argument(
+        "--startup-timeout",
+        type=float,
+        default=30.0,
+        help="seconds to wait for the service to become ready",
+    )
+    args = parser.parse_args(argv)
+    return run_smoke(args.output, args.executor, args.startup_timeout)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
